@@ -1,0 +1,29 @@
+//! Reinforcement-learning primitives for the context-based prefetcher.
+//!
+//! The paper frames prefetching as a **contextual bandits** problem (§4):
+//! the context is the machine state at a memory access, the actions are
+//! candidate prefetch addresses, and the (delayed) reward is derived from
+//! whether — and how soon — a predicted address was actually demanded.
+//!
+//! This crate provides the model-side building blocks, independent of any
+//! cache machinery, so they can be tested and reused in isolation:
+//!
+//! * [`RewardFunction`] and the paper's bell-shaped [`BellReward`] (Fig 5),
+//!   plus a [`StepReward`] used by the ablation experiments;
+//! * [`AdaptiveEpsilon`] — ε-greedy exploration whose rate anneals with
+//!   prediction accuracy, after Tokic's value-difference-based exploration
+//!   (the paper cites this directly in §4.1);
+//! * [`ScoredSet`] — a fixed-capacity action set with saturating integer
+//!   scores and score-based replacement, the policy core of a CST entry;
+//! * [`MultiArmedBandit`] — the classical model the paper generalizes,
+//!   kept here for reference, tests and examples.
+
+pub mod mab;
+pub mod policy;
+pub mod reward;
+pub mod scored;
+
+pub use mab::MultiArmedBandit;
+pub use policy::{AdaptiveEpsilon, ExplorationPolicy, FixedEpsilon};
+pub use reward::{BellReward, RewardFunction, StepReward};
+pub use scored::ScoredSet;

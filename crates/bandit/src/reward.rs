@@ -1,0 +1,225 @@
+//! Reward shaping for delayed prefetch feedback (§4.3 and Fig 5).
+//!
+//! A prediction's *hit depth* is the number of demand memory accesses
+//! between issuing the prediction and the demand that hit it. Useful
+//! prefetches land inside the effective prefetch window — early enough to
+//! hide the L1 miss penalty, late enough not to be evicted first. The
+//! paper's reward is **bell-shaped over the window with negative edges**:
+//! repetitions at useful distances are promoted; relations that drift
+//! outside the window are demoted; predictions that expire unhit receive a
+//! negative reward.
+
+/// Maps a hit depth (in demand memory accesses) to a score delta.
+pub trait RewardFunction {
+    /// Reward for a prediction hit `depth` accesses after issue.
+    fn reward(&self, depth: u32) -> i32;
+
+    /// Reward for a prediction that expired without being hit.
+    fn expiry(&self) -> i32;
+
+    /// The window `[lo, hi]` of depths considered timely (positive reward).
+    fn window(&self) -> (u32, u32);
+}
+
+/// The paper's bell-shaped reward (Fig 5).
+///
+/// Inside the window the reward is a quadratic bell peaking at the target
+/// prefetch distance and degrading gracefully toward the window edges; just
+/// outside the window it dips negative (demoting relations that shifted out
+/// of usefulness) and decays toward zero far away.
+/// ```rust
+/// use semloc_bandit::{BellReward, RewardFunction};
+///
+/// let bell = BellReward::paper_default();
+/// assert_eq!(bell.window(), (18, 50));
+/// assert_eq!(bell.reward(34), 16);            // peak at the center
+/// assert!(bell.reward(60) < 0);               // too early: demoted
+/// assert!(bell.reward(10) >= 0);              // late: partial merge credit
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BellReward {
+    lo: u32,
+    hi: u32,
+    peak: i32,
+    edge_penalty: i32,
+    expiry_penalty: i32,
+}
+
+impl BellReward {
+    /// A bell over `[lo, hi]` with the given peak reward, edge penalty and
+    /// expiry penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, or `peak <= 0`, or penalties are positive.
+    pub fn new(lo: u32, hi: u32, peak: i32, edge_penalty: i32, expiry_penalty: i32) -> Self {
+        assert!(lo < hi, "window must be non-empty");
+        assert!(peak > 0, "peak reward must be positive");
+        assert!(edge_penalty <= 0 && expiry_penalty <= 0, "penalties must be non-positive");
+        BellReward { lo, hi, peak, edge_penalty, expiry_penalty }
+    }
+
+    /// The paper's configuration: positive window 18–50 accesses (§7.1),
+    /// centered on the ~30-access average target distance (§4.3).
+    pub fn paper_default() -> Self {
+        BellReward::new(18, 50, 16, -8, -4)
+    }
+
+    /// Build a bell for a measured target prefetch distance, per §4.3:
+    /// `distance = L1 miss penalty × IPC × Prob(mem op)`. The window spans
+    /// 0.6×–1.67× the target, mirroring the paper's 18–50 around ~30.
+    pub fn for_target_distance(target: f64) -> Self {
+        let target = target.clamp(4.0, 512.0);
+        let lo = (target * 0.6).round() as u32;
+        let hi = (target * 5.0 / 3.0).round() as u32;
+        BellReward::new(lo.max(1), hi.max(lo.max(1) + 2), 16, -8, -4)
+    }
+}
+
+impl RewardFunction for BellReward {
+    fn reward(&self, depth: u32) -> i32 {
+        let (lo, hi) = (self.lo as f64, self.hi as f64);
+        let d = depth as f64;
+        let center = (lo + hi) / 2.0;
+        let sigma = (hi - lo) / 2.0;
+        if depth <= self.hi {
+            // Gaussian bell peaking at the window center. Its late-side
+            // tail stays (mildly) positive: a prediction hit only a few
+            // accesses after issue still shortens the demand's wait by
+            // merging into the in-flight fill, so near-window-late
+            // repetitions deserve partial credit rather than demotion.
+            let x = (d - center) / sigma;
+            ((self.peak as f64) * (-x * x).exp()).round() as i32
+        } else {
+            // Early side: negative edge decaying toward zero away from the
+            // window — data fetched too early risks eviction before use,
+            // and pairs whose relation drifted out of the window are
+            // demoted (§4.3).
+            let dist = d - hi;
+            let decay = (-dist / 16.0).exp();
+            ((self.edge_penalty as f64) * decay).round() as i32
+        }
+    }
+
+    fn expiry(&self) -> i32 {
+        self.expiry_penalty
+    }
+
+    fn window(&self) -> (u32, u32) {
+        (self.lo, self.hi)
+    }
+}
+
+/// A flat step reward (ablation A2): full peak anywhere inside the window,
+/// constant penalty outside. Removes the paper's graceful degradation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepReward {
+    lo: u32,
+    hi: u32,
+    peak: i32,
+    penalty: i32,
+}
+
+impl StepReward {
+    /// A step over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `peak <= 0` or `penalty > 0`.
+    pub fn new(lo: u32, hi: u32, peak: i32, penalty: i32) -> Self {
+        assert!(lo < hi && peak > 0 && penalty <= 0);
+        StepReward { lo, hi, peak, penalty }
+    }
+
+    /// Step analogue of [`BellReward::paper_default`].
+    pub fn paper_default() -> Self {
+        StepReward::new(18, 50, 16, -8)
+    }
+}
+
+impl RewardFunction for StepReward {
+    fn reward(&self, depth: u32) -> i32 {
+        if depth >= self.lo && depth <= self.hi {
+            self.peak
+        } else {
+            self.penalty
+        }
+    }
+
+    fn expiry(&self) -> i32 {
+        self.penalty / 2
+    }
+
+    fn window(&self) -> (u32, u32) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_peaks_at_center_and_degrades_toward_edges() {
+        let b = BellReward::paper_default();
+        assert_eq!(b.reward(34), 16);
+        assert!(b.reward(18) < b.reward(34) / 2);
+        assert!(b.reward(50) < b.reward(34) / 2);
+        assert!(b.reward(30) > b.reward(20));
+        assert!(b.reward(30) > b.reward(48));
+    }
+
+    #[test]
+    fn late_side_keeps_partial_merge_credit() {
+        // A hit only a few accesses after issue still shortened the
+        // demand's wait (it merged into the in-flight fill), so the late
+        // tail is small-but-positive, never punitive.
+        let b = BellReward::paper_default();
+        assert!(b.reward(10) >= 0);
+        assert!(b.reward(10) < b.reward(30));
+        assert!(b.reward(2) <= b.reward(12));
+    }
+
+    #[test]
+    fn early_side_is_negative_and_decays() {
+        let b = BellReward::paper_default();
+        assert!(b.reward(51) < 0);
+        assert!(b.reward(51) <= b.reward(120), "penalty decays with distance");
+        assert!(b.expiry() < 0);
+    }
+
+    #[test]
+    fn bell_is_monotone_up_then_down() {
+        let b = BellReward::paper_default();
+        let vals: Vec<i32> = (2..=50).map(|d| b.reward(d)).collect();
+        let peak_pos = vals.iter().enumerate().max_by_key(|(_, v)| **v).map(|(i, _)| i).unwrap();
+        assert!(vals[..=peak_pos].windows(2).all(|w| w[0] <= w[1]));
+        assert!(vals[peak_pos..].windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn target_distance_scales_window() {
+        let b = BellReward::for_target_distance(30.0);
+        assert_eq!(b.window(), (18, 50));
+        let fast = BellReward::for_target_distance(12.0);
+        assert_eq!(fast.window(), (7, 20));
+        // Degenerate targets still yield a valid window.
+        let tiny = BellReward::for_target_distance(0.0);
+        let (lo, hi) = tiny.window();
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn step_is_flat() {
+        let s = StepReward::paper_default();
+        assert_eq!(s.reward(18), s.reward(34));
+        assert_eq!(s.reward(0), s.reward(200));
+        assert!(s.reward(0) < 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn empty_window_rejected() {
+        BellReward::new(10, 10, 1, 0, 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! A fixed-capacity set of actions with saturating integer scores.
+//!
+//! This is the policy core of a context-states-table entry: each stored
+//! context keeps up to `N` candidate actions (address deltas, in the
+//! prefetcher), each with a 1-byte score updated by rewards. Insertion
+//! evicts the lowest-scoring candidate — "a score-based replacement policy,
+//! which benefits pairs that gained positive rewards" (§5) — expanding the
+//! exploration space while protecting proven actions.
+
+use rand::{Rng, RngExt};
+
+/// Replacement policy used when inserting into a full [`ScoredSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Evict the candidate with the lowest score (the paper's policy).
+    #[default]
+    LowestScore,
+    /// Evict the oldest candidate (ablation baseline).
+    Fifo,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot<A> {
+    action: A,
+    score: i8,
+    inserted_at: u32,
+}
+
+/// Up to `N` scored candidate actions.
+///
+/// ```rust
+/// use semloc_bandit::ScoredSet;
+///
+/// let mut actions: ScoredSet<u64, 4> = ScoredSet::default();
+/// actions.insert(0xA0);
+/// actions.insert(0xB0);
+/// actions.reward(0xB0, 16);
+/// assert_eq!(actions.best(), Some((0xB0, 16)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScoredSet<A, const N: usize> {
+    slots: Vec<Slot<A>>,
+    policy: Replacement,
+    clock: u32,
+}
+
+impl<A: Copy + Eq, const N: usize> Default for ScoredSet<A, N> {
+    fn default() -> Self {
+        Self::new(Replacement::default())
+    }
+}
+
+impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
+    /// An empty set with the given replacement policy.
+    pub fn new(policy: Replacement) -> Self {
+        ScoredSet { slots: Vec::with_capacity(N), policy, clock: 0 }
+    }
+
+    /// Number of stored candidates.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Insert `action` with score 0 if not already present. When full, the
+    /// replacement policy selects a victim. Returns the evicted action and
+    /// its score, if any.
+    pub fn insert(&mut self, action: A) -> Option<(A, i8)> {
+        self.clock = self.clock.wrapping_add(1);
+        if self.slots.iter().any(|s| s.action == action) {
+            return None;
+        }
+        let slot = Slot { action, score: 0, inserted_at: self.clock };
+        if self.slots.len() < N {
+            self.slots.push(slot);
+            return None;
+        }
+        let victim = match self.policy {
+            Replacement::LowestScore => self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.score)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty"),
+            Replacement::Fifo => self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.inserted_at)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty"),
+        };
+        let evicted = (self.slots[victim].action, self.slots[victim].score);
+        self.slots[victim] = slot;
+        Some(evicted)
+    }
+
+    /// Apply a saturating score delta to `action`. Returns `false` when the
+    /// action is not stored.
+    pub fn reward(&mut self, action: A, delta: i32) -> bool {
+        self.reward_capped(action, delta, i8::MAX)
+    }
+
+    /// Like [`ScoredSet::reward`], but positive deltas cannot raise the
+    /// score above `cap` (scores already above `cap` are left untouched).
+    /// Used for *partial credit* — e.g. late prefetch hits that only
+    /// shortened a wait — so such credit saturates early and can never
+    /// outrank fully timely candidates.
+    pub fn reward_capped(&mut self, action: A, delta: i32, cap: i8) -> bool {
+        match self.slots.iter_mut().find(|s| s.action == action) {
+            Some(s) => {
+                let mut new = (s.score as i32 + delta).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+                if delta > 0 {
+                    new = new.min(cap.max(s.score));
+                }
+                s.score = new;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The stored score of `action`, if present.
+    pub fn score_of(&self, action: A) -> Option<i8> {
+        self.slots.iter().find(|s| s.action == action).map(|s| s.score)
+    }
+
+    /// The highest-scoring candidate.
+    pub fn best(&self) -> Option<(A, i8)> {
+        self.slots.iter().max_by_key(|s| s.score).map(|s| (s.action, s.score))
+    }
+
+    /// All candidates, highest score first.
+    pub fn ranked(&self) -> Vec<(A, i8)> {
+        let mut v: Vec<(A, i8)> = self.slots.iter().map(|s| (s.action, s.score)).collect();
+        v.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+        v
+    }
+
+    /// A uniformly random stored candidate (the ε-greedy exploration draw:
+    /// "choosing a random address from the set of previously correlated
+    /// ones").
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<A> {
+        if self.slots.is_empty() {
+            None
+        } else {
+            Some(self.slots[rng.random_range(0..self.slots.len())].action)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type Set = ScoredSet<u64, 4>;
+
+    #[test]
+    fn fills_then_evicts_lowest() {
+        let mut s = Set::default();
+        for a in 1..=4u64 {
+            assert_eq!(s.insert(a), None);
+        }
+        s.reward(1, 10);
+        s.reward(2, 5);
+        s.reward(3, -5);
+        s.reward(4, 1);
+        let evicted = s.insert(99);
+        assert_eq!(evicted, Some((3, -5)), "lowest-scoring candidate must go");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.score_of(99), Some(0));
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_noop() {
+        let mut s = Set::default();
+        s.insert(7);
+        s.reward(7, 20);
+        assert_eq!(s.insert(7), None);
+        assert_eq!(s.score_of(7), Some(20), "reinsertion must not reset the score");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn fifo_policy_evicts_oldest() {
+        let mut s: ScoredSet<u64, 2> = ScoredSet::new(Replacement::Fifo);
+        s.insert(1);
+        s.insert(2);
+        s.reward(1, 100); // high score should NOT protect under FIFO
+        assert_eq!(s.insert(3), Some((1, 100)));
+    }
+
+    #[test]
+    fn scores_saturate() {
+        let mut s = Set::default();
+        s.insert(1);
+        for _ in 0..100 {
+            s.reward(1, 50);
+        }
+        assert_eq!(s.score_of(1), Some(i8::MAX));
+        for _ in 0..100 {
+            s.reward(1, -50);
+        }
+        assert_eq!(s.score_of(1), Some(i8::MIN));
+    }
+
+    #[test]
+    fn best_and_ranked_agree() {
+        let mut s = Set::default();
+        s.insert(10);
+        s.insert(20);
+        s.insert(30);
+        s.reward(20, 9);
+        s.reward(30, 3);
+        assert_eq!(s.best(), Some((20, 9)));
+        let ranked = s.ranked();
+        assert_eq!(ranked[0], (20, 9));
+        assert_eq!(ranked[1], (30, 3));
+        assert_eq!(ranked[2], (10, 0));
+    }
+
+    #[test]
+    fn random_draws_only_stored_actions() {
+        let mut s = Set::default();
+        assert!(s.random(&mut StdRng::seed_from_u64(0)).is_none());
+        s.insert(5);
+        s.insert(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.random(&mut rng).unwrap());
+        }
+        assert_eq!(seen, [5u64, 6].into_iter().collect());
+    }
+
+    #[test]
+    fn reward_on_missing_action_reports_false() {
+        let mut s = Set::default();
+        assert!(!s.reward(42, 1));
+    }
+}

@@ -1,0 +1,39 @@
+//! Per-access cost of the baseline prefetchers, for comparison with the
+//! context prefetcher's train/predict/feedback paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use semloc_baselines::{GhbFlavor, GhbPrefetcher, MarkovPrefetcher, SmsPrefetcher, StridePrefetcher};
+use semloc_mem::{MemPressure, Prefetcher};
+use semloc_trace::AccessContext;
+
+fn pressure() -> MemPressure {
+    MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+}
+
+fn drive<P: Prefetcher>(b: &mut criterion::Bencher<'_>, mut p: P) {
+    let mut out = Vec::new();
+    let mut seq = 0u64;
+    b.iter(|| {
+        out.clear();
+        let c = AccessContext::bare(seq, 0x400 + (seq % 8) * 8, 0x10_0000 + seq * 72, false);
+        p.on_access(black_box(&c), pressure(), &mut out);
+        seq += 1;
+        black_box(out.len())
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_prefetchers");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("stride", |b| drive(b, StridePrefetcher::paper_default()));
+    g.bench_function("ghb_gdc", |b| drive(b, GhbPrefetcher::paper_default(GhbFlavor::GlobalDc)));
+    g.bench_function("ghb_pcdc", |b| drive(b, GhbPrefetcher::paper_default(GhbFlavor::PcDc)));
+    g.bench_function("sms", |b| drive(b, SmsPrefetcher::paper_default()));
+    g.bench_function("markov", |b| drive(b, MarkovPrefetcher::paper_default()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

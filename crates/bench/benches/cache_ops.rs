@@ -1,0 +1,43 @@
+//! Raw cost of the memory-hierarchy primitives: cache lookups/fills and
+//! full demand accesses through the two-level hierarchy.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use semloc_mem::{Cache, CacheConfig, Hierarchy, MemConfig, NoPrefetch};
+use semloc_trace::AccessContext;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("l1_lookup_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        cache.fill(0x1000, 0, false, false);
+        b.iter(|| black_box(cache.lookup_demand(black_box(0x1000), 100, false)));
+    });
+
+    g.bench_function("l1_fill_evict", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(64);
+            black_box(cache.fill(black_box(a), 0, false, false))
+        });
+    });
+
+    g.bench_function("hierarchy_demand_access", |b| {
+        let mut h = Hierarchy::new(MemConfig::default(), NoPrefetch);
+        let mut seq = 0u64;
+        b.iter(|| {
+            let ctx = AccessContext::bare(seq, 0x400, 0x10_0000 + (seq * 64) % (1 << 22), false);
+            let r = h.demand_access(black_box(&ctx), seq * 4);
+            seq += 1;
+            black_box(r)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Per-access cost of the context prefetcher's three units (collection,
+//! prediction, feedback run on every demand access).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use semloc_context::{ContextConfig, ContextPrefetcher};
+use semloc_mem::{MemPressure, Prefetcher};
+use semloc_trace::{AccessContext, SemanticHints};
+
+fn pressure() -> MemPressure {
+    MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+}
+
+fn ctx(seq: u64, pc: u64, addr: u64) -> AccessContext {
+    let mut c = AccessContext::bare(seq, pc, addr, false);
+    c.reg1 = addr;
+    c.hints = Some(SemanticHints::link(1, 0));
+    c
+}
+
+fn bench_on_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_prefetcher");
+    g.throughput(Throughput::Elements(1));
+
+    // Strided stream: the prediction-heavy steady state.
+    g.bench_function("on_access/stride_stream", |b| {
+        let mut p = ContextPrefetcher::new(ContextConfig::default());
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            out.clear();
+            p.on_access(black_box(&ctx(seq, 0x400, 0x10_0000 + seq * 64)), pressure(), &mut out);
+            seq += 1;
+            black_box(out.len())
+        });
+    });
+
+    // Random traffic: the collection/feedback-heavy worst case.
+    g.bench_function("on_access/random_stream", |b| {
+        let mut p = ContextPrefetcher::new(ContextConfig::default());
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        let mut state = 7u64;
+        b.iter(|| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            out.clear();
+            p.on_access(black_box(&ctx(seq, 0x400, state % (1 << 26))), pressure(), &mut out);
+            seq += 1;
+            black_box(out.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_on_access);
+criterion_main!(benches);

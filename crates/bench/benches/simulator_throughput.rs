@@ -1,0 +1,29 @@
+//! End-to-end simulator throughput: instructions simulated per second for
+//! a representative workload under no-prefetch and context configurations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use semloc_harness::{run_kernel, PrefetcherKind, SimConfig};
+use semloc_workloads::kernel_by_name;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let budget = 50_000u64;
+    g.throughput(Throughput::Elements(budget));
+    g.sample_size(10);
+    for pf in [PrefetcherKind::None, PrefetcherKind::context(), PrefetcherKind::Sms] {
+        g.bench_function(format!("run_50k_instr/{}", pf.label()), |b| {
+            let cfg = SimConfig::default().with_budget(budget);
+            b.iter_batched(
+                || kernel_by_name("mcf").expect("kernel"),
+                |k| black_box(run_kernel(k.as_ref(), &pf, &cfg)),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation study (DESIGN.md §6): each design decision of the context
+//! prefetcher disabled or replaced in isolation, measured on the workloads
+//! that benefit most from the prefetcher.
+
+use semloc_bench::{banner, geomean};
+use semloc_harness::{ablation_variants, run_kernel, PrefetcherKind, SimConfig, Table};
+use semloc_workloads::kernel_by_name;
+
+fn main() {
+    banner(
+        "Ablation",
+        "Design-decision ablations of the context prefetcher",
+        "bell reward, dynamic feature selection, shadow prefetches, sampling, replacement (DESIGN.md #6)",
+    );
+    let cfg = SimConfig::default();
+    let names =
+        ["list", "mcf", "omnetpp", "hmmer", "h264ref", "ssca_lds", "astar", "milc", "bst", "hashtest", "KNN", "bzip2"];
+    let kernels: Vec<_> = names.iter().map(|n| kernel_by_name(n).expect("kernel")).collect();
+    let baselines: Vec<_> =
+        kernels.iter().map(|k| run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg)).collect();
+
+    let mut t = Table::new(["variant", "geomean speedup", "delta vs baseline", "description"]);
+    let mut base_geo = 0.0;
+    // Paper-default first, then each ablation, then the per-workload
+    // calibration extension.
+    for v in ablation_variants() {
+        let speedups: Vec<f64> = kernels
+            .iter()
+            .zip(&baselines)
+            .map(|(k, b)| run_kernel(k.as_ref(), &PrefetcherKind::Context(v.config.clone()), &cfg).speedup_over(b))
+            .collect();
+        let geo = geomean(speedups);
+        eprintln!("[done] {}: {geo:.3}", v.name);
+        if v.name == "baseline" {
+            base_geo = geo;
+        }
+        let delta = if base_geo > 0.0 { format!("{:+.1}%", (geo / base_geo - 1.0) * 100.0) } else { "-".into() };
+        t.row([v.name.to_string(), format!("{geo:.2}x"), delta, v.description.to_string()]);
+    }
+    // Extension: per-workload reward calibration (§4.3 formula).
+    let speedups: Vec<f64> = kernels
+        .iter()
+        .zip(&baselines)
+        .map(|(k, b)| run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &cfg).speedup_over(b))
+        .collect();
+    let geo = geomean(speedups);
+    let delta = format!("{:+.1}%", (geo / base_geo - 1.0) * 100.0);
+    t.row([
+        "calibrated".to_string(),
+        format!("{geo:.2}x"),
+        delta,
+        "EXTENSION: reward window derived per workload from the #4.3 distance formula".to_string(),
+    ]);
+    println!("{}", t.render());
+}

@@ -1,0 +1,52 @@
+//! Fig 8 — cumulative distribution of prediction hit depths for the
+//! µbenchmarks (top of the paper's figure) and a subset of the regular
+//! benchmarks (bottom), with the reward window overlaid.
+//!
+//! §7.1 reads off this figure: a visible step begins at depth 18 (the
+//! window's lower edge); up to ~25% of prefetches are issued too late
+//! (depth < 18); early prefetches (depth > 50) split the µbenchmarks into
+//! groups, with the input-dependent lookups (maptest, hashtest, bst) the
+//! hardest.
+
+use semloc_bench::banner;
+use semloc_harness::{run_kernel, PrefetcherKind, SimConfig};
+use semloc_workloads::kernel_by_name;
+
+const DEPTH_POINTS: [u32; 12] = [4, 8, 12, 17, 18, 24, 30, 38, 44, 50, 64, 96];
+
+fn main() {
+    banner(
+        "Fig 8",
+        "Cumulative distribution of prediction hit depths (context prefetcher, real + shadow)",
+        "step starting at depth 18; <=25-35% late; early fraction splits workloads into groups",
+    );
+    let cfg = SimConfig::default();
+    let micro = ["array", "list", "listsort", "bst", "prim", "hashtest", "maptest", "ssca_lds"];
+    let regular = ["mcf", "omnetpp", "hmmer", "lbm", "graph500", "suffixArray"];
+
+    for (title, set) in [("ubenchmarks", &micro[..]), ("regular benchmarks", &regular[..])] {
+        println!("\n-- {title} --");
+        print!("{:<14}", "workload");
+        for d in DEPTH_POINTS {
+            print!(" {d:>5}");
+        }
+        println!("   late<18  window  early>50");
+        for name in set {
+            let k = kernel_by_name(name).expect("kernel exists");
+            let r = run_kernel(k.as_ref(), &PrefetcherKind::context(), &cfg);
+            let learn = r.learn.expect("context stats");
+            print!("{name:<14}");
+            for d in DEPTH_POINTS {
+                print!(" {:>5.2}", learn.depth_cdf.cdf_at(d));
+            }
+            println!(
+                "   {:>6.1}%  {:>5.1}%  {:>7.1}%",
+                learn.depth_cdf.cdf_at(17) * 100.0,
+                learn.depth_cdf.fraction_in_window(18, 50) * 100.0,
+                (1.0 - learn.depth_cdf.cdf_at(50)) * 100.0,
+            );
+            eprintln!("[done] {name}");
+        }
+    }
+    println!("\n(reward window 18..=50 accesses; CDF values are P[hit depth <= d])");
+}

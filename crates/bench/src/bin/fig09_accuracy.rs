@@ -1,0 +1,58 @@
+//! Fig 9 — accuracy and timeliness: every demand access classified as
+//! {hit prefetched line, shorter wait, non-timely, miss not prefetched,
+//! hit older demand}, plus wrong prefetches (counted on top of 100%).
+
+use semloc_bench::{banner, full_lineup, run_matrix};
+use semloc_harness::SimConfig;
+use semloc_mem::AccessClass;
+use semloc_workloads::all_kernels;
+
+fn main() {
+    banner(
+        "Fig 9",
+        "Accuracy and timeliness of the evaluated prefetchers (fractions of demand accesses)",
+        "context shows the largest 'hit prefetched'+'shorter wait' share on irregular and u-benchmarks",
+    );
+    let cfg = SimConfig::default();
+    let kernels = all_kernels();
+    let lineup = full_lineup();
+    let m = run_matrix(&kernels, &lineup, &cfg);
+
+    println!(
+        "\n{:<14} {:<10} {:>8} {:>8} {:>9} {:>8} {:>8} {:>7}",
+        "workload", "prefetcher", "hit-pf", "shorter", "nontimely", "miss", "hit-old", "wrong"
+    );
+    for k in m.kernels() {
+        for p in m.prefetchers().iter().skip(1) {
+            let r = m.get(k, p).expect("run present");
+            let c = &r.mem.classes;
+            println!(
+                "{:<14} {:<10} {:>7.1}% {:>7.1}% {:>8.1}% {:>7.1}% {:>7.1}% {:>6.1}%",
+                k,
+                p,
+                c.fraction(AccessClass::HitPrefetchedLine) * 100.0,
+                c.fraction(AccessClass::ShorterWait) * 100.0,
+                c.fraction(AccessClass::NonTimely) * 100.0,
+                c.fraction(AccessClass::MissNotPrefetched) * 100.0,
+                c.fraction(AccessClass::HitOlderDemand) * 100.0,
+                c.wrong_fraction() * 100.0,
+            );
+        }
+        println!();
+    }
+
+    // Aggregate benefit share per prefetcher (the visual takeaway).
+    println!("average useful share (hit prefetched + shorter wait) across all workloads:");
+    for p in m.prefetchers().iter().skip(1) {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for k in m.kernels() {
+            if let Some(r) = m.get(k, p) {
+                let c = &r.mem.classes;
+                sum += c.fraction(AccessClass::HitPrefetchedLine) + c.fraction(AccessClass::ShorterWait);
+                n += 1;
+            }
+        }
+        println!("  {:<10} {:>5.1}%", p, sum / n as f64 * 100.0);
+    }
+}

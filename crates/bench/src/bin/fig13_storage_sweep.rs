@@ -1,0 +1,39 @@
+//! Fig 13 — impact of CST storage size on overall speedup, for the Top-10
+//! subset and for all workloads.
+//!
+//! The paper's counterintuitive finding: bigger is not monotonically
+//! better — the all-workload benefit peaks at a moderate size (64–128 kB in
+//! the paper's accounting) and then drops, because a larger action space
+//! slows training.
+
+use semloc_bench::banner;
+use semloc_harness::{storage_sweep, SimConfig};
+use semloc_workloads::all_kernels;
+
+fn main() {
+    banner(
+        "Fig 13",
+        "Impact of CST size on overall speedup (Top10 and All geomeans)",
+        "benefit peaks at a moderate size and does not grow monotonically",
+    );
+    let cfg = SimConfig::default();
+    let kernels = all_kernels();
+    let sizes = [256usize, 512, 1024, 2048, 4096, 8192];
+    let points = storage_sweep(&kernels, &sizes, &cfg, |s| eprintln!("[sweep] finished CST size {s}"));
+    println!("\n{:>10} {:>10} {:>8} {:>8}", "CST", "storage", "Top10", "All");
+    for p in &points {
+        println!(
+            "{:>10} {:>9.1}k {:>7.2}x {:>7.2}x",
+            p.cst_entries,
+            p.storage_bytes as f64 / 1024.0,
+            p.top10,
+            p.all
+        );
+    }
+    let best_all = points.iter().max_by(|a, b| a.all.partial_cmp(&b.all).unwrap()).unwrap();
+    println!(
+        "\nall-workload benefit peaks at CST {} entries (~{:.0} kB), not at the maximum size",
+        best_all.cst_entries,
+        best_all.storage_bytes as f64 / 1024.0
+    );
+}

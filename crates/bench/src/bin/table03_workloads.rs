@@ -1,0 +1,18 @@
+//! Table 3 — the workloads and benchmark suites used.
+
+use semloc_bench::banner;
+use semloc_harness::Table;
+use semloc_workloads::registry::table3;
+
+fn main() {
+    banner("Table 3", "Workloads and benchmarks used", "SPEC2006 (16), PBBS (3), Graph500, HPCS SSCA2, ukernels");
+    let mut by_suite: std::collections::BTreeMap<&str, Vec<&str>> = Default::default();
+    for info in table3() {
+        by_suite.entry(info.suite.label()).or_default().push(info.name);
+    }
+    let mut t = Table::new(["suite", "workloads"]);
+    for (suite, names) in by_suite {
+        t.row([suite.to_string(), names.join(", ")]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,227 @@
+//! Context attributes and the two-level hashing scheme (Table 1, Fig 7).
+//!
+//! Every demand access carries an [`AccessContext`]; each [`Attr`] extracts
+//! one 64-bit *feature value* from it. The full attribute vector is hashed
+//! to 16 bits to index the Reducer; the subset of **active** attributes is
+//! re-hashed to 19 bits to index the context-states table.
+//!
+//! Attribute activation follows a fixed priority order (the "list of
+//! attributes" of §4.4, where overload "activates the first inactive
+//! attribute in the list"), so an active set is fully described by a prefix
+//! length — which is also what lets a Reducer entry fit in a byte of
+//! hardware state.
+
+use semloc_trace::AccessContext;
+
+/// One context attribute (a row of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Attr {
+    /// Instruction pointer of the memory access.
+    Ip,
+    /// Object type id (compiler hint).
+    TypeId,
+    /// Link offset within the object (compiler hint).
+    LinkOffset,
+    /// Form of reference — `.`, `->`, `*`, index (compiler hint).
+    RefForm,
+    /// Global branch history.
+    BranchHistory,
+    /// Values of the access's source registers (e.g. the base pointer or a
+    /// searched key).
+    RegValues,
+    /// The most recently loaded data value.
+    LastLoaded,
+    /// History of recent memory accesses ("must be used sparingly" — hence
+    /// last in the activation order).
+    AddrHistory,
+}
+
+impl Attr {
+    /// Activation priority order: cheap, low-overfit attributes first;
+    /// aggressive, localizing ones last.
+    pub const ORDER: [Attr; 8] = [
+        Attr::Ip,
+        Attr::TypeId,
+        Attr::LinkOffset,
+        Attr::RefForm,
+        Attr::BranchHistory,
+        Attr::RegValues,
+        Attr::LastLoaded,
+        Attr::AddrHistory,
+    ];
+
+    /// Number of attributes.
+    pub const COUNT: usize = Self::ORDER.len();
+
+    /// Extract this attribute's 64-bit feature value from an access
+    /// context. `block_shift` sets the address granularity for
+    /// address-valued features.
+    pub fn feature(self, ctx: &AccessContext, block_shift: u32) -> u64 {
+        match self {
+            Attr::Ip => ctx.pc,
+            Attr::TypeId => ctx.hints.map_or(u64::MAX, |h| h.type_id as u64),
+            Attr::LinkOffset => ctx.hints.map_or(u64::MAX, |h| h.link_offset as u64),
+            Attr::RefForm => ctx.hints.map_or(u64::MAX, |h| h.ref_form.code() as u64),
+            Attr::BranchHistory => ctx.branch_history as u64,
+            Attr::RegValues => mix(ctx.reg1).wrapping_add(mix(ctx.reg2).rotate_left(17)),
+            Attr::LastLoaded => ctx.last_loaded,
+            Attr::AddrHistory => {
+                let a = ctx.recent_addrs[0] >> block_shift;
+                let b = ctx.recent_addrs[1] >> block_shift;
+                mix(a).wrapping_add(mix(b).rotate_left(23))
+            }
+        }
+    }
+}
+
+/// The 16-bit hash of the *full* attribute vector (Reducer index + tag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FullHash(pub u16);
+
+impl FullHash {
+    /// Hash the full attribute vector of `ctx`.
+    pub fn of(ctx: &AccessContext, block_shift: u32) -> Self {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        for (i, attr) in Attr::ORDER.into_iter().enumerate() {
+            acc = fold(acc, i as u64, attr.feature(ctx, block_shift));
+        }
+        FullHash(squeeze(acc) as u16)
+    }
+
+    /// Reducer index (lower 14 bits — Fig 7).
+    #[inline]
+    pub fn reducer_index(self) -> usize {
+        (self.0 & 0x3fff) as usize
+    }
+
+    /// Reducer tag (remaining 2 bits — Fig 7).
+    #[inline]
+    pub fn reducer_tag(self) -> u8 {
+        (self.0 >> 14) as u8
+    }
+}
+
+/// The 19-bit hash of the *active-prefix* attribute vector: the final CST
+/// index/tag pair (Fig 7: 19 bits, 8 of which serve as tag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ContextKey(pub u32);
+
+impl ContextKey {
+    /// Hash the first `active` attributes (in [`Attr::ORDER`]) of `ctx`.
+    pub fn of(ctx: &AccessContext, active: usize, block_shift: u32) -> Self {
+        let active = active.clamp(1, Attr::COUNT);
+        let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+        for (i, attr) in Attr::ORDER.into_iter().take(active).enumerate() {
+            acc = fold(acc, i as u64, attr.feature(ctx, block_shift));
+        }
+        ContextKey((squeeze(acc) & 0x7ffff) as u32)
+    }
+
+    /// CST index under a table of `entries` (power of two) entries.
+    #[inline]
+    pub fn cst_index(self, entries: usize) -> usize {
+        debug_assert!(entries.is_power_of_two());
+        (self.0 as usize) & (entries - 1)
+    }
+
+    /// CST tag (8 bits above the 11-bit index of the default 2K-entry
+    /// table).
+    #[inline]
+    pub fn cst_tag(self) -> u8 {
+        (self.0 >> 11) as u8
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-distributed 64-bit mixer.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn fold(acc: u64, salt: u64, v: u64) -> u64 {
+    mix(acc ^ mix(v.wrapping_add(salt.wrapping_mul(0x2545_f491_4f6c_dd1d))))
+}
+
+#[inline]
+fn squeeze(v: u64) -> u64 {
+    v ^ (v >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semloc_trace::{AccessContext, SemanticHints};
+
+    fn ctx(pc: u64, addr: u64) -> AccessContext {
+        AccessContext::bare(0, pc, addr, false)
+    }
+
+    #[test]
+    fn order_contains_each_attribute_once() {
+        let set: std::collections::HashSet<_> = Attr::ORDER.iter().collect();
+        assert_eq!(set.len(), Attr::COUNT);
+    }
+
+    #[test]
+    fn hints_distinguish_contexts() {
+        let mut a = ctx(0x400, 0x1000);
+        let mut b = ctx(0x400, 0x1000);
+        a.hints = Some(SemanticHints::link(1, 8));
+        b.hints = Some(SemanticHints::link(2, 8));
+        // With the hint attributes in the active prefix the keys differ.
+        assert_ne!(ContextKey::of(&a, 4, 5), ContextKey::of(&b, 4, 5));
+        // With only the IP active they collapse to the same context.
+        assert_eq!(ContextKey::of(&a, 1, 5), ContextKey::of(&b, 1, 5));
+    }
+
+    #[test]
+    fn register_values_only_matter_when_active() {
+        let mut a = ctx(0x400, 0x1000);
+        let mut b = ctx(0x400, 0x1000);
+        a.reg1 = 0xAAAA;
+        b.reg1 = 0xBBBB;
+        assert_eq!(ContextKey::of(&a, 5, 5), ContextKey::of(&b, 5, 5));
+        assert_ne!(ContextKey::of(&a, 6, 5), ContextKey::of(&b, 6, 5));
+    }
+
+    #[test]
+    fn full_hash_fields_partition_16_bits() {
+        let h = FullHash(0xffff);
+        assert_eq!(h.reducer_index(), 0x3fff);
+        assert_eq!(h.reducer_tag(), 0b11);
+    }
+
+    #[test]
+    fn context_key_fields_partition_19_bits() {
+        let k = ContextKey(0x7ffff);
+        assert_eq!(k.cst_index(2048), 2047);
+        assert_eq!(k.cst_tag(), 0xff);
+    }
+
+    #[test]
+    fn keys_are_deterministic() {
+        let mut a = ctx(0x400, 0x1000);
+        a.branch_history = 0x55;
+        a.reg1 = 7;
+        assert_eq!(ContextKey::of(&a, 8, 5), ContextKey::of(&a, 8, 5));
+        assert_eq!(FullHash::of(&a, 5), FullHash::of(&a, 5));
+    }
+
+    #[test]
+    fn missing_hints_hash_differently_from_zero_hints() {
+        let mut with = ctx(0x400, 0x1000);
+        with.hints = Some(SemanticHints::default());
+        let without = ctx(0x400, 0x1000);
+        assert_ne!(ContextKey::of(&with, 4, 5), ContextKey::of(&without, 4, 5));
+    }
+
+    #[test]
+    fn active_prefix_is_clamped() {
+        let a = ctx(0x400, 0x1000);
+        assert_eq!(ContextKey::of(&a, 0, 5), ContextKey::of(&a, 1, 5));
+        assert_eq!(ContextKey::of(&a, 99, 5), ContextKey::of(&a, 8, 5));
+    }
+}

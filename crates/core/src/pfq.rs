@@ -1,0 +1,219 @@
+//! The prefetch queue (§5): outstanding predictions awaiting feedback.
+//!
+//! Every prediction — real or shadow — is pushed here with the context that
+//! produced it. When a demand access arrives, all matching un-hit entries
+//! are rewarded according to their depth (the number of accesses since the
+//! prediction); entries that fall off the 128-entry queue without being hit
+//! expire with a negative reward. The queue is deliberately larger than the
+//! useful prefetch window so that *too-early* predictions can still be
+//! observed and demoted.
+
+use std::collections::VecDeque;
+
+use crate::attrs::{ContextKey, FullHash};
+use semloc_trace::Seq;
+
+/// An outstanding prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PfqEntry {
+    /// Monotone identifier (echoed through the memory system's issue
+    /// results).
+    pub id: u64,
+    /// Predicted block address.
+    pub block: u64,
+    /// Reduced-context key that produced the prediction.
+    pub key: ContextKey,
+    /// Full-context hash (for reducer feedback routing).
+    pub full: FullHash,
+    /// Predicted delta (action), at block granularity.
+    pub delta: i16,
+    /// Demand-access sequence number at prediction time.
+    pub issue_seq: Seq,
+    /// Shadow operation (not dispatched to memory).
+    pub shadow: bool,
+    /// A demand access has already matched this entry.
+    pub hit: bool,
+}
+
+/// A matched prediction and its hit depth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PfqHit {
+    /// The matched entry (as of the hit).
+    pub entry: PfqEntry,
+    /// Accesses elapsed between prediction and demand.
+    pub depth: u32,
+}
+
+/// Fixed-capacity queue of outstanding predictions (Table 2: 128 entries).
+#[derive(Clone, Debug)]
+pub struct PrefetchQueue {
+    entries: VecDeque<PfqEntry>,
+    capacity: usize,
+    next_id: u64,
+}
+
+impl PrefetchQueue {
+    /// A queue of `capacity` predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch queue needs capacity");
+        PrefetchQueue { entries: VecDeque::with_capacity(capacity + 1), capacity, next_id: 0 }
+    }
+
+    /// Record a new prediction. Returns its id and, when the queue
+    /// overflowed, the expired oldest entry (un-hit expirations earn the
+    /// expiry penalty).
+    pub fn push(
+        &mut self,
+        block: u64,
+        key: ContextKey,
+        full: FullHash,
+        delta: i16,
+        issue_seq: Seq,
+        shadow: bool,
+    ) -> (u64, Option<PfqEntry>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push_back(PfqEntry { id, block, key, full, delta, issue_seq, shadow, hit: false });
+        let expired = if self.entries.len() > self.capacity { self.entries.pop_front() } else { None };
+        (id, expired)
+    }
+
+    /// Match a demand access against the queue: every un-hit entry
+    /// predicting `block` is marked hit and returned with its depth.
+    pub fn record_access(&mut self, block: u64, seq: Seq, out: &mut Vec<PfqHit>) {
+        for e in self.entries.iter_mut() {
+            if !e.hit && e.block == block {
+                e.hit = true;
+                let depth = seq.saturating_sub(e.issue_seq) as u32;
+                out.push(PfqHit { entry: *e, depth });
+            }
+        }
+    }
+
+    /// Whether any un-hit prediction covers `block` (drives the Fig 9
+    /// *non-timely* classification).
+    pub fn predicts(&self, block: u64) -> bool {
+        self.entries.iter().any(|e| !e.hit && e.block == block)
+    }
+
+    /// Whether an un-hit *real* (dispatched) prefetch covers `block` —
+    /// the dedup check before issuing another real prefetch. Shadow
+    /// entries must not suppress a real dispatch.
+    pub fn predicts_real(&self, block: u64) -> bool {
+        self.entries.iter().any(|e| !e.hit && !e.shadow && e.block == block)
+    }
+
+    /// Demote the entry `id` to a shadow operation (the memory system
+    /// rejected its dispatch).
+    pub fn demote_to_shadow(&mut self, id: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.shadow = true;
+        }
+    }
+
+    /// Drain every remaining entry (end of run); un-hit ones are expiries.
+    pub fn drain(&mut self) -> impl Iterator<Item = PfqEntry> + '_ {
+        self.entries.drain(..)
+    }
+
+    /// Outstanding predictions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ContextKey {
+        ContextKey(1)
+    }
+
+    fn full() -> FullHash {
+        FullHash(2)
+    }
+
+    #[test]
+    fn hit_depth_counts_accesses() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(100, key(), full(), 5, 10, false);
+        let mut hits = Vec::new();
+        q.record_access(100, 35, &mut hits);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].depth, 25);
+        assert_eq!(hits[0].entry.delta, 5);
+    }
+
+    #[test]
+    fn entries_are_rewarded_once() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(100, key(), full(), 1, 0, false);
+        let mut hits = Vec::new();
+        q.record_access(100, 5, &mut hits);
+        q.record_access(100, 6, &mut hits);
+        assert_eq!(hits.len(), 1, "second demand must not re-reward");
+    }
+
+    #[test]
+    fn multiple_contexts_predicting_same_block_all_rewarded() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(100, ContextKey(1), full(), 1, 0, false);
+        q.push(100, ContextKey(2), full(), 2, 3, true);
+        let mut hits = Vec::new();
+        q.record_access(100, 10, &mut hits);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].depth, 10);
+        assert_eq!(hits[1].depth, 7);
+    }
+
+    #[test]
+    fn overflow_expires_oldest() {
+        let mut q = PrefetchQueue::new(2);
+        q.push(1, key(), full(), 1, 0, false);
+        q.push(2, key(), full(), 1, 1, false);
+        let (_, expired) = q.push(3, key(), full(), 1, 2, false);
+        let e = expired.expect("oldest expired");
+        assert_eq!(e.block, 1);
+        assert!(!e.hit);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn predicts_only_unhit_blocks() {
+        let mut q = PrefetchQueue::new(4);
+        q.push(7, key(), full(), 1, 0, false);
+        assert!(q.predicts(7));
+        let mut hits = Vec::new();
+        q.record_access(7, 1, &mut hits);
+        assert!(!q.predicts(7));
+        assert!(!q.predicts(8));
+    }
+
+    #[test]
+    fn demote_to_shadow_flags_entry() {
+        let mut q = PrefetchQueue::new(4);
+        let (id, _) = q.push(7, key(), full(), 1, 0, false);
+        q.demote_to_shadow(id);
+        let e = q.drain().next().unwrap();
+        assert!(e.shadow);
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let mut q = PrefetchQueue::new(4);
+        q.push(1, key(), full(), 1, 0, false);
+        q.push(2, key(), full(), 1, 0, true);
+        assert_eq!(q.drain().count(), 2);
+        assert!(q.is_empty());
+    }
+}

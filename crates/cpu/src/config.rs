@@ -1,0 +1,88 @@
+//! Core configuration (Table 2 of the paper).
+
+/// Out-of-order core parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Instructions fetched/dispatched per cycle (Table 2: 4-wide fetch).
+    pub fetch_width: u32,
+    /// Instructions retired per cycle.
+    pub retire_width: u32,
+    /// Reorder-buffer entries (Table 2: 192).
+    pub rob_size: usize,
+    /// Issue-queue entries (Table 2: 64).
+    pub iq_size: usize,
+    /// Load-queue entries (Table 2: 32).
+    pub lq_size: usize,
+    /// Store-queue entries (Table 2: 32).
+    pub sq_size: usize,
+    /// Physical register file size (Table 2: 256). With 32 architectural
+    /// registers and a 192-entry ROB this never binds before the ROB does;
+    /// it is validated, not separately modeled.
+    pub prf_size: usize,
+    /// Branch-misprediction redirect penalty in cycles (front-end refill of
+    /// a short OoO pipeline).
+    pub mispredict_penalty: u64,
+    /// log2 of the gshare pattern-history table size.
+    pub bpred_log2_entries: u32,
+    /// Issue instructions strictly in program order (a scoreboarded
+    /// in-order pipeline with hit-under-miss). Default: false (full
+    /// out-of-order issue). Used by the core-sensitivity experiment.
+    pub in_order: bool,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            fetch_width: 4,
+            retire_width: 4,
+            rob_size: 192,
+            iq_size: 64,
+            lq_size: 32,
+            sq_size: 32,
+            prf_size: 256,
+            mispredict_penalty: 12,
+            bpred_log2_entries: 12,
+            in_order: false,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width is zero, or if the PRF cannot cover the
+    /// architectural state plus in-flight ROB writers.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0 && self.retire_width > 0, "widths must be positive");
+        assert!(self.rob_size > 0 && self.iq_size > 0 && self.lq_size > 0 && self.sq_size > 0);
+        assert!(
+            self.prf_size >= semloc_trace::Reg::COUNT,
+            "PRF must at least cover the architectural registers"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = CpuConfig::default();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_size, 192);
+        assert_eq!(c.iq_size, 64);
+        assert_eq!(c.lq_size, 32);
+        assert_eq!(c.sq_size, 32);
+        assert_eq!(c.prf_size, 256);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "architectural registers")]
+    fn tiny_prf_rejected() {
+        CpuConfig { prf_size: 8, ..CpuConfig::default() }.validate();
+    }
+}

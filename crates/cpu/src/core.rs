@@ -1,0 +1,479 @@
+//! The out-of-order core model.
+//!
+//! A dependence-graph timing model: every dynamic instruction's dispatch,
+//! issue, completion and retirement cycles are computed against front-end
+//! bandwidth, register dependencies, structural resources (ROB/IQ/LQ/SQ)
+//! and the memory hierarchy. The model is *trace-driven* — workloads push
+//! instructions through the [`TraceSink`] interface — and is the component
+//! that assembles the per-access [`AccessContext`] consumed by prefetchers.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use semloc_mem::{Hierarchy, Prefetcher};
+use semloc_trace::{AccessContext, Addr, Cycle, Instr, InstrKind, Reg, Seq, TraceSink, RECENT_ADDRS};
+
+use crate::bpred::Gshare;
+use crate::config::CpuConfig;
+use crate::stats::CpuStats;
+
+/// A bounded structural resource whose entries free at known cycles.
+#[derive(Debug, Default)]
+struct Occupancy {
+    free_times: BinaryHeap<Reverse<Cycle>>,
+    capacity: usize,
+}
+
+impl Occupancy {
+    fn new(capacity: usize) -> Self {
+        Occupancy { free_times: BinaryHeap::with_capacity(capacity + 1), capacity }
+    }
+
+    /// Earliest cycle ≥ `at` when a slot is free; drains freed entries.
+    fn admit(&mut self, mut at: Cycle) -> Cycle {
+        while let Some(&Reverse(t)) = self.free_times.peek() {
+            if t <= at {
+                self.free_times.pop();
+            } else {
+                break;
+            }
+        }
+        if self.free_times.len() >= self.capacity {
+            let Reverse(t) = self.free_times.pop().expect("non-empty at capacity");
+            at = at.max(t);
+            // Entries freed between the old `at` and the new one.
+            while let Some(&Reverse(t2)) = self.free_times.peek() {
+                if t2 <= at {
+                    self.free_times.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+        at
+    }
+
+    /// Occupy one slot until `until`.
+    fn occupy(&mut self, until: Cycle) {
+        self.free_times.push(Reverse(until));
+    }
+}
+
+/// The simulated out-of-order core, owning the memory hierarchy.
+pub struct Cpu<P: Prefetcher> {
+    cfg: CpuConfig,
+    mem: Hierarchy<P>,
+    stats: CpuStats,
+    budget: u64,
+
+    // Front end.
+    dispatch_cycle: Cycle,
+    dispatched_in_cycle: u32,
+    fetch_resume: Cycle,
+    bpred: Gshare,
+
+    // Back end.
+    rob: VecDeque<Cycle>,
+    iq: Occupancy,
+    lq: Occupancy,
+    sq: Occupancy,
+    last_retire: Cycle,
+    retired_in_cycle: u32,
+    last_issue: Cycle,
+
+    // Architectural state feeding the context attributes.
+    reg_ready: [Cycle; Reg::COUNT],
+    reg_vals: [u64; Reg::COUNT],
+    recent_addrs: [Addr; RECENT_ADDRS],
+    last_loaded: u64,
+    mem_seq: Seq,
+}
+
+impl<P: Prefetcher> Cpu<P> {
+    /// Build a core with the given configuration and memory hierarchy.
+    ///
+    /// `budget` caps the number of instructions consumed before
+    /// [`TraceSink::done`] reports `true`; `0` means unbounded.
+    pub fn new(cfg: CpuConfig, mem: Hierarchy<P>, budget: u64) -> Self {
+        cfg.validate();
+        Cpu {
+            bpred: Gshare::new(cfg.bpred_log2_entries),
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            iq: Occupancy::new(cfg.iq_size),
+            lq: Occupancy::new(cfg.lq_size),
+            sq: Occupancy::new(cfg.sq_size),
+            cfg,
+            mem,
+            stats: CpuStats::default(),
+            budget,
+            dispatch_cycle: 0,
+            dispatched_in_cycle: 0,
+            fetch_resume: 0,
+            last_retire: 0,
+            retired_in_cycle: 0,
+            last_issue: 0,
+            reg_ready: [0; Reg::COUNT],
+            reg_vals: [0; Reg::COUNT],
+            recent_addrs: [0; RECENT_ADDRS],
+            last_loaded: 0,
+            mem_seq: 0,
+        }
+    }
+
+    /// Core statistics so far.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// The memory hierarchy.
+    pub fn mem(&self) -> &Hierarchy<P> {
+        &self.mem
+    }
+
+    /// Mutable access to the memory hierarchy.
+    pub fn mem_mut(&mut self) -> &mut Hierarchy<P> {
+        &mut self.mem
+    }
+
+    /// Number of demand memory accesses observed so far.
+    pub fn mem_accesses(&self) -> Seq {
+        self.mem_seq
+    }
+
+    /// Finish the run (flush end-of-run accounting) and return the final
+    /// statistics alongside the hierarchy.
+    pub fn finish(mut self) -> (CpuStats, Hierarchy<P>) {
+        self.mem.finish();
+        (self.stats, self.mem)
+    }
+
+    fn src_ready(&self, instr: &Instr) -> Cycle {
+        let a = instr.src1.map_or(0, |r| self.reg_ready[r.index()]);
+        let b = instr.src2.map_or(0, |r| self.reg_ready[r.index()]);
+        a.max(b)
+    }
+
+    fn reg_val(&self, r: Option<Reg>) -> u64 {
+        r.map_or(0, |r| self.reg_vals[r.index()])
+    }
+
+    /// Claim a front-end dispatch slot no earlier than the structural lower
+    /// bound `floor`, honouring fetch width and redirect stalls.
+    fn dispatch_slot(&mut self, floor: Cycle) -> Cycle {
+        let mut d = self.dispatch_cycle.max(self.fetch_resume).max(floor);
+        if d > self.dispatch_cycle {
+            self.dispatch_cycle = d;
+            self.dispatched_in_cycle = 0;
+        }
+        if self.dispatched_in_cycle >= self.cfg.fetch_width {
+            self.dispatch_cycle += 1;
+            self.dispatched_in_cycle = 0;
+            d = self.dispatch_cycle;
+        }
+        self.dispatched_in_cycle += 1;
+        d
+    }
+
+    /// In-order retirement cycle for an instruction completing at `comp`.
+    fn retire_slot(&mut self, comp: Cycle) -> Cycle {
+        let mut r = comp.max(self.last_retire);
+        if r > self.last_retire {
+            self.retired_in_cycle = 0;
+        } else if self.retired_in_cycle >= self.cfg.retire_width {
+            r += 1;
+            self.retired_in_cycle = 0;
+        }
+        self.retired_in_cycle += 1;
+        self.last_retire = r;
+        r
+    }
+
+    fn step(&mut self, instr: Instr) {
+        // Structural lower bound: the ROB must have room.
+        let mut floor = 0;
+        if self.rob.len() >= self.cfg.rob_size {
+            floor = self.rob.pop_front().expect("ROB non-empty at capacity");
+        }
+        let d0 = self.dispatch_cycle.max(self.fetch_resume).max(floor);
+        // IQ/LQ/SQ admission can push dispatch later.
+        let mut d = self.iq.admit(d0);
+        match instr.kind {
+            InstrKind::Load { .. } => d = self.lq.admit(d),
+            InstrKind::Store { .. } => d = self.sq.admit(d),
+            _ => {}
+        }
+        let dispatch = self.dispatch_slot(d);
+        let mut issue = dispatch.max(self.src_ready(&instr));
+        if self.cfg.in_order {
+            // Scoreboarded in-order issue: no instruction begins execution
+            // before its program-order predecessor has begun.
+            issue = issue.max(self.last_issue);
+        }
+        self.last_issue = issue;
+        self.iq.occupy(issue);
+
+        let comp = match instr.kind {
+            InstrKind::Alu { latency } => issue + latency.max(1) as Cycle,
+            InstrKind::Nop => issue,
+            InstrKind::Branch { taken, target } => {
+                self.stats.branches += 1;
+                let comp = issue + 1;
+                if !self.bpred.predict_and_update(instr.pc, taken) {
+                    self.stats.mispredicts += 1;
+                    self.fetch_resume = self.fetch_resume.max(comp + self.cfg.mispredict_penalty);
+                }
+                let _ = target;
+                comp
+            }
+            InstrKind::Load { addr, size: _, hints } => {
+                self.stats.loads += 1;
+                let ctx = self.access_context(instr.pc, addr, false, &instr, hints);
+                let res = self.mem.demand_access(&ctx, issue);
+                self.note_access(addr, instr.result);
+                self.lq.occupy(res.ready_at);
+                res.ready_at
+            }
+            InstrKind::Store { addr, size: _ } => {
+                self.stats.stores += 1;
+                let ctx = self.access_context(instr.pc, addr, true, &instr, None);
+                let res = self.mem.demand_access(&ctx, issue);
+                self.note_access(addr, self.last_loaded);
+                // The store retires once address+data are known; it drains
+                // from the SQ when the cache accepts it.
+                self.sq.occupy(res.ready_at);
+                issue + 1
+            }
+        };
+
+        if let Some(dst) = instr.dst {
+            self.reg_ready[dst.index()] = comp;
+            self.reg_vals[dst.index()] = instr.result;
+        }
+
+        let retire = self.retire_slot(comp);
+        self.rob.push_back(retire);
+        self.stats.instructions += 1;
+        self.stats.cycles = self.stats.cycles.max(retire);
+    }
+
+    fn access_context(
+        &mut self,
+        pc: Addr,
+        addr: Addr,
+        is_write: bool,
+        instr: &Instr,
+        hints: Option<semloc_trace::SemanticHints>,
+    ) -> AccessContext {
+        let seq = self.mem_seq;
+        self.mem_seq += 1;
+        AccessContext {
+            seq,
+            pc,
+            addr,
+            is_write,
+            branch_history: self.bpred.history(),
+            recent_addrs: self.recent_addrs,
+            reg1: self.reg_val(instr.src1),
+            reg2: self.reg_val(instr.src2),
+            last_loaded: self.last_loaded,
+            hints,
+        }
+    }
+
+    fn note_access(&mut self, addr: Addr, loaded: u64) {
+        self.recent_addrs.rotate_right(1);
+        self.recent_addrs[0] = addr;
+        self.last_loaded = loaded;
+    }
+}
+
+impl<P: Prefetcher> TraceSink for Cpu<P> {
+    fn instr(&mut self, instr: Instr) {
+        if !self.done() {
+            self.step(instr);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.budget != 0 && self.stats.instructions >= self.budget
+    }
+}
+
+impl<P: Prefetcher> std::fmt::Debug for Cpu<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu").field("stats", &self.stats).field("mem", &self.mem).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semloc_mem::{MemConfig, NoPrefetch};
+
+    fn cpu() -> Cpu<NoPrefetch> {
+        Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), NoPrefetch), 0)
+    }
+
+    #[test]
+    fn independent_alus_reach_full_width() {
+        let mut c = cpu();
+        for i in 0..4000 {
+            c.instr(Instr::alu(i * 8, None, None, None, 0));
+        }
+        let ipc = c.stats().ipc();
+        assert!(ipc > 3.5, "independent ALU IPC {ipc} should approach fetch width 4");
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        let mut c = cpu();
+        for i in 0..1000 {
+            c.instr(Instr::alu(0x400, Some(Reg(1)), Some(Reg(1)), None, i));
+        }
+        let ipc = c.stats().ipc();
+        assert!(ipc < 1.1, "dependent chain IPC {ipc} must be ~1");
+    }
+
+    #[test]
+    fn pointer_chase_pays_serial_memory_latency() {
+        // Loads where each address depends on the previous load's value:
+        // dependent misses cannot overlap.
+        let mut c = cpu();
+        let n = 50u64;
+        for i in 0..n {
+            let addr = 0x1_0000 + i * 4096; // distinct lines and sets
+            c.instr(Instr::load(0x400, addr, 8, Reg(1), Some(Reg(1)), None, 0));
+        }
+        let cpi = c.stats().cpi();
+        assert!(cpi > 250.0, "serialized cold misses must cost ~322 cycles each, got CPI {cpi}");
+    }
+
+    #[test]
+    fn independent_misses_overlap_up_to_mshrs() {
+        // Independent loads to distinct lines: with 4 L1 MSHRs some overlap
+        // must happen, so CPI per load is well below the full latency.
+        let mut c = cpu();
+        let n = 200u64;
+        for i in 0..n {
+            let addr = 0x10_0000 + i * 4096;
+            c.instr(Instr::load(0x400 + (i % 4) * 8, addr, 8, Reg((1 + (i % 4)) as u8), None, None, 0));
+        }
+        let cpi = c.stats().cpi();
+        assert!(cpi < 250.0, "independent misses should overlap, got CPI {cpi}");
+        assert!(cpi > 30.0, "4 MSHRs cannot hide everything, got CPI {cpi}");
+    }
+
+    #[test]
+    fn cache_hits_are_fast() {
+        let mut c = cpu();
+        // Touch one line, then hammer it.
+        for _ in 0..1000 {
+            c.instr(Instr::load(0x400, 0x2000, 8, Reg(1), None, None, 0));
+            c.instr(Instr::alu(0x408, None, None, None, 0));
+        }
+        let cpi = c.stats().cpi();
+        assert!(cpi < 2.0, "L1-resident loop should be fast, got CPI {cpi}");
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        let mut well = cpu();
+        let mut badly = cpu();
+        let mut state = 1u64;
+        for i in 0..4000u64 {
+            well.instr(Instr::branch(0x400, true, 0x500, None));
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            badly.instr(Instr::branch(0x400, (state >> 40) & 1 == 1, 0x500, None));
+            let _ = i;
+        }
+        assert!(badly.stats().mispredicts > well.stats().mispredicts * 5);
+        assert!(badly.stats().cycles > well.stats().cycles * 2);
+    }
+
+    #[test]
+    fn rob_bounds_runahead() {
+        // One extremely slow load followed by many independent ALUs: the
+        // ROB must stop dispatch at 192 in-flight, so total cycles are
+        // dominated by the load latency.
+        let mut c = cpu();
+        c.instr(Instr::load(0x400, 0x300000, 8, Reg(1), None, None, 0));
+        for i in 0..10_000u64 {
+            c.instr(Instr::alu(0x408, None, None, None, i));
+        }
+        let cycles = c.stats().cycles;
+        // 10k ALUs at width 4 = 2.5k cycles, plus the ~322-cycle stall the
+        // ROB cannot hide beyond 192 entries.
+        assert!(cycles > 2500, "ROB should expose part of the load stall");
+    }
+
+    #[test]
+    fn context_carries_register_values_and_history() {
+        use semloc_mem::{MemPressure, PrefetchReq};
+        #[derive(Default)]
+        struct Spy {
+            last: Option<AccessContext>,
+        }
+        impl Prefetcher for Spy {
+            fn name(&self) -> &'static str {
+                "spy"
+            }
+            fn on_access(&mut self, ctx: &AccessContext, _p: MemPressure, _out: &mut Vec<PrefetchReq>) {
+                self.last = Some(ctx.clone());
+            }
+            fn storage_bytes(&self) -> usize {
+                0
+            }
+        }
+        let mut c = Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), Spy::default()), 0);
+        c.instr(Instr::alu(0x100, Some(Reg(5)), None, None, 0xABCD));
+        c.instr(Instr::branch(0x108, true, 0x100, None));
+        c.instr(Instr::load(0x110, 0x9000, 8, Reg(6), Some(Reg(5)), None, 0x1111));
+        c.instr(Instr::load(0x118, 0xA000, 8, Reg(7), Some(Reg(6)), None, 0));
+        let ctx = c.mem().prefetcher().last.clone().expect("prefetcher saw the access");
+        assert_eq!(ctx.pc, 0x118);
+        assert_eq!(ctx.reg1, 0x1111, "src register must carry the previous load's value");
+        assert_eq!(ctx.last_loaded, 0x1111);
+        assert_eq!(ctx.recent_addrs[0], 0x9000);
+        assert_eq!(ctx.branch_history & 1, 1);
+        assert_eq!(ctx.seq, 1);
+    }
+
+    #[test]
+    fn in_order_issue_serializes_independent_misses() {
+        // The same independent-miss stream that overlaps on the OoO core
+        // must serialize on the in-order core once a miss blocks issue.
+        let run = |in_order: bool| {
+            let cfg = CpuConfig { in_order, ..CpuConfig::default() };
+            let mut c = Cpu::new(cfg, Hierarchy::new(MemConfig::default(), NoPrefetch), 0);
+            for i in 0..100u64 {
+                // A dependent consumer after each load forces the in-order
+                // pipeline to wait before issuing the next load.
+                c.instr(Instr::load(0x400, 0x10_0000 + i * 4096, 8, Reg(1), None, None, 0));
+                c.instr(Instr::alu(0x408, Some(Reg(2)), Some(Reg(1)), None, 0));
+            }
+            c.stats().cycles
+        };
+        let ooo = run(false);
+        let ino = run(true);
+        assert!(ino > ooo * 3, "in-order must serialize the misses (ooo {ooo}, in-order {ino})");
+    }
+
+    #[test]
+    fn budget_stops_consumption() {
+        let mut c = Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), NoPrefetch), 10);
+        for i in 0..100 {
+            c.instr(Instr::alu(i * 8, None, None, None, 0));
+        }
+        assert_eq!(c.stats().instructions, 10);
+        assert!(c.done());
+    }
+
+    #[test]
+    fn finish_returns_stats_and_hierarchy() {
+        let mut c = cpu();
+        c.instr(Instr::load(0x400, 0x4000, 8, Reg(1), None, None, 0));
+        let (stats, mem) = c.finish();
+        assert_eq!(stats.instructions, 1);
+        assert_eq!(mem.stats().demand_accesses, 1);
+    }
+}

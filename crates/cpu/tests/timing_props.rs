@@ -1,0 +1,130 @@
+//! Property-based tests of the out-of-order core's timing invariants.
+
+use proptest::prelude::*;
+
+use semloc_cpu::{Cpu, CpuConfig};
+use semloc_mem::{Hierarchy, MemConfig, NoPrefetch};
+use semloc_trace::{Instr, Reg, TraceSink};
+
+fn cpu() -> Cpu<NoPrefetch> {
+    Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), NoPrefetch), 0)
+}
+
+proptest! {
+    /// IPC can never exceed the fetch width, and cycles grow monotonically
+    /// with every consumed instruction.
+    #[test]
+    fn ipc_bounded_by_width(kinds in proptest::collection::vec(0u8..4, 1..500)) {
+        let mut c = cpu();
+        let mut last_cycles = 0;
+        for (i, k) in kinds.iter().enumerate() {
+            let pc = 0x400 + (i as u64 % 16) * 8;
+            let instr = match k {
+                0 => Instr::alu(pc, Some(Reg((i % 8) as u8)), None, None, i as u64),
+                1 => Instr::load(pc, 0x10_0000 + (i as u64 * 24) % 65536, 8, Reg(1), None, None, 0),
+                2 => Instr::store(pc, 0x20_0000 + (i as u64 * 40) % 65536, 8, None, Some(Reg(1))),
+                _ => Instr::branch(pc, i % 3 == 0, 0x400, Some(Reg(1))),
+            };
+            c.instr(instr);
+            prop_assert!(c.stats().cycles >= last_cycles, "cycles must be monotone");
+            last_cycles = c.stats().cycles;
+        }
+        let s = c.stats();
+        prop_assert!(s.ipc() <= CpuConfig::default().fetch_width as f64 + 1e-9);
+        prop_assert_eq!(s.instructions, kinds.len() as u64);
+    }
+
+    /// A dependent ALU chain takes at least one cycle per instruction; an
+    /// independent stream takes at most one cycle per instruction (plus a
+    /// bounded pipeline tail).
+    #[test]
+    fn dependence_bounds(n in 16u64..600) {
+        let mut dep = cpu();
+        let mut indep = cpu();
+        for i in 0..n {
+            dep.instr(Instr::alu(0x400, Some(Reg(1)), Some(Reg(1)), None, i));
+            indep.instr(Instr::alu(0x400, None, None, None, i));
+        }
+        prop_assert!(dep.stats().cycles >= n, "serial chain under 1 IPC");
+        prop_assert!(indep.stats().cycles <= n / 4 + 16, "independent stream near full width");
+        prop_assert!(dep.stats().cycles >= indep.stats().cycles);
+    }
+
+    /// Memory accesses reach the hierarchy exactly once per load/store, and
+    /// the demand count matches the instruction mix.
+    #[test]
+    fn memory_access_accounting(ops in proptest::collection::vec((0u64..(1 << 20), any::<bool>()), 1..300)) {
+        let mut c = cpu();
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        for (i, &(addr, is_store)) in ops.iter().enumerate() {
+            let pc = 0x500 + (i as u64 % 4) * 8;
+            if is_store {
+                stores += 1;
+                c.instr(Instr::store(pc, addr, 8, None, None));
+            } else {
+                loads += 1;
+                c.instr(Instr::load(pc, addr, 8, Reg(2), None, None, 0));
+            }
+        }
+        prop_assert_eq!(c.stats().loads, loads);
+        prop_assert_eq!(c.stats().stores, stores);
+        prop_assert_eq!(c.mem().stats().demand_accesses, loads + stores);
+        prop_assert_eq!(c.mem_accesses(), loads + stores);
+    }
+
+    /// A load's consumer never executes before the load's data is ready:
+    /// with a cold DRAM miss feeding a dependent ALU chain, total cycles
+    /// include the full memory latency.
+    #[test]
+    fn consumers_wait_for_loads(chain in 1u32..50) {
+        let mut c = cpu();
+        c.instr(Instr::load(0x400, 0xABC000, 8, Reg(1), None, None, 7));
+        for _ in 0..chain {
+            c.instr(Instr::alu(0x408, Some(Reg(1)), Some(Reg(1)), None, 0));
+        }
+        // 322-cycle cold miss + one cycle per dependent ALU.
+        prop_assert!(c.stats().cycles >= 322 + chain as u64);
+    }
+}
+
+#[test]
+fn budget_is_exact() {
+    for budget in [1u64, 7, 100] {
+        let mut c = Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), NoPrefetch), budget);
+        for i in 0..200 {
+            c.instr(Instr::alu(0x400, None, None, None, i));
+        }
+        assert_eq!(c.stats().instructions, budget);
+    }
+}
+
+#[test]
+fn branch_history_feeds_contexts() {
+    use semloc_mem::{MemPressure, PrefetchReq, Prefetcher};
+    use semloc_trace::AccessContext;
+    #[derive(Default)]
+    struct Capture(Vec<u16>);
+    impl Prefetcher for Capture {
+        fn name(&self) -> &'static str {
+            "capture"
+        }
+        fn on_access(&mut self, ctx: &AccessContext, _p: MemPressure, _o: &mut Vec<PrefetchReq>) {
+            self.0.push(ctx.branch_history);
+        }
+        fn storage_bytes(&self) -> usize {
+            0
+        }
+    }
+    let mut c = Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), Capture::default()), 0);
+    // Alternate branch outcomes, loading after each branch.
+    for i in 0..8u64 {
+        c.instr(Instr::branch(0x400, i % 2 == 0, 0x500, None));
+        c.instr(Instr::load(0x408, 0x1000 + i * 64, 8, Reg(1), None, None, 0));
+    }
+    let histories = &c.mem().prefetcher().0;
+    assert_eq!(histories.len(), 8);
+    // Histories must differ over time (the BHR shifts each branch).
+    let distinct: std::collections::HashSet<_> = histories.iter().collect();
+    assert!(distinct.len() >= 4, "BHR must evolve, saw {distinct:?}");
+}

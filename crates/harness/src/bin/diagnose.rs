@@ -1,0 +1,33 @@
+//! Per-workload diagnostic tool: run the named workloads under the main
+//! prefetcher lineup and print one dense line of memory-system counters per
+//! run, plus the context prefetcher's learning counters.
+//!
+//! ```sh
+//! cargo run --release -p semloc-harness --bin diagnose -- mcf list bst
+//! ```
+
+use semloc_harness::{run_kernel, PrefetcherKind, SimConfig};
+use semloc_workloads::kernel_by_name;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let names = if names.is_empty() { vec!["graph500-list".to_string()] } else { names };
+    for kname in &names {
+        let k = kernel_by_name(kname).expect("kernel");
+        let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg);
+        for pf in [PrefetcherKind::None, PrefetcherKind::Stride, PrefetcherKind::GhbPcdc, PrefetcherKind::Sms, PrefetcherKind::context()] {
+            let r = run_kernel(k.as_ref(), &pf, &cfg);
+            println!(
+                "{kname:14} {:10} speedup={:.2} ipc={:.3} l1mpki={:6.2} l2mpki={:5.2} issued={:7} filt={:6} rej={:6} hitpf={:7} shorter={:6} nontimely={:6} neverhit={:6}",
+                r.prefetcher, r.speedup_over(&base), r.cpu.ipc(), r.l1_mpki(), r.l2_mpki(),
+                r.mem.prefetches_issued, r.mem.prefetches_filtered, r.mem.prefetches_rejected,
+                r.mem.classes.hit_prefetched, r.mem.classes.shorter_wait, r.mem.classes.non_timely, r.mem.classes.prefetch_never_hit
+            );
+            if let Some(l) = &r.learn {
+                println!("   learn: hits={} expired={} timely={} late={} early={} collected={} overflow={} real={} shadow={} acc={:.2}",
+                    l.hits, l.expired, l.timely_hits, l.late_hits, l.early_hits, l.collected, l.delta_overflow, l.real_issued, l.shadow_issued, l.prediction_accuracy());
+            }
+        }
+    }
+}

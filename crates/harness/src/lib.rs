@@ -1,0 +1,27 @@
+//! Experiment harness: assembles core + hierarchy + prefetcher + workload,
+//! runs the paper's evaluation matrix and formats every table and figure.
+//!
+//! The flow mirrors the paper's methodology (§6–§7):
+//!
+//! 1. pick a [`SimConfig`] (Table 2 defaults),
+//! 2. pick workloads from [`semloc_workloads::registry`] (Table 3),
+//! 3. pick prefetchers via [`PrefetcherKind`] (the §7 competitors),
+//! 4. [`run_kernel`] each combination and aggregate [`RunResult`]s into a
+//!    [`Matrix`],
+//! 5. print with [`report`] — speedups (Fig 12), MPKI (Figs 10/11), access
+//!    classes (Fig 9), hit-depth CDFs (Fig 8), storage sweeps (Fig 13) and
+//!    layout comparisons (Fig 14).
+
+pub mod config;
+pub mod matrix;
+pub mod prefetchers;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use config::SimConfig;
+pub use matrix::Matrix;
+pub use prefetchers::PrefetcherKind;
+pub use report::Table;
+pub use runner::{run_kernel, RunResult};
+pub use sweep::{ablation_variants, storage_sweep, AblationVariant, SweepPoint};

@@ -1,0 +1,276 @@
+//! The evaluation matrix: workloads × prefetchers, with the derived
+//! aggregates the paper reports (geometric-mean speedups, Top-10 subsets,
+//! memory-intensive filters).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use semloc_workloads::KernelBox;
+
+use crate::config::SimConfig;
+use crate::prefetchers::PrefetcherKind;
+use crate::runner::{run_kernel, RunResult};
+
+/// Results of a full run matrix. Always includes a `none` column as the
+/// speedup baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Matrix {
+    /// `results[kernel][prefetcher]`.
+    results: BTreeMap<&'static str, BTreeMap<&'static str, RunResult>>,
+    kernel_order: Vec<&'static str>,
+    pf_order: Vec<&'static str>,
+}
+
+impl Matrix {
+    /// Run every kernel under the baseline plus each given prefetcher.
+    /// `progress` is invoked after each run completes (for CLI feedback).
+    pub fn run(
+        kernels: &[KernelBox],
+        prefetchers: &[PrefetcherKind],
+        config: &SimConfig,
+        mut progress: impl FnMut(&RunResult),
+    ) -> Self {
+        let mut m = Matrix::default();
+        let mut lineup = vec![PrefetcherKind::None];
+        lineup.extend(prefetchers.iter().cloned());
+        for pf in &lineup {
+            if !m.pf_order.contains(&pf.label()) {
+                m.pf_order.push(pf.label());
+            }
+        }
+        for k in kernels {
+            m.kernel_order.push(k.name());
+            for pf in &lineup {
+                let r = run_kernel(k.as_ref(), pf, config);
+                progress(&r);
+                m.results.entry(k.name()).or_default().insert(r.prefetcher, r);
+            }
+        }
+        m
+    }
+
+    /// Like [`Matrix::run`], but fans the independent (kernel, prefetcher)
+    /// simulations out over `threads` worker threads. Results are
+    /// bit-identical to the sequential runner (every run is deterministic
+    /// and isolated); only completion order differs.
+    pub fn run_parallel(
+        kernels: &[KernelBox],
+        prefetchers: &[PrefetcherKind],
+        config: &SimConfig,
+        threads: usize,
+        progress: impl Fn(&RunResult) + Sync,
+    ) -> Self {
+        let mut m = Matrix::default();
+        let mut lineup = vec![PrefetcherKind::None];
+        lineup.extend(prefetchers.iter().cloned());
+        for pf in &lineup {
+            if !m.pf_order.contains(&pf.label()) {
+                m.pf_order.push(pf.label());
+            }
+        }
+        for k in kernels {
+            m.kernel_order.push(k.name());
+        }
+        // Work queue of (kernel index, prefetcher index) pairs.
+        let jobs: Vec<(usize, usize)> =
+            (0..kernels.len()).flat_map(|ki| (0..lineup.len()).map(move |pi| (ki, pi))).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Mutex<Vec<RunResult>> = Mutex::new(Vec::with_capacity(jobs.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(ki, pi)) = jobs.get(i) else { break };
+                    let r = run_kernel(kernels[ki].as_ref(), &lineup[pi], config);
+                    progress(&r);
+                    results.lock().expect("no panics hold the lock").push(r);
+                });
+            }
+        });
+        for r in results.into_inner().expect("workers finished") {
+            m.results.entry(r.kernel).or_default().insert(r.prefetcher, r);
+        }
+        m
+    }
+
+    /// Kernels in run order.
+    pub fn kernels(&self) -> &[&'static str] {
+        &self.kernel_order
+    }
+
+    /// Prefetchers in run order (baseline `none` first).
+    pub fn prefetchers(&self) -> &[&'static str] {
+        &self.pf_order
+    }
+
+    /// The result of (kernel, prefetcher), if present.
+    pub fn get(&self, kernel: &str, prefetcher: &str) -> Option<&RunResult> {
+        self.results.get(kernel)?.get(prefetcher)
+    }
+
+    /// Speedup of `prefetcher` on `kernel` over the no-prefetch baseline.
+    pub fn speedup(&self, kernel: &str, prefetcher: &str) -> Option<f64> {
+        let base = self.get(kernel, "none")?;
+        Some(self.get(kernel, prefetcher)?.speedup_over(base))
+    }
+
+    /// Geometric-mean speedup of `prefetcher` across `kernels`.
+    pub fn geomean_speedup(&self, prefetcher: &str, kernels: &[&str]) -> f64 {
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for k in kernels {
+            if let Some(s) = self.speedup(k, prefetcher) {
+                if s > 0.0 {
+                    log_sum += s.ln();
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            (log_sum / n as f64).exp()
+        }
+    }
+
+    /// The `n` kernels that benefit most from `prefetcher` (the paper's
+    /// "Top10" selection in Fig 13).
+    pub fn top_n(&self, prefetcher: &str, n: usize) -> Vec<&'static str> {
+        let mut pairs: Vec<(&'static str, f64)> = self
+            .kernel_order
+            .iter()
+            .filter_map(|&k| self.speedup(k, prefetcher).map(|s| (k, s)))
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite speedups"));
+        pairs.into_iter().take(n).map(|(k, _)| k).collect()
+    }
+
+    /// Kernels whose baseline L1 MPKI exceeds `threshold` (Figs 10/11
+    /// filter to the memory-intensive subset).
+    pub fn memory_intensive(&self, threshold: f64, l2: bool) -> Vec<&'static str> {
+        self.kernel_order
+            .iter()
+            .filter(|&&k| {
+                self.get(k, "none")
+                    .map(|r| if l2 { r.l2_mpki() } else { r.l1_mpki() } > threshold)
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// All results, flattened (kernel order, then prefetcher order).
+    pub fn iter(&self) -> impl Iterator<Item = &RunResult> {
+        self.kernel_order.iter().flat_map(move |k| {
+            self.pf_order.iter().filter_map(move |p| self.get(k, p))
+        })
+    }
+
+    /// Export the full matrix as CSV (one row per kernel × prefetcher)
+    /// with the metrics every figure draws on — suitable for external
+    /// plotting tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "kernel,prefetcher,instructions,cycles,ipc,speedup,l1_mpki,l2_mpki,prefetches_issued,prefetches_rejected,hit_prefetched,shorter_wait,non_timely,miss_not_prefetched,hit_older_demand,prefetch_never_hit\n",
+        );
+        for r in self.iter() {
+            let speedup = self.speedup(r.kernel, r.prefetcher).unwrap_or(0.0);
+            let c = &r.mem.classes;
+            out.push_str(&format!(
+                "{},{},{},{},{:.4},{:.4},{:.3},{:.3},{},{},{},{},{},{},{},{}
+",
+                r.kernel,
+                r.prefetcher,
+                r.cpu.instructions,
+                r.cpu.cycles,
+                r.cpu.ipc(),
+                speedup,
+                r.l1_mpki(),
+                r.l2_mpki(),
+                r.mem.prefetches_issued,
+                r.mem.prefetches_rejected,
+                c.hit_prefetched,
+                c.shorter_wait,
+                c.non_timely,
+                c.miss_not_prefetched,
+                c.hit_older_demand,
+                c.prefetch_never_hit,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semloc_workloads::kernel_by_name;
+
+    fn tiny_matrix() -> Matrix {
+        let kernels = vec![kernel_by_name("array").unwrap(), kernel_by_name("list").unwrap()];
+        Matrix::run(&kernels, &[PrefetcherKind::Stride], &SimConfig::quick(), |_| {})
+    }
+
+    #[test]
+    fn matrix_contains_baseline_and_lineup() {
+        let m = tiny_matrix();
+        assert_eq!(m.prefetchers(), &["none", "stride"]);
+        assert_eq!(m.kernels(), &["array", "list"]);
+        assert!(m.get("array", "none").is_some());
+        assert!(m.get("array", "stride").is_some());
+        assert_eq!(m.iter().count(), 4);
+    }
+
+    #[test]
+    fn speedups_and_geomean() {
+        let m = tiny_matrix();
+        let s = m.speedup("array", "stride").unwrap();
+        assert!(s > 0.5);
+        let g = m.geomean_speedup("stride", &["array", "list"]);
+        assert!(g > 0.0);
+        // Geomean of baseline against itself is exactly 1.
+        assert!((m.geomean_speedup("none", &["array", "list"]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_n_ranks_by_speedup() {
+        let m = tiny_matrix();
+        let top = m.top_n("stride", 1);
+        assert_eq!(top.len(), 1);
+        // Stride must help the array more than the scattered list.
+        assert_eq!(top[0], "array");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell() {
+        let m = tiny_matrix();
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 * 2, "header + kernels x prefetchers");
+        assert!(lines[0].starts_with("kernel,prefetcher"));
+        assert!(lines.iter().skip(1).all(|l| l.split(',').count() == 16));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let kernels = vec![kernel_by_name("array").unwrap(), kernel_by_name("list").unwrap()];
+        let cfg = SimConfig::quick();
+        let seq = Matrix::run(&kernels, &[PrefetcherKind::Stride], &cfg, |_| {});
+        let par = Matrix::run_parallel(&kernels, &[PrefetcherKind::Stride], &cfg, 4, |_| {});
+        for k in seq.kernels() {
+            for p in seq.prefetchers() {
+                let a = seq.get(k, p).unwrap();
+                let b = par.get(k, p).unwrap();
+                assert_eq!(a.cpu, b.cpu, "{k}/{p} differs between runners");
+                assert_eq!(a.mem, b.mem);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_intensive_filter() {
+        let m = tiny_matrix();
+        let heavy = m.memory_intensive(1.0, false);
+        assert!(heavy.contains(&"list"), "scattered list is memory intensive");
+    }
+}

@@ -1,0 +1,182 @@
+//! Parameter sweeps: the Fig 13 storage sweep and the DESIGN.md ablations.
+
+use semloc_bandit::scored::Replacement;
+use semloc_bandit::BellReward;
+use semloc_context::ContextConfig;
+use semloc_workloads::KernelBox;
+
+use crate::config::SimConfig;
+use crate::prefetchers::PrefetcherKind;
+use crate::runner::run_kernel;
+
+/// One point of the Fig 13 storage sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// CST entries at this point.
+    pub cst_entries: usize,
+    /// Total prefetcher storage in bytes.
+    pub storage_bytes: usize,
+    /// Geometric-mean speedup over the Top-10 subset.
+    pub top10: f64,
+    /// Geometric-mean speedup over all kernels.
+    pub all: f64,
+}
+
+/// Run the Fig 13 storage sweep: scale the CST (with the reducer at 8×)
+/// over `sizes` and measure geomean speedups for all kernels and the
+/// Top-10 subset (selected at the default size, as the paper does).
+pub fn storage_sweep(
+    kernels: &[KernelBox],
+    sizes: &[usize],
+    config: &SimConfig,
+    mut progress: impl FnMut(usize),
+) -> Vec<SweepPoint> {
+    // Baselines and Top-10 selection from the default configuration.
+    let default_cfg = ContextConfig::default();
+    let mut base_ipc = Vec::new();
+    let mut default_speedups = Vec::new();
+    for k in kernels {
+        let base = run_kernel(k.as_ref(), &PrefetcherKind::None, config);
+        let ctx = run_kernel(k.as_ref(), &PrefetcherKind::Context(default_cfg.clone()), config);
+        default_speedups.push((k.name(), ctx.speedup_over(&base)));
+        base_ipc.push(base.cpu.ipc());
+    }
+    let mut ranked = default_speedups.clone();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite speedups"));
+    let top10: Vec<&str> = ranked.iter().take(10).map(|&(n, _)| n).collect();
+
+    let geomean = |vals: &[f64]| -> f64 {
+        let n = vals.len();
+        if n == 0 {
+            return 0.0;
+        }
+        (vals.iter().map(|v| v.ln()).sum::<f64>() / n as f64).exp()
+    };
+
+    let mut points = Vec::new();
+    for &size in sizes {
+        let cfg = ContextConfig::default().with_cst_entries(size);
+        let storage = cfg.storage_bytes();
+        let mut all = Vec::new();
+        let mut top = Vec::new();
+        for (i, k) in kernels.iter().enumerate() {
+            let ctx = run_kernel(k.as_ref(), &PrefetcherKind::Context(cfg.clone()), config);
+            let s = if base_ipc[i] > 0.0 { ctx.cpu.ipc() / base_ipc[i] } else { 0.0 };
+            all.push(s);
+            if top10.contains(&k.name()) {
+                top.push(s);
+            }
+        }
+        points.push(SweepPoint { cst_entries: size, storage_bytes: storage, top10: geomean(&top), all: geomean(&all) });
+        progress(size);
+    }
+    points
+}
+
+/// A named ablation of the context prefetcher (the design decisions
+/// DESIGN.md §6 calls out).
+#[derive(Clone, Debug)]
+pub struct AblationVariant {
+    /// Variant name.
+    pub name: &'static str,
+    /// What the variant changes.
+    pub description: &'static str,
+    /// The modified configuration.
+    pub config: ContextConfig,
+}
+
+/// The ablation lineup: baseline plus one modification each.
+pub fn ablation_variants() -> Vec<AblationVariant> {
+    let base = ContextConfig::default();
+    // The flat-reward variant removes the bell's shaping: a uniform
+    // positive window with no negative edges (approximating
+    // [`StepReward`] while keeping one reward type in the config).
+    let mut flat = base.clone();
+    flat.reward = BellReward::new(1, 127, 16, 0, -4);
+
+    let mut frozen = base.clone();
+    frozen.freeze_reducer = true;
+
+    let mut no_shadow = base.clone();
+    no_shadow.disable_shadow = true;
+
+    let mut sparse = base.clone();
+    sparse.sample_depths = vec![30];
+
+    let mut fifo = base.clone();
+    fifo.replacement = Replacement::Fifo;
+
+    let mut no_split = base.clone();
+    no_split.split_strength_bar = i8::MIN; // nothing ever counts as weak
+
+    let mut wide = base.clone();
+    wide.delta_bits = 16;
+
+    vec![
+        AblationVariant { name: "baseline", description: "paper configuration", config: base },
+        AblationVariant {
+            name: "flat-reward",
+            description: "no bell shape: uniform positive window 1..127, no negative edges",
+            config: flat,
+        },
+        AblationVariant {
+            name: "frozen-reducer",
+            description: "dynamic feature selection disabled (fixed 4-attribute contexts)",
+            config: frozen,
+        },
+        AblationVariant {
+            name: "no-shadow",
+            description: "no deliberate shadow prefetches (exploration off)",
+            config: no_shadow,
+        },
+        AblationVariant {
+            name: "single-depth",
+            description: "history sampled at one depth instead of twelve",
+            config: sparse,
+        },
+        AblationVariant {
+            name: "fifo-replacement",
+            description: "CST links replaced FIFO instead of lowest-score",
+            config: fifo,
+        },
+        AblationVariant {
+            name: "no-split-signal",
+            description: "shared-and-weak context splitting disabled (only proven-eviction overload)",
+            config: no_split,
+        },
+        AblationVariant {
+            name: "wide-delta",
+            description: "EXTENSION: 16-bit deltas (+-1 MB reach) relaxing the paper's +-4 kB range limit",
+            config: wide,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semloc_workloads::kernel_by_name;
+
+    #[test]
+    fn sweep_produces_monotone_storage() {
+        let kernels = vec![kernel_by_name("list").unwrap()];
+        let cfg = SimConfig::quick();
+        let pts = storage_sweep(&kernels, &[256, 1024], &cfg, |_| {});
+        assert_eq!(pts.len(), 2);
+        assert!(pts[1].storage_bytes > pts[0].storage_bytes);
+        assert!(pts.iter().all(|p| p.all > 0.0 && p.top10 > 0.0));
+    }
+
+    #[test]
+    fn ablations_are_distinct_and_valid() {
+        let variants = ablation_variants();
+        assert!(variants.len() >= 6);
+        let names: std::collections::HashSet<_> = variants.iter().map(|v| v.name).collect();
+        assert_eq!(names.len(), variants.len());
+        for v in &variants {
+            v.config.validate();
+        }
+        assert!(variants.iter().any(|v| v.config.freeze_reducer));
+        assert!(variants.iter().any(|v| v.config.disable_shadow));
+    }
+}

@@ -1,0 +1,267 @@
+//! A set-associative, write-back, write-allocate cache array with true-LRU
+//! replacement.
+//!
+//! The array stores only metadata (tags and flags); simulated programs never
+//! store data. Each line remembers whether it was brought in by a prefetch
+//! and whether a demand access has touched it since the fill, which drives
+//! the Fig 9 access classification and the "prefetch never hit" statistic.
+
+use crate::config::CacheConfig;
+use semloc_trace::{Addr, Cycle};
+
+/// One cache line's metadata.
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Brought in by a prefetch (cleared once a demand access touches it).
+    prefetched: bool,
+    /// A demand access has touched the line since the fill.
+    touched: bool,
+    /// LRU timestamp (larger = more recent).
+    lru: u64,
+    /// Cycle at which the fill completes; before this the line is in flight.
+    ready_at: Cycle,
+}
+
+/// Outcome of a cache lookup-and-update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Present and filled: data available `latency` cycles after the access.
+    Hit {
+        /// The line was originally brought in by a prefetch and this is the
+        /// first demand touch.
+        first_touch_of_prefetch: bool,
+    },
+    /// Present but still in flight (fill outstanding): data available at
+    /// `ready_at`.
+    InFlight {
+        /// Fill-completion cycle of the outstanding request.
+        ready_at: Cycle,
+        /// The outstanding request is a prefetch.
+        prefetch: bool,
+    },
+    /// Not present.
+    Miss,
+}
+
+/// What was evicted when a new line was inserted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    /// A valid line was displaced.
+    pub valid: bool,
+    /// The displaced line was dirty (write-back generated).
+    pub dirty: bool,
+    /// The displaced line was prefetched and never touched by a demand.
+    pub useless_prefetch: bool,
+}
+
+/// A set-associative cache array.
+///
+/// ```rust
+/// use semloc_mem::{Cache, CacheConfig, LookupResult};
+///
+/// let mut l1 = Cache::new(CacheConfig::l1d());
+/// assert_eq!(l1.lookup_demand(0x1000, 0, false), LookupResult::Miss);
+/// l1.fill(0x1000, 22, false, false);
+/// assert!(matches!(l1.lookup_demand(0x1000, 30, false), LookupResult::Hit { .. }));
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    line_shift: u32,
+    tick: u64,
+}
+
+impl Cache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        let line_shift = cfg.line_bytes.trailing_zeros();
+        Cache {
+            sets: vec![vec![Line::default(); cfg.ways as usize]; sets as usize],
+            set_mask: sets - 1,
+            line_shift,
+            cfg,
+            tick: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn index(&self, addr: Addr) -> (usize, u64) {
+        let block = addr >> self.line_shift;
+        ((block & self.set_mask) as usize, block >> self.set_mask.count_ones())
+    }
+
+    /// Look up `addr` at cycle `now` as a demand access, updating LRU and
+    /// touch/prefetch flags.
+    pub fn lookup_demand(&mut self, addr: Addr, now: Cycle, is_write: bool) -> LookupResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                if is_write {
+                    line.dirty = true;
+                }
+                if line.ready_at > now {
+                    return LookupResult::InFlight { ready_at: line.ready_at, prefetch: line.prefetched };
+                }
+                let first = line.prefetched && !line.touched;
+                line.touched = true;
+                line.prefetched = false;
+                return LookupResult::Hit { first_touch_of_prefetch: first };
+            }
+        }
+        LookupResult::Miss
+    }
+
+    /// Look up `addr` without modifying any state (for prefetch filtering
+    /// and tests).
+    pub fn probe(&self, addr: Addr, now: Cycle) -> LookupResult {
+        let (set, tag) = self.index(addr);
+        for line in &self.sets[set] {
+            if line.valid && line.tag == tag {
+                if line.ready_at > now {
+                    return LookupResult::InFlight { ready_at: line.ready_at, prefetch: line.prefetched };
+                }
+                return LookupResult::Hit { first_touch_of_prefetch: line.prefetched && !line.touched };
+            }
+        }
+        LookupResult::Miss
+    }
+
+    /// Insert the line containing `addr`, becoming ready at `ready_at`.
+    /// Returns what was evicted.
+    pub fn fill(&mut self, addr: Addr, ready_at: Cycle, prefetched: bool, dirty: bool) -> Eviction {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        let ways = &mut self.sets[set];
+        // Refill of a line already present (e.g. prefetch raced a demand):
+        // just refresh, never duplicate tags within a set.
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= dirty;
+            line.ready_at = line.ready_at.min(ready_at);
+            return Eviction { valid: false, dirty: false, useless_prefetch: false };
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("cache set has at least one way");
+        let ev = Eviction {
+            valid: victim.valid,
+            dirty: victim.valid && victim.dirty,
+            useless_prefetch: victim.valid && victim.prefetched && !victim.touched,
+        };
+        *victim = Line { tag, valid: true, dirty, prefetched, touched: false, lru: tick, ready_at };
+        ev
+    }
+
+    /// Count valid lines that were prefetched and never demand-touched
+    /// (the residual "prefetch never hit" population at end of run).
+    pub fn count_untouched_prefetches(&self) -> u64 {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|l| l.valid && l.prefetched && !l.touched)
+            .count() as u64
+    }
+
+    /// Number of valid lines (occupancy), for tests.
+    pub fn valid_lines(&self) -> u64 {
+        self.sets.iter().flatten().filter(|l| l.valid).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 1, mshrs: 4 })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup_demand(0x1000, 0, false), LookupResult::Miss);
+        c.fill(0x1000, 10, false, false);
+        // Before the fill completes: in flight.
+        assert_eq!(c.lookup_demand(0x1000, 5, false), LookupResult::InFlight { ready_at: 10, prefetch: false });
+        // After: hit.
+        assert_eq!(c.lookup_demand(0x1000, 11, false), LookupResult::Hit { first_touch_of_prefetch: false });
+    }
+
+    #[test]
+    fn prefetched_line_first_touch_is_flagged_once() {
+        let mut c = tiny();
+        c.fill(0x2000, 0, true, false);
+        assert_eq!(c.lookup_demand(0x2000, 1, false), LookupResult::Hit { first_touch_of_prefetch: true });
+        assert_eq!(c.lookup_demand(0x2000, 2, false), LookupResult::Hit { first_touch_of_prefetch: false });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (4 sets, 64B lines -> set = block % 4).
+        let a = 0x0000; // set 0
+        let b = 0x0100; // set 0
+        let d = 0x0200; // set 0
+        c.fill(a, 0, false, false);
+        c.fill(b, 0, false, false);
+        c.lookup_demand(a, 1, false); // a now MRU
+        let ev = c.fill(d, 2, false, false);
+        assert!(ev.valid);
+        // b should have been the victim: a still hits.
+        assert!(matches!(c.lookup_demand(a, 3, false), LookupResult::Hit { .. }));
+        assert_eq!(c.lookup_demand(b, 3, false), LookupResult::Miss);
+    }
+
+    #[test]
+    fn eviction_reports_useless_prefetch() {
+        let mut c = tiny();
+        c.fill(0x0000, 0, true, false); // prefetch, never touched
+        c.fill(0x0100, 0, false, false);
+        let ev = c.fill(0x0200, 0, false, false); // evicts the prefetch (LRU)
+        assert!(ev.useless_prefetch);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.fill(0x0000, 0, false, false);
+        c.lookup_demand(0x0000, 1, true); // dirty it
+        c.fill(0x0100, 0, false, false);
+        let ev = c.fill(0x0200, 0, false, false);
+        assert!(ev.valid && ev.dirty);
+    }
+
+    #[test]
+    fn refill_does_not_duplicate() {
+        let mut c = tiny();
+        c.fill(0x0000, 0, false, false);
+        c.fill(0x0000, 0, true, false);
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn untouched_prefetch_census() {
+        let mut c = tiny();
+        c.fill(0x0000, 0, true, false);
+        c.fill(0x0040, 0, true, false);
+        c.lookup_demand(0x0040, 1, false);
+        assert_eq!(c.count_untouched_prefetches(), 1);
+    }
+}

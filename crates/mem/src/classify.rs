@@ -1,0 +1,149 @@
+//! Demand-access classification — the six categories of Fig 9.
+
+/// Benefit class of one demand access (Fig 9 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// The demand hit the cache because a prefetch brought the line in.
+    HitPrefetchedLine,
+    /// The demand missed, but merged into an in-flight prefetch and waited
+    /// less than a full miss.
+    ShorterWait,
+    /// The prefetcher had predicted this address, but the request had not
+    /// been issued to memory before the demand arrived.
+    NonTimely,
+    /// A plain miss the prefetcher never predicted.
+    MissNotPrefetched,
+    /// The demand hit a line brought in by an older demand — no prefetch
+    /// needed.
+    HitOlderDemand,
+}
+
+impl AccessClass {
+    /// All demand classes, in the order Fig 9 stacks them.
+    pub const ALL: [AccessClass; 5] = [
+        AccessClass::HitPrefetchedLine,
+        AccessClass::ShorterWait,
+        AccessClass::NonTimely,
+        AccessClass::MissNotPrefetched,
+        AccessClass::HitOlderDemand,
+    ];
+
+    /// Display label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessClass::HitPrefetchedLine => "Hit prefetched line",
+            AccessClass::ShorterWait => "Shorter wait time",
+            AccessClass::NonTimely => "Non-timely",
+            AccessClass::MissNotPrefetched => "Miss not prefetched",
+            AccessClass::HitOlderDemand => "Hit older demand",
+        }
+    }
+}
+
+/// Tallies of demand accesses per class, plus wrong prefetches (which Fig 9
+/// counts *on top of* the demand accesses, pushing bars past 100%).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Demands that hit a prefetched line.
+    pub hit_prefetched: u64,
+    /// Demands that merged into an in-flight prefetch.
+    pub shorter_wait: u64,
+    /// Demands predicted but not issued in time.
+    pub non_timely: u64,
+    /// Demand misses never predicted.
+    pub miss_not_prefetched: u64,
+    /// Demands hitting lines fetched by older demands.
+    pub hit_older_demand: u64,
+    /// Prefetched lines evicted (or left at end of run) without any demand
+    /// touch.
+    pub prefetch_never_hit: u64,
+}
+
+impl ClassCounts {
+    /// Record one demand access of the given class.
+    pub fn record(&mut self, class: AccessClass) {
+        match class {
+            AccessClass::HitPrefetchedLine => self.hit_prefetched += 1,
+            AccessClass::ShorterWait => self.shorter_wait += 1,
+            AccessClass::NonTimely => self.non_timely += 1,
+            AccessClass::MissNotPrefetched => self.miss_not_prefetched += 1,
+            AccessClass::HitOlderDemand => self.hit_older_demand += 1,
+        }
+    }
+
+    /// Total demand accesses recorded.
+    pub fn demands(&self) -> u64 {
+        self.hit_prefetched + self.shorter_wait + self.non_timely + self.miss_not_prefetched + self.hit_older_demand
+    }
+
+    /// Count for a class, as a fraction of demand accesses (Fig 9's y-axis).
+    pub fn fraction(&self, class: AccessClass) -> f64 {
+        let n = self.demands();
+        if n == 0 {
+            return 0.0;
+        }
+        let c = match class {
+            AccessClass::HitPrefetchedLine => self.hit_prefetched,
+            AccessClass::ShorterWait => self.shorter_wait,
+            AccessClass::NonTimely => self.non_timely,
+            AccessClass::MissNotPrefetched => self.miss_not_prefetched,
+            AccessClass::HitOlderDemand => self.hit_older_demand,
+        };
+        c as f64 / n as f64
+    }
+
+    /// Wrong prefetches as a fraction of demand accesses (the >100% part of
+    /// the Fig 9 bars).
+    pub fn wrong_fraction(&self) -> f64 {
+        let n = self.demands();
+        if n == 0 {
+            0.0
+        } else {
+            self.prefetch_never_hit as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_fractions() {
+        let mut c = ClassCounts::default();
+        c.record(AccessClass::HitPrefetchedLine);
+        c.record(AccessClass::HitPrefetchedLine);
+        c.record(AccessClass::MissNotPrefetched);
+        c.record(AccessClass::HitOlderDemand);
+        c.prefetch_never_hit = 2;
+        assert_eq!(c.demands(), 4);
+        assert!((c.fraction(AccessClass::HitPrefetchedLine) - 0.5).abs() < 1e-12);
+        assert!((c.wrong_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut c = ClassCounts::default();
+        for (i, class) in AccessClass::ALL.into_iter().enumerate() {
+            for _ in 0..=i {
+                c.record(class);
+            }
+        }
+        let sum: f64 = AccessClass::ALL.iter().map(|&cl| c.fraction(cl)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_are_zero() {
+        let c = ClassCounts::default();
+        assert_eq!(c.demands(), 0);
+        assert_eq!(c.fraction(AccessClass::NonTimely), 0.0);
+        assert_eq!(c.wrong_fraction(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> = AccessClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), AccessClass::ALL.len());
+    }
+}

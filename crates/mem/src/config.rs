@@ -1,0 +1,108 @@
+//! Memory-system configuration (Table 2 of the paper).
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Access latency in cycles.
+    pub latency: u64,
+    /// Number of miss-status holding registers.
+    pub mshrs: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible into
+    /// `ways × line` sets, or non-power-of-two set count/line size).
+    pub fn sets(&self) -> u64 {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let sets = self.size_bytes / (self.ways as u64 * self.line_bytes);
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a positive power of two");
+        assert_eq!(self.size_bytes, sets * self.ways as u64 * self.line_bytes, "inconsistent cache geometry");
+        sets
+    }
+
+    /// The paper's L1 data cache: 64 kB, 8-way, 2-cycle, 4 MSHRs.
+    pub fn l1d() -> Self {
+        CacheConfig { size_bytes: 64 * 1024, ways: 8, line_bytes: 64, latency: 2, mshrs: 4 }
+    }
+
+    /// The paper's shared L2: 2 MB, 16-way, 20-cycle, 20 MSHRs.
+    pub fn l2() -> Self {
+        CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 16, line_bytes: 64, latency: 20, mshrs: 20 }
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// L2 cache.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles (Table 2: 300).
+    pub dram_latency: u64,
+    /// Minimum free L1 MSHRs required to issue a prefetch; below this the
+    /// request is rejected (converted to a shadow operation by the
+    /// prefetcher), per §4.2 "prefetch operations may be skipped if the
+    /// memory system is stressed".
+    pub prefetch_mshr_reserve: u32,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig { l1: CacheConfig::l1d(), l2: CacheConfig::l2(), dram_latency: 300, prefetch_mshr_reserve: 1 }
+    }
+}
+
+impl MemConfig {
+    /// Average L1 miss penalty in cycles given an estimated L2 miss rate,
+    /// per §4.3: `L2 latency + L2 miss rate × DRAM latency`.
+    pub fn l1_miss_penalty(&self, l2_miss_rate: f64) -> f64 {
+        self.l2.latency as f64 + l2_miss_rate * self.dram_latency as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_l1_geometry() {
+        let l1 = CacheConfig::l1d();
+        assert_eq!(l1.sets(), 128);
+        assert_eq!(l1.latency, 2);
+        assert_eq!(l1.mshrs, 4);
+    }
+
+    #[test]
+    fn table2_l2_geometry() {
+        let l2 = CacheConfig::l2();
+        assert_eq!(l2.sets(), 2048);
+        assert_eq!(l2.latency, 20);
+        assert_eq!(l2.mshrs, 20);
+    }
+
+    #[test]
+    fn miss_penalty_formula() {
+        let c = MemConfig::default();
+        // All L2 hits: penalty is the L2 latency.
+        assert!((c.l1_miss_penalty(0.0) - 20.0).abs() < 1e-12);
+        // Half the L1 misses also miss L2.
+        assert!((c.l1_miss_penalty(0.5) - 170.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        CacheConfig { size_bytes: 1000, ways: 3, line_bytes: 64, latency: 1, mshrs: 1 }.sets();
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the memory hierarchy's timing and accounting
+//! invariants.
+
+use proptest::prelude::*;
+
+use semloc_mem::{AccessClass, Hierarchy, MemConfig, MemPressure, NoPrefetch, PrefetchReq, Prefetcher};
+use semloc_trace::AccessContext;
+
+fn ctx(seq: u64, addr: u64) -> AccessContext {
+    AccessContext::bare(seq, 0x400, addr, false)
+}
+
+proptest! {
+    /// Data is never ready before the L1 latency, never later than the full
+    /// L1+L2+DRAM chain plus accumulated MSHR backpressure.
+    #[test]
+    fn ready_times_are_bounded(addrs in proptest::collection::vec(0u64..(1 << 24), 1..200)) {
+        let cfg = MemConfig::default();
+        let full_chain = cfg.l1.latency + cfg.l2.latency + cfg.dram_latency;
+        let mut h = Hierarchy::new(cfg.clone(), NoPrefetch);
+        let mut now = 0u64;
+        for (i, &a) in addrs.iter().enumerate() {
+            now += (i % 7) as u64;
+            let r = h.demand_access(&ctx(i as u64, a), now);
+            prop_assert!(r.ready_at >= now + cfg.l1.latency, "ready before L1 latency");
+            // Worst case: every prior miss serialized through one MSHR.
+            let bound = now + full_chain * (i as u64 + 1) + cfg.l2.latency * (i as u64 + 1);
+            prop_assert!(r.ready_at <= bound, "ready {} beyond any physical bound {}", r.ready_at, bound);
+        }
+    }
+
+    /// Without a prefetcher, no access is ever classified as benefiting
+    /// from prefetching, and classes partition the demand stream.
+    #[test]
+    fn no_prefetcher_no_prefetch_classes(addrs in proptest::collection::vec(0u64..(1 << 22), 1..300)) {
+        let mut h = Hierarchy::new(MemConfig::default(), NoPrefetch);
+        for (i, &a) in addrs.iter().enumerate() {
+            let r = h.demand_access(&ctx(i as u64, a), i as u64 * 3);
+            prop_assert!(!matches!(r.class, AccessClass::HitPrefetchedLine | AccessClass::ShorterWait | AccessClass::NonTimely));
+        }
+        h.finish();
+        let s = h.stats();
+        prop_assert_eq!(s.classes.demands(), s.demand_accesses);
+        prop_assert_eq!(s.classes.hit_prefetched, 0);
+        prop_assert_eq!(s.classes.prefetch_never_hit, 0);
+        prop_assert_eq!(s.prefetches_issued, 0);
+    }
+
+    /// Re-accessing the same line after its fill completes is always an L1
+    /// hit (inclusion of recently fetched lines, no spurious invalidation).
+    #[test]
+    fn immediate_reuse_hits(addr in 0u64..(1 << 30)) {
+        let mut h = Hierarchy::new(MemConfig::default(), NoPrefetch);
+        let first = h.demand_access(&ctx(0, addr), 0);
+        let second = h.demand_access(&ctx(1, addr), first.ready_at + 1);
+        prop_assert_eq!(second.class, AccessClass::HitOlderDemand);
+        prop_assert_eq!(second.ready_at, first.ready_at + 1 + 2);
+    }
+}
+
+/// A prefetcher that requests exactly one configurable address per access.
+struct OneAhead(u64);
+impl Prefetcher for OneAhead {
+    fn name(&self) -> &'static str {
+        "one-ahead"
+    }
+    fn on_access(&mut self, c: &AccessContext, _p: MemPressure, out: &mut Vec<PrefetchReq>) {
+        out.push(PrefetchReq::real(c.addr + self.0, 0));
+    }
+    fn storage_bytes(&self) -> usize {
+        0
+    }
+}
+
+proptest! {
+    /// Prefetching never increases any demand access's latency class to
+    /// something slower than the no-prefetch run would see for L1 hits:
+    /// totals must stay consistent and issued ≥ 0 implied by types; most
+    /// importantly, accounting identities hold under arbitrary streams.
+    #[test]
+    fn prefetch_accounting_identities(
+        stride in prop_oneof![Just(64u64), Just(128u64), Just(256u64)],
+        n in 10usize..300,
+    ) {
+        let mut h = Hierarchy::new(MemConfig::default(), OneAhead(stride));
+        for i in 0..n {
+            let a = 0x40_0000 + (i as u64) * stride;
+            h.demand_access(&ctx(i as u64, a), (i as u64) * 8);
+        }
+        h.finish();
+        let s = h.stats();
+        prop_assert_eq!(s.demand_accesses, n as u64);
+        prop_assert!(s.prefetches_issued + s.prefetches_filtered + s.prefetches_rejected <= n as u64);
+        // Every wrong prefetch was once an issued prefetch.
+        prop_assert!(s.classes.prefetch_never_hit <= s.prefetches_issued);
+        // Useful classes cannot exceed issued prefetches (each line helps
+        // one first-touch, merges bounded by demands).
+        prop_assert!(s.classes.hit_prefetched <= n as u64);
+    }
+}
+
+#[test]
+fn pressure_reflects_outstanding_fills() {
+    let mut h = Hierarchy::new(MemConfig::default(), NoPrefetch);
+    let free0 = h.pressure(0).l1_mshr_free;
+    h.demand_access(&ctx(0, 0x100000), 0);
+    h.demand_access(&ctx(1, 0x200000), 1);
+    let free2 = h.pressure(2).l1_mshr_free;
+    assert!(free2 <= free0 - 2, "two outstanding misses must consume MSHRs");
+    // After everything fills, pressure recovers.
+    let free_late = h.pressure(10_000).l1_mshr_free;
+    assert_eq!(free_late, free0);
+}

@@ -1,0 +1,79 @@
+//! Per-access machine context (Table 1 of the paper).
+//!
+//! The prefetcher observes, for every demand memory access, a snapshot of
+//! the hardware attributes the CPU can capture plus the software attributes
+//! injected by the compiler. [`AccessContext`] is that snapshot; it is
+//! assembled by the core model at load/store issue and handed to whichever
+//! prefetcher is attached to the L1.
+
+use crate::hints::SemanticHints;
+use crate::{Addr, Seq};
+
+/// Number of recent memory-access block addresses carried in the context.
+/// The paper notes address history "must be used sparingly" to avoid overly
+/// localized learning; four is enough for delta features.
+pub const RECENT_ADDRS: usize = 4;
+
+/// The machine/program state snapshot accompanying one demand access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessContext {
+    /// Position of this access in the demand memory-access stream (the unit
+    /// in which prefetch distance and reward depth are measured).
+    pub seq: Seq,
+    /// Program counter of the memory instruction.
+    pub pc: Addr,
+    /// Virtual address accessed.
+    pub addr: Addr,
+    /// Whether the access is a store.
+    pub is_write: bool,
+    /// Global branch history register (last 16 branch outcomes, newest in
+    /// bit 0).
+    pub branch_history: u16,
+    /// Block addresses of the most recent demand accesses, newest first.
+    pub recent_addrs: [Addr; RECENT_ADDRS],
+    /// Value of the first source register of the access (e.g. the base
+    /// pointer, or a key being searched).
+    pub reg1: u64,
+    /// Value of the second source register of the access.
+    pub reg2: u64,
+    /// The most recently loaded data value (globally).
+    pub last_loaded: u64,
+    /// Compiler-injected semantic hints, when present.
+    pub hints: Option<SemanticHints>,
+}
+
+impl AccessContext {
+    /// A context with every attribute zeroed except the address/PC — handy
+    /// for tests and for prefetchers that only use spatio-temporal state.
+    pub fn bare(seq: Seq, pc: Addr, addr: Addr, is_write: bool) -> Self {
+        AccessContext {
+            seq,
+            pc,
+            addr,
+            is_write,
+            branch_history: 0,
+            recent_addrs: [0; RECENT_ADDRS],
+            reg1: 0,
+            reg2: 0,
+            last_loaded: 0,
+            hints: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_context_zeroes_attributes() {
+        let c = AccessContext::bare(3, 0x400, 0x1000, false);
+        assert_eq!(c.seq, 3);
+        assert_eq!(c.pc, 0x400);
+        assert_eq!(c.addr, 0x1000);
+        assert!(!c.is_write);
+        assert_eq!(c.branch_history, 0);
+        assert_eq!(c.recent_addrs, [0; RECENT_ADDRS]);
+        assert!(c.hints.is_none());
+    }
+}

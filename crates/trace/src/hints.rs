@@ -1,0 +1,129 @@
+//! Compiler-injected semantic hints (the software rows of Table 1).
+//!
+//! The original system used a modified LLVM pass that identified
+//! pointer-based accesses to objects and packed three attributes into an
+//! extended-NOP preceding the memory instruction:
+//!
+//! * a unique enumeration of the accessed *object type*,
+//! * the *link offset* — the offset within the object of the pointer/index
+//!   field used to reach the next element,
+//! * the *form of reference* (`.`, `->`, `*`, array index).
+//!
+//! Hints are only attached to loads that produce pointer values (per §6 of
+//! the paper, accesses through an already-hinted base pointer are skipped).
+
+/// The syntactic form of a memory reference, as seen by the compiler.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum RefForm {
+    /// Direct member access on a value (`a.b`).
+    #[default]
+    Dot,
+    /// Member access through a pointer (`a->b`).
+    Arrow,
+    /// Plain pointer dereference (`*p`).
+    Deref,
+    /// Array subscript (`a[i]`).
+    Index,
+}
+
+impl RefForm {
+    /// A stable 2-bit encoding used when hashing contexts.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            RefForm::Dot => 0,
+            RefForm::Arrow => 1,
+            RefForm::Deref => 2,
+            RefForm::Index => 3,
+        }
+    }
+
+    /// All forms, in `code()` order.
+    pub const ALL: [RefForm; 4] = [RefForm::Dot, RefForm::Arrow, RefForm::Deref, RefForm::Index];
+}
+
+/// The software attributes the modified compiler attaches to a pointer load.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct SemanticHints {
+    /// Unique enumeration of the object type being accessed (e.g. graph
+    /// vertex vs. edge, list node vs. payload).
+    pub type_id: u16,
+    /// Offset, within the object, of the pointer or index member used for
+    /// this access (identifies which link of the structure is followed).
+    pub link_offset: u16,
+    /// The syntactic form of the reference.
+    pub ref_form: RefForm,
+}
+
+impl SemanticHints {
+    /// Hints for following a pointer member at `link_offset` of an object of
+    /// type `type_id` (the common `node->next` case).
+    pub fn link(type_id: u16, link_offset: u16) -> Self {
+        SemanticHints { type_id, link_offset, ref_form: RefForm::Arrow }
+    }
+
+    /// Hints for an indexed access into an array of objects of `type_id`.
+    pub fn indexed(type_id: u16) -> Self {
+        SemanticHints { type_id, link_offset: 0, ref_form: RefForm::Index }
+    }
+
+    /// Hints for a plain dereference of a pointer to `type_id`.
+    pub fn deref(type_id: u16) -> Self {
+        SemanticHints { type_id, link_offset: 0, ref_form: RefForm::Deref }
+    }
+
+    /// Pack the hints into the 32-bit immediate format the compiler backend
+    /// used (type id in the high half, link offset next, ref form in the low
+    /// bits).
+    #[inline]
+    pub fn pack(self) -> u32 {
+        ((self.type_id as u32) << 16) | ((self.link_offset as u32 & 0x3fff) << 2) | self.ref_form.code() as u32
+    }
+
+    /// Unpack hints previously packed with [`SemanticHints::pack`].
+    #[inline]
+    pub fn unpack(raw: u32) -> Self {
+        SemanticHints {
+            type_id: (raw >> 16) as u16,
+            link_offset: ((raw >> 2) & 0x3fff) as u16,
+            ref_form: RefForm::ALL[(raw & 0b11) as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrips() {
+        for form in RefForm::ALL {
+            let h = SemanticHints { type_id: 0xBEEF, link_offset: 0x123, ref_form: form };
+            assert_eq!(SemanticHints::unpack(h.pack()), h);
+        }
+    }
+
+    #[test]
+    fn ref_form_codes_are_distinct() {
+        let mut seen = [false; 4];
+        for form in RefForm::ALL {
+            let c = form.code() as usize;
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        assert_eq!(SemanticHints::link(3, 8).ref_form, RefForm::Arrow);
+        assert_eq!(SemanticHints::link(3, 8).link_offset, 8);
+        assert_eq!(SemanticHints::indexed(4).ref_form, RefForm::Index);
+        assert_eq!(SemanticHints::deref(5).ref_form, RefForm::Deref);
+    }
+
+    #[test]
+    fn link_offset_is_masked_to_14_bits() {
+        let h = SemanticHints { type_id: 1, link_offset: 0x3fff, ref_form: RefForm::Dot };
+        assert_eq!(SemanticHints::unpack(h.pack()).link_offset, 0x3fff);
+    }
+}

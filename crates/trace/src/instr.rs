@@ -1,0 +1,177 @@
+//! ISA-agnostic instruction records.
+//!
+//! Workloads emit a stream of [`Instr`] values; the out-of-order core model
+//! consumes them. The record carries just enough microarchitectural detail
+//! for a trace-driven timing model: program counter, register dependencies,
+//! an operation class with its latency or memory address, and — for loads
+//! that the instrumented compiler recognized — [`SemanticHints`].
+
+use crate::hints::SemanticHints;
+use crate::Addr;
+
+/// An architectural register name. The simulated ISA has 32 general
+/// registers, mirroring x86-64's 16 GPRs plus renaming headroom for the
+/// workload generators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Returns the register index, panicking in debug builds if it is out of
+    /// range.
+    #[inline]
+    pub fn index(self) -> usize {
+        debug_assert!((self.0 as usize) < Self::COUNT, "register out of range");
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The operation class of an instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum InstrKind {
+    /// A register-to-register computation with the given execute latency in
+    /// cycles (1 for simple integer ops, more for mul/div/fp).
+    Alu {
+        /// Execute latency in cycles (≥ 1).
+        latency: u32,
+    },
+    /// A data-cache load.
+    Load {
+        /// Virtual address accessed.
+        addr: Addr,
+        /// Access size in bytes.
+        size: u8,
+        /// Compiler-injected semantic hints, when the access is a
+        /// pointer-typed load the instrumentation recognized.
+        hints: Option<SemanticHints>,
+    },
+    /// A data-cache store.
+    Store {
+        /// Virtual address accessed.
+        addr: Addr,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// A conditional or unconditional control transfer.
+    Branch {
+        /// Whether the branch was taken (drives the branch-history context
+        /// attribute and the branch predictor model).
+        taken: bool,
+        /// Target address (used only for predictor indexing).
+        target: Addr,
+    },
+    /// A no-op (also models the hint-carrying extended NOPs of the paper
+    /// when counting instruction overhead).
+    Nop,
+}
+
+/// A single dynamic instruction in a trace.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Instr {
+    /// Program counter of the instruction. Workloads assign stable PCs per
+    /// static code site so PC-indexed predictors behave realistically.
+    pub pc: Addr,
+    /// Operation class and operands.
+    pub kind: InstrKind,
+    /// First source register, if any.
+    pub src1: Option<Reg>,
+    /// Second source register, if any.
+    pub src2: Option<Reg>,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// The architectural value written to `dst` (for loads: the loaded
+    /// value, e.g. the pointer to the next node). Zero when meaningless.
+    /// This feeds the "data stored in general registers" and "previously
+    /// loaded data" context attributes of Table 1.
+    pub result: u64,
+}
+
+impl Instr {
+    /// A 1-cycle ALU op `dst <- f(src1, src2)` producing `result`.
+    pub fn alu(pc: Addr, dst: Option<Reg>, src1: Option<Reg>, src2: Option<Reg>, result: u64) -> Self {
+        Instr { pc, kind: InstrKind::Alu { latency: 1 }, src1, src2, dst, result }
+    }
+
+    /// A load of `size` bytes at `addr` into `dst`, producing `result`.
+    pub fn load(
+        pc: Addr,
+        addr: Addr,
+        size: u8,
+        dst: Reg,
+        addr_src: Option<Reg>,
+        hints: Option<SemanticHints>,
+        result: u64,
+    ) -> Self {
+        Instr { pc, kind: InstrKind::Load { addr, size, hints }, src1: addr_src, src2: None, dst: Some(dst), result }
+    }
+
+    /// A store of `size` bytes at `addr` whose data comes from `data_src`.
+    pub fn store(pc: Addr, addr: Addr, size: u8, addr_src: Option<Reg>, data_src: Option<Reg>) -> Self {
+        Instr { pc, kind: InstrKind::Store { addr, size }, src1: addr_src, src2: data_src, dst: None, result: 0 }
+    }
+
+    /// A branch at `pc` to `target`, with the given resolved direction,
+    /// conditioned on `cond_src`.
+    pub fn branch(pc: Addr, taken: bool, target: Addr, cond_src: Option<Reg>) -> Self {
+        Instr { pc, kind: InstrKind::Branch { taken, target }, src1: cond_src, src2: None, dst: None, result: 0 }
+    }
+
+    /// A no-op at `pc`.
+    pub fn nop(pc: Addr) -> Self {
+        Instr { pc, kind: InstrKind::Nop, src1: None, src2: None, dst: None, result: 0 }
+    }
+
+    /// Whether this instruction accesses data memory.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, InstrKind::Load { .. } | InstrKind::Store { .. })
+    }
+
+    /// The data address accessed, if this is a memory operation.
+    #[inline]
+    pub fn mem_addr(&self) -> Option<Addr> {
+        match self.kind {
+            InstrKind::Load { addr, .. } | InstrKind::Store { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_classify_memory_ops() {
+        let l = Instr::load(0x10, 0x1000, 8, Reg(1), None, None, 7);
+        let s = Instr::store(0x18, 0x1008, 8, Some(Reg(1)), Some(Reg(2)));
+        let a = Instr::alu(0x20, Some(Reg(3)), Some(Reg(1)), None, 0);
+        let b = Instr::branch(0x28, true, 0x10, Some(Reg(3)));
+        assert!(l.is_mem() && s.is_mem());
+        assert!(!a.is_mem() && !b.is_mem());
+        assert_eq!(l.mem_addr(), Some(0x1000));
+        assert_eq!(s.mem_addr(), Some(0x1008));
+        assert_eq!(a.mem_addr(), None);
+    }
+
+    #[test]
+    fn load_records_result_and_dst() {
+        let l = Instr::load(0x10, 0x1000, 8, Reg(4), Some(Reg(5)), None, 0xdead);
+        assert_eq!(l.dst, Some(Reg(4)));
+        assert_eq!(l.src1, Some(Reg(5)));
+        assert_eq!(l.result, 0xdead);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+}

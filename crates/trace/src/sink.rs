@@ -1,0 +1,199 @@
+//! Push-based trace streaming.
+//!
+//! Workloads *drive* a [`TraceSink`] rather than materializing traces: a
+//! kernel is an ordinary Rust function that calls [`TraceSink::instr`] (via
+//! [`Emitter`](crate::Emitter)) for every dynamic instruction. The simulator
+//! implements `TraceSink`, so multi-million-instruction runs need no trace
+//! storage; deterministic (seeded) workloads are re-run to replay a trace.
+
+use crate::instr::{Instr, InstrKind};
+
+/// A consumer of a dynamic instruction stream.
+///
+/// Implemented by the out-of-order core model, by statistics collectors, and
+/// by the test helpers in this module.
+pub trait TraceSink {
+    /// Consume the next dynamic instruction.
+    fn instr(&mut self, instr: Instr);
+
+    /// Ask the producer to stop early. Workloads with unbounded loops check
+    /// this between emissions; it becomes `true` once an instruction budget
+    /// is exhausted.
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn instr(&mut self, instr: Instr) {
+        (**self).instr(instr)
+    }
+    fn done(&self) -> bool {
+        (**self).done()
+    }
+}
+
+/// A sink that records every instruction, for tests and offline analysis.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingSink {
+    instrs: Vec<Instr>,
+    limit: Option<usize>,
+}
+
+impl RecordingSink {
+    /// A recorder with no instruction limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recorder that reports `done()` after `limit` instructions.
+    pub fn with_limit(limit: usize) -> Self {
+        RecordingSink { instrs: Vec::new(), limit: Some(limit) }
+    }
+
+    /// The recorded instructions, in emission order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Consume the recorder and return the recorded instructions.
+    pub fn into_instrs(self) -> Vec<Instr> {
+        self.instrs
+    }
+
+    /// The recorded memory accesses (loads and stores) only.
+    pub fn mem_accesses(&self) -> impl Iterator<Item = &Instr> {
+        self.instrs.iter().filter(|i| i.is_mem())
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn instr(&mut self, instr: Instr) {
+        if !self.done() {
+            self.instrs.push(instr);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.limit.is_some_and(|l| self.instrs.len() >= l)
+    }
+}
+
+/// A sink that only counts instructions by class — used to size workloads
+/// and to compute the `Prob(mem op)` workload parameter of §4.3.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Dynamic branches.
+    pub branches: u64,
+    /// Optional instruction budget after which `done()` is reported.
+    pub limit: u64,
+}
+
+impl CountingSink {
+    /// A counter with no budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A counter that reports `done()` after `limit` instructions.
+    pub fn with_limit(limit: u64) -> Self {
+        CountingSink { limit, ..Self::default() }
+    }
+
+    /// Fraction of instructions that access memory, or 0 if empty.
+    pub fn mem_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / self.total as f64
+        }
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn instr(&mut self, instr: Instr) {
+        self.total += 1;
+        match instr.kind {
+            InstrKind::Load { .. } => self.loads += 1,
+            InstrKind::Store { .. } => self.stores += 1,
+            InstrKind::Branch { .. } => self.branches += 1,
+            _ => {}
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.limit != 0 && self.total >= self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Reg;
+
+    fn sample() -> [Instr; 4] {
+        [
+            Instr::load(0, 0x100, 8, Reg(1), None, None, 0),
+            Instr::store(8, 0x108, 8, None, None),
+            Instr::alu(16, Some(Reg(2)), None, None, 0),
+            Instr::branch(24, true, 0, None),
+        ]
+    }
+
+    #[test]
+    fn recording_sink_records_in_order() {
+        let mut s = RecordingSink::new();
+        for i in sample() {
+            s.instr(i);
+        }
+        assert_eq!(s.instrs().len(), 4);
+        assert_eq!(s.mem_accesses().count(), 2);
+    }
+
+    #[test]
+    fn recording_sink_honours_limit() {
+        let mut s = RecordingSink::with_limit(2);
+        for i in sample() {
+            s.instr(i);
+        }
+        assert_eq!(s.instrs().len(), 2);
+        assert!(s.done());
+    }
+
+    #[test]
+    fn counting_sink_classifies() {
+        let mut s = CountingSink::new();
+        for i in sample() {
+            s.instr(i);
+        }
+        assert_eq!((s.total, s.loads, s.stores, s.branches), (4, 1, 1, 1));
+        assert!((s.mem_fraction() - 0.5).abs() < 1e-12);
+        assert!(!s.done());
+    }
+
+    #[test]
+    fn counting_sink_budget() {
+        let mut s = CountingSink::with_limit(3);
+        for i in sample() {
+            s.instr(i);
+        }
+        assert!(s.done());
+    }
+
+    #[test]
+    fn sink_is_usable_through_mut_ref() {
+        fn feed<S: TraceSink>(mut s: S) -> bool {
+            s.instr(Instr::nop(0));
+            s.done()
+        }
+        let mut c = CountingSink::with_limit(1);
+        assert!(feed(&mut c));
+        assert_eq!(c.total, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Kernel execution session: emitter + PC allocator + simulated heap + RNG.
+//!
+//! Bundles everything a kernel needs, and provides the *hinted load*
+//! helper that models the paper's compiler instrumentation (§6): each
+//! pointer-typed load is preceded by an extended-NOP carrying the packed
+//! semantic hints, so the instruction overhead of hint injection is paid
+//! for real in the pipeline model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use semloc_trace::{Addr, AddressSpace, Emitter, PcAlloc, Placement, Reg, SemanticHints, TraceSink};
+
+/// Everything a running kernel needs.
+pub struct Session<'a> {
+    /// Instruction emitter over the driving sink.
+    pub em: Emitter<'a, dyn TraceSink + 'a>,
+    /// Stable code-site allocator for this kernel's region.
+    pub pcs: PcAlloc,
+    /// The simulated heap.
+    pub heap: AddressSpace,
+    /// Deterministic per-kernel randomness.
+    pub rng: StdRng,
+}
+
+impl<'a> Session<'a> {
+    /// Start a session for the `region`-th kernel with the given heap
+    /// placement policy and RNG seed.
+    pub fn new(sink: &'a mut dyn TraceSink, region: u32, placement: Placement, seed: u64) -> Self {
+        Session {
+            em: Emitter::new(sink),
+            pcs: PcAlloc::new(region),
+            heap: AddressSpace::new(seed, placement),
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9),
+        }
+    }
+
+    /// Whether the driving sink's instruction budget is exhausted.
+    pub fn done(&self) -> bool {
+        self.em.done()
+    }
+
+    /// A hinted pointer load: the compiler-injected extended NOP carrying
+    /// the packed hints, immediately followed by the load itself (§6).
+    ///
+    /// `result` is the loaded value (for link loads, the next object's
+    /// address), which flows into the destination register and thus into
+    /// the *register values* / *previously loaded data* context attributes.
+    pub fn hinted_load(
+        &mut self,
+        pc: Addr,
+        addr: Addr,
+        dst: Reg,
+        addr_src: Option<Reg>,
+        hints: SemanticHints,
+        result: u64,
+    ) {
+        self.em.nop(pc);
+        self.em.load(pc + 4, addr, dst, addr_src, Some(hints), result);
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("emitted", &self.em.emitted()).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semloc_trace::{InstrKind, RecordingSink};
+
+    #[test]
+    fn hinted_load_emits_nop_then_load() {
+        let mut sink = RecordingSink::new();
+        {
+            let mut s = Session::new(&mut sink, 0, Placement::Bump, 1);
+            let pc = s.pcs.site();
+            let a = s.heap.alloc(32);
+            s.hinted_load(pc, a, Reg(1), None, SemanticHints::link(7, 8), a + 32);
+        }
+        let instrs = sink.instrs();
+        assert_eq!(instrs.len(), 2);
+        assert!(matches!(instrs[0].kind, InstrKind::Nop));
+        match instrs[1].kind {
+            InstrKind::Load { hints: Some(h), .. } => assert_eq!(h.type_id, 7),
+            ref k => panic!("expected hinted load, got {k:?}"),
+        }
+        assert_eq!(instrs[1].pc, instrs[0].pc + 4);
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let run = || {
+            let mut sink = RecordingSink::new();
+            {
+                let mut s = Session::new(&mut sink, 3, Placement::Scatter, 42);
+                for _ in 0..50 {
+                    let a = s.heap.alloc(24);
+                    let pc = s.pcs.site();
+                    s.em.load(pc, a, Reg(2), None, None, 0);
+                }
+            }
+            sink.into_instrs()
+        };
+        assert_eq!(run(), run());
+    }
+}

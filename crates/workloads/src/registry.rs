@@ -1,0 +1,119 @@
+//! The workload registry: every benchmark of Table 3 under its paper name.
+
+use crate::graph500::Graph500;
+use crate::pbbs::{Knn, SetCover, SuffixArray};
+use crate::spec::all_spec_proxies;
+use crate::ssca2::Ssca2;
+use crate::ukernels::{ArrayTraversal, Bst, HashTest, ListSort, ListTraversal, MapTest, Prim, SscaLds};
+use crate::{Kernel, Suite};
+
+/// Metadata row for Table 3 listings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelInfo {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Suite it belongs to.
+    pub suite: Suite,
+}
+
+/// A shareable workload handle (kernels are immutable configs, so they are
+/// `Send + Sync` and can be simulated from worker threads).
+pub type KernelBox = Box<dyn Kernel + Send + Sync>;
+
+/// Every workload, in Table 3 order (SPEC, PBBS, Graph500, HPCS,
+/// µkernels).
+pub fn all_kernels() -> Vec<KernelBox> {
+    let mut v: Vec<KernelBox> = Vec::new();
+    for p in all_spec_proxies() {
+        v.push(Box::new(p));
+    }
+    v.push(Box::new(SuffixArray::default()));
+    v.push(Box::new(SetCover::default()));
+    v.push(Box::new(Knn::default()));
+    v.push(Box::new(Graph500::csr()));
+    v.push(Box::new(Graph500::linked()));
+    v.push(Box::new(Ssca2::csr()));
+    v.push(Box::new(Ssca2::linked()));
+    v.push(Box::new(Prim::default()));
+    v.push(Box::new(ListSort::default()));
+    v.push(Box::new(SscaLds::default()));
+    v.push(Box::new(ListTraversal::default()));
+    v.push(Box::new(ArrayTraversal::default()));
+    v.push(Box::new(Bst::default()));
+    v.push(Box::new(HashTest::default()));
+    v.push(Box::new(MapTest::default()));
+    v
+}
+
+/// The µbenchmarks only (Fig 8 top, §7.1).
+pub fn microbenchmarks() -> Vec<KernelBox> {
+    all_kernels().into_iter().filter(|k| k.suite() == Suite::Micro).collect()
+}
+
+/// The SPEC proxy suite only (Fig 12 bottom).
+pub fn spec_suite() -> Vec<KernelBox> {
+    all_kernels().into_iter().filter(|k| k.suite() == Suite::Spec).collect()
+}
+
+/// Workloads the paper's Figs 10/11 highlight as memory-intensive; the
+/// harness additionally filters by measured MPKI.
+pub fn memory_intensive() -> Vec<KernelBox> {
+    const NAMES: [&str; 12] = [
+        "mcf",
+        "omnetpp",
+        "milc",
+        "lbm",
+        "libquantum",
+        "soplex",
+        "graph500",
+        "graph500-list",
+        "ssca2-list",
+        "list",
+        "listsort",
+        "ssca_lds",
+    ];
+    all_kernels().into_iter().filter(|k| NAMES.contains(&k.name())).collect()
+}
+
+/// Look up a workload by its Table 3 name.
+pub fn kernel_by_name(name: &str) -> Option<KernelBox> {
+    all_kernels().into_iter().find(|k| k.name() == name)
+}
+
+/// Table 3 metadata for every workload.
+pub fn table3() -> Vec<KernelInfo> {
+    all_kernels().iter().map(|k| KernelInfo { name: k.name(), suite: k.suite() }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_unique_names() {
+        let names: Vec<_> = all_kernels().iter().map(|k| k.name()).collect();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+        assert_eq!(names.len(), 31);
+    }
+
+    #[test]
+    fn suites_are_all_represented() {
+        let suites: std::collections::HashSet<_> = all_kernels().iter().map(|k| k.suite()).collect();
+        assert_eq!(suites.len(), 5);
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert!(kernel_by_name("mcf").is_some());
+        assert!(kernel_by_name("graph500-list").is_some());
+        assert!(kernel_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn micro_and_spec_partitions() {
+        assert_eq!(microbenchmarks().len(), 8);
+        assert_eq!(spec_suite().len(), 16);
+        assert!(!memory_intensive().is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Binary search over a sorted binary tree (the paper's Fig 2), with
+//! heap-scattered nodes and input-dependent branching — one of the hardest
+//! patterns for any prefetcher (§7.1 groups it with the lookup-dominated
+//! µbenchmarks).
+
+use rand::RngExt;
+
+use semloc_trace::{Placement, SemanticHints, TraceSink};
+
+use crate::object::Session;
+use crate::patterns::regs;
+use crate::ukernels::types;
+use crate::{Kernel, Suite};
+
+/// Node layout: left link at 0, right link at 8, key at 16 (32-byte node).
+const LEFT_OFF: u16 = 0;
+const RIGHT_OFF: u16 = 8;
+const KEY_OFF: u64 = 16;
+
+/// Repeated random lookups in a pointer-linked binary search tree.
+#[derive(Clone, Debug)]
+pub struct Bst {
+    /// Number of keys in the tree.
+    pub keys: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Bst {
+    fn default() -> Self {
+        Bst { keys: 4096, seed: 31 }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Node {
+    addr: u64,
+    key: u64,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl Bst {
+    /// Build a balanced BST over `keys` sorted keys; node addresses come
+    /// from the scattered heap (insertion-order allocation).
+    fn build(&self, s: &mut Session<'_>) -> (Vec<Node>, usize) {
+        let mut sorted: Vec<u64> = (0..self.keys as u64).map(|i| i * 8 + 1).collect();
+        // Allocate in random (insertion) order so addresses do not follow
+        // key order.
+        let mut nodes: Vec<Node> = sorted
+            .iter()
+            .map(|&key| Node { addr: s.heap.alloc(32), key, left: None, right: None })
+            .collect();
+        // Link into a balanced tree over the sorted index range.
+        fn link(nodes: &mut [Node], lo: usize, hi: usize) -> Option<usize> {
+            if lo >= hi {
+                return None;
+            }
+            let mid = (lo + hi) / 2;
+            let l = link(nodes, lo, mid);
+            let r = link(nodes, mid + 1, hi);
+            nodes[mid].left = l;
+            nodes[mid].right = r;
+            Some(mid)
+        }
+        let root = link(&mut nodes, 0, self.keys).expect("non-empty tree");
+        sorted.clear();
+        (nodes, root)
+    }
+
+    fn lookup(&self, s: &mut Session<'_>, nodes: &[Node], root: usize, key: u64, sites: &Sites) {
+        let mut cur = root;
+        loop {
+            if s.done() {
+                return;
+            }
+            let n = nodes[cur];
+            s.em.load(sites.key, n.addr + KEY_OFF, regs::VAL, Some(regs::PTR), None, n.key);
+            if key == n.key {
+                s.em.branch(sites.cmp, true, sites.key, Some(regs::VAL));
+                return;
+            }
+            let (next, off) = if key < n.key { (n.left, LEFT_OFF) } else { (n.right, RIGHT_OFF) };
+            s.em.branch(sites.cmp, key < n.key, sites.key, Some(regs::VAL));
+            match next {
+                Some(i) => {
+                    let hints = SemanticHints::link(types::TREE_NODE, off);
+                    s.hinted_load(sites.link, n.addr + off as u64, regs::PTR, Some(regs::PTR), hints, nodes[i].addr);
+                    cur = i;
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+struct Sites {
+    key: u64,
+    cmp: u64,
+    link: u64,
+}
+
+impl Kernel for Bst {
+    fn name(&self) -> &'static str {
+        "bst"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+
+    fn run(&self, sink: &mut dyn TraceSink) {
+        let mut s = Session::new(sink, 13, Placement::Scatter, self.seed);
+        let (nodes, root) = self.build(&mut s);
+        let sites = Sites { key: s.pcs.site(), cmp: s.pcs.site(), link: s.pcs.sites(2) };
+        while !s.done() {
+            let key: u64 = s.rng.random_range(0..self.keys as u64) * 8 + 1;
+            // The searched key rides in a register (a Table-1 context cue).
+            s.em.alu(sites.cmp, Some(regs::KEY), None, None, key);
+            self.lookup(&mut s, &nodes, root, key, &sites);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semloc_trace::{CountingSink, InstrKind, RecordingSink};
+
+    #[test]
+    fn runs_to_budget() {
+        let mut sink = CountingSink::with_limit(50_000);
+        Bst::default().run(&mut sink);
+        assert!(sink.total >= 50_000);
+    }
+
+    #[test]
+    fn lookups_have_logarithmic_depth() {
+        let mut sink = RecordingSink::with_limit(100_000);
+        Bst { keys: 1024, seed: 2 }.run(&mut sink);
+        // Count hinted link loads per lookup (delimited by the key-register
+        // ALU writes).
+        let mut depths = Vec::new();
+        let mut cur = 0u32;
+        for i in sink.instrs() {
+            match i.kind {
+                InstrKind::Alu { .. } if i.dst == Some(regs::KEY) => {
+                    if cur > 0 {
+                        depths.push(cur);
+                    }
+                    cur = 0;
+                }
+                InstrKind::Load { hints: Some(_), .. } => cur += 1,
+                _ => {}
+            }
+        }
+        assert!(!depths.is_empty());
+        let avg: f64 = depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64;
+        assert!((6.0..=11.0).contains(&avg), "avg lookup depth {avg} for 1024 keys");
+    }
+}

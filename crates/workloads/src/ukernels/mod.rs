@@ -1,0 +1,40 @@
+//! The paper's µbenchmarks (Table 3):
+//!
+//! * data-structure traversals — [`ListTraversal`], [`ArrayTraversal`],
+//!   [`HashTest`] (an `unordered_map` analogue) and [`MapTest`] (an
+//!   RB-tree `map` analogue);
+//! * algorithms — [`ListSort`] (the Fig 1 insertion sort), [`Bst`] (binary
+//!   search over a sorted tree, Fig 2), [`Prim`]'s minimum spanning tree
+//!   and [`SscaLds`] (the linked variant of the SSCA graph kernel).
+
+mod bst;
+mod listsort;
+mod prim;
+mod ssca_lds;
+mod tables;
+mod traversal;
+
+pub use bst::Bst;
+pub use listsort::ListSort;
+pub use prim::Prim;
+pub use ssca_lds::SscaLds;
+pub use tables::{HashTest, MapTest};
+pub use traversal::{ArrayTraversal, ListTraversal};
+
+/// Object-type ids used by the µkernels for semantic hints.
+pub mod types {
+    /// Linked-list node.
+    pub const LIST_NODE: u16 = 1;
+    /// Array element.
+    pub const ARRAY_ELEM: u16 = 2;
+    /// Binary-tree node.
+    pub const TREE_NODE: u16 = 3;
+    /// Hash bucket head.
+    pub const BUCKET: u16 = 4;
+    /// Hash chain node.
+    pub const CHAIN_NODE: u16 = 5;
+    /// Graph vertex.
+    pub const VERTEX: u16 = 6;
+    /// Graph edge.
+    pub const EDGE: u16 = 7;
+}

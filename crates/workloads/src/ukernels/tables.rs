@@ -1,0 +1,191 @@
+//! Hash-table and ordered-map probing µkernels — the `hashtest` (STL
+//! `unordered_map`) and `maptest` (STL RB-tree `map`) workloads of Table 3.
+//! Both are dominated by input-dependent lookups, which §7.1 identifies as
+//! the hardest group to predict.
+
+use rand::RngExt;
+
+use semloc_trace::{Placement, SemanticHints, TraceSink};
+
+use crate::object::Session;
+use crate::patterns::regs;
+use crate::ukernels::types;
+use crate::{Kernel, Suite};
+
+/// Chained hash-table probing (an `unordered_map` analogue): a contiguous
+/// bucket array pointing at scattered chain nodes.
+#[derive(Clone, Debug)]
+pub struct HashTest {
+    /// Number of buckets (power of two).
+    pub buckets: usize,
+    /// Stored elements.
+    pub elems: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HashTest {
+    fn default() -> Self {
+        HashTest { buckets: 4096, elems: 8192, seed: 41 }
+    }
+}
+
+impl Kernel for HashTest {
+    fn name(&self) -> &'static str {
+        "hashtest"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+
+    fn run(&self, sink: &mut dyn TraceSink) {
+        assert!(self.buckets.is_power_of_two(), "bucket count must be a power of two");
+        let mut s = Session::new(sink, 14, Placement::Scatter, self.seed);
+        let bucket_base = s.heap.alloc_array(8, self.buckets as u64);
+        // chains[b] = chain node addresses of bucket b, search order.
+        let mut chains: Vec<Vec<u64>> = vec![Vec::new(); self.buckets];
+        for key in 0..self.elems as u64 {
+            let b = (key.wrapping_mul(0x9e3779b97f4a7c15) >> 32) as usize & (self.buckets - 1);
+            chains[b].push(s.heap.alloc(32));
+        }
+        let site_hash = s.pcs.site();
+        let site_bucket = s.pcs.sites(2);
+        let site_chain = s.pcs.sites(2);
+        let site_cmp = s.pcs.site();
+        let link_hints = SemanticHints::link(types::CHAIN_NODE, 0);
+        let bucket_hints = SemanticHints::indexed(types::BUCKET);
+        while !s.done() {
+            let key: u64 = s.rng.random_range(0..self.elems as u64);
+            let b = (key.wrapping_mul(0x9e3779b97f4a7c15) >> 32) as usize & (self.buckets - 1);
+            // hash computation, bucket load, then chain walk.
+            s.em.alu(site_hash, Some(regs::KEY), None, None, key);
+            s.em.work(site_hash, 3);
+            let chain = &chains[b];
+            let head = chain.first().copied().unwrap_or(0);
+            s.hinted_load(site_bucket, bucket_base + (b as u64) * 8, regs::PTR, Some(regs::KEY), bucket_hints, head);
+            let stop_at = if chain.is_empty() { 0 } else { (key as usize) % chain.len() + 1 };
+            for (i, &node) in chain.iter().take(stop_at).enumerate() {
+                if s.done() {
+                    return;
+                }
+                let next = chain.get(i + 1).copied().unwrap_or(0);
+                s.em.load(site_cmp, node + 8, regs::VAL, Some(regs::PTR), None, key ^ 1);
+                s.em.branch(site_cmp, i + 1 == stop_at, site_chain, Some(regs::VAL));
+                if i + 1 != stop_at {
+                    s.hinted_load(site_chain, node, regs::PTR, Some(regs::PTR), link_hints, next);
+                }
+            }
+        }
+    }
+}
+
+/// Ordered-map probing over a balanced search tree (an RB-tree `map`
+/// analogue): the same balanced-BST shape as the `bst` µkernel but with
+/// fatter nodes (key + value + color), a different access mix, and mixed
+/// point/range queries.
+#[derive(Clone, Debug)]
+pub struct MapTest {
+    /// Number of keys.
+    pub keys: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MapTest {
+    fn default() -> Self {
+        MapTest { keys: 8192, seed: 43 }
+    }
+}
+
+impl Kernel for MapTest {
+    fn name(&self) -> &'static str {
+        "maptest"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Micro
+    }
+
+    fn run(&self, sink: &mut dyn TraceSink) {
+        let mut s = Session::new(sink, 15, Placement::Scatter, self.seed);
+        // Balanced tree over sorted keys; 48-byte nodes: left 0, right 8,
+        // key 16, value 24, color 32.
+        let n = self.keys;
+        let addrs: Vec<u64> = (0..n).map(|_| s.heap.alloc(48)).collect();
+        // In-order index tree; children of sorted-range midpoints.
+        fn child(lo: usize, hi: usize, right: bool) -> Option<(usize, usize)> {
+            if lo >= hi {
+                return None;
+            }
+            let mid = (lo + hi) / 2;
+            let (clo, chi) = if right { (mid + 1, hi) } else { (lo, mid) };
+            (clo < chi).then_some((clo, chi))
+        }
+        let site_key = s.pcs.site();
+        let site_cmp = s.pcs.site();
+        let site_link = s.pcs.sites(2);
+        let site_val = s.pcs.site();
+        while !s.done() {
+            let target: u64 = s.rng.random_range(0..n as u64);
+            s.em.alu(site_key, Some(regs::KEY), None, None, target);
+            let (mut lo, mut hi) = (0usize, n);
+            loop {
+                if s.done() {
+                    return;
+                }
+                let mid = (lo + hi) / 2;
+                let node = addrs[mid];
+                s.em.load(site_cmp, node + 16, regs::VAL, Some(regs::PTR), None, mid as u64);
+                if mid as u64 == target {
+                    // Touch the mapped value, done.
+                    s.em.load(site_val, node + 24, regs::TMP, Some(regs::PTR), None, 0);
+                    s.em.branch(site_cmp, true, site_key, Some(regs::VAL));
+                    break;
+                }
+                let right = (mid as u64) < target;
+                s.em.branch(site_cmp, right, site_link, Some(regs::VAL));
+                let off = if right { 8u16 } else { 0 };
+                match child(lo, hi, right) {
+                    Some((clo, chi)) => {
+                        let cmid = (clo + chi) / 2;
+                        let hints = SemanticHints::link(types::TREE_NODE, off);
+                        s.hinted_load(site_link, node + off as u64, regs::PTR, Some(regs::PTR), hints, addrs[cmid]);
+                        lo = clo;
+                        hi = chi;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semloc_trace::CountingSink;
+
+    #[test]
+    fn hashtest_runs_to_budget() {
+        let mut sink = CountingSink::with_limit(60_000);
+        HashTest::default().run(&mut sink);
+        assert!(sink.total >= 60_000);
+        assert!(sink.mem_fraction() > 0.2);
+    }
+
+    #[test]
+    fn maptest_runs_to_budget() {
+        let mut sink = CountingSink::with_limit(60_000);
+        MapTest::default().run(&mut sink);
+        assert!(sink.total >= 60_000);
+        assert!(sink.branches > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn hashtest_rejects_bad_bucket_count() {
+        let mut sink = CountingSink::with_limit(10);
+        HashTest { buckets: 1000, elems: 10, seed: 0 }.run(&mut sink);
+    }
+}

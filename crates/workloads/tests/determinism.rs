@@ -1,0 +1,136 @@
+//! Cross-kernel invariants of the workload suite: determinism, instruction
+//! mixes, semantic-hint coverage, and heap discipline.
+
+use semloc_workloads::{all_kernels, Kernel};
+
+use semloc_trace::{CountingSink, InstrKind, RecordingSink};
+
+#[test]
+fn every_kernel_is_deterministic() {
+    for k in all_kernels() {
+        let run = || {
+            let mut sink = RecordingSink::with_limit(8_000);
+            k.run(&mut sink);
+            sink.into_instrs()
+        };
+        assert_eq!(run(), run(), "{} is not deterministic", k.name());
+    }
+}
+
+#[test]
+fn every_kernel_mixes_instruction_classes() {
+    for k in all_kernels() {
+        let mut sink = CountingSink::with_limit(20_000);
+        k.run(&mut sink);
+        assert!(sink.loads > 0, "{} never loads", k.name());
+        assert!(sink.branches > 0, "{} never branches", k.name());
+        assert!(
+            sink.mem_fraction() > 0.04 && sink.mem_fraction() < 0.9,
+            "{}: implausible memory fraction {:.2}",
+            k.name(),
+            sink.mem_fraction()
+        );
+    }
+}
+
+#[test]
+fn every_pointer_kernel_emits_semantic_hints() {
+    // §6 injects hints only for pointer-producing loads, so pure-array
+    // kernels (lbm's stencil) legitimately carry none.
+    const HINT_FREE: [&str; 1] = ["lbm"];
+    for k in all_kernels() {
+        let mut sink = RecordingSink::with_limit(20_000);
+        k.run(&mut sink);
+        let hinted = sink
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::Load { hints: Some(_), .. }))
+            .count();
+        if HINT_FREE.contains(&k.name()) {
+            assert_eq!(hinted, 0, "{} should be hint-free per §6", k.name());
+        } else {
+            assert!(hinted > 0, "{} emits no compiler hints", k.name());
+        }
+    }
+}
+
+#[test]
+fn hinted_loads_are_preceded_by_their_hint_nop() {
+    // §6: each hinted memory instruction is immediately preceded by the
+    // extended NOP carrying the hints — the overhead must be modeled.
+    for k in all_kernels().into_iter().take(6) {
+        let mut sink = RecordingSink::with_limit(10_000);
+        k.run(&mut sink);
+        let instrs = sink.instrs();
+        for w in instrs.windows(2) {
+            if let InstrKind::Load { hints: Some(_), .. } = w[1].kind {
+                assert!(
+                    matches!(w[0].kind, InstrKind::Nop),
+                    "{}: hinted load at pc {:#x} lacks its hint NOP",
+                    k.name(),
+                    w[1].pc
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_accesses_stay_in_the_heap_segment() {
+    use semloc_trace::address_space::HEAP_BASE;
+    for k in all_kernels() {
+        let mut sink = RecordingSink::with_limit(10_000);
+        k.run(&mut sink);
+        for i in sink.instrs() {
+            if let Some(addr) = i.mem_addr() {
+                assert!(
+                    addr >= HEAP_BASE && addr < HEAP_BASE + (1 << 33),
+                    "{}: access at {addr:#x} outside the simulated heap",
+                    k.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn code_sites_are_stable_and_kernel_unique() {
+    // Each kernel's PCs live in its own 64 KiB code region (PC collisions
+    // across kernels would corrupt PC-indexed predictors in shared runs).
+    let mut regions: std::collections::HashMap<u64, &'static str> = Default::default();
+    for k in all_kernels() {
+        let mut sink = RecordingSink::with_limit(4_000);
+        k.run(&mut sink);
+        for i in sink.instrs() {
+            let region = i.pc >> 16;
+            if let Some(owner) = regions.get(&region) {
+                assert_eq!(*owner, k.name(), "PC region {region:#x} shared between kernels");
+            } else {
+                regions.insert(region, k.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_respect_custom_scales() {
+    use semloc_workloads::ukernels::{Bst, ListTraversal};
+    for nodes in [128usize, 1024] {
+        let k = ListTraversal { nodes, work: 1, seed: 3 };
+        let mut sink = RecordingSink::with_limit(30_000);
+        k.run(&mut sink);
+        let distinct: std::collections::HashSet<u64> = sink
+            .instrs()
+            .iter()
+            .filter_map(|i| match i.kind {
+                InstrKind::Load { addr, hints: Some(_), .. } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(distinct.len(), nodes, "list must touch each node's link exactly once per lap");
+    }
+    let k = Bst { keys: 256, seed: 9 };
+    let mut sink = CountingSink::with_limit(10_000);
+    k.run(&mut sink);
+    assert!(sink.total >= 10_000);
+}

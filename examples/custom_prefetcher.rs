@@ -1,0 +1,71 @@
+//! Implementing your own prefetcher against the `Prefetcher` trait and
+//! racing it against the built-ins.
+//!
+//! The example builds a tiny "PC-localized next-two-lines" prefetcher in
+//! ~30 lines, attaches it to the simulated hierarchy, and compares it with
+//! next-line and the context prefetcher on a streaming and an irregular
+//! workload.
+//!
+//! ```sh
+//! cargo run --release --example custom_prefetcher
+//! ```
+
+use semloc::cpu::{Cpu, CpuConfig};
+use semloc::harness::{run_kernel, PrefetcherKind, SimConfig};
+use semloc::mem::{Hierarchy, MemConfig, MemPressure, PrefetchReq, Prefetcher};
+use semloc::trace::AccessContext;
+use semloc::workloads::kernel_by_name;
+
+/// Prefetch the next two lines, but only for PCs that have recently missed
+/// in a forward direction — a toy design, implemented from scratch.
+#[derive(Debug, Default)]
+struct NextTwoForward {
+    last_addr: [u64; 16],
+    issued: u64,
+}
+
+impl Prefetcher for NextTwoForward {
+    fn name(&self) -> &'static str {
+        "next-two-forward"
+    }
+
+    fn on_access(&mut self, ctx: &AccessContext, _pressure: MemPressure, out: &mut Vec<PrefetchReq>) {
+        let slot = ((ctx.pc >> 3) & 15) as usize;
+        let prev = self.last_addr[slot];
+        self.last_addr[slot] = ctx.addr;
+        if ctx.addr > prev && ctx.addr - prev < 4096 {
+            let line = ctx.addr & !63;
+            out.push(PrefetchReq::real(line + 64, 1));
+            out.push(PrefetchReq::real(line + 128, 2));
+            self.issued += 2;
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        16 * 8
+    }
+}
+
+fn run_custom(kernel_name: &str, cfg: &SimConfig) -> f64 {
+    // Wiring a prefetcher manually (what `run_kernel` does internally).
+    let kernel = kernel_by_name(kernel_name).expect("workload");
+    let hierarchy = Hierarchy::new(MemConfig::default(), NextTwoForward::default());
+    let mut cpu = Cpu::new(CpuConfig::default(), hierarchy, cfg.instr_budget);
+    kernel.run(&mut cpu);
+    let (stats, _) = cpu.finish();
+    stats.ipc()
+}
+
+fn main() {
+    let cfg = SimConfig::default().with_budget(200_000);
+    println!("{:<12} {:>12} {:>12} {:>12}", "workload", "custom", "next-line", "context");
+    for name in ["array", "hmmer", "list", "mcf"] {
+        let kernel = kernel_by_name(name).expect("workload");
+        let base = run_kernel(kernel.as_ref(), &PrefetcherKind::None, &cfg);
+        let custom = run_custom(name, &cfg) / base.cpu.ipc();
+        let nl = run_kernel(kernel.as_ref(), &PrefetcherKind::NextLine, &cfg).speedup_over(&base);
+        let ctx = run_kernel(kernel.as_ref(), &PrefetcherKind::context(), &cfg).speedup_over(&base);
+        println!("{name:<12} {custom:>11.2}x {nl:>11.2}x {ctx:>11.2}x");
+    }
+    println!("\n(a 128-byte table buys decent streaming coverage; semantic patterns need the context prefetcher)");
+}

@@ -1,0 +1,55 @@
+//! Peek inside a trained context prefetcher: which attributes did the
+//! reducer activate, how full is the CST, and what do the strongest learned
+//! context→delta associations look like?
+//!
+//! ```sh
+//! cargo run --release --example explore_contexts
+//! ```
+
+use semloc::context::{Attr, ContextConfig, ContextPrefetcher};
+use semloc::cpu::{Cpu, CpuConfig};
+use semloc::mem::{Hierarchy, MemConfig};
+use semloc::workloads::kernel_by_name;
+
+fn main() {
+    let kernel = kernel_by_name("list").expect("workload");
+    println!("training the context prefetcher on `{}`...", kernel.name());
+
+    let prefetcher = ContextPrefetcher::new(ContextConfig::default());
+    let hierarchy = Hierarchy::new(MemConfig::default(), prefetcher);
+    let mut cpu = Cpu::new(CpuConfig::default(), hierarchy, 300_000);
+    kernel.run(&mut cpu);
+    let (_, mem) = cpu.finish();
+    let p = mem.prefetcher();
+
+    println!("\n-- reducer: dynamic feature selection --");
+    println!("attribute activation order: {:?}", Attr::ORDER);
+    let hist = p.reducer().active_histogram();
+    println!("active-attribute-count distribution over live reducer entries:");
+    for (count, n) in hist.iter().enumerate() {
+        if *n > 0 {
+            println!("  {count} attrs: {n:>6} entries  {}", "#".repeat((*n as usize / 50).min(60)));
+        }
+    }
+    println!(
+        "attribute activations: {} (context splits), deactivations: {} (context merges)",
+        p.reducer().activations(),
+        p.reducer().deactivations()
+    );
+
+    println!("\n-- context-states table --");
+    println!("occupancy: {}/{} entries", p.cst().occupancy(), p.cst().len());
+    let mut entries: Vec<(usize, Vec<(i16, i8)>)> = p.cst().dump().collect();
+    entries.sort_by_key(|(_, links)| std::cmp::Reverse(links.first().map(|&(_, s)| s).unwrap_or(i8::MIN)));
+    println!("strongest learned associations (CST index -> ranked [delta x 32B blocks @ score]):");
+    for (idx, links) in entries.iter().take(10) {
+        let rendered: Vec<String> = links.iter().map(|(d, s)| format!("{d:+} @ {s}")).collect();
+        println!("  [{idx:>4}] {}", rendered.join(", "));
+    }
+
+    let stats = p.learn_stats();
+    println!("\n-- learning outcome --");
+    println!("collected candidates: {}", stats.collected);
+    println!("prediction accuracy:  {:.0}%", stats.prediction_accuracy() * 100.0);
+    println!("hits in reward window: {:.0}%", stats.depth_cdf.fraction_in_window(18, 50) * 100.0);
+}

@@ -1,0 +1,37 @@
+//! Quickstart: run one workload with and without the context-based
+//! prefetcher and print the speedup.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use semloc::harness::{run_kernel, PrefetcherKind, SimConfig};
+use semloc::workloads::kernel_by_name;
+
+fn main() {
+    // Table 2 machine configuration, scaled-down steady-state phase.
+    let cfg = SimConfig::default().with_budget(300_000);
+
+    // Any Table 3 workload by name; `mcf` is the paper's heaviest pointer
+    // chaser.
+    let kernel = kernel_by_name("mcf").expect("mcf is registered");
+
+    println!("running `{}` on the Table-2 machine ({} instructions)...", kernel.name(), cfg.instr_budget);
+    let baseline = run_kernel(kernel.as_ref(), &PrefetcherKind::None, &cfg);
+    let context = run_kernel(kernel.as_ref(), &PrefetcherKind::context(), &cfg);
+
+    println!("\n                 baseline    context");
+    println!("IPC            {:>9.3}  {:>9.3}", baseline.cpu.ipc(), context.cpu.ipc());
+    println!("L1 MPKI        {:>9.1}  {:>9.1}", baseline.l1_mpki(), context.l1_mpki());
+    println!("L2 MPKI        {:>9.2}  {:>9.2}", baseline.l2_mpki(), context.l2_mpki());
+    println!("\nspeedup: {:.2}x", context.speedup_over(&baseline));
+
+    let learn = context.learn.expect("context prefetcher learning stats");
+    println!(
+        "prefetcher: {} real + {} shadow predictions, {:.0}% resolved as hits, {:.0}% of hits inside the 18-50 reward window",
+        learn.real_issued,
+        learn.shadow_issued,
+        learn.prediction_accuracy() * 100.0,
+        if learn.hits > 0 { learn.timely_hits as f64 / learn.hits as f64 * 100.0 } else { 0.0 },
+    );
+}

@@ -1,0 +1,42 @@
+//! # semloc — Semantic Locality and Context-based Prefetching
+//!
+//! A full Rust reproduction of Peled, Mannor, Weiser & Etsion,
+//! *"Semantic Locality and Context-based Prefetching Using Reinforcement
+//! Learning"* (ISCA 2015), including the simulation substrate the paper
+//! ran on.
+//!
+//! This umbrella crate re-exports the workspace under stable module names
+//! and hosts the runnable examples and cross-crate integration tests.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`trace`] | instruction/access records, semantic hints, simulated heap |
+//! | [`mem`] | two-level cache hierarchy, MSHRs, prefetcher interface |
+//! | [`cpu`] | trace-driven out-of-order core timing model |
+//! | [`bandit`] | reinforcement-learning primitives (rewards, ε-greedy) |
+//! | [`context`] | **the paper's context-based prefetcher** |
+//! | [`baselines`] | stride, GHB (G/DC, PC/DC), SMS, Markov, next-line |
+//! | [`workloads`] | Table 3 benchmarks (µkernels, Graph500, SSCA2, PBBS, SPEC proxies) |
+//! | [`harness`] | run matrices, statistics, report formatting |
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use semloc::harness::{run_kernel, PrefetcherKind, SimConfig};
+//! use semloc::workloads::kernel_by_name;
+//!
+//! let cfg = SimConfig::default().with_budget(50_000);
+//! let kernel = kernel_by_name("list").expect("registered workload");
+//! let base = run_kernel(kernel.as_ref(), &PrefetcherKind::None, &cfg);
+//! let ctx = run_kernel(kernel.as_ref(), &PrefetcherKind::context(), &cfg);
+//! assert!(ctx.speedup_over(&base) > 0.5);
+//! ```
+
+pub use semloc_bandit as bandit;
+pub use semloc_baselines as baselines;
+pub use semloc_context as context;
+pub use semloc_cpu as cpu;
+pub use semloc_harness as harness;
+pub use semloc_mem as mem;
+pub use semloc_trace as trace;
+pub use semloc_workloads as workloads;

@@ -1,0 +1,117 @@
+//! Cross-crate integration tests: full workload → core → hierarchy →
+//! prefetcher runs through the public API.
+
+use semloc::harness::{run_kernel, Matrix, PrefetcherKind, SimConfig};
+use semloc::workloads::{all_kernels, kernel_by_name, microbenchmarks, spec_suite};
+
+fn quick() -> SimConfig {
+    SimConfig::default().with_budget(80_000)
+}
+
+#[test]
+fn every_registered_workload_simulates_under_every_prefetcher() {
+    let cfg = SimConfig::default().with_budget(25_000);
+    let lineup = [
+        PrefetcherKind::None,
+        PrefetcherKind::Stride,
+        PrefetcherKind::GhbGdc,
+        PrefetcherKind::GhbPcdc,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Markov,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::context(),
+    ];
+    for kernel in all_kernels() {
+        for pf in &lineup {
+            let r = run_kernel(kernel.as_ref(), pf, &cfg);
+            assert!(
+                r.cpu.instructions >= cfg.instr_budget,
+                "{}/{} stalled at {} instructions",
+                kernel.name(),
+                pf.label(),
+                r.cpu.instructions
+            );
+            assert!(r.cpu.cycles > 0 && r.cpu.ipc() > 0.0, "{}/{} produced no cycles", kernel.name(), pf.label());
+            assert!(r.mem.demand_accesses > 0, "{}/{} made no memory accesses", kernel.name(), pf.label());
+        }
+    }
+}
+
+#[test]
+fn class_counts_cover_every_demand_access() {
+    for name in ["mcf", "array", "bst"] {
+        let k = kernel_by_name(name).unwrap();
+        let r = run_kernel(k.as_ref(), &PrefetcherKind::context(), &quick());
+        assert_eq!(
+            r.mem.classes.demands(),
+            r.mem.demand_accesses,
+            "{name}: classification must partition the demand stream"
+        );
+    }
+}
+
+#[test]
+fn miss_accounting_is_consistent() {
+    for pf in [PrefetcherKind::None, PrefetcherKind::context()] {
+        let k = kernel_by_name("list").unwrap();
+        let r = run_kernel(k.as_ref(), &pf, &quick());
+        // Misses + merges cannot exceed demand accesses; L2 misses cannot
+        // exceed L1 misses (demand path).
+        assert!(r.mem.l1_misses + r.mem.l1_mshr_merges <= r.mem.demand_accesses);
+        assert!(r.mem.l2_misses <= r.mem.l1_misses);
+    }
+}
+
+#[test]
+fn prefetching_never_changes_instruction_count() {
+    let k = kernel_by_name("hmmer").unwrap();
+    let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &quick());
+    let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &quick());
+    assert_eq!(base.cpu.instructions, ctx.cpu.instructions, "prefetching is microarchitectural only");
+    assert_eq!(base.cpu.loads, ctx.cpu.loads);
+    assert_eq!(base.cpu.branches, ctx.cpu.branches);
+}
+
+#[test]
+fn matrix_runs_share_one_baseline() {
+    let kernels = vec![kernel_by_name("list").unwrap()];
+    let m = Matrix::run(&kernels, &[PrefetcherKind::Sms, PrefetcherKind::context()], &quick(), |_| {});
+    assert_eq!(m.prefetchers(), &["none", "sms", "context"]);
+    let s_none = m.speedup("list", "none").unwrap();
+    assert!((s_none - 1.0).abs() < 1e-12);
+    assert!(m.speedup("list", "context").unwrap() > 0.5);
+}
+
+#[test]
+fn registry_partitions_are_consistent() {
+    let total = all_kernels().len();
+    assert_eq!(microbenchmarks().len() + spec_suite().len() + 7, total, "3 PBBS + 2 Graph500 + 2 HPCS");
+}
+
+#[test]
+fn issue_threshold_throttles_real_prefetches() {
+    use semloc::context::ContextConfig;
+    let k = kernel_by_name("bst").unwrap();
+    let default_run = run_kernel(k.as_ref(), &PrefetcherKind::context(), &quick());
+    let mut cfg = ContextConfig::default();
+    cfg.issue_score_threshold = 100; // only near-saturated candidates qualify
+    cfg.max_degree = 1;
+    let strict = run_kernel(k.as_ref(), &PrefetcherKind::Context(cfg), &quick());
+    assert!(
+        strict.mem.prefetches_issued < default_run.mem.prefetches_issued / 2,
+        "strict threshold must issue far fewer real prefetches ({} vs {})",
+        strict.mem.prefetches_issued,
+        default_run.mem.prefetches_issued
+    );
+    let learn = strict.learn.unwrap();
+    assert!(learn.shadow_issued > 0, "training must continue through shadows");
+}
+
+#[test]
+fn calibrated_context_runs_and_learns() {
+    let k = kernel_by_name("mcf").unwrap();
+    let r = run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &quick());
+    let learn = r.learn.expect("learning stats");
+    assert!(learn.collected > 0);
+    assert!(r.cpu.ipc() > 0.0);
+}

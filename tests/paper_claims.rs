@@ -1,0 +1,119 @@
+//! The paper's headline claims, asserted as (scaled-down) integration
+//! tests. These use reduced instruction budgets, so thresholds are looser
+//! than the full-budget numbers recorded in `EXPERIMENTS.md`; the *shape*
+//! (who wins, direction of effects) is what is locked in.
+
+use semloc::harness::{run_kernel, PrefetcherKind, SimConfig};
+use semloc::mem::Prefetcher;
+use semloc::workloads::kernel_by_name;
+
+fn cfg() -> SimConfig {
+    SimConfig::default().with_budget(200_000)
+}
+
+/// §1/§7.3: the context prefetcher outperforms spatio-temporal prefetchers
+/// on irregular workloads.
+#[test]
+fn context_beats_spatio_temporal_on_irregular_workloads() {
+    let c = cfg();
+    let mut ctx_wins = 0;
+    let names = ["mcf", "omnetpp", "list", "ssca_lds"];
+    for name in names {
+        let k = kernel_by_name(name).unwrap();
+        let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &c);
+        let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c).speedup_over(&base);
+        let best_other = [PrefetcherKind::Stride, PrefetcherKind::GhbGdc, PrefetcherKind::GhbPcdc, PrefetcherKind::Sms]
+            .iter()
+            .map(|pf| run_kernel(k.as_ref(), pf, &c).speedup_over(&base))
+            .fold(0.0f64, f64::max);
+        if ctx > best_other {
+            ctx_wins += 1;
+        }
+        assert!(ctx > 1.1, "{name}: context must deliver a real speedup, got {ctx:.2}");
+    }
+    assert!(ctx_wins >= 3, "context must win most irregular workloads ({ctx_wins}/4)");
+}
+
+/// §7.2: the context prefetcher sharply reduces L2 MPKI on memory-bound
+/// irregular code.
+#[test]
+fn context_reduces_l2_mpki_severalfold() {
+    let k = kernel_by_name("mcf").unwrap();
+    let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg());
+    let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &cfg());
+    assert!(
+        ctx.l2_mpki() < base.l2_mpki() / 2.0,
+        "L2 MPKI {} -> {} is not a substantial reduction",
+        base.l2_mpki(),
+        ctx.l2_mpki()
+    );
+}
+
+/// §7.1: the prefetcher's hit depths concentrate in/after the reward
+/// window start rather than below it.
+#[test]
+fn hit_depths_respond_to_the_reward_window() {
+    let k = kernel_by_name("list").unwrap();
+    let r = run_kernel(k.as_ref(), &PrefetcherKind::context(), &cfg());
+    let learn = r.learn.unwrap();
+    let in_or_after_window = 1.0 - learn.depth_cdf.cdf_at(17);
+    assert!(
+        in_or_after_window > 0.5,
+        "only {in_or_after_window:.2} of hits at depth >= 18"
+    );
+}
+
+/// Table 2: the context prefetcher's storage budget is ~31 kB and the
+/// competitors are scaled to it.
+#[test]
+fn storage_budgets_match_table2() {
+    let ctx = PrefetcherKind::context().build().storage_bytes() as f64 / 1024.0;
+    assert!((24.0..=40.0).contains(&ctx), "context storage {ctx:.1} kB");
+    for pf in [PrefetcherKind::GhbGdc, PrefetcherKind::Sms, PrefetcherKind::Stride] {
+        let b = pf.build().storage_bytes() as f64 / 1024.0;
+        assert!((10.0..=40.0).contains(&b), "{} storage {b:.1} kB", pf.label());
+    }
+}
+
+/// §2.1/Fig 1: identical semantics, different layouts — the array twin of
+/// the list traversal is far more spatially regular.
+#[test]
+fn layout_twins_differ_spatially() {
+    let c = cfg();
+    let list = run_kernel(kernel_by_name("list").unwrap().as_ref(), &PrefetcherKind::Stride, &c);
+    let array = run_kernel(kernel_by_name("array").unwrap().as_ref(), &PrefetcherKind::Stride, &c);
+    // Stride prefetching covers the array but is helpless on the list.
+    let array_cover = array.mem.classes.hit_prefetched + array.mem.classes.shorter_wait;
+    let list_cover = list.mem.classes.hit_prefetched + list.mem.classes.shorter_wait;
+    assert!(array_cover > 100 * (list_cover + 1), "stride: array {array_cover} vs list {list_cover}");
+}
+
+/// §7.5/Fig 14: the context prefetcher improves the naive linked layout
+/// without touching the code (layout-agnostic programming).
+#[test]
+fn context_helps_naive_linked_layouts() {
+    let c = cfg();
+    let k = kernel_by_name("ssca2-list").unwrap();
+    let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &c);
+    let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c);
+    assert!(ctx.speedup_over(&base) > 1.05, "got {:.3}", ctx.speedup_over(&base));
+}
+
+/// The reducer's dynamic feature selection matters (DESIGN ablation A2):
+/// with it frozen, irregular chains must not be learned better.
+#[test]
+fn frozen_reducer_does_not_beat_adaptive() {
+    use semloc::context::ContextConfig;
+    let c = cfg();
+    let k = kernel_by_name("list").unwrap();
+    let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &c);
+    let adaptive = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c).speedup_over(&base);
+    let mut frozen_cfg = ContextConfig::default();
+    frozen_cfg.freeze_reducer = true;
+    frozen_cfg.initial_active = 1; // IP only, fixed
+    let frozen = run_kernel(k.as_ref(), &PrefetcherKind::Context(frozen_cfg), &c).speedup_over(&base);
+    assert!(
+        adaptive >= frozen * 0.95,
+        "adaptive {adaptive:.2} must not lose to frozen-IP-only {frozen:.2}"
+    );
+}

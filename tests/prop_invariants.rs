@@ -1,0 +1,165 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+
+use semloc::bandit::scored::Replacement;
+use semloc::bandit::{BellReward, RewardFunction, ScoredSet};
+use semloc::context::{ContextKey, ContextStatesTable, PrefetchQueue};
+use semloc::mem::{Cache, CacheConfig, LookupResult, MshrFile, MshrKind};
+use semloc::trace::{AddressSpace, Placement};
+
+proptest! {
+    /// A cache never reports a hit for a line that was never filled, and
+    /// always hits a line after an unconflicted fill completes.
+    #[test]
+    fn cache_coherence(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cache = Cache::new(CacheConfig { size_bytes: 4096, ways: 4, line_bytes: 64, latency: 1, mshrs: 4 });
+        let mut filled = std::collections::HashSet::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            let now = i as u64 * 10;
+            match cache.lookup_demand(a, now, false) {
+                LookupResult::Hit { .. } | LookupResult::InFlight { .. } => {
+                    prop_assert!(filled.contains(&(a / 64)), "hit on never-filled line {a:#x}");
+                }
+                LookupResult::Miss => {
+                    cache.fill(a, now, false, false);
+                    filled.insert(a / 64);
+                }
+            }
+            // Immediately after a fill the line must be present.
+            prop_assert!(!matches!(cache.probe(a, now + 1_000_000), LookupResult::Miss));
+        }
+    }
+
+    /// The cache's occupancy never exceeds its geometric capacity.
+    #[test]
+    fn cache_capacity_bound(addrs in proptest::collection::vec(0u64..10_000_000, 1..400)) {
+        let mut cache = Cache::new(CacheConfig { size_bytes: 2048, ways: 2, line_bytes: 64, latency: 1, mshrs: 4 });
+        for (i, &a) in addrs.iter().enumerate() {
+            cache.fill(a, i as u64, i % 3 == 0, false);
+            prop_assert!(cache.valid_lines() <= 32, "capacity is 32 lines");
+        }
+    }
+
+    /// MSHR files never exceed capacity in concurrently-active entries and
+    /// merge lookups only match the same line.
+    #[test]
+    fn mshr_capacity_and_merging(ops in proptest::collection::vec((0u64..100_000, 1u64..500), 1..100)) {
+        let mut m = MshrFile::new(4, 64);
+        let mut now = 0u64;
+        for (addr, dt) in ops {
+            now += dt;
+            let before = m.free(now);
+            prop_assert!(before <= 4);
+            if m.lookup(addr, now).is_none() && before > 0 {
+                prop_assert!(m.try_allocate(addr, now + 300, MshrKind::Demand, now));
+                prop_assert_eq!(m.lookup(addr, now).map(|(f, _)| f), Some(now + 300));
+                // Any address within the same line merges with the entry.
+                prop_assert!(m.lookup((addr & !63) + 63, now).is_some());
+            }
+        }
+    }
+
+    /// The address space never hands out overlapping allocations, under any
+    /// placement policy.
+    #[test]
+    fn allocations_never_overlap(
+        sizes in proptest::collection::vec(1u64..300, 1..120),
+        policy in prop_oneof![Just(Placement::Bump), Just(Placement::Scatter), Just(Placement::Pools)],
+        seed in 0u64..1000,
+    ) {
+        let mut space = AddressSpace::new(seed, policy);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for s in sizes {
+            let a = space.alloc(s);
+            for &(b, len) in &spans {
+                prop_assert!(a + s <= b || b + len <= a, "overlap: [{a}, {})+{s} vs [{b}, {})+{len}", a + s, b + len);
+            }
+            spans.push((a, s));
+        }
+    }
+
+    /// Scored sets preserve: bounded size, the best candidate is maximal,
+    /// and duplicate insertion never duplicates.
+    #[test]
+    fn scored_set_invariants(ops in proptest::collection::vec((0i8..20, -20i32..20), 1..200)) {
+        let mut set: ScoredSet<i8, 4> = ScoredSet::new(Replacement::LowestScore);
+        for (action, r) in ops {
+            if r == 0 {
+                set.insert(action);
+            } else {
+                set.reward(action, r);
+            }
+            prop_assert!(set.len() <= 4);
+            let ranked = set.ranked();
+            prop_assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1), "ranked must be sorted");
+            if let Some((_, best)) = set.best() {
+                prop_assert!(ranked.iter().all(|&(_, s)| s <= best));
+            }
+            let mut seen = std::collections::HashSet::new();
+            prop_assert!(ranked.iter().all(|&(a, _)| seen.insert(a)), "duplicate action stored");
+        }
+    }
+
+    /// The prefetch queue: every entry is rewarded at most once, expiry
+    /// preserves FIFO order, and depth equals the sequence distance.
+    #[test]
+    fn prefetch_queue_invariants(blocks in proptest::collection::vec(0u64..32, 1..300)) {
+        let mut q = PrefetchQueue::new(16);
+        let mut hits = Vec::new();
+        let mut total_hits = 0usize;
+        let mut pushed = 0u64;
+        for (seq, &b) in blocks.iter().enumerate() {
+            let seq = seq as u64;
+            hits.clear();
+            q.record_access(b, seq, &mut hits);
+            for h in &hits {
+                prop_assert_eq!(h.depth as u64, seq - h.entry.issue_seq);
+                prop_assert_eq!(h.entry.block, b);
+            }
+            total_hits += hits.len();
+            let (_, expired) = q.push(b.wrapping_add(1), ContextKey(1), semloc::context::FullHash(0), 1, seq, seq % 3 == 0);
+            pushed += 1;
+            if let Some(e) = expired {
+                prop_assert!(e.issue_seq + 16 <= seq, "expired entry was not the oldest");
+            }
+            prop_assert!(q.len() <= 16);
+        }
+        prop_assert!(total_hits as u64 <= pushed, "each entry rewarded at most once");
+    }
+
+    /// The bell reward is bounded, peaks inside its window, and is negative
+    /// only beyond the window's far edge.
+    #[test]
+    fn bell_reward_shape(lo in 2u32..40, span in 3u32..60, depth in 0u32..300) {
+        let bell = BellReward::new(lo, lo + span, 16, -8, -4);
+        let r = bell.reward(depth);
+        prop_assert!((-8..=16).contains(&r));
+        if depth <= lo + span {
+            prop_assert!(r >= 0, "late/in-window reward must be non-negative, got {r} at {depth}");
+        }
+        prop_assert!(bell.reward((2 * lo + span) / 2) >= r || depth <= lo + span);
+    }
+
+    /// CST lookups never fabricate contexts: a lookup only succeeds for the
+    /// key most recently written to that slot.
+    #[test]
+    fn cst_lookup_consistency(keys in proptest::collection::vec(0u32..0x7ffff, 1..150)) {
+        let mut cst = ContextStatesTable::new(64, Replacement::LowestScore);
+        let mut last_by_slot: std::collections::HashMap<usize, u32> = Default::default();
+        for raw in keys {
+            let key = ContextKey(raw);
+            cst.add_candidate(key, 1);
+            last_by_slot.insert(key.cst_index(64), raw);
+            // Whatever is stored at this slot must correspond to the last
+            // writer with a matching tag.
+            prop_assert!(cst.lookup(key).is_some());
+            for (&slot, &writer) in &last_by_slot {
+                let w = ContextKey(writer);
+                if slot == key.cst_index(64) && w.cst_tag() != key.cst_tag() {
+                    prop_assert!(cst.lookup(w).is_none(), "stale context visible after overwrite");
+                }
+            }
+        }
+    }
+}
