@@ -33,7 +33,11 @@ impl<P: ExplorationPolicy> MultiArmedBandit<P> {
     /// Panics if `arms` is zero.
     pub fn new(arms: usize, policy: P) -> Self {
         assert!(arms > 0, "bandit needs at least one arm");
-        MultiArmedBandit { values: vec![0.0; arms], pulls: vec![0; arms], policy }
+        MultiArmedBandit {
+            values: vec![0.0; arms],
+            pulls: vec![0; arms],
+            policy,
+        }
     }
 
     /// Number of arms.

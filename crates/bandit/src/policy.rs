@@ -81,9 +81,16 @@ impl AdaptiveEpsilon {
     /// Panics if the bounds are not probabilities with
     /// `eps_min <= eps_max`, or `alpha` is outside `(0, 1]`.
     pub fn new(eps_min: f64, eps_max: f64, alpha: f64) -> Self {
-        assert!((0.0..=1.0).contains(&eps_min) && (0.0..=1.0).contains(&eps_max) && eps_min <= eps_max);
+        assert!(
+            (0.0..=1.0).contains(&eps_min) && (0.0..=1.0).contains(&eps_max) && eps_min <= eps_max
+        );
         assert!(alpha > 0.0 && alpha <= 1.0);
-        AdaptiveEpsilon { eps_min, eps_max, accuracy: 0.0, alpha }
+        AdaptiveEpsilon {
+            eps_min,
+            eps_max,
+            accuracy: 0.0,
+            alpha,
+        }
     }
 
     /// The paper-flavored default: explore a few percent of accesses when

@@ -55,8 +55,17 @@ impl BellReward {
     pub fn new(lo: u32, hi: u32, peak: i32, edge_penalty: i32, expiry_penalty: i32) -> Self {
         assert!(lo < hi, "window must be non-empty");
         assert!(peak > 0, "peak reward must be positive");
-        assert!(edge_penalty <= 0 && expiry_penalty <= 0, "penalties must be non-positive");
-        BellReward { lo, hi, peak, edge_penalty, expiry_penalty }
+        assert!(
+            edge_penalty <= 0 && expiry_penalty <= 0,
+            "penalties must be non-positive"
+        );
+        BellReward {
+            lo,
+            hi,
+            peak,
+            edge_penalty,
+            expiry_penalty,
+        }
     }
 
     /// The paper's configuration: positive window 18–50 accesses (§7.1),
@@ -128,7 +137,12 @@ impl StepReward {
     /// Panics if `lo >= hi` or `peak <= 0` or `penalty > 0`.
     pub fn new(lo: u32, hi: u32, peak: i32, penalty: i32) -> Self {
         assert!(lo < hi && peak > 0 && penalty <= 0);
-        StepReward { lo, hi, peak, penalty }
+        StepReward {
+            lo,
+            hi,
+            peak,
+            penalty,
+        }
     }
 
     /// Step analogue of [`BellReward::paper_default`].
@@ -184,7 +198,10 @@ mod tests {
     fn early_side_is_negative_and_decays() {
         let b = BellReward::paper_default();
         assert!(b.reward(51) < 0);
-        assert!(b.reward(51) <= b.reward(120), "penalty decays with distance");
+        assert!(
+            b.reward(51) <= b.reward(120),
+            "penalty decays with distance"
+        );
         assert!(b.expiry() < 0);
     }
 
@@ -192,7 +209,12 @@ mod tests {
     fn bell_is_monotone_up_then_down() {
         let b = BellReward::paper_default();
         let vals: Vec<i32> = (2..=50).map(|d| b.reward(d)).collect();
-        let peak_pos = vals.iter().enumerate().max_by_key(|(_, v)| **v).map(|(i, _)| i).unwrap();
+        let peak_pos = vals
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap();
         assert!(vals[..=peak_pos].windows(2).all(|w| w[0] <= w[1]));
         assert!(vals[peak_pos..].windows(2).all(|w| w[0] >= w[1]));
     }

@@ -53,7 +53,11 @@ impl<A: Copy + Eq, const N: usize> Default for ScoredSet<A, N> {
 impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
     /// An empty set with the given replacement policy.
     pub fn new(policy: Replacement) -> Self {
-        ScoredSet { slots: Vec::with_capacity(N), policy, clock: 0 }
+        ScoredSet {
+            slots: Vec::with_capacity(N),
+            policy,
+            clock: 0,
+        }
     }
 
     /// Number of stored candidates.
@@ -74,7 +78,11 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
         if self.slots.iter().any(|s| s.action == action) {
             return None;
         }
-        let slot = Slot { action, score: 0, inserted_at: self.clock };
+        let slot = Slot {
+            action,
+            score: 0,
+            inserted_at: self.clock,
+        };
         if self.slots.len() < N {
             self.slots.push(slot);
             return None;
@@ -127,12 +135,18 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
 
     /// The stored score of `action`, if present.
     pub fn score_of(&self, action: A) -> Option<i8> {
-        self.slots.iter().find(|s| s.action == action).map(|s| s.score)
+        self.slots
+            .iter()
+            .find(|s| s.action == action)
+            .map(|s| s.score)
     }
 
     /// The highest-scoring candidate.
     pub fn best(&self) -> Option<(A, i8)> {
-        self.slots.iter().max_by_key(|s| s.score).map(|s| (s.action, s.score))
+        self.slots
+            .iter()
+            .max_by_key(|s| s.score)
+            .map(|s| (s.action, s.score))
     }
 
     /// All candidates, highest score first.
@@ -140,6 +154,16 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
         let mut v: Vec<(A, i8)> = self.slots.iter().map(|s| (s.action, s.score)).collect();
         v.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
         v
+    }
+
+    /// Copy all candidates into `out` (cleared first) in slot order,
+    /// *unsorted*. Lets callers rank with their own tie-break in one stable
+    /// sort without an allocation per lookup; sorting `out` by score
+    /// descending reproduces [`ScoredSet::ranked`] exactly (both sorts are
+    /// stable over the same slot order).
+    pub fn ranked_into(&self, out: &mut Vec<(A, i8)>) {
+        out.clear();
+        out.extend(self.slots.iter().map(|s| (s.action, s.score)));
     }
 
     /// A uniformly random stored candidate (the ε-greedy exploration draw:
@@ -184,7 +208,11 @@ mod tests {
         s.insert(7);
         s.reward(7, 20);
         assert_eq!(s.insert(7), None);
-        assert_eq!(s.score_of(7), Some(20), "reinsertion must not reset the score");
+        assert_eq!(
+            s.score_of(7),
+            Some(20),
+            "reinsertion must not reset the score"
+        );
         assert_eq!(s.len(), 1);
     }
 
@@ -238,6 +266,22 @@ mod tests {
             seen.insert(s.random(&mut rng).unwrap());
         }
         assert_eq!(seen, [5u64, 6].into_iter().collect());
+    }
+
+    #[test]
+    fn ranked_into_sorted_matches_ranked() {
+        let mut s = Set::default();
+        s.insert(10);
+        s.insert(20);
+        s.insert(30);
+        s.insert(40);
+        s.reward(20, 9);
+        s.reward(40, 9); // tie with 20: stability must keep slot order
+        s.reward(30, 3);
+        let mut buf = Vec::new();
+        s.ranked_into(&mut buf);
+        buf.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
+        assert_eq!(buf, s.ranked());
     }
 
     #[test]

@@ -139,7 +139,12 @@ impl Prefetcher for GhbPrefetcher {
         self.flavor.label()
     }
 
-    fn on_access(&mut self, ctx: &AccessContext, _pressure: MemPressure, out: &mut Vec<PrefetchReq>) {
+    fn on_access(
+        &mut self,
+        ctx: &AccessContext,
+        _pressure: MemPressure,
+        out: &mut Vec<PrefetchReq>,
+    ) {
         let block = ctx.addr >> self.line_shift;
         let key = self.key(ctx);
         let (it_idx, tag) = self.it_slot(key);
@@ -157,7 +162,11 @@ impl Prefetcher for GhbPrefetcher {
         let slot = (pos % self.ghb.len() as u64) as usize;
         self.ghb[slot] = GhbEntry { block, prev };
         self.pushes += 1;
-        self.it[it_idx] = ItEntry { tag, head: pos, valid: true };
+        self.it[it_idx] = ItEntry {
+            tag,
+            head: pos,
+            valid: true,
+        };
 
         if self.flavor == GhbFlavor::GlobalAc {
             // Address correlation: replay the accesses that followed the
@@ -185,7 +194,10 @@ impl Prefetcher for GhbPrefetcher {
         if blocks.len() < 4 {
             return;
         }
-        let deltas: Vec<i64> = blocks.windows(2).map(|w| w[0] as i64 - w[1] as i64).collect();
+        let deltas: Vec<i64> = blocks
+            .windows(2)
+            .map(|w| w[0] as i64 - w[1] as i64)
+            .collect();
         let (d1, d2) = (deltas[0], deltas[1]);
         // Find an earlier occurrence of the pair (d2, d1) in time order,
         // i.e. positions i (older) where deltas[i] == d1 && deltas[i+1] == d2.
@@ -232,7 +244,10 @@ mod tests {
     use super::*;
 
     fn pressure() -> MemPressure {
-        MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+        MemPressure {
+            l1_mshr_free: 4,
+            l2_mshr_free: 20,
+        }
     }
 
     fn ctx(pc: Addr, addr: Addr) -> AccessContext {
@@ -276,7 +291,8 @@ mod tests {
         // Every prefetch must belong to one of the two streams' address ranges.
         for r in &trigger {
             assert!(
-                (0x10_0000..0x20_0000).contains(&r.addr) || (0x90_0000..0xA0_0000).contains(&r.addr),
+                (0x10_0000..0x20_0000).contains(&r.addr)
+                    || (0x90_0000..0xA0_0000).contains(&r.addr),
                 "stray prefetch {:#x}",
                 r.addr
             );
@@ -303,7 +319,10 @@ mod tests {
                 pcdc_count += out.len();
             }
         }
-        assert!(pcdc_count > gdc_count / 2, "PC localization should not be worse by construction");
+        assert!(
+            pcdc_count > gdc_count / 2,
+            "PC localization should not be worse by construction"
+        );
         assert!(pcdc_count > 0);
     }
 
@@ -335,7 +354,10 @@ mod tests {
         out.clear();
         p.on_access(&ctx(0x400, seq[0]), pressure(), &mut out);
         let addrs: Vec<u64> = out.iter().map(|r| r.addr & !63).collect();
-        assert!(addrs.contains(&seq[1]), "G/AC must replay the successor, got {addrs:x?}");
+        assert!(
+            addrs.contains(&seq[1]),
+            "G/AC must replay the successor, got {addrs:x?}"
+        );
     }
 
     #[test]

@@ -64,7 +64,12 @@ impl MarkovPrefetcher {
         let (idx, tag) = self.slot(from);
         let e = &mut self.table[idx];
         if !e.valid || e.tag != tag {
-            *e = Entry { tag, succ: [to, 0], count: [1, 0], valid: true };
+            *e = Entry {
+                tag,
+                succ: [to, 0],
+                count: [1, 0],
+                valid: true,
+            };
             return;
         }
         for i in 0..SUCCESSORS {
@@ -74,7 +79,9 @@ impl MarkovPrefetcher {
             }
         }
         // Replace the weakest successor.
-        let weakest = (0..SUCCESSORS).min_by_key(|&i| e.count[i]).expect("non-empty successor list");
+        let weakest = (0..SUCCESSORS)
+            .min_by_key(|&i| e.count[i])
+            .expect("non-empty successor list");
         e.succ[weakest] = to;
         e.count[weakest] = 1;
     }
@@ -85,7 +92,12 @@ impl Prefetcher for MarkovPrefetcher {
         "markov"
     }
 
-    fn on_access(&mut self, ctx: &AccessContext, _pressure: MemPressure, out: &mut Vec<PrefetchReq>) {
+    fn on_access(
+        &mut self,
+        ctx: &AccessContext,
+        _pressure: MemPressure,
+        out: &mut Vec<PrefetchReq>,
+    ) {
         let block = ctx.addr >> self.line_shift;
         if let Some(prev) = self.last_block {
             if prev != block {
@@ -100,7 +112,10 @@ impl Prefetcher for MarkovPrefetcher {
             let mut order: Vec<usize> = (0..SUCCESSORS).filter(|&i| e.count[i] >= 2).collect();
             order.sort_by_key(|&i| std::cmp::Reverse(e.count[i]));
             for (k, &i) in order.iter().take(self.degree as usize).enumerate() {
-                out.push(PrefetchReq::real(e.succ[i] << self.line_shift, k as u64 + 1));
+                out.push(PrefetchReq::real(
+                    e.succ[i] << self.line_shift,
+                    k as u64 + 1,
+                ));
                 self.stats.issued += 1;
             }
         }
@@ -127,7 +142,10 @@ mod tests {
     use super::*;
 
     fn pressure() -> MemPressure {
-        MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+        MemPressure {
+            l1_mshr_free: 4,
+            l2_mshr_free: 20,
+        }
     }
 
     fn ctx(addr: Addr) -> AccessContext {

@@ -21,7 +21,11 @@ impl NextLinePrefetcher {
     /// Panics if `degree` is zero or `line` is not a power of two.
     pub fn new(degree: u32, line: u64) -> Self {
         assert!(degree >= 1 && line.is_power_of_two());
-        NextLinePrefetcher { degree, line, stats: PrefetcherStats::default() }
+        NextLinePrefetcher {
+            degree,
+            line,
+            stats: PrefetcherStats::default(),
+        }
     }
 }
 
@@ -36,7 +40,12 @@ impl Prefetcher for NextLinePrefetcher {
         "next-line"
     }
 
-    fn on_access(&mut self, ctx: &AccessContext, _pressure: MemPressure, out: &mut Vec<PrefetchReq>) {
+    fn on_access(
+        &mut self,
+        ctx: &AccessContext,
+        _pressure: MemPressure,
+        out: &mut Vec<PrefetchReq>,
+    ) {
         let base = ctx.addr & !(self.line - 1);
         for k in 1..=self.degree as u64 {
             out.push(PrefetchReq::real(base + k * self.line, k));
@@ -69,9 +78,15 @@ mod tests {
         let mut out = Vec::new();
         p.on_access(
             &AccessContext::bare(0, 0x400, 0x1010, false),
-            MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 },
+            MemPressure {
+                l1_mshr_free: 4,
+                l2_mshr_free: 20,
+            },
             &mut out,
         );
-        assert_eq!(out.iter().map(|r| r.addr).collect::<Vec<_>>(), vec![0x1040, 0x1080]);
+        assert_eq!(
+            out.iter().map(|r| r.addr).collect::<Vec<_>>(),
+            vec![0x1040, 0x1080]
+        );
     }
 }

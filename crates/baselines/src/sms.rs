@@ -49,7 +49,9 @@ impl SmsPrefetcher {
     ///
     /// Panics on invalid geometry.
     pub fn new(region_bytes: u64, agt: usize, filter: usize, pht: usize) -> Self {
-        assert!(region_bytes.is_power_of_two() && region_bytes / LINE <= 32 && region_bytes >= 2 * LINE);
+        assert!(
+            region_bytes.is_power_of_two() && region_bytes / LINE <= 32 && region_bytes >= 2 * LINE
+        );
         assert!(pht.is_power_of_two() && agt > 0 && filter > 0);
         SmsPrefetcher {
             region_bytes,
@@ -91,7 +93,11 @@ impl SmsPrefetcher {
         // line) are worth remembering.
         if g.pattern.count_ones() >= 2 {
             let (idx, tag) = self.pht_slot(g.signature);
-            self.pht[idx] = PhtEntry { tag, pattern: g.pattern, valid: true };
+            self.pht[idx] = PhtEntry {
+                tag,
+                pattern: g.pattern,
+                valid: true,
+            };
         }
     }
 }
@@ -101,7 +107,12 @@ impl Prefetcher for SmsPrefetcher {
         "sms"
     }
 
-    fn on_access(&mut self, ctx: &AccessContext, _pressure: MemPressure, out: &mut Vec<PrefetchReq>) {
+    fn on_access(
+        &mut self,
+        ctx: &AccessContext,
+        _pressure: MemPressure,
+        out: &mut Vec<PrefetchReq>,
+    ) {
         self.tick += 1;
         let region = self.region_of(ctx.addr);
         let offset = self.line_in_region(ctx.addr);
@@ -160,7 +171,12 @@ impl Prefetcher for SmsPrefetcher {
             let done = self.filter.swap_remove(oldest);
             self.archive(done);
         }
-        self.filter.push(Generation { region, signature: sig, pattern: bit, last_use: self.tick });
+        self.filter.push(Generation {
+            region,
+            signature: sig,
+            pattern: bit,
+            last_use: self.tick,
+        });
     }
 
     fn on_issue_result(&mut self, _tag: u64, issued: bool) {
@@ -185,7 +201,10 @@ mod tests {
     use super::*;
 
     fn pressure() -> MemPressure {
-        MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+        MemPressure {
+            l1_mshr_free: 4,
+            l2_mshr_free: 20,
+        }
     }
 
     fn ctx(pc: Addr, addr: Addr) -> AccessContext {
@@ -258,7 +277,10 @@ mod tests {
         let fresh = 0xC00_0000 + 7 * 64; // same trigger offset (7)
         p.on_access(&ctx(0x500, fresh), pressure(), &mut out);
         let addrs: std::collections::HashSet<u64> = out.iter().map(|r| r.addr).collect();
-        assert_eq!(addrs, [0xC00_0000 + 64, 0xC00_0000 + 4 * 64].into_iter().collect());
+        assert_eq!(
+            addrs,
+            [0xC00_0000 + 64, 0xC00_0000 + 4 * 64].into_iter().collect()
+        );
     }
 
     #[test]

@@ -77,13 +77,24 @@ impl Prefetcher for StridePrefetcher {
         "stride"
     }
 
-    fn on_access(&mut self, ctx: &AccessContext, _pressure: MemPressure, out: &mut Vec<PrefetchReq>) {
+    fn on_access(
+        &mut self,
+        ctx: &AccessContext,
+        _pressure: MemPressure,
+        out: &mut Vec<PrefetchReq>,
+    ) {
         let (idx, tag) = self.index(ctx.pc);
         let degree = self.degree;
         let line = self.line;
         let e = &mut self.table[idx];
         if !e.valid || e.tag != tag {
-            *e = Entry { tag, last_addr: ctx.addr, stride: 0, confidence: 0, valid: true };
+            *e = Entry {
+                tag,
+                last_addr: ctx.addr,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
             return;
         }
         let stride = ctx.addr as i64 - e.last_addr as i64;
@@ -128,7 +139,10 @@ mod tests {
     use super::*;
 
     fn pressure() -> MemPressure {
-        MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+        MemPressure {
+            l1_mshr_free: 4,
+            l2_mshr_free: 20,
+        }
     }
 
     fn ctx(pc: Addr, addr: Addr) -> AccessContext {
@@ -184,7 +198,11 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..10i64 {
             out.clear();
-            p.on_access(&ctx(0x400, (0x100_0000 - i * 128) as u64), pressure(), &mut out);
+            p.on_access(
+                &ctx(0x400, (0x100_0000 - i * 128) as u64),
+                pressure(),
+                &mut out,
+            );
         }
         assert!(!out.is_empty());
         assert!(out[0].addr < 0x100_0000 - 9 * 128);

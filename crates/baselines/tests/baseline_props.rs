@@ -4,12 +4,17 @@
 
 use proptest::prelude::*;
 
-use semloc_baselines::{GhbFlavor, GhbPrefetcher, MarkovPrefetcher, NextLinePrefetcher, SmsPrefetcher, StridePrefetcher};
+use semloc_baselines::{
+    GhbFlavor, GhbPrefetcher, MarkovPrefetcher, NextLinePrefetcher, SmsPrefetcher, StridePrefetcher,
+};
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher};
 use semloc_trace::AccessContext;
 
 fn pressure() -> MemPressure {
-    MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+    MemPressure {
+        l1_mshr_free: 4,
+        l2_mshr_free: 20,
+    }
 }
 
 fn drive<P: Prefetcher>(p: &mut P, stream: &[(u64, u64)]) -> (usize, Vec<PrefetchReq>) {

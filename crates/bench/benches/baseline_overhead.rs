@@ -4,12 +4,17 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use semloc_baselines::{GhbFlavor, GhbPrefetcher, MarkovPrefetcher, SmsPrefetcher, StridePrefetcher};
+use semloc_baselines::{
+    GhbFlavor, GhbPrefetcher, MarkovPrefetcher, SmsPrefetcher, StridePrefetcher,
+};
 use semloc_mem::{MemPressure, Prefetcher};
 use semloc_trace::AccessContext;
 
 fn pressure() -> MemPressure {
-    MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+    MemPressure {
+        l1_mshr_free: 4,
+        l2_mshr_free: 20,
+    }
 }
 
 fn drive<P: Prefetcher>(b: &mut criterion::Bencher<'_>, mut p: P) {
@@ -28,8 +33,12 @@ fn bench_baselines(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline_prefetchers");
     g.throughput(Throughput::Elements(1));
     g.bench_function("stride", |b| drive(b, StridePrefetcher::paper_default()));
-    g.bench_function("ghb_gdc", |b| drive(b, GhbPrefetcher::paper_default(GhbFlavor::GlobalDc)));
-    g.bench_function("ghb_pcdc", |b| drive(b, GhbPrefetcher::paper_default(GhbFlavor::PcDc)));
+    g.bench_function("ghb_gdc", |b| {
+        drive(b, GhbPrefetcher::paper_default(GhbFlavor::GlobalDc))
+    });
+    g.bench_function("ghb_pcdc", |b| {
+        drive(b, GhbPrefetcher::paper_default(GhbFlavor::PcDc))
+    });
     g.bench_function("sms", |b| drive(b, SmsPrefetcher::paper_default()));
     g.bench_function("markov", |b| drive(b, MarkovPrefetcher::paper_default()));
     g.finish();

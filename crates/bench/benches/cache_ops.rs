@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use semloc_bench::legacy::NestedCache;
 use semloc_mem::{Cache, CacheConfig, Hierarchy, MemConfig, NoPrefetch};
 use semloc_trace::AccessContext;
 
@@ -19,6 +20,23 @@ fn bench_cache(c: &mut Criterion) {
 
     g.bench_function("l1_fill_evict", |b| {
         let mut cache = Cache::new(CacheConfig::l1d());
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(64);
+            black_box(cache.fill(black_box(a), 0, false, false))
+        });
+    });
+
+    // Pre-rewrite storage layout (nested `Vec<Vec<Line>>`), for comparison
+    // against the flat-array rows above.
+    g.bench_function("l1_lookup_hit/nested_legacy", |b| {
+        let mut cache = NestedCache::new(&CacheConfig::l1d());
+        cache.fill(0x1000, 0, false, false);
+        b.iter(|| black_box(cache.lookup_demand(black_box(0x1000), 100, false)));
+    });
+
+    g.bench_function("l1_fill_evict/nested_legacy", |b| {
+        let mut cache = NestedCache::new(&CacheConfig::l1d());
         let mut a = 0u64;
         b.iter(|| {
             a = a.wrapping_add(64);

@@ -1,15 +1,24 @@
 //! Per-access cost of the context prefetcher's three units (collection,
-//! prediction, feedback run on every demand access).
+//! prediction, feedback run on every demand access), plus head-to-head
+//! rows pinning each hot-path rewrite against its legacy replica:
+//! single-pass vs two-pass context hashing, indexed vs linear prefetch
+//! queue, and the whole `on_access` pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use semloc_bench::legacy::{LegacyContextPrefetcher, LinearPrefetchQueue};
+use semloc_context::attrs::{ContextKey, FeatureVec, FullHash};
+use semloc_context::pfq::{PfqHit, PrefetchQueue};
 use semloc_context::{ContextConfig, ContextPrefetcher};
 use semloc_mem::{MemPressure, Prefetcher};
 use semloc_trace::{AccessContext, SemanticHints};
 
 fn pressure() -> MemPressure {
-    MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+    MemPressure {
+        l1_mshr_free: 4,
+        l2_mshr_free: 20,
+    }
 }
 
 fn ctx(seq: u64, pc: u64, addr: u64) -> AccessContext {
@@ -30,7 +39,11 @@ fn bench_on_access(c: &mut Criterion) {
         let mut seq = 0u64;
         b.iter(|| {
             out.clear();
-            p.on_access(black_box(&ctx(seq, 0x400, 0x10_0000 + seq * 64)), pressure(), &mut out);
+            p.on_access(
+                black_box(&ctx(seq, 0x400, 0x10_0000 + seq * 64)),
+                pressure(),
+                &mut out,
+            );
             seq += 1;
             black_box(out.len())
         });
@@ -45,7 +58,28 @@ fn bench_on_access(c: &mut Criterion) {
         b.iter(|| {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             out.clear();
-            p.on_access(black_box(&ctx(seq, 0x400, state % (1 << 26))), pressure(), &mut out);
+            p.on_access(
+                black_box(&ctx(seq, 0x400, state % (1 << 26))),
+                pressure(),
+                &mut out,
+            );
+            seq += 1;
+            black_box(out.len())
+        });
+    });
+    // The original pipeline (two-pass hashing, linear queue, per-access
+    // allocations), for comparison with the rows above.
+    g.bench_function("on_access/stride_stream/legacy", |b| {
+        let mut p = LegacyContextPrefetcher::new(ContextConfig::default());
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            out.clear();
+            p.on_access(
+                black_box(&ctx(seq, 0x400, 0x10_0000 + seq * 64)),
+                pressure(),
+                &mut out,
+            );
             seq += 1;
             black_box(out.len())
         });
@@ -53,5 +87,92 @@ fn bench_on_access(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_on_access);
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_hashing");
+    g.throughput(Throughput::Elements(1));
+    // Per access the prefetcher needs the full hash AND the active-prefix
+    // key; the two-pass reference walks the attributes for each.
+    g.bench_function("full_plus_key/two_pass", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            let c = ctx(seq, 0x400, 0x10_0000 + seq * 64);
+            seq += 1;
+            let full = FullHash::of(black_box(&c), 5);
+            let key = ContextKey::of(black_box(&c), 4, 5);
+            black_box((full.0, key.0))
+        });
+    });
+    g.bench_function("full_plus_key/single_pass", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            let c = ctx(seq, 0x400, 0x10_0000 + seq * 64);
+            seq += 1;
+            let fv = FeatureVec::extract(black_box(&c), 5);
+            black_box((fv.full_hash().0, fv.key(4).0))
+        });
+    });
+    g.finish();
+}
+
+/// The per-access queue traffic of a full 128-entry queue: pushes,
+/// record_access, and the dedup probes of the prediction loop.
+fn bench_pfq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetch_queue");
+    g.throughput(Throughput::Elements(1));
+    let (key, full) = (ContextKey(1), FullHash(2));
+    let op_stream = || {
+        let mut state = 0xabcd_u64;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 6, state >> 8 & 0x1ff)
+        }
+    };
+
+    g.bench_function("mixed_ops/indexed", |b| {
+        let mut q = PrefetchQueue::new(128);
+        let mut hits: Vec<PfqHit> = Vec::new();
+        let mut next = op_stream();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let (op, block) = next();
+            seq += 1;
+            match op {
+                0..=2 => q.push(block, key, full, 1, seq, op == 2).0,
+                3 => {
+                    hits.clear();
+                    q.record_access(block, seq, &mut hits);
+                    hits.len() as u64
+                }
+                4 => q.predicts(block) as u64,
+                _ => q.predicts_real(block) as u64,
+            }
+        });
+    });
+
+    g.bench_function("mixed_ops/linear_legacy", |b| {
+        let mut q = LinearPrefetchQueue::new(128);
+        let mut hits: Vec<PfqHit> = Vec::new();
+        let mut next = op_stream();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let (op, block) = next();
+            seq += 1;
+            match op {
+                0..=2 => q.push(block, key, full, 1, seq, op == 2).0,
+                3 => {
+                    hits.clear();
+                    q.record_access(block, seq, &mut hits);
+                    hits.len() as u64
+                }
+                4 => q.predicts(block) as u64,
+                _ => q.predicts_real(block) as u64,
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_on_access, bench_hashing, bench_pfq);
 criterion_main!(benches);

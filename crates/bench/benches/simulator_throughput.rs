@@ -12,7 +12,11 @@ fn bench_sim(c: &mut Criterion) {
     let budget = 50_000u64;
     g.throughput(Throughput::Elements(budget));
     g.sample_size(10);
-    for pf in [PrefetcherKind::None, PrefetcherKind::context(), PrefetcherKind::Sms] {
+    for pf in [
+        PrefetcherKind::None,
+        PrefetcherKind::context(),
+        PrefetcherKind::Sms,
+    ] {
         g.bench_function(format!("run_50k_instr/{}", pf.label()), |b| {
             let cfg = SimConfig::default().with_budget(budget);
             b.iter_batched(

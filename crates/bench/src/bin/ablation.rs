@@ -13,13 +13,25 @@ fn main() {
         "bell reward, dynamic feature selection, shadow prefetches, sampling, replacement (DESIGN.md #6)",
     );
     let cfg = SimConfig::default();
-    let names =
-        ["list", "mcf", "omnetpp", "hmmer", "h264ref", "ssca_lds", "astar", "milc", "bst", "hashtest", "KNN", "bzip2"];
-    let kernels: Vec<_> = names.iter().map(|n| kernel_by_name(n).expect("kernel")).collect();
-    let baselines: Vec<_> =
-        kernels.iter().map(|k| run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg)).collect();
+    let names = [
+        "list", "mcf", "omnetpp", "hmmer", "h264ref", "ssca_lds", "astar", "milc", "bst",
+        "hashtest", "KNN", "bzip2",
+    ];
+    let kernels: Vec<_> = names
+        .iter()
+        .map(|n| kernel_by_name(n).expect("kernel"))
+        .collect();
+    let baselines: Vec<_> = kernels
+        .iter()
+        .map(|k| run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg))
+        .collect();
 
-    let mut t = Table::new(["variant", "geomean speedup", "delta vs baseline", "description"]);
+    let mut t = Table::new([
+        "variant",
+        "geomean speedup",
+        "delta vs baseline",
+        "description",
+    ]);
     let mut base_geo = 0.0;
     // Paper-default first, then each ablation, then the per-workload
     // calibration extension.
@@ -27,21 +39,35 @@ fn main() {
         let speedups: Vec<f64> = kernels
             .iter()
             .zip(&baselines)
-            .map(|(k, b)| run_kernel(k.as_ref(), &PrefetcherKind::Context(v.config.clone()), &cfg).speedup_over(b))
+            .map(|(k, b)| {
+                run_kernel(k.as_ref(), &PrefetcherKind::Context(v.config.clone()), &cfg)
+                    .speedup_over(b)
+            })
             .collect();
         let geo = geomean(speedups);
         eprintln!("[done] {}: {geo:.3}", v.name);
         if v.name == "baseline" {
             base_geo = geo;
         }
-        let delta = if base_geo > 0.0 { format!("{:+.1}%", (geo / base_geo - 1.0) * 100.0) } else { "-".into() };
-        t.row([v.name.to_string(), format!("{geo:.2}x"), delta, v.description.to_string()]);
+        let delta = if base_geo > 0.0 {
+            format!("{:+.1}%", (geo / base_geo - 1.0) * 100.0)
+        } else {
+            "-".into()
+        };
+        t.row([
+            v.name.to_string(),
+            format!("{geo:.2}x"),
+            delta,
+            v.description.to_string(),
+        ]);
     }
     // Extension: per-workload reward calibration (§4.3 formula).
     let speedups: Vec<f64> = kernels
         .iter()
         .zip(&baselines)
-        .map(|(k, b)| run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &cfg).speedup_over(b))
+        .map(|(k, b)| {
+            run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &cfg).speedup_over(b)
+        })
         .collect();
     let geo = geomean(speedups);
     let delta = format!("{:+.1}%", (geo / base_geo - 1.0) * 100.0);

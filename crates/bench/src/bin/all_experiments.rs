@@ -5,13 +5,18 @@
 //! default budget (`SEMLOC_BUDGET` scales it).
 
 use semloc_bench::{banner, full_lineup, geomean, run_matrix};
-use semloc_harness::{ablation_variants, run_kernel, storage_sweep, PrefetcherKind, SimConfig, Table};
+use semloc_harness::{
+    ablation_variants, run_kernel, storage_sweep, PrefetcherKind, SimConfig, Table,
+};
 use semloc_mem::AccessClass;
 use semloc_workloads::{all_kernels, kernel_by_name, Suite};
 
 fn main() {
     let cfg = SimConfig::default();
-    println!("semloc full evaluation (budget {} instructions per run)\n", cfg.instr_budget);
+    println!(
+        "semloc full evaluation (budget {} instructions per run)\n",
+        cfg.instr_budget
+    );
 
     // ---- shared main matrix ----
     let kernels = all_kernels();
@@ -19,7 +24,11 @@ fn main() {
     let m = run_matrix(&kernels, &full_lineup(), &cfg);
 
     // ---- Fig 12 ----
-    banner("Fig 12", "Speedups over no prefetching", "32% avg all / 20% avg SPEC / 4.3x max / +76% vs best");
+    banner(
+        "Fig 12",
+        "Speedups over no prefetching",
+        "32% avg all / 20% avg SPEC / 4.3x max / +76% vs best",
+    );
     let mut t = Table::new(
         ["workload".to_string(), "suite".to_string()]
             .into_iter()
@@ -33,12 +42,20 @@ fn main() {
         t.row(row);
     }
     println!("{}", t.render());
-    let spec: Vec<&str> =
-        m.kernels().iter().zip(&suites).filter(|&(_, s)| *s == Suite::Spec).map(|(&k, _)| k).collect();
+    let spec: Vec<&str> = m
+        .kernels()
+        .iter()
+        .zip(&suites)
+        .filter(|&(_, s)| *s == Suite::Spec)
+        .map(|(&k, _)| k)
+        .collect();
     let all: Vec<&str> = m.kernels().to_vec();
     println!("\ngeomean speedups:");
     for p in m.prefetchers().iter().skip(1) {
-        let max = all.iter().filter_map(|k| m.speedup(k, p)).fold(0.0f64, f64::max);
+        let max = all
+            .iter()
+            .filter_map(|k| m.speedup(k, p))
+            .fold(0.0f64, f64::max);
         println!(
             "  {:<10} all {:.2}x  spec {:.2}x  max {:.2}x",
             p,
@@ -50,14 +67,24 @@ fn main() {
 
     // ---- Fig 10 / Fig 11 ----
     for (id, l2, thresh) in [("Fig 10", false, 5.0), ("Fig 11", true, 1.0)] {
-        banner(id, if l2 { "L2 MPKI" } else { "L1 MPKI" }, "context lowest; avg L2 MPKI ~4x below baseline");
+        banner(
+            id,
+            if l2 { "L2 MPKI" } else { "L1 MPKI" },
+            "context lowest; avg L2 MPKI ~4x below baseline",
+        );
         let heavy = m.memory_intensive(thresh, l2);
-        let mut t =
-            Table::new(["workload".to_string()].into_iter().chain(m.prefetchers().iter().map(|p| p.to_string())));
+        let mut t = Table::new(
+            ["workload".to_string()]
+                .into_iter()
+                .chain(m.prefetchers().iter().map(|p| p.to_string())),
+        );
         for k in &heavy {
             let mut row = vec![k.to_string()];
             for p in m.prefetchers() {
-                let v = m.get(k, p).map(|r| if l2 { r.l2_mpki() } else { r.l1_mpki() }).unwrap_or(0.0);
+                let v = m
+                    .get(k, p)
+                    .map(|r| if l2 { r.l2_mpki() } else { r.l1_mpki() })
+                    .unwrap_or(0.0);
                 row.push(format!("{v:.2}"));
             }
             t.row(row);
@@ -77,8 +104,20 @@ fn main() {
     }
 
     // ---- Fig 9 (aggregate view) ----
-    banner("Fig 9", "Access classification (all-workload averages)", "context has the largest useful share");
-    let mut t = Table::new(["prefetcher", "hit-pf", "shorter", "nontimely", "miss", "hit-old", "wrong"]);
+    banner(
+        "Fig 9",
+        "Access classification (all-workload averages)",
+        "context has the largest useful share",
+    );
+    let mut t = Table::new([
+        "prefetcher",
+        "hit-pf",
+        "shorter",
+        "nontimely",
+        "miss",
+        "hit-old",
+        "wrong",
+    ]);
     for p in m.prefetchers().iter().skip(1) {
         let mut acc = [0.0f64; 6];
         let mut n = 0;
@@ -101,9 +140,19 @@ fn main() {
     println!("{}", t.render());
 
     // ---- Fig 8 ----
-    banner("Fig 8", "Hit-depth CDF checkpoints (context)", "step at 18; late<=35%; early splits groups");
-    println!("{:<14} {:>8} {:>8} {:>8}", "workload", "late<18", "window", "early>50");
-    for name in ["array", "list", "listsort", "bst", "prim", "hashtest", "maptest", "ssca_lds", "mcf", "hmmer"] {
+    banner(
+        "Fig 8",
+        "Hit-depth CDF checkpoints (context)",
+        "step at 18; late<=35%; early splits groups",
+    );
+    println!(
+        "{:<14} {:>8} {:>8} {:>8}",
+        "workload", "late<18", "window", "early>50"
+    );
+    for name in [
+        "array", "list", "listsort", "bst", "prim", "hashtest", "maptest", "ssca_lds", "mcf",
+        "hmmer",
+    ] {
         let k = kernel_by_name(name).expect("kernel");
         let r = run_kernel(k.as_ref(), &PrefetcherKind::context(), &cfg);
         let l = r.learn.expect("learn stats");
@@ -122,43 +171,72 @@ fn main() {
     });
     println!("{:>8} {:>9} {:>8} {:>8}", "CST", "storage", "Top10", "All");
     for p in &pts {
-        println!("{:>8} {:>8.1}k {:>7.2}x {:>7.2}x", p.cst_entries, p.storage_bytes as f64 / 1024.0, p.top10, p.all);
+        println!(
+            "{:>8} {:>8.1}k {:>7.2}x {:>7.2}x",
+            p.cst_entries,
+            p.storage_bytes as f64 / 1024.0,
+            p.top10,
+            p.all
+        );
     }
 
     // ---- Fig 14 ----
-    banner("Fig 14", "Layout-agnostic programming (CPI)", "context closes the naive-vs-optimized gap");
+    banner(
+        "Fig 14",
+        "Layout-agnostic programming (CPI)",
+        "context closes the naive-vs-optimized gap",
+    );
     let mut lineup = vec![PrefetcherKind::None];
     lineup.extend(full_lineup());
-    for (fig, csr, linked) in [("SSCA2", "ssca2", "ssca2-list"), ("Graph500", "graph500", "graph500-list")] {
+    for (fig, csr, linked) in [
+        ("SSCA2", "ssca2", "ssca2-list"),
+        ("Graph500", "graph500", "graph500-list"),
+    ] {
         println!("\n{fig}:");
         println!("{:<11} {:>9} {:>11}", "prefetcher", "CSR cpi", "linked cpi");
         for pf in &lineup {
             let rc = run_kernel(kernel_by_name(csr).unwrap().as_ref(), pf, &cfg);
             let rl = run_kernel(kernel_by_name(linked).unwrap().as_ref(), pf, &cfg);
-            println!("{:<11} {:>9.2} {:>11.2}", pf.label(), rc.cpu.cpi(), rl.cpu.cpi());
+            println!(
+                "{:<11} {:>9.2} {:>11.2}",
+                pf.label(),
+                rc.cpu.cpi(),
+                rl.cpu.cpi()
+            );
         }
     }
 
     // ---- Ablations ----
-    banner("Ablation", "Design-decision ablations (geomean over prefetcher-friendly subset)", "DESIGN.md #6");
-    let names =
-        ["list", "mcf", "omnetpp", "hmmer", "h264ref", "ssca_lds", "astar", "milc", "bst", "hashtest", "KNN", "bzip2"];
-    let ks: Vec<_> = names.iter().map(|n| kernel_by_name(n).expect("kernel")).collect();
-    let bases: Vec<_> = ks.iter().map(|k| run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg)).collect();
+    banner(
+        "Ablation",
+        "Design-decision ablations (geomean over prefetcher-friendly subset)",
+        "DESIGN.md #6",
+    );
+    let names = [
+        "list", "mcf", "omnetpp", "hmmer", "h264ref", "ssca_lds", "astar", "milc", "bst",
+        "hashtest", "KNN", "bzip2",
+    ];
+    let ks: Vec<_> = names
+        .iter()
+        .map(|n| kernel_by_name(n).expect("kernel"))
+        .collect();
+    let bases: Vec<_> = ks
+        .iter()
+        .map(|k| run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg))
+        .collect();
     for v in ablation_variants() {
-        let geo = geomean(
-            ks.iter()
-                .zip(&bases)
-                .map(|(k, b)| run_kernel(k.as_ref(), &PrefetcherKind::Context(v.config.clone()), &cfg).speedup_over(b)),
-        );
+        let geo = geomean(ks.iter().zip(&bases).map(|(k, b)| {
+            run_kernel(k.as_ref(), &PrefetcherKind::Context(v.config.clone()), &cfg).speedup_over(b)
+        }));
         println!("  {:<16} {:.2}x  ({})", v.name, geo, v.description);
     }
-    let geo = geomean(
-        ks.iter()
-            .zip(&bases)
-            .map(|(k, b)| run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &cfg).speedup_over(b)),
+    let geo = geomean(ks.iter().zip(&bases).map(|(k, b)| {
+        run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &cfg).speedup_over(b)
+    }));
+    println!(
+        "  {:<16} {geo:.2}x  (EXTENSION: per-workload #4.3 reward calibration)",
+        "calibrated"
     );
-    println!("  {:<16} {geo:.2}x  (EXTENSION: per-workload #4.3 reward calibration)", "calibrated");
 
     println!("\nall experiments complete.");
 }

@@ -1,0 +1,314 @@
+//! Before/after measurement of the hot-path rewrites, written to
+//! `BENCH_hotpath.json`.
+//!
+//! "Before" numbers come from the legacy replicas in
+//! [`semloc_bench::legacy`] (linear-scan prefetch queue, nested-`Vec`
+//! cache, two-pass hashing, the original `on_access` pipeline); "after"
+//! numbers from the shipped implementations. Both sides share the
+//! unchanged CST/reducer/history/CPU code, so each ratio isolates the
+//! rewritten component. Run with `cargo run --release -p semloc-bench
+//! --bin bench_compare [output.json]`.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use semloc_bench::legacy::{LegacyContextPrefetcher, LinearPrefetchQueue, NestedCache};
+use semloc_context::attrs::{ContextKey, FeatureVec, FullHash};
+use semloc_context::pfq::{PfqHit, PrefetchQueue};
+use semloc_context::{ContextConfig, ContextPrefetcher};
+use semloc_cpu::Cpu;
+use semloc_harness::SimConfig;
+use semloc_mem::{Cache, CacheConfig, Hierarchy, MemPressure, Prefetcher};
+use semloc_trace::{AccessContext, SemanticHints};
+use semloc_workloads::kernel_by_name;
+
+fn pressure() -> MemPressure {
+    MemPressure {
+        l1_mshr_free: 4,
+        l2_mshr_free: 20,
+    }
+}
+
+/// xorshift64 — deterministic input streams.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Best-of-`reps` ns/element for `f` (each run processing `elems`
+/// elements). The minimum is the standard microbenchmark statistic: every
+/// source of interference (scheduler, frequency, cache pollution) only
+/// adds time, so the fastest observation is closest to the true cost.
+fn time_per(reps: usize, elems: u64, mut f: impl FnMut() -> u64) -> f64 {
+    black_box(f()); // warm-up
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos() as f64 / elems as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// A mixed access stream exercising every attribute and phase behaviour.
+fn stream(n: u64) -> Vec<AccessContext> {
+    let mut rng = Rng(0xfeed_5eed);
+    (0..n)
+        .map(|seq| {
+            let r = rng.next();
+            let addr = match seq % 3 {
+                0 => 0x10_0000 + seq * 64,
+                1 => 0x80_0000 + (seq % 97) * 160,
+                _ => 0x100_0000 + (r % (1 << 22)),
+            };
+            let mut c = AccessContext::bare(seq, 0x400 + (seq % 3) * 0x10, addr, seq % 7 == 0);
+            c.reg1 = addr >> 5;
+            c.branch_history = r as u16;
+            c.last_loaded = r;
+            if seq % 3 == 1 {
+                c.hints = Some(SemanticHints::link(2, 8));
+            }
+            c
+        })
+        .collect()
+}
+
+fn bench_hashing(ctxs: &[AccessContext]) -> (f64, f64) {
+    let two_pass = time_per(15, ctxs.len() as u64, || {
+        let mut acc = 0u64;
+        for c in ctxs {
+            let full = FullHash::of(c, 5);
+            let key = ContextKey::of(c, 4, 5);
+            acc = acc.wrapping_add(full.0 as u64).wrapping_add(key.0 as u64);
+        }
+        acc
+    });
+    let single_pass = time_per(15, ctxs.len() as u64, || {
+        let mut acc = 0u64;
+        for c in ctxs {
+            let fv = FeatureVec::extract(c, 5);
+            acc = acc
+                .wrapping_add(fv.full_hash().0 as u64)
+                .wrapping_add(fv.key(4).0 as u64);
+        }
+        acc
+    });
+    (two_pass, single_pass)
+}
+
+/// One op per element: the per-access queue traffic of the prediction
+/// loop (record_access + predicts/predicts_real + pushes), on a full
+/// 128-entry queue.
+fn bench_pfq(n: u64) -> (f64, f64) {
+    let ops: Vec<(u64, u64)> = {
+        let mut rng = Rng(0xabcd);
+        (0..n).map(|_| (rng.next() % 6, rng.next() % 512)).collect()
+    };
+    let key = ContextKey(1);
+    let full = FullHash(2);
+    let linear = time_per(15, n, || {
+        let mut q = LinearPrefetchQueue::new(128);
+        let mut hits: Vec<PfqHit> = Vec::new();
+        let mut acc = 0u64;
+        for (seq, &(op, block)) in ops.iter().enumerate() {
+            match op {
+                0..=2 => {
+                    let (id, _) = q.push(block, key, full, 1, seq as u64, op == 2);
+                    acc = acc.wrapping_add(id);
+                }
+                3 => {
+                    hits.clear();
+                    q.record_access(block, seq as u64, &mut hits);
+                    acc = acc.wrapping_add(hits.len() as u64);
+                }
+                4 => acc = acc.wrapping_add(q.predicts(block) as u64),
+                _ => acc = acc.wrapping_add(q.predicts_real(block) as u64),
+            }
+        }
+        acc
+    });
+    let indexed = time_per(15, n, || {
+        let mut q = PrefetchQueue::new(128);
+        let mut hits: Vec<PfqHit> = Vec::new();
+        let mut acc = 0u64;
+        for (seq, &(op, block)) in ops.iter().enumerate() {
+            match op {
+                0..=2 => {
+                    let (id, _) = q.push(block, key, full, 1, seq as u64, op == 2);
+                    acc = acc.wrapping_add(id);
+                }
+                3 => {
+                    hits.clear();
+                    q.record_access(block, seq as u64, &mut hits);
+                    acc = acc.wrapping_add(hits.len() as u64);
+                }
+                4 => acc = acc.wrapping_add(q.predicts(block) as u64),
+                _ => acc = acc.wrapping_add(q.predicts_real(block) as u64),
+            }
+        }
+        acc
+    });
+    (linear, indexed)
+}
+
+fn bench_cache(n: u64) -> (f64, f64) {
+    let addrs: Vec<(u64, u64)> = {
+        let mut rng = Rng(0x77);
+        (0..n)
+            .map(|_| (rng.next() % 4, (rng.next() % (1 << 21)) & !0x3f))
+            .collect()
+    };
+    let nested = time_per(15, n, || {
+        let mut c = NestedCache::new(&CacheConfig::l1d());
+        let mut acc = 0u64;
+        for (now, &(op, addr)) in addrs.iter().enumerate() {
+            if op == 0 {
+                acc = acc.wrapping_add(c.fill(addr, now as u64 + 20, op == 0, false) as u64);
+            } else {
+                acc = acc.wrapping_add(matches!(
+                    c.lookup_demand(addr, now as u64, op == 1),
+                    semloc_bench::legacy::NestedLookup::Hit { .. }
+                ) as u64);
+            }
+        }
+        acc
+    });
+    let flat = time_per(15, n, || {
+        let mut c = Cache::new(CacheConfig::l1d());
+        let mut acc = 0u64;
+        for (now, &(op, addr)) in addrs.iter().enumerate() {
+            if op == 0 {
+                acc = acc.wrapping_add(c.fill(addr, now as u64 + 20, op == 0, false).valid as u64);
+            } else {
+                acc = acc.wrapping_add(matches!(
+                    c.lookup_demand(addr, now as u64, op == 1),
+                    semloc_mem::LookupResult::Hit { .. }
+                ) as u64);
+            }
+        }
+        acc
+    });
+    (nested, flat)
+}
+
+fn bench_on_access(ctxs: &[AccessContext]) -> (f64, f64) {
+    let legacy = time_per(9, ctxs.len() as u64, || {
+        let mut p = LegacyContextPrefetcher::new(ContextConfig::default());
+        let mut out = Vec::new();
+        let mut acc = 0u64;
+        for c in ctxs {
+            out.clear();
+            p.on_access(c, pressure(), &mut out);
+            acc = acc.wrapping_add(out.len() as u64);
+        }
+        acc
+    });
+    let new = time_per(9, ctxs.len() as u64, || {
+        let mut p = ContextPrefetcher::new(ContextConfig::default());
+        let mut out = Vec::new();
+        let mut acc = 0u64;
+        for c in ctxs {
+            out.clear();
+            Prefetcher::on_access(&mut p, c, pressure(), &mut out);
+            acc = acc.wrapping_add(out.len() as u64);
+        }
+        acc
+    });
+    (legacy, new)
+}
+
+/// Wall-clock of one full 50k-instruction simulated run of the `mcf`
+/// kernel under prefetcher `P` — the `simulator_throughput/run_50k_instr/
+/// context` scenario. Returns median ns per run.
+fn bench_sim<P: Prefetcher, F: FnMut() -> P>(cfg: &SimConfig, mut build: F) -> f64 {
+    let kernel = kernel_by_name("mcf").expect("registered");
+    time_per(9, 1, || {
+        let hierarchy = Hierarchy::new(cfg.mem.clone(), build());
+        let mut cpu = Cpu::new(cfg.cpu.clone(), hierarchy, cfg.instr_budget);
+        kernel.run(&mut cpu);
+        let (stats, _mem) = cpu.finish();
+        stats.instructions
+    })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let ctxs = stream(100_000);
+
+    println!("component                       before (ns)   after (ns)   speedup");
+    println!("-----------------------------------------------------------------");
+    let mut json = String::from("{\n");
+    let mut row = |name: &str, bench: &str, before: f64, after: f64| {
+        let speedup = before / after;
+        println!("{name:<30} {before:>12.2} {after:>12.2} {speedup:>8.2}x");
+        let _ = writeln!(
+            json,
+            "  \"{bench}\": {{\"before_ns\": {before:.2}, \"after_ns\": {after:.2}, \"speedup\": {speedup:.3}}},"
+        );
+        speedup
+    };
+
+    let (two_pass, single_pass) = bench_hashing(&ctxs);
+    row(
+        "context hashing (per access)",
+        "context_hashing/two_pass_vs_single_pass",
+        two_pass,
+        single_pass,
+    );
+
+    let (linear, indexed) = bench_pfq(200_000);
+    row(
+        "prefetch queue (per op)",
+        "prefetch_queue/linear_vs_indexed",
+        linear,
+        indexed,
+    );
+
+    let (nested, flat) = bench_cache(400_000);
+    row(
+        "cache array (per access)",
+        "cache/nested_vs_flat",
+        nested,
+        flat,
+    );
+
+    let (legacy_oa, new_oa) = bench_on_access(&ctxs);
+    row(
+        "prefetcher on_access",
+        "context_prefetcher/on_access_mixed",
+        legacy_oa,
+        new_oa,
+    );
+
+    let cfg = SimConfig::default().with_budget(50_000);
+    let sim_before = bench_sim(&cfg, || {
+        LegacyContextPrefetcher::new(ContextConfig::default())
+    });
+    let sim_after = bench_sim(&cfg, || ContextPrefetcher::new(ContextConfig::default()));
+    let sim_speedup = row(
+        "simulator run_50k_instr/context",
+        "simulator_throughput/run_50k_instr/context",
+        sim_before,
+        sim_after,
+    );
+    let _ = write!(
+        json,
+        "  \"meta\": {{\"kernel\": \"mcf\", \"instr_budget\": {}, \"note\": \"before = legacy replicas (linear PFQ, two-pass hashing, original on_access pipeline); cache comparison is component-level\"}}\n}}\n",
+        cfg.instr_budget
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
+    println!("\nwrote {out_path}");
+    assert!(
+        sim_speedup > 1.0,
+        "end-to-end simulation must not regress (got {sim_speedup:.2}x)"
+    );
+}

@@ -27,8 +27,13 @@ fn main() {
         let k = kernel_by_name(name).expect("kernel");
         let mut row = vec![name.to_string()];
         for in_order in [false, true] {
-            let mut cfg = SimConfig::default();
-            cfg.cpu = CpuConfig { in_order, ..CpuConfig::default() };
+            let cfg = SimConfig {
+                cpu: CpuConfig {
+                    in_order,
+                    ..CpuConfig::default()
+                },
+                ..SimConfig::default()
+            };
             let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg);
             for pf in [PrefetcherKind::Stride, PrefetcherKind::context()] {
                 let r = run_kernel(k.as_ref(), &pf, &cfg);
@@ -36,6 +41,9 @@ fn main() {
             }
             eprintln!("[done] {name} in_order={in_order}");
         }
-        println!("{:<10} {:>12} {:>12} {:>12} {:>12}", row[0], row[1], row[2], row[3], row[4]);
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            row[0], row[1], row[2], row[3], row[4]
+        );
     }
 }

@@ -31,12 +31,20 @@ fn simulate(elements: usize, seed: u64) -> Vec<Access> {
         let node = heap.alloc(32);
         let mut pos = 0;
         while pos < list.len() && list[pos].1 < value {
-            log.push(Access { t, addr: list[pos].0, logical: pos });
+            log.push(Access {
+                t,
+                addr: list[pos].0,
+                logical: pos,
+            });
             t += 1;
             pos += 1;
         }
         list.insert(pos, (node, value));
-        log.push(Access { t, addr: node, logical: pos });
+        log.push(Access {
+            t,
+            addr: node,
+            logical: pos,
+        });
         t += 1;
     }
     log
@@ -44,7 +52,13 @@ fn simulate(elements: usize, seed: u64) -> Vec<Access> {
 
 /// Render a coarse ASCII scatter plot: `rows` bins of the y-value over the
 /// full time axis.
-fn scatter(accesses: &[Access], y: impl Fn(&Access) -> f64, y_max: f64, rows: usize, cols: usize) -> String {
+fn scatter(
+    accesses: &[Access],
+    y: impl Fn(&Access) -> f64,
+    y_max: f64,
+    rows: usize,
+    cols: usize,
+) -> String {
     let mut grid = vec![vec![' '; cols]; rows];
     let t_max = accesses.last().map(|a| a.t + 1).unwrap_or(1) as f64;
     for a in accesses {
@@ -53,7 +67,10 @@ fn scatter(accesses: &[Access], y: impl Fn(&Access) -> f64, y_max: f64, rows: us
         let r = rows - 1 - r.min(rows - 1);
         grid[r][c.min(cols - 1)] = '*';
     }
-    grid.into_iter().map(|row| row.into_iter().collect::<String>()).collect::<Vec<_>>().join("\n")
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn main() {
@@ -68,20 +85,48 @@ fn main() {
     let span = (max_addr - min_addr) as f64;
 
     println!("\n-- accesses by real memory address (offset from heap base, bytes) --");
-    println!("{}", scatter(&accesses, |a| (a.addr - min_addr) as f64, span, 16, 100));
+    println!(
+        "{}",
+        scatter(&accesses, |a| (a.addr - min_addr) as f64, span, 16, 100)
+    );
     println!("\n-- accesses by logical list index --");
-    println!("{}", scatter(&accesses, |a| a.logical as f64, 100.0, 16, 100));
+    println!(
+        "{}",
+        scatter(&accesses, |a| a.logical as f64, 100.0, 16, 100)
+    );
 
     // Quantify the contrast the figure makes visually.
-    let addr_steps: Vec<i64> = accesses.windows(2).map(|w| w[1].addr as i64 - w[0].addr as i64).collect();
-    let logical_steps: Vec<i64> =
-        accesses.windows(2).map(|w| w[1].logical as i64 - w[0].logical as i64).collect();
-    let seq = |steps: &[i64]| steps.iter().filter(|&&d| d == 1 || (1..=32).contains(&d)).count() as f64 / steps.len() as f64;
-    let addr_lin = addr_steps.iter().filter(|&&d| (0..=64).contains(&d)).count() as f64 / addr_steps.len() as f64;
-    let log_lin = logical_steps.iter().filter(|&&d| d == 1).count() as f64 / logical_steps.len() as f64;
+    let addr_steps: Vec<i64> = accesses
+        .windows(2)
+        .map(|w| w[1].addr as i64 - w[0].addr as i64)
+        .collect();
+    let logical_steps: Vec<i64> = accesses
+        .windows(2)
+        .map(|w| w[1].logical as i64 - w[0].logical as i64)
+        .collect();
+    let seq = |steps: &[i64]| {
+        steps
+            .iter()
+            .filter(|&&d| d == 1 || (1..=32).contains(&d))
+            .count() as f64
+            / steps.len() as f64
+    };
+    let addr_lin = addr_steps
+        .iter()
+        .filter(|&&d| (0..=64).contains(&d))
+        .count() as f64
+        / addr_steps.len() as f64;
+    let log_lin =
+        logical_steps.iter().filter(|&&d| d == 1).count() as f64 / logical_steps.len() as f64;
     println!("\nconsecutive-step linearity:");
-    println!("  physical addresses: {:5.1}% of steps are small forward strides", addr_lin * 100.0);
-    println!("  logical indices:    {:5.1}% of steps are exactly +1", log_lin * 100.0);
+    println!(
+        "  physical addresses: {:5.1}% of steps are small forward strides",
+        addr_lin * 100.0
+    );
+    println!(
+        "  logical indices:    {:5.1}% of steps are exactly +1",
+        log_lin * 100.0
+    );
     println!("  (paper: the logical traversal is always semantically linear)");
     let _ = seq;
 }

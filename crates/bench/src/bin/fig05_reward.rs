@@ -12,13 +12,19 @@ fn main() {
     let bell = BellReward::paper_default();
     let step = StepReward::paper_default();
     let (lo, hi) = bell.window();
-    println!("positive window: {lo}..={hi} accesses; expiry penalty: {}\n", bell.expiry());
+    println!(
+        "positive window: {lo}..={hi} accesses; expiry penalty: {}\n",
+        bell.expiry()
+    );
     println!("{:>6}  {:>6}  {:>6}  plot (bell)", "depth", "bell", "step");
     for depth in (0..=96).step_by(2) {
         let r = bell.reward(depth);
         let s = step.reward(depth);
         let bar_len = (r + 8).max(0) as usize;
         let marker = if depth >= lo && depth <= hi { '#' } else { '-' };
-        println!("{depth:>6}  {r:>6}  {s:>6}  {}", marker.to_string().repeat(bar_len.min(30)));
+        println!(
+            "{depth:>6}  {r:>6}  {s:>6}  {}",
+            marker.to_string().repeat(bar_len.min(30))
+        );
     }
 }

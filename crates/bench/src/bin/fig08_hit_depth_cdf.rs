@@ -21,10 +21,15 @@ fn main() {
         "step starting at depth 18; <=25-35% late; early fraction splits workloads into groups",
     );
     let cfg = SimConfig::default();
-    let micro = ["array", "list", "listsort", "bst", "prim", "hashtest", "maptest", "ssca_lds"];
+    let micro = [
+        "array", "list", "listsort", "bst", "prim", "hashtest", "maptest", "ssca_lds",
+    ];
     let regular = ["mcf", "omnetpp", "hmmer", "lbm", "graph500", "suffixArray"];
 
-    for (title, set) in [("ubenchmarks", &micro[..]), ("regular benchmarks", &regular[..])] {
+    for (title, set) in [
+        ("ubenchmarks", &micro[..]),
+        ("regular benchmarks", &regular[..]),
+    ] {
         println!("\n-- {title} --");
         print!("{:<14}", "workload");
         for d in DEPTH_POINTS {

@@ -49,7 +49,8 @@ fn main() {
         for k in m.kernels() {
             if let Some(r) = m.get(k, p) {
                 let c = &r.mem.classes;
-                sum += c.fraction(AccessClass::HitPrefetchedLine) + c.fraction(AccessClass::ShorterWait);
+                sum += c.fraction(AccessClass::HitPrefetchedLine)
+                    + c.fraction(AccessClass::ShorterWait);
                 n += 1;
             }
         }

@@ -18,19 +18,29 @@ fn main() {
 
     let heavy = m.memory_intensive(5.0, false);
     let mut t = Table::new(
-        ["workload".to_string()].into_iter().chain(m.prefetchers().iter().map(|p| p.to_string())),
+        ["workload".to_string()]
+            .into_iter()
+            .chain(m.prefetchers().iter().map(|p| p.to_string())),
     );
     for k in &heavy {
         let mut row = vec![k.to_string()];
         for p in m.prefetchers() {
-            row.push(format!("{:.1}", m.get(k, p).map(|r| r.l1_mpki()).unwrap_or(0.0)));
+            row.push(format!(
+                "{:.1}",
+                m.get(k, p).map(|r| r.l1_mpki()).unwrap_or(0.0)
+            ));
         }
         t.row(row);
     }
     // Average over ALL workloads (as the paper's rightmost bars).
     let mut avg_row = vec!["AVERAGE(all)".to_string()];
     for p in m.prefetchers() {
-        let s: f64 = m.kernels().iter().filter_map(|k| m.get(k, p)).map(|r| r.l1_mpki()).sum();
+        let s: f64 = m
+            .kernels()
+            .iter()
+            .filter_map(|k| m.get(k, p))
+            .map(|r| r.l1_mpki())
+            .sum();
         avg_row.push(format!("{:.1}", s / m.kernels().len() as f64));
     }
     t.row(avg_row);

@@ -21,19 +21,29 @@ fn main() {
 
     let heavy = m.memory_intensive(1.0, true);
     let mut t = Table::new(
-        ["workload".to_string()].into_iter().chain(m.prefetchers().iter().map(|p| p.to_string())),
+        ["workload".to_string()]
+            .into_iter()
+            .chain(m.prefetchers().iter().map(|p| p.to_string())),
     );
     for k in &heavy {
         let mut row = vec![k.to_string()];
         for p in m.prefetchers() {
-            row.push(format!("{:.2}", m.get(k, p).map(|r| r.l2_mpki()).unwrap_or(0.0)));
+            row.push(format!(
+                "{:.2}",
+                m.get(k, p).map(|r| r.l2_mpki()).unwrap_or(0.0)
+            ));
         }
         t.row(row);
     }
     let mut averages = Vec::new();
     let mut avg_row = vec!["AVERAGE(all)".to_string()];
     for p in m.prefetchers() {
-        let s: f64 = m.kernels().iter().filter_map(|k| m.get(k, p)).map(|r| r.l2_mpki()).sum();
+        let s: f64 = m
+            .kernels()
+            .iter()
+            .filter_map(|k| m.get(k, p))
+            .map(|r| r.l2_mpki())
+            .sum();
         let avg = s / m.kernels().len() as f64;
         averages.push((*p, avg));
         avg_row.push(format!("{avg:.2}"));
@@ -41,8 +51,16 @@ fn main() {
     t.row(avg_row);
     println!("{}", t.render());
 
-    let base = averages.iter().find(|(p, _)| *p == "none").map(|&(_, v)| v).unwrap_or(0.0);
-    let ctx = averages.iter().find(|(p, _)| *p == "context").map(|&(_, v)| v).unwrap_or(0.0);
+    let base = averages
+        .iter()
+        .find(|(p, _)| *p == "none")
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0);
+    let ctx = averages
+        .iter()
+        .find(|(p, _)| *p == "context")
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0);
     let best_other = averages
         .iter()
         .filter(|(p, _)| *p != "none" && *p != "context")

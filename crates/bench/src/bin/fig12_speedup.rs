@@ -21,7 +21,10 @@ fn main() {
     let m = run_matrix(&kernels, &lineup, &cfg);
 
     let mut table = Table::new(
-        ["workload", "suite"].into_iter().map(String::from).chain(m.prefetchers().iter().skip(1).map(|p| p.to_string())),
+        ["workload", "suite"]
+            .into_iter()
+            .map(String::from)
+            .chain(m.prefetchers().iter().skip(1).map(|p| p.to_string())),
     );
     for (k, suite) in m.kernels().to_vec().iter().zip(&suites) {
         let mut row = vec![k.to_string(), suite.label().to_string()];
@@ -69,7 +72,11 @@ fn main() {
         "\ncontext speedup vs best competitor's speedup: {} vs {} ({}% higher; paper: ~76%)",
         report::pct(ctx_gain),
         report::pct(best_other),
-        if best_other > 0.0 { format!("{:.0}", (ctx_gain / best_other - 1.0) * 100.0) } else { "n/a".into() },
+        if best_other > 0.0 {
+            format!("{:.0}", (ctx_gain / best_other - 1.0) * 100.0)
+        } else {
+            "n/a".into()
+        },
     );
     let _ = geomean([1.0]);
 

@@ -19,8 +19,13 @@ fn main() {
     let cfg = SimConfig::default();
     let kernels = all_kernels();
     let sizes = [256usize, 512, 1024, 2048, 4096, 8192];
-    let points = storage_sweep(&kernels, &sizes, &cfg, |s| eprintln!("[sweep] finished CST size {s}"));
-    println!("\n{:>10} {:>10} {:>8} {:>8}", "CST", "storage", "Top10", "All");
+    let points = storage_sweep(&kernels, &sizes, &cfg, |s| {
+        eprintln!("[sweep] finished CST size {s}")
+    });
+    println!(
+        "\n{:>10} {:>10} {:>8} {:>8}",
+        "CST", "storage", "Top10", "All"
+    );
     for p in &points {
         println!(
             "{:>10} {:>9.1}k {:>7.2}x {:>7.2}x",
@@ -30,7 +35,10 @@ fn main() {
             p.all
         );
     }
-    let best_all = points.iter().max_by(|a, b| a.all.partial_cmp(&b.all).unwrap()).unwrap();
+    let best_all = points
+        .iter()
+        .max_by(|a, b| a.all.partial_cmp(&b.all).unwrap())
+        .unwrap();
     println!(
         "\nall-workload benefit peaks at CST {} entries (~{:.0} kB), not at the maximum size",
         best_all.cst_entries,

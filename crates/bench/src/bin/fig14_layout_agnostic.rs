@@ -19,7 +19,10 @@ fn main() {
     let cfg = SimConfig::default();
     let mut lineup = vec![PrefetcherKind::None];
     lineup.extend(full_lineup());
-    for (fig, csr, linked) in [("a) SSCA2", "ssca2", "ssca2-list"), ("b) Graph500", "graph500", "graph500-list")] {
+    for (fig, csr, linked) in [
+        ("a) SSCA2", "ssca2", "ssca2-list"),
+        ("b) Graph500", "graph500", "graph500-list"),
+    ] {
         println!("\n-- {fig} --");
         let mut t = Table::new(["prefetcher", "CSR cpi", "linked cpi", "linked/CSR"]);
         let mut best_linked = f64::INFINITY;
@@ -44,7 +47,11 @@ fn main() {
         println!("{}", t.render());
         println!(
             "context-on-linked CPI {best_linked:.2} vs unprefetched CSR CPI {base_csr:.2} ({})",
-            if best_linked <= base_csr * 1.15 { "comparable - the paper's claim holds" } else { "gap remains" }
+            if best_linked <= base_csr * 1.15 {
+                "comparable - the paper's claim holds"
+            } else {
+                "gap remains"
+            }
         );
     }
 }

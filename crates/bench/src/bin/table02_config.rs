@@ -5,17 +5,30 @@ use semloc_context::ContextConfig;
 use semloc_harness::{PrefetcherKind, SimConfig};
 
 fn main() {
-    banner("Table 2", "Simulator parameters", "must match the paper's configuration");
+    banner(
+        "Table 2",
+        "Simulator parameters",
+        "must match the paper's configuration",
+    );
     println!("{}\n", SimConfig::default().table2());
 
     let ctx = ContextConfig::default();
     println!("Context prefetcher");
-    println!("CST               {} entries x 4 links, direct-mapped", ctx.cst_entries);
-    println!("Reducer           {} entries, direct-mapped", ctx.reducer_entries);
+    println!(
+        "CST               {} entries x 4 links, direct-mapped",
+        ctx.cst_entries
+    );
+    println!(
+        "Reducer           {} entries, direct-mapped",
+        ctx.reducer_entries
+    );
     println!("History queue     {} entries", ctx.history_len);
     println!("Prefetch queue    {} entries", ctx.pfq_len);
     println!("Block granularity {} bytes", 1u64 << ctx.block_shift);
-    println!("Overall size      ~{:.1} kB (paper: ~31 kB)\n", ctx.storage_bytes() as f64 / 1024.0);
+    println!(
+        "Overall size      ~{:.1} kB (paper: ~31 kB)\n",
+        ctx.storage_bytes() as f64 / 1024.0
+    );
 
     println!("Competing prefetchers (storage scaled to the context budget)");
     for kind in [
@@ -26,6 +39,10 @@ fn main() {
         PrefetcherKind::Markov,
     ] {
         let p = kind.build();
-        println!("{:<10} {:>6.1} kB", p.name(), p.storage_bytes() as f64 / 1024.0);
+        println!(
+            "{:<10} {:>6.1} kB",
+            p.name(),
+            p.storage_bytes() as f64 / 1024.0
+        );
     }
 }

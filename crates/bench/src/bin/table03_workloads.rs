@@ -5,10 +5,17 @@ use semloc_harness::Table;
 use semloc_workloads::registry::table3;
 
 fn main() {
-    banner("Table 3", "Workloads and benchmarks used", "SPEC2006 (16), PBBS (3), Graph500, HPCS SSCA2, ukernels");
+    banner(
+        "Table 3",
+        "Workloads and benchmarks used",
+        "SPEC2006 (16), PBBS (3), Graph500, HPCS SSCA2, ukernels",
+    );
     let mut by_suite: std::collections::BTreeMap<&str, Vec<&str>> = Default::default();
     for info in table3() {
-        by_suite.entry(info.suite.label()).or_default().push(info.name);
+        by_suite
+            .entry(info.suite.label())
+            .or_default()
+            .push(info.name);
     }
     let mut t = Table::new(["suite", "workloads"]);
     for (suite, names) in by_suite {

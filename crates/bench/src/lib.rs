@@ -8,6 +8,8 @@
 use semloc_harness::{Matrix, PrefetcherKind, SimConfig};
 use semloc_workloads::KernelBox;
 
+pub mod legacy;
+
 /// Print a standard figure banner: what the paper shows, what to compare.
 pub fn banner(id: &str, title: &str, paper: &str) {
     println!("==============================================================");
@@ -32,11 +34,19 @@ pub fn full_lineup() -> Vec<PrefetcherKind> {
 /// with progress lines on stderr.
 pub fn run_matrix(kernels: &[KernelBox], lineup: &[PrefetcherKind], cfg: &SimConfig) -> Matrix {
     let total = kernels.len() * (lineup.len() + 1);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     let done = std::sync::atomic::AtomicUsize::new(0);
     Matrix::run_parallel(kernels, lineup, cfg, threads, |r| {
         let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-        eprintln!("[{d}/{total}] {} / {}: ipc {:.3}", r.kernel, r.prefetcher, r.cpu.ipc());
+        eprintln!(
+            "[{d}/{total}] {} / {}: ipc {:.3}",
+            r.kernel,
+            r.prefetcher,
+            r.cpu.ipc()
+        );
     })
 }
 

@@ -74,14 +74,76 @@ impl Attr {
     }
 }
 
+/// All hashes of one access's attribute vector, extracted in a single pass.
+///
+/// [`FullHash::of`] and [`ContextKey::of`] each walk the attribute list and
+/// re-extract every feature; the prefetcher hot path needs the full hash
+/// *and* one prefix key per access, and the reducer may ask for any of the
+/// 8 prefix lengths. `FeatureVec` folds one feature-extraction pass into
+/// both hash chains at once: the per-position inner mix
+/// `mix(feature ⊕ salt)` is shared between the chains, so after 8 features
+/// and 16 outer mixes every prefix key and the full hash are available in
+/// O(1). All values are bit-identical to the two-pass reference
+/// implementations (see the equivalence tests below).
+#[derive(Clone, Copy, Debug)]
+pub struct FeatureVec {
+    /// Per-position inner mixes `mix(feature_i ⊕ salt_i)` — the term both
+    /// hash chains consume at position `i`.
+    mixed: [u64; Attr::COUNT],
+    full: FullHash,
+}
+
+impl FeatureVec {
+    /// Extract every attribute of `ctx` once; the full-vector chain folds
+    /// eagerly (always needed), prefix keys fold on demand from the stored
+    /// inner mixes.
+    #[inline]
+    pub fn extract(ctx: &AccessContext, block_shift: u32) -> Self {
+        let mut full_acc = FULL_SEED;
+        let mut mixed = [0u64; Attr::COUNT];
+        for (i, attr) in Attr::ORDER.into_iter().enumerate() {
+            let m = mix(attr
+                .feature(ctx, block_shift)
+                .wrapping_add((i as u64).wrapping_mul(SALT)));
+            full_acc = mix(full_acc ^ m);
+            mixed[i] = m;
+        }
+        FeatureVec {
+            mixed,
+            full: FullHash(squeeze(full_acc) as u16),
+        }
+    }
+
+    /// The 16-bit full-vector hash (equals [`FullHash::of`]).
+    #[inline]
+    pub fn full_hash(&self) -> FullHash {
+        self.full
+    }
+
+    /// The 19-bit hash of the first `active` attributes (equals
+    /// [`ContextKey::of`]); `active` is clamped to `1..=8` the same way.
+    #[inline]
+    pub fn key(&self, active: usize) -> ContextKey {
+        let active = active.clamp(1, Attr::COUNT);
+        let mut acc = KEY_SEED;
+        for &m in &self.mixed[..active] {
+            acc = mix(acc ^ m);
+        }
+        ContextKey((squeeze(acc) & KEY_MASK) as u32)
+    }
+}
+
 /// The 16-bit hash of the *full* attribute vector (Reducer index + tag).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct FullHash(pub u16);
 
 impl FullHash {
     /// Hash the full attribute vector of `ctx`.
+    ///
+    /// Reference implementation; the hot path uses [`FeatureVec`], which
+    /// must stay bit-identical to this.
     pub fn of(ctx: &AccessContext, block_shift: u32) -> Self {
-        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        let mut acc = FULL_SEED;
         for (i, attr) in Attr::ORDER.into_iter().enumerate() {
             acc = fold(acc, i as u64, attr.feature(ctx, block_shift));
         }
@@ -108,13 +170,16 @@ pub struct ContextKey(pub u32);
 
 impl ContextKey {
     /// Hash the first `active` attributes (in [`Attr::ORDER`]) of `ctx`.
+    ///
+    /// Reference implementation; the hot path uses [`FeatureVec`], which
+    /// must stay bit-identical to this.
     pub fn of(ctx: &AccessContext, active: usize, block_shift: u32) -> Self {
         let active = active.clamp(1, Attr::COUNT);
-        let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+        let mut acc = KEY_SEED;
         for (i, attr) in Attr::ORDER.into_iter().take(active).enumerate() {
             acc = fold(acc, i as u64, attr.feature(ctx, block_shift));
         }
-        ContextKey((squeeze(acc) & 0x7ffff) as u32)
+        ContextKey((squeeze(acc) & KEY_MASK) as u32)
     }
 
     /// CST index under a table of `entries` (power of two) entries.
@@ -132,6 +197,15 @@ impl ContextKey {
     }
 }
 
+/// Chain seed of the full-vector hash.
+const FULL_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+/// Chain seed of the active-prefix hash.
+const KEY_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Per-position salt multiplier of the inner mix.
+const SALT: u64 = 0x2545_f491_4f6c_dd1d;
+/// 19-bit ContextKey mask.
+const KEY_MASK: u64 = 0x7ffff;
+
 /// SplitMix64 finalizer — a cheap, well-distributed 64-bit mixer.
 #[inline]
 fn mix(mut x: u64) -> u64 {
@@ -142,7 +216,7 @@ fn mix(mut x: u64) -> u64 {
 
 #[inline]
 fn fold(acc: u64, salt: u64, v: u64) -> u64 {
-    mix(acc ^ mix(v.wrapping_add(salt.wrapping_mul(0x2545_f491_4f6c_dd1d))))
+    mix(acc ^ mix(v.wrapping_add(salt.wrapping_mul(SALT))))
 }
 
 #[inline]
@@ -223,5 +297,62 @@ mod tests {
         let a = ctx(0x400, 0x1000);
         assert_eq!(ContextKey::of(&a, 0, 5), ContextKey::of(&a, 1, 5));
         assert_eq!(ContextKey::of(&a, 99, 5), ContextKey::of(&a, 8, 5));
+    }
+
+    /// A deterministic stream of contexts exercising every attribute,
+    /// including presence/absence of semantic hints.
+    fn varied_contexts(n: usize) -> Vec<AccessContext> {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|i| {
+                let mut c = ctx(next() & 0xffff_ffff, next());
+                c.seq = i as u64;
+                c.is_write = next() % 2 == 0;
+                c.branch_history = next() as u16;
+                c.recent_addrs = [next(), next(), next(), next()];
+                c.reg1 = next();
+                c.reg2 = next();
+                c.last_loaded = next();
+                if next() % 3 == 0 {
+                    c.hints = Some(SemanticHints::link(
+                        (next() % 64) as u16,
+                        (next() % 256) as u16,
+                    ));
+                }
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn feature_vec_full_hash_matches_reference() {
+        for c in varied_contexts(500) {
+            for shift in [5u32, 6] {
+                assert_eq!(
+                    FeatureVec::extract(&c, shift).full_hash(),
+                    FullHash::of(&c, shift)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feature_vec_keys_match_reference_at_every_prefix() {
+        for c in varied_contexts(500) {
+            let fv = FeatureVec::extract(&c, 6);
+            for active in 0..=(Attr::COUNT + 1) {
+                assert_eq!(
+                    fv.key(active),
+                    ContextKey::of(&c, active, 6),
+                    "prefix {active} diverged"
+                );
+            }
+        }
     }
 }

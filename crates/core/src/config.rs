@@ -111,14 +111,22 @@ impl ContextConfig {
     pub fn validate(&self) {
         assert!(self.cst_entries.is_power_of_two() && self.cst_entries >= 2);
         assert!(self.reducer_entries.is_power_of_two() && self.reducer_entries >= 2);
-        assert!(!self.sample_depths.is_empty(), "need at least one sample depth");
         assert!(
-            self.sample_depths.iter().all(|&d| d >= 1 && (d as usize) <= self.history_len),
+            !self.sample_depths.is_empty(),
+            "need at least one sample depth"
+        );
+        assert!(
+            self.sample_depths
+                .iter()
+                .all(|&d| d >= 1 && (d as usize) <= self.history_len),
             "sample depths must lie within the history queue"
         );
         assert!(self.max_degree >= 1);
         assert!((1..=8).contains(&self.initial_active));
-        assert!(self.delta_bits == 8 || self.delta_bits == 16, "delta width must be 8 or 16 bits");
+        assert!(
+            self.delta_bits == 8 || self.delta_bits == 16,
+            "delta width must be 8 or 16 bits"
+        );
     }
 
     /// Largest representable block delta magnitude under `delta_bits`.
@@ -196,21 +204,30 @@ mod tests {
         // Table 2 reports ~31 kB; our honest accounting of the same
         // structures lands within ~25% of it.
         let kb = c.storage_bytes() as f64 / 1024.0;
-        assert!((24.0..=40.0).contains(&kb), "storage {kb:.1} kB out of band");
+        assert!(
+            (24.0..=40.0).contains(&kb),
+            "storage {kb:.1} kB out of band"
+        );
     }
 
     #[test]
     fn storage_sweep_scales_with_cst() {
-        let small = ContextConfig::default().with_cst_entries(256).storage_bytes();
-        let big = ContextConfig::default().with_cst_entries(8192).storage_bytes();
+        let small = ContextConfig::default()
+            .with_cst_entries(256)
+            .storage_bytes();
+        let big = ContextConfig::default()
+            .with_cst_entries(8192)
+            .storage_bytes();
         assert!(big > small * 10);
     }
 
     #[test]
     #[should_panic(expected = "within the history queue")]
     fn sample_depths_beyond_history_rejected() {
-        let mut c = ContextConfig::default();
-        c.sample_depths = vec![51];
+        let c = ContextConfig {
+            sample_depths: vec![51],
+            ..ContextConfig::default()
+        };
         c.validate();
     }
 

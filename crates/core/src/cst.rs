@@ -60,7 +60,12 @@ impl ContextStatesTable {
         assert!(entries.is_power_of_two(), "CST size must be a power of two");
         ContextStatesTable {
             entries: vec![
-                Entry { tag: 0, valid: false, links: ScoredSet::new(replacement), last_full: 0 };
+                Entry {
+                    tag: 0,
+                    valid: false,
+                    links: ScoredSet::new(replacement),
+                    last_full: 0
+                };
                 entries
             ],
             count: entries,
@@ -90,7 +95,12 @@ impl ContextStatesTable {
         let replacement = self.replacement;
         let e = &mut self.entries[idx];
         if !e.valid || e.tag != tag {
-            *e = Entry { tag, valid: true, links: ScoredSet::new(replacement), last_full: 0 };
+            *e = Entry {
+                tag,
+                valid: true,
+                links: ScoredSet::new(replacement),
+                last_full: 0,
+            };
             e.links.insert(delta);
             return AddOutcome::Allocated;
         }
@@ -144,7 +154,7 @@ impl ContextStatesTable {
         }
         let alternated = e.last_full != full;
         e.last_full = full;
-        let weak = e.links.best().map_or(true, |(_, s)| s < strength_bar);
+        let weak = e.links.best().is_none_or(|(_, s)| s < strength_bar);
         alternated && weak
     }
 
@@ -156,7 +166,11 @@ impl ContextStatesTable {
     /// Iterate valid entries as `(index, ranked (delta, score) list)` —
     /// backs the `explore_contexts` example and debugging dumps.
     pub fn dump(&self) -> impl Iterator<Item = (usize, Vec<(i16, i8)>)> + '_ {
-        self.entries.iter().enumerate().filter(|(_, e)| e.valid).map(|(i, e)| (i, e.links.ranked()))
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid)
+            .map(|(i, e)| (i, e.links.ranked()))
     }
 }
 
@@ -239,7 +253,10 @@ mod tests {
         t.reward(k, 1, -5);
         assert_eq!(t.lookup(k).unwrap().best(), Some((2, 15)));
         let ranked = t.lookup(k).unwrap().ranked();
-        assert_eq!(ranked.iter().map(|&(d, _)| d).collect::<Vec<_>>(), vec![2, 3, 1]);
+        assert_eq!(
+            ranked.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            vec![2, 3, 1]
+        );
     }
 
     #[test]

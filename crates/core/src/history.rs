@@ -36,7 +36,10 @@ impl HistoryQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "history queue needs capacity");
-        HistoryQueue { entries: VecDeque::with_capacity(capacity + 1), capacity }
+        HistoryQueue {
+            entries: VecDeque::with_capacity(capacity + 1),
+            capacity,
+        }
     }
 
     /// Record the context of the current access (newest at depth 1 for the
@@ -57,8 +60,13 @@ impl HistoryQueue {
     }
 
     /// Sample the queue at each of `depths`, yielding `(depth, entry)`.
-    pub fn sample<'a>(&'a self, depths: &'a [u16]) -> impl Iterator<Item = (u16, &'a HistoryEntry)> + 'a {
-        depths.iter().filter_map(move |&d| self.at_depth(d).map(|e| (d, e)))
+    pub fn sample<'a>(
+        &'a self,
+        depths: &'a [u16],
+    ) -> impl Iterator<Item = (u16, &'a HistoryEntry)> + 'a {
+        depths
+            .iter()
+            .filter_map(move |&d| self.at_depth(d).map(|e| (d, e)))
     }
 
     /// Current number of stored contexts.
@@ -77,7 +85,11 @@ mod tests {
     use super::*;
 
     fn entry(block: u64) -> HistoryEntry {
-        HistoryEntry { key: ContextKey(block as u32 & 0x7ffff), full: FullHash(block as u16), block }
+        HistoryEntry {
+            key: ContextKey(block as u32 & 0x7ffff),
+            full: FullHash(block as u16),
+            block,
+        }
     }
 
     #[test]

@@ -7,8 +7,26 @@
 //! expire with a negative reward. The queue is deliberately larger than the
 //! useful prefetch window so that *too-early* predictions can still be
 //! observed and demoted.
+//!
+//! # Implementation
+//!
+//! The queue runs once per demand access, so its operations are indexed
+//! rather than scanned:
+//!
+//! * Entry ids are assigned sequentially by [`PrefetchQueue::push`] and
+//!   entries leave only from the front (overflow) or all at once (drain),
+//!   so the deque always holds **contiguous ascending ids** and any live
+//!   entry sits at position `id - front_id` — an O(1) lookup that replaces
+//!   the linear id search in [`PrefetchQueue::demote_to_shadow`].
+//! * A block → ids map covers exactly the *un-hit* entries, so
+//!   [`PrefetchQueue::record_access`], [`PrefetchQueue::predicts`] and
+//!   [`PrefetchQueue::predicts_real`] cost O(matches) instead of a full
+//!   O(capacity) scan. Each id list is kept in ascending (= deque) order,
+//!   so hits are emitted in exactly the order the scan produced them.
+//!   Freed id lists are pooled to keep the hot path allocation-free.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::attrs::{ContextKey, FullHash};
 use semloc_trace::Seq;
@@ -44,12 +62,45 @@ pub struct PfqHit {
     pub depth: u32,
 }
 
+/// Multiplicative hasher for block addresses: one multiply and a fold beat
+/// SipHash by an order of magnitude on 8-byte keys, and block numbers have
+/// enough entropy in their low bits for the golden-ratio spread.
+#[derive(Clone, Copy, Debug, Default)]
+struct BlockHasher(u64);
+
+impl Hasher for BlockHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type BlockIndex = HashMap<u64, Vec<u64>, BuildHasherDefault<BlockHasher>>;
+
 /// Fixed-capacity queue of outstanding predictions (Table 2: 128 entries).
 #[derive(Clone, Debug)]
 pub struct PrefetchQueue {
     entries: VecDeque<PfqEntry>,
     capacity: usize,
     next_id: u64,
+    /// block → ascending ids of *un-hit* entries predicting it. Lists are
+    /// never left empty (the key is removed instead), so `predicts` is a
+    /// key-presence test.
+    index: BlockIndex,
+    /// Recycled id lists (allocation-free steady state).
+    pool: Vec<Vec<u64>>,
 }
 
 impl PrefetchQueue {
@@ -60,7 +111,25 @@ impl PrefetchQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "prefetch queue needs capacity");
-        PrefetchQueue { entries: VecDeque::with_capacity(capacity + 1), capacity, next_id: 0 }
+        PrefetchQueue {
+            entries: VecDeque::with_capacity(capacity + 1),
+            capacity,
+            next_id: 0,
+            index: BlockIndex::default(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Deque position of a live entry (ids are contiguous and ascending).
+    #[inline]
+    fn position(&self, id: u64) -> Option<usize> {
+        let front = self.entries.front()?.id;
+        if id < front {
+            return None; // already expired
+        }
+        let pos = (id - front) as usize;
+        debug_assert!(self.entries.get(pos).is_none_or(|e| e.id == id));
+        (pos < self.entries.len()).then_some(pos)
     }
 
     /// Record a new prediction. Returns its id and, when the queue
@@ -77,46 +146,106 @@ impl PrefetchQueue {
     ) -> (u64, Option<PfqEntry>) {
         let id = self.next_id;
         self.next_id += 1;
-        self.entries.push_back(PfqEntry { id, block, key, full, delta, issue_seq, shadow, hit: false });
-        let expired = if self.entries.len() > self.capacity { self.entries.pop_front() } else { None };
+        self.entries.push_back(PfqEntry {
+            id,
+            block,
+            key,
+            full,
+            delta,
+            issue_seq,
+            shadow,
+            hit: false,
+        });
+        self.index
+            .entry(block)
+            .or_insert_with(|| self.pool.pop().unwrap_or_default())
+            .push(id);
+        let expired = if self.entries.len() > self.capacity {
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        if let Some(e) = &expired {
+            if !e.hit {
+                self.unindex(e.block, e.id);
+            }
+        }
         (id, expired)
+    }
+
+    /// Remove `id` from `block`'s index list, retiring the list when empty.
+    fn unindex(&mut self, block: u64, id: u64) {
+        let Some(list) = self.index.get_mut(&block) else {
+            return;
+        };
+        if let Some(pos) = list.iter().position(|&x| x == id) {
+            list.remove(pos);
+        }
+        if list.is_empty() {
+            let mut freed = self.index.remove(&block).expect("list just found");
+            freed.clear();
+            self.pool.push(freed);
+        }
     }
 
     /// Match a demand access against the queue: every un-hit entry
     /// predicting `block` is marked hit and returned with its depth.
     pub fn record_access(&mut self, block: u64, seq: Seq, out: &mut Vec<PfqHit>) {
-        for e in self.entries.iter_mut() {
-            if !e.hit && e.block == block {
-                e.hit = true;
-                let depth = seq.saturating_sub(e.issue_seq) as u32;
-                out.push(PfqHit { entry: *e, depth });
-            }
+        let Some(mut ids) = self.index.remove(&block) else {
+            return;
+        };
+        let front = self
+            .entries
+            .front()
+            .expect("indexed entry implies non-empty queue")
+            .id;
+        for &id in &ids {
+            let e = &mut self.entries[(id - front) as usize];
+            debug_assert!(e.id == id && !e.hit && e.block == block);
+            e.hit = true;
+            let depth = seq.saturating_sub(e.issue_seq) as u32;
+            out.push(PfqHit { entry: *e, depth });
         }
+        ids.clear();
+        self.pool.push(ids);
     }
 
     /// Whether any un-hit prediction covers `block` (drives the Fig 9
     /// *non-timely* classification).
     pub fn predicts(&self, block: u64) -> bool {
-        self.entries.iter().any(|e| !e.hit && e.block == block)
+        self.index.contains_key(&block)
     }
 
     /// Whether an un-hit *real* (dispatched) prefetch covers `block` —
     /// the dedup check before issuing another real prefetch. Shadow
     /// entries must not suppress a real dispatch.
     pub fn predicts_real(&self, block: u64) -> bool {
-        self.entries.iter().any(|e| !e.hit && !e.shadow && e.block == block)
+        let Some(ids) = self.index.get(&block) else {
+            return false;
+        };
+        let front = self
+            .entries
+            .front()
+            .expect("indexed entry implies non-empty queue")
+            .id;
+        ids.iter()
+            .any(|&id| !self.entries[(id - front) as usize].shadow)
     }
 
     /// Demote the entry `id` to a shadow operation (the memory system
     /// rejected its dispatch).
     pub fn demote_to_shadow(&mut self, id: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
-            e.shadow = true;
+        if let Some(pos) = self.position(id) {
+            self.entries[pos].shadow = true;
         }
     }
 
     /// Drain every remaining entry (end of run); un-hit ones are expiries.
     pub fn drain(&mut self) -> impl Iterator<Item = PfqEntry> + '_ {
+        self.pool.extend(self.index.drain().map(|(_, mut ids)| {
+            ids.clear();
+            ids
+        }));
         self.entries.drain(..)
     }
 
@@ -186,6 +315,8 @@ mod tests {
         assert_eq!(e.block, 1);
         assert!(!e.hit);
         assert_eq!(q.len(), 2);
+        assert!(!q.predicts(1), "expired entry must leave the index");
+        assert!(q.predicts(2) && q.predicts(3));
     }
 
     #[test]
@@ -200,6 +331,18 @@ mod tests {
     }
 
     #[test]
+    fn predicts_real_ignores_shadows() {
+        let mut q = PrefetchQueue::new(8);
+        q.push(7, key(), full(), 1, 0, true);
+        assert!(q.predicts(7) && !q.predicts_real(7));
+        q.push(7, key(), full(), 1, 1, false);
+        assert!(q.predicts_real(7));
+        let mut hits = Vec::new();
+        q.record_access(7, 2, &mut hits);
+        assert!(!q.predicts_real(7));
+    }
+
+    #[test]
     fn demote_to_shadow_flags_entry() {
         let mut q = PrefetchQueue::new(4);
         let (id, _) = q.push(7, key(), full(), 1, 0, false);
@@ -209,11 +352,153 @@ mod tests {
     }
 
     #[test]
+    fn demote_of_expired_id_is_a_noop() {
+        let mut q = PrefetchQueue::new(2);
+        let (first, _) = q.push(1, key(), full(), 1, 0, false);
+        q.push(2, key(), full(), 1, 1, false);
+        q.push(3, key(), full(), 1, 2, false); // expires `first`
+        q.demote_to_shadow(first);
+        q.demote_to_shadow(999); // never existed
+        assert!(q.drain().all(|e| !e.shadow));
+    }
+
+    #[test]
     fn drain_empties_queue() {
         let mut q = PrefetchQueue::new(4);
         q.push(1, key(), full(), 1, 0, false);
         q.push(2, key(), full(), 1, 0, true);
         assert_eq!(q.drain().count(), 2);
         assert!(q.is_empty());
+        assert!(!q.predicts(1) && !q.predicts(2));
+    }
+
+    /// Reference implementation: the original linear-scan queue. The
+    /// indexed queue must stay observably identical to it under any
+    /// operation sequence.
+    #[derive(Clone)]
+    struct LinearQueue {
+        entries: VecDeque<PfqEntry>,
+        capacity: usize,
+        next_id: u64,
+    }
+
+    impl LinearQueue {
+        fn new(capacity: usize) -> Self {
+            LinearQueue {
+                entries: VecDeque::new(),
+                capacity,
+                next_id: 0,
+            }
+        }
+
+        fn push(
+            &mut self,
+            block: u64,
+            delta: i16,
+            seq: Seq,
+            shadow: bool,
+        ) -> (u64, Option<PfqEntry>) {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.entries.push_back(PfqEntry {
+                id,
+                block,
+                key: key(),
+                full: full(),
+                delta,
+                issue_seq: seq,
+                shadow,
+                hit: false,
+            });
+            let expired = if self.entries.len() > self.capacity {
+                self.entries.pop_front()
+            } else {
+                None
+            };
+            (id, expired)
+        }
+
+        fn record_access(&mut self, block: u64, seq: Seq, out: &mut Vec<PfqHit>) {
+            for e in self.entries.iter_mut() {
+                if !e.hit && e.block == block {
+                    e.hit = true;
+                    out.push(PfqHit {
+                        entry: *e,
+                        depth: seq.saturating_sub(e.issue_seq) as u32,
+                    });
+                }
+            }
+        }
+
+        fn predicts(&self, block: u64) -> bool {
+            self.entries.iter().any(|e| !e.hit && e.block == block)
+        }
+
+        fn predicts_real(&self, block: u64) -> bool {
+            self.entries
+                .iter()
+                .any(|e| !e.hit && !e.shadow && e.block == block)
+        }
+
+        fn demote_to_shadow(&mut self, id: u64) {
+            if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+                e.shadow = true;
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_queue_matches_linear_reference_on_random_ops() {
+        let mut q = PrefetchQueue::new(16);
+        let mut r = LinearQueue::new(16);
+        let mut state = 0xdead_beef_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for seq in 0..5000u64 {
+            let block = next() % 24; // small space → heavy aliasing
+            match next() % 5 {
+                0 | 1 => {
+                    let (id_a, ex_a) = q.push(
+                        block,
+                        key(),
+                        full(),
+                        (next() % 32) as i16,
+                        seq,
+                        next() % 2 == 0,
+                    );
+                    let (id_b, ex_b) = r.push(
+                        block,
+                        q.entries.back().unwrap().delta,
+                        seq,
+                        q.entries.back().unwrap().shadow,
+                    );
+                    assert_eq!(id_a, id_b);
+                    assert_eq!(ex_a, ex_b);
+                }
+                2 => {
+                    let (mut ha, mut hb) = (Vec::new(), Vec::new());
+                    q.record_access(block, seq, &mut ha);
+                    r.record_access(block, seq, &mut hb);
+                    assert_eq!(ha, hb, "hit sets (and their order) must match");
+                }
+                3 => {
+                    let id = next() % q.next_id.max(1);
+                    q.demote_to_shadow(id);
+                    r.demote_to_shadow(id);
+                }
+                _ => {
+                    assert_eq!(q.predicts(block), r.predicts(block));
+                    assert_eq!(q.predicts_real(block), r.predicts_real(block));
+                }
+            }
+        }
+        assert_eq!(
+            q.drain().collect::<Vec<_>>(),
+            r.entries.drain(..).collect::<Vec<_>>()
+        );
     }
 }

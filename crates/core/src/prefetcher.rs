@@ -22,7 +22,7 @@ use semloc_bandit::{ExplorationPolicy, RewardFunction};
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
 use semloc_trace::{AccessContext, Addr};
 
-use crate::attrs::{ContextKey, FullHash};
+use crate::attrs::{ContextKey, FeatureVec, FullHash};
 use crate::config::ContextConfig;
 use crate::cst::{AddOutcome, ContextStatesTable};
 use crate::history::{HistoryEntry, HistoryQueue};
@@ -58,6 +58,8 @@ pub struct ContextPrefetcher {
     rng: StdRng,
     stats: ContextStats,
     hit_buf: Vec<PfqHit>,
+    /// Reusable candidate-ranking scratch (hoisted out of `predict`).
+    rank_buf: Vec<(i16, i8)>,
     mem_stats: PrefetcherStats,
 }
 
@@ -83,6 +85,7 @@ impl ContextPrefetcher {
             rng: StdRng::seed_from_u64(cfg.seed),
             stats: ContextStats::default(),
             hit_buf: Vec::with_capacity(8),
+            rank_buf: Vec::with_capacity(16),
             mem_stats: PrefetcherStats::default(),
             cfg,
         }
@@ -112,9 +115,7 @@ impl ContextPrefetcher {
     /// expires with the penalty reward. Call once when a run completes.
     pub fn drain_feedback(&mut self) {
         let expiry = self.cfg.reward.expiry();
-        let mut pending: Vec<PfqEntry> = Vec::new();
-        pending.extend(self.pfq.drain());
-        for e in pending {
+        for e in self.pfq.drain() {
             if !e.hit {
                 self.cst.reward(e.key, e.delta, expiry);
                 self.stats.expired += 1;
@@ -213,19 +214,27 @@ impl ContextPrefetcher {
         pressure: MemPressure,
         out: &mut Vec<PrefetchReq>,
     ) {
-        let mut ranked = match self.cst.lookup(key) {
-            Some(links) => links.ranked(),
-            None => return,
-        };
-        // Tie-break saturated scores toward the deeper-reaching delta: with
-        // equal evidence, more distance hides more latency.
-        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (b.0 as i16).abs().cmp(&(a.0 as i16).abs())));
-        let explore_pick = if self.cfg.disable_shadow || !self.cfg.exploration.explore(&mut self.rng) {
-            None
-        } else {
-            use rand::RngExt;
-            Some(ranked[self.rng.random_range(0..ranked.len())].0)
-        };
+        let mut ranked = std::mem::take(&mut self.rank_buf);
+        match self.cst.lookup(key) {
+            Some(links) => links.ranked_into(&mut ranked),
+            None => {
+                self.rank_buf = ranked;
+                return;
+            }
+        }
+        // Rank by score, tie-breaking saturated scores toward the
+        // deeper-reaching delta: with equal evidence, more distance hides
+        // more latency. One stable sort over slot order — equivalent to
+        // `ranked()` followed by a score-desc/abs-desc re-sort, since the
+        // second key refines the first.
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| b.0.abs().cmp(&a.0.abs())));
+        let explore_pick =
+            if self.cfg.disable_shadow || !self.cfg.exploration.explore(&mut self.rng) {
+                None
+            } else {
+                use rand::RngExt;
+                Some(ranked[self.rng.random_range(0..ranked.len())].0)
+            };
 
         let acc = self.cfg.exploration.accuracy();
         let (step1, step2) = self.cfg.degree_accuracy_steps;
@@ -278,9 +287,18 @@ impl ContextPrefetcher {
             let target = block.wrapping_add(delta as i64 as u64);
             self.push_pred(target, key, full, delta, seq, true);
         }
+        self.rank_buf = ranked;
     }
 
-    fn push_pred(&mut self, target: u64, key: ContextKey, full: FullHash, delta: i16, seq: u64, shadow: bool) {
+    fn push_pred(
+        &mut self,
+        target: u64,
+        key: ContextKey,
+        full: FullHash,
+        delta: i16,
+        seq: u64,
+        shadow: bool,
+    ) {
         let (_, expired) = self.pfq.push(target, key, full, delta, seq, shadow);
         if shadow {
             self.stats.shadow_issued += 1;
@@ -305,20 +323,31 @@ impl Prefetcher for ContextPrefetcher {
         "context"
     }
 
-    fn on_access(&mut self, ctx: &AccessContext, pressure: MemPressure, out: &mut Vec<PrefetchReq>) {
+    fn on_access(
+        &mut self,
+        ctx: &AccessContext,
+        pressure: MemPressure,
+        out: &mut Vec<PrefetchReq>,
+    ) {
         let block = self.block_of(ctx.addr);
 
         // 1. Feedback.
         self.feedback(block, ctx.seq);
 
-        // 2. Hash the current context through the reducer.
-        let full = FullHash::of(ctx, self.cfg.block_shift);
+        // 2. Hash the current context through the reducer. One extraction
+        // pass yields the full hash and every prefix key (bit-identical to
+        // `FullHash::of` / `ContextKey::of`).
+        let features = FeatureVec::extract(ctx, self.cfg.block_shift);
+        let full = features.full_hash();
         let active = self.reducer.active_count(full);
-        let key = ContextKey::of(ctx, active as usize, self.cfg.block_shift);
+        let key = features.key(active as usize);
 
         // 2b. Ref-count overload (§5): a reduced context shared by many
         // distinct full contexts while predicting weakly should split.
-        if self.cst.note_shared_weak(key, full.0, self.cfg.split_strength_bar) {
+        if self
+            .cst
+            .note_shared_weak(key, full.0, self.cfg.split_strength_bar)
+        {
             self.reducer.report_overload(full);
         }
 
@@ -376,7 +405,10 @@ mod tests {
     use semloc_trace::AccessContext;
 
     fn pressure() -> MemPressure {
-        MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+        MemPressure {
+            l1_mshr_free: 4,
+            l2_mshr_free: 20,
+        }
     }
 
     fn ctx(seq: u64, pc: u64, addr: u64) -> AccessContext {
@@ -403,7 +435,10 @@ mod tests {
     fn learns_a_regular_stride() {
         let mut p = ContextPrefetcher::new(ContextConfig::default());
         let reals = drive_stride(&mut p, 4000, 64);
-        assert!(!reals.is_empty(), "stride stream must eventually trigger real prefetches");
+        assert!(
+            !reals.is_empty(),
+            "stride stream must eventually trigger real prefetches"
+        );
         let s = p.learn_stats();
         assert!(s.hits > 100, "predictions must be hit (got {})", s.hits);
         assert!(
@@ -428,7 +463,10 @@ mod tests {
         drive_stride(&mut p, 8000, 64);
         let s = p.learn_stats();
         let in_window = s.depth_cdf.fraction_in_window(18, 50);
-        assert!(in_window > 0.4, "only {in_window:.2} of hits inside the window");
+        assert!(
+            in_window > 0.4,
+            "only {in_window:.2} of hits inside the window"
+        );
     }
 
     #[test]
@@ -465,7 +503,11 @@ mod tests {
         }
         let s = p.learn_stats();
         assert!(s.hits > hits_before, "learning must continue across laps");
-        assert!(s.hits > 500, "recurring chain should be predicted, hits={}", s.hits);
+        assert!(
+            s.hits > 500,
+            "recurring chain should be predicted, hits={}",
+            s.hits
+        );
     }
 
     #[test]
@@ -489,12 +531,15 @@ mod tests {
     #[test]
     fn mshr_pressure_suppresses_real_prefetches() {
         let mut p = ContextPrefetcher::new(ContextConfig::default());
-        let starved = MemPressure { l1_mshr_free: 1, l2_mshr_free: 0 };
+        let starved = MemPressure {
+            l1_mshr_free: 1,
+            l2_mshr_free: 0,
+        };
         let mut out = Vec::new();
         for i in 0..3000u64 {
             out.clear();
             p.on_access(&ctx(i, 0x400, 0x30_0000 + i * 64), starved, &mut out);
-            assert!(out.iter().all(|r| r.shadow || false == !r.shadow), "no panic path");
+            assert!(out.iter().all(|r| r.shadow), "no panic path");
             assert!(out.is_empty(), "under pressure everything becomes shadow");
         }
         assert!(p.learn_stats().shadow_issued > 0);
@@ -538,7 +583,9 @@ mod tests {
         let mut state = 9u64;
         let mut issued = 0u64;
         for i in 0..20_000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = 0x100_0000 + (state % (1 << 22));
             out.clear();
             p.on_access(&ctx(i, 0x400, addr), pressure(), &mut out);
@@ -561,7 +608,11 @@ mod tests {
         // Jumps of 1 MiB never fit the 1-byte block delta.
         for i in 0..500u64 {
             out.clear();
-            p.on_access(&ctx(i, 0x400, 0x10_0000 + i * (1 << 20)), pressure(), &mut out);
+            p.on_access(
+                &ctx(i, 0x400, 0x10_0000 + i * (1 << 20)),
+                pressure(),
+                &mut out,
+            );
         }
         let s = p.learn_stats();
         assert!(s.delta_overflow > 0);

@@ -44,12 +44,29 @@ impl Reducer {
     ///
     /// Panics if `entries` is not a power of two or `initial_active` is out
     /// of range.
-    pub fn new(entries: usize, initial_active: u8, overload_threshold: i8, underload_threshold: i8, frozen: bool) -> Self {
-        assert!(entries.is_power_of_two(), "reducer size must be a power of two");
+    pub fn new(
+        entries: usize,
+        initial_active: u8,
+        overload_threshold: i8,
+        underload_threshold: i8,
+        frozen: bool,
+    ) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "reducer size must be a power of two"
+        );
         assert!((1..=Attr::COUNT as u8).contains(&initial_active));
         assert!(overload_threshold > 0 && underload_threshold < 0);
         Reducer {
-            entries: vec![Entry { tag: 0, active: initial_active, pressure: 0, valid: false }; entries],
+            entries: vec![
+                Entry {
+                    tag: 0,
+                    active: initial_active,
+                    pressure: 0,
+                    valid: false
+                };
+                entries
+            ],
             mask: entries - 1,
             initial_active,
             overload_threshold,
@@ -68,7 +85,12 @@ impl Reducer {
         let initial = self.initial_active;
         let e = &mut self.entries[idx];
         if !e.valid || e.tag != tag {
-            *e = Entry { tag, active: initial, pressure: 0, valid: true };
+            *e = Entry {
+                tag,
+                active: initial,
+                pressure: 0,
+                valid: true,
+            };
         }
         e.active
     }
@@ -163,7 +185,11 @@ mod tests {
         r.report_overload(f);
         assert_eq!(r.active_count(f), 4, "below threshold: unchanged");
         r.report_overload(f);
-        assert_eq!(r.active_count(f), 5, "threshold reached: one more attribute");
+        assert_eq!(
+            r.active_count(f),
+            5,
+            "threshold reached: one more attribute"
+        );
         assert_eq!(r.activations(), 1);
     }
 

@@ -18,7 +18,10 @@ impl HitDepthCdf {
     /// A histogram covering depths `0..=max_depth` (deeper hits clamp to
     /// the last bucket).
     pub fn new(max_depth: u32) -> Self {
-        HitDepthCdf { buckets: vec![0; max_depth as usize + 1], total: 0 }
+        HitDepthCdf {
+            buckets: vec![0; max_depth as usize + 1],
+            total: 0,
+        }
     }
 
     /// Record one hit at `depth`.
@@ -50,7 +53,14 @@ impl HitDepthCdf {
             .enumerate()
             .map(|(d, &c)| {
                 acc += c;
-                (d as u32, if self.total == 0 { 0.0 } else { acc as f64 / self.total as f64 })
+                (
+                    d as u32,
+                    if self.total == 0 {
+                        0.0
+                    } else {
+                        acc as f64 / self.total as f64
+                    },
+                )
             })
             .collect()
     }
@@ -124,7 +134,10 @@ mod tests {
         assert_eq!(c.total(), 6);
         assert!((c.cdf_at(4) - 0.0).abs() < 1e-12);
         assert!((c.cdf_at(10) - 0.5).abs() < 1e-12);
-        assert!((c.cdf_at(64) - 1.0).abs() < 1e-12, "clamped deep hits count in last bucket");
+        assert!(
+            (c.cdf_at(64) - 1.0).abs() < 1e-12,
+            "clamped deep hits count in last bucket"
+        );
         let pts = c.points();
         assert!(pts.windows(2).all(|w| w[0].1 <= w[1].1));
     }
@@ -147,7 +160,11 @@ mod tests {
 
     #[test]
     fn accuracy_over_resolved() {
-        let s = ContextStats { hits: 30, expired: 10, ..Default::default() };
+        let s = ContextStats {
+            hits: 30,
+            expired: 10,
+            ..Default::default()
+        };
         assert!((s.prediction_accuracy() - 0.75).abs() < 1e-12);
         assert_eq!(ContextStats::default().prediction_accuracy(), 0.0);
     }

@@ -6,7 +6,10 @@ use semloc_mem::{MemPressure, PrefetchReq, Prefetcher};
 use semloc_trace::{AccessContext, SemanticHints};
 
 fn pressure() -> MemPressure {
-    MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }
+    MemPressure {
+        l1_mshr_free: 4,
+        l2_mshr_free: 20,
+    }
 }
 
 /// A deterministic driver that accepts every issued prefetch.
@@ -19,7 +22,12 @@ struct Driver {
 
 impl Driver {
     fn new(cfg: ContextConfig) -> Self {
-        Driver { p: ContextPrefetcher::new(cfg), out: Vec::new(), seq: 0, issued: Vec::new() }
+        Driver {
+            p: ContextPrefetcher::new(cfg),
+            out: Vec::new(),
+            seq: 0,
+            issued: Vec::new(),
+        }
     }
 
     fn access(&mut self, pc: u64, addr: u64, reg1: u64, hints: Option<SemanticHints>) {
@@ -55,7 +63,10 @@ fn chain_coverage_grows_with_training() {
     let early = d.p.learn_stats().hits;
     drive_chain(&mut d, &blocks, 40);
     let late = d.p.learn_stats().hits;
-    assert!(late > early * 4, "hits must accumulate with training ({early} -> {late})");
+    assert!(
+        late > early * 4,
+        "hits must accumulate with training ({early} -> {late})"
+    );
     assert!(d.p.learn_stats().prediction_accuracy() > 0.5);
 }
 
@@ -64,17 +75,27 @@ fn wide_deltas_reach_beyond_narrow_range() {
     // A two-phase chain whose step exceeds the i8 range (±127 blocks).
     let blocks: Vec<u64> = (0..40u64).map(|i| 50_000 + i * 500).collect();
     let mut narrow = Driver::new(ContextConfig::default());
-    let mut wide_cfg = ContextConfig::default();
-    wide_cfg.delta_bits = 16;
+    let wide_cfg = ContextConfig {
+        delta_bits: 16,
+        ..ContextConfig::default()
+    };
     let mut wide = Driver::new(wide_cfg);
     drive_chain(&mut narrow, &blocks, 60);
     drive_chain(&mut wide, &blocks, 60);
     let n = narrow.p.learn_stats();
     let w = wide.p.learn_stats();
-    assert!(n.collected == 0, "500-block steps cannot fit 8-bit deltas (collected {})", n.collected);
+    assert!(
+        n.collected == 0,
+        "500-block steps cannot fit 8-bit deltas (collected {})",
+        n.collected
+    );
     assert!(n.delta_overflow > 0);
     assert!(w.collected > 0, "16-bit deltas must capture the pattern");
-    assert!(w.hits > 100, "wide config must predict the long-stride chain, hits={}", w.hits);
+    assert!(
+        w.hits > 100,
+        "wide config must predict the long-stride chain, hits={}",
+        w.hits
+    );
 }
 
 #[test]
@@ -92,7 +113,10 @@ fn reducer_splits_weak_shared_contexts() {
             d.access(0x600, b[i] << 5, b[i], Some(hints));
         }
     }
-    assert!(d.p.reducer().activations() > 0, "interleaved chains must trigger context splitting");
+    assert!(
+        d.p.reducer().activations() > 0,
+        "interleaved chains must trigger context splitting"
+    );
 }
 
 #[test]
@@ -101,7 +125,11 @@ fn deterministic_across_identical_runs() {
     let run = || {
         let mut d = Driver::new(ContextConfig::default());
         drive_chain(&mut d, &blocks, 30);
-        (d.issued.clone(), d.p.learn_stats().hits, d.p.learn_stats().collected)
+        (
+            d.issued.clone(),
+            d.p.learn_stats().hits,
+            d.p.learn_stats().collected,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -110,8 +138,10 @@ fn deterministic_across_identical_runs() {
 fn seed_changes_exploration_not_correctness() {
     let blocks: Vec<u64> = (0..50u64).map(|i| 60_000 + i * 2).collect();
     let run = |seed: u64| {
-        let mut cfg = ContextConfig::default();
-        cfg.seed = seed;
+        let cfg = ContextConfig {
+            seed,
+            ..ContextConfig::default()
+        };
         let mut d = Driver::new(cfg);
         drive_chain(&mut d, &blocks, 30);
         d.p.learn_stats().prediction_accuracy()
@@ -126,7 +156,10 @@ fn storage_scales_with_configuration() {
     let base = ContextConfig::default();
     let mut wide = base.clone();
     wide.delta_bits = 16;
-    assert!(wide.storage_bytes() > base.storage_bytes(), "wide deltas cost storage");
+    assert!(
+        wide.storage_bytes() > base.storage_bytes(),
+        "wide deltas cost storage"
+    );
     let small = ContextConfig::default().with_cst_entries(256);
     assert!(small.storage_bytes() < base.storage_bytes());
 }
@@ -149,8 +182,10 @@ fn drain_feedback_penalizes_outstanding_predictions() {
 fn frozen_reducer_never_splits() {
     let a: Vec<u64> = (0..32u64).map(|i| 20_000 + i * 7).collect();
     let b: Vec<u64> = (0..32u64).map(|i| 30_000 + i * 11).collect();
-    let mut cfg = ContextConfig::default();
-    cfg.freeze_reducer = true;
+    let cfg = ContextConfig {
+        freeze_reducer: true,
+        ..ContextConfig::default()
+    };
     let mut d = Driver::new(cfg);
     let hints = SemanticHints::link(2, 8);
     for _ in 0..50 {

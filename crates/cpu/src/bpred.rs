@@ -30,7 +30,11 @@ impl Gshare {
     /// A predictor with `2^log2_entries` counters, initialized weakly taken.
     pub fn new(log2_entries: u32) -> Self {
         let n = 1usize << log2_entries;
-        Gshare { table: vec![2; n], mask: (n - 1) as u64, history: 0 }
+        Gshare {
+            table: vec![2; n],
+            mask: (n - 1) as u64,
+            history: 0,
+        }
     }
 
     #[inline]
@@ -86,7 +90,10 @@ mod tests {
                 wrong_tail += 1;
             }
         }
-        assert!(wrong_tail <= 4, "alternating branch not learned: {wrong_tail} late misses");
+        assert!(
+            wrong_tail <= 4,
+            "alternating branch not learned: {wrong_tail} late misses"
+        );
     }
 
     #[test]
@@ -106,12 +113,17 @@ mod tests {
         let mut wrong = 0;
         let n = 2000;
         for _ in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (state >> 33) & 1 == 1;
             if !p.predict_and_update(0x600, taken) {
                 wrong += 1;
             }
         }
-        assert!(wrong > n / 4, "predictor suspiciously good on random stream");
+        assert!(
+            wrong > n / 4,
+            "predictor suspiciously good on random stream"
+        );
     }
 }

@@ -55,7 +55,10 @@ impl CpuConfig {
     /// Panics if any width is zero, or if the PRF cannot cover the
     /// architectural state plus in-flight ROB writers.
     pub fn validate(&self) {
-        assert!(self.fetch_width > 0 && self.retire_width > 0, "widths must be positive");
+        assert!(
+            self.fetch_width > 0 && self.retire_width > 0,
+            "widths must be positive"
+        );
         assert!(self.rob_size > 0 && self.iq_size > 0 && self.lq_size > 0 && self.sq_size > 0);
         assert!(
             self.prf_size >= semloc_trace::Reg::COUNT,
@@ -83,6 +86,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "architectural registers")]
     fn tiny_prf_rejected() {
-        CpuConfig { prf_size: 8, ..CpuConfig::default() }.validate();
+        CpuConfig {
+            prf_size: 8,
+            ..CpuConfig::default()
+        }
+        .validate();
     }
 }

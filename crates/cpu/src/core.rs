@@ -11,7 +11,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use semloc_mem::{Hierarchy, Prefetcher};
-use semloc_trace::{AccessContext, Addr, Cycle, Instr, InstrKind, Reg, Seq, TraceSink, RECENT_ADDRS};
+use semloc_trace::{
+    AccessContext, Addr, Cycle, Instr, InstrKind, Reg, Seq, TraceSink, RECENT_ADDRS,
+};
 
 use crate::bpred::Gshare;
 use crate::config::CpuConfig;
@@ -26,7 +28,10 @@ struct Occupancy {
 
 impl Occupancy {
     fn new(capacity: usize) -> Self {
-        Occupancy { free_times: BinaryHeap::with_capacity(capacity + 1), capacity }
+        Occupancy {
+            free_times: BinaryHeap::with_capacity(capacity + 1),
+            capacity,
+        }
     }
 
     /// Earliest cycle ≥ `at` when a slot is free; drains freed entries.
@@ -225,7 +230,11 @@ impl<P: Prefetcher> Cpu<P> {
                 let _ = target;
                 comp
             }
-            InstrKind::Load { addr, size: _, hints } => {
+            InstrKind::Load {
+                addr,
+                size: _,
+                hints,
+            } => {
                 self.stats.loads += 1;
                 let ctx = self.access_context(instr.pc, addr, false, &instr, hints);
                 let res = self.mem.demand_access(&ctx, issue);
@@ -301,7 +310,10 @@ impl<P: Prefetcher> TraceSink for Cpu<P> {
 
 impl<P: Prefetcher> std::fmt::Debug for Cpu<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cpu").field("stats", &self.stats).field("mem", &self.mem).finish_non_exhaustive()
+        f.debug_struct("Cpu")
+            .field("stats", &self.stats)
+            .field("mem", &self.mem)
+            .finish_non_exhaustive()
     }
 }
 
@@ -311,7 +323,11 @@ mod tests {
     use semloc_mem::{MemConfig, NoPrefetch};
 
     fn cpu() -> Cpu<NoPrefetch> {
-        Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), NoPrefetch), 0)
+        Cpu::new(
+            CpuConfig::default(),
+            Hierarchy::new(MemConfig::default(), NoPrefetch),
+            0,
+        )
     }
 
     #[test]
@@ -321,7 +337,10 @@ mod tests {
             c.instr(Instr::alu(i * 8, None, None, None, 0));
         }
         let ipc = c.stats().ipc();
-        assert!(ipc > 3.5, "independent ALU IPC {ipc} should approach fetch width 4");
+        assert!(
+            ipc > 3.5,
+            "independent ALU IPC {ipc} should approach fetch width 4"
+        );
     }
 
     #[test]
@@ -345,7 +364,10 @@ mod tests {
             c.instr(Instr::load(0x400, addr, 8, Reg(1), Some(Reg(1)), None, 0));
         }
         let cpi = c.stats().cpi();
-        assert!(cpi > 250.0, "serialized cold misses must cost ~322 cycles each, got CPI {cpi}");
+        assert!(
+            cpi > 250.0,
+            "serialized cold misses must cost ~322 cycles each, got CPI {cpi}"
+        );
     }
 
     #[test]
@@ -356,10 +378,21 @@ mod tests {
         let n = 200u64;
         for i in 0..n {
             let addr = 0x10_0000 + i * 4096;
-            c.instr(Instr::load(0x400 + (i % 4) * 8, addr, 8, Reg((1 + (i % 4)) as u8), None, None, 0));
+            c.instr(Instr::load(
+                0x400 + (i % 4) * 8,
+                addr,
+                8,
+                Reg((1 + (i % 4)) as u8),
+                None,
+                None,
+                0,
+            ));
         }
         let cpi = c.stats().cpi();
-        assert!(cpi < 250.0, "independent misses should overlap, got CPI {cpi}");
+        assert!(
+            cpi < 250.0,
+            "independent misses should overlap, got CPI {cpi}"
+        );
         assert!(cpi > 30.0, "4 MSHRs cannot hide everything, got CPI {cpi}");
     }
 
@@ -382,7 +415,9 @@ mod tests {
         let mut state = 1u64;
         for i in 0..4000u64 {
             well.instr(Instr::branch(0x400, true, 0x500, None));
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             badly.instr(Instr::branch(0x400, (state >> 40) & 1 == 1, 0x500, None));
             let _ = i;
         }
@@ -417,21 +452,46 @@ mod tests {
             fn name(&self) -> &'static str {
                 "spy"
             }
-            fn on_access(&mut self, ctx: &AccessContext, _p: MemPressure, _out: &mut Vec<PrefetchReq>) {
+            fn on_access(
+                &mut self,
+                ctx: &AccessContext,
+                _p: MemPressure,
+                _out: &mut Vec<PrefetchReq>,
+            ) {
                 self.last = Some(ctx.clone());
             }
             fn storage_bytes(&self) -> usize {
                 0
             }
         }
-        let mut c = Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), Spy::default()), 0);
+        let mut c = Cpu::new(
+            CpuConfig::default(),
+            Hierarchy::new(MemConfig::default(), Spy::default()),
+            0,
+        );
         c.instr(Instr::alu(0x100, Some(Reg(5)), None, None, 0xABCD));
         c.instr(Instr::branch(0x108, true, 0x100, None));
-        c.instr(Instr::load(0x110, 0x9000, 8, Reg(6), Some(Reg(5)), None, 0x1111));
+        c.instr(Instr::load(
+            0x110,
+            0x9000,
+            8,
+            Reg(6),
+            Some(Reg(5)),
+            None,
+            0x1111,
+        ));
         c.instr(Instr::load(0x118, 0xA000, 8, Reg(7), Some(Reg(6)), None, 0));
-        let ctx = c.mem().prefetcher().last.clone().expect("prefetcher saw the access");
+        let ctx = c
+            .mem()
+            .prefetcher()
+            .last
+            .clone()
+            .expect("prefetcher saw the access");
         assert_eq!(ctx.pc, 0x118);
-        assert_eq!(ctx.reg1, 0x1111, "src register must carry the previous load's value");
+        assert_eq!(
+            ctx.reg1, 0x1111,
+            "src register must carry the previous load's value"
+        );
         assert_eq!(ctx.last_loaded, 0x1111);
         assert_eq!(ctx.recent_addrs[0], 0x9000);
         assert_eq!(ctx.branch_history & 1, 1);
@@ -443,24 +503,42 @@ mod tests {
         // The same independent-miss stream that overlaps on the OoO core
         // must serialize on the in-order core once a miss blocks issue.
         let run = |in_order: bool| {
-            let cfg = CpuConfig { in_order, ..CpuConfig::default() };
+            let cfg = CpuConfig {
+                in_order,
+                ..CpuConfig::default()
+            };
             let mut c = Cpu::new(cfg, Hierarchy::new(MemConfig::default(), NoPrefetch), 0);
             for i in 0..100u64 {
                 // A dependent consumer after each load forces the in-order
                 // pipeline to wait before issuing the next load.
-                c.instr(Instr::load(0x400, 0x10_0000 + i * 4096, 8, Reg(1), None, None, 0));
+                c.instr(Instr::load(
+                    0x400,
+                    0x10_0000 + i * 4096,
+                    8,
+                    Reg(1),
+                    None,
+                    None,
+                    0,
+                ));
                 c.instr(Instr::alu(0x408, Some(Reg(2)), Some(Reg(1)), None, 0));
             }
             c.stats().cycles
         };
         let ooo = run(false);
         let ino = run(true);
-        assert!(ino > ooo * 3, "in-order must serialize the misses (ooo {ooo}, in-order {ino})");
+        assert!(
+            ino > ooo * 3,
+            "in-order must serialize the misses (ooo {ooo}, in-order {ino})"
+        );
     }
 
     #[test]
     fn budget_stops_consumption() {
-        let mut c = Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), NoPrefetch), 10);
+        let mut c = Cpu::new(
+            CpuConfig::default(),
+            Hierarchy::new(MemConfig::default(), NoPrefetch),
+            10,
+        );
         for i in 0..100 {
             c.instr(Instr::alu(i * 8, None, None, None, 0));
         }

@@ -53,7 +53,13 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let s = CpuStats { instructions: 1000, cycles: 500, loads: 200, stores: 100, ..Default::default() };
+        let s = CpuStats {
+            instructions: 1000,
+            cycles: 500,
+            loads: 200,
+            stores: 100,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.0).abs() < 1e-12);
         assert!((s.cpi() - 0.5).abs() < 1e-12);
         assert!((s.mem_fraction() - 0.3).abs() < 1e-12);

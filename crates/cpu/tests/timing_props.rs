@@ -7,7 +7,11 @@ use semloc_mem::{Hierarchy, MemConfig, NoPrefetch};
 use semloc_trace::{Instr, Reg, TraceSink};
 
 fn cpu() -> Cpu<NoPrefetch> {
-    Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), NoPrefetch), 0)
+    Cpu::new(
+        CpuConfig::default(),
+        Hierarchy::new(MemConfig::default(), NoPrefetch),
+        0,
+    )
 }
 
 proptest! {
@@ -91,7 +95,11 @@ proptest! {
 #[test]
 fn budget_is_exact() {
     for budget in [1u64, 7, 100] {
-        let mut c = Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), NoPrefetch), budget);
+        let mut c = Cpu::new(
+            CpuConfig::default(),
+            Hierarchy::new(MemConfig::default(), NoPrefetch),
+            budget,
+        );
         for i in 0..200 {
             c.instr(Instr::alu(0x400, None, None, None, i));
         }
@@ -116,11 +124,23 @@ fn branch_history_feeds_contexts() {
             0
         }
     }
-    let mut c = Cpu::new(CpuConfig::default(), Hierarchy::new(MemConfig::default(), Capture::default()), 0);
+    let mut c = Cpu::new(
+        CpuConfig::default(),
+        Hierarchy::new(MemConfig::default(), Capture::default()),
+        0,
+    );
     // Alternate branch outcomes, loading after each branch.
     for i in 0..8u64 {
         c.instr(Instr::branch(0x400, i % 2 == 0, 0x500, None));
-        c.instr(Instr::load(0x408, 0x1000 + i * 64, 8, Reg(1), None, None, 0));
+        c.instr(Instr::load(
+            0x408,
+            0x1000 + i * 64,
+            8,
+            Reg(1),
+            None,
+            None,
+            0,
+        ));
     }
     let histories = &c.mem().prefetcher().0;
     assert_eq!(histories.len(), 8);

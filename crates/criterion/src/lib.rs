@@ -1,0 +1,338 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a small wall-clock benchmark harness exposing the
+//! criterion API subset its benches use: [`Criterion::benchmark_group`],
+//! `throughput`, `sample_size`, `bench_function`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark is calibrated so one sample takes roughly
+//! 20 ms, then timed over a number of samples derived from `sample_size`;
+//! the reported figure is the **median** ns/iteration (robust to scheduler
+//! noise). A substring filter can be passed on the command line
+//! (`cargo bench -- <filter>`). When the `BENCH_JSON` environment variable
+//! names a file, one JSON line per benchmark is appended to it — the
+//! `bench_compare` tool builds `BENCH_hotpath.json` from its own runs, but
+//! any harness invocation can be captured the same way.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process `n` logical elements each.
+    Elements(u64),
+    /// Iterations process `n` bytes each.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (only the per-iteration flavour is
+/// meaningfully distinguished by this stub).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Call setup before every routine invocation; time only the routine.
+    PerIteration,
+    /// Treated as [`BatchSize::PerIteration`].
+    SmallInput,
+    /// Treated as [`BatchSize::PerIteration`].
+    LargeInput,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards everything after `--`; ignore flags (e.g.
+        // `--bench`, which cargo itself appends) and take the first free
+        // argument as a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    /// Run a free-standing benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(self, None, &id.to_string(), None, 100, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the requested number of samples (clamped by this stub).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(
+            self.criterion,
+            Some(&self.name),
+            &id.to_string(),
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility; output is flushed as it
+    /// is produced).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher<'_>),
+{
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &criterion.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_count: sample_size.clamp(4, 30),
+        _marker: std::marker::PhantomData,
+    };
+    f(&mut b);
+    let Some(median) = median_ns(&mut b.samples) else {
+        println!("{full:<56} (no measurement)");
+        return;
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({} elem/s)", human_rate(n as f64 * 1e9 / median))
+        }
+        Some(Throughput::Bytes(n)) => format!("  ({}B/s)", human_rate(n as f64 * 1e9 / median)),
+        None => String::new(),
+    };
+    println!(
+        "{full:<56} time: {:>12} ns/iter{rate}",
+        format!("{median:.1}")
+    );
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"bench\": \"{full}\", \"ns_per_iter\": {median:.2}}}"
+            );
+        }
+    }
+}
+
+fn median_ns(samples: &mut [f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    Some(samples[samples.len() / 2])
+}
+
+fn human_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} k", r / 1e3)
+    } else {
+        format!("{r:.0} ")
+    }
+}
+
+/// Per-sample target duration: long enough to swamp timer overhead, short
+/// enough that a full bench suite stays interactive.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Measurement collector handed to each benchmark closure.
+pub struct Bencher<'a> {
+    samples: Vec<f64>,
+    sample_count: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called in a calibrated loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: grow the per-sample iteration count until one batch is
+        // long enough to time reliably, then scale to the sample target.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            if dt >= Duration::from_millis(2) || iters >= 1 << 22 {
+                break (dt.as_nanos() as f64 / iters as f64).max(0.01);
+            }
+            iters = iters.saturating_mul(8);
+        };
+        let iters = ((SAMPLE_TARGET.as_nanos() as f64 / per_iter_ns) as u64).clamp(1, 1 << 24);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Calibrate on a single input.
+        let probe = {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        };
+        let per_sample = ((SAMPLE_TARGET.as_nanos() as f64 / (probe.as_nanos() as f64).max(1.0))
+            as u64)
+            .clamp(1, 1 << 16);
+        for _ in 0..self.sample_count {
+            let mut timed = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            self.samples
+                .push(timed.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust() {
+        let mut s = vec![5.0, 1.0, 100.0];
+        assert_eq!(median_ns(&mut s), Some(5.0));
+        assert_eq!(median_ns(&mut []), None);
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: 4,
+            _marker: std::marker::PhantomData,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 4);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: 4,
+            _marker: std::marker::PhantomData,
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration);
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn group_runs_and_filters() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("skipped", |_b| ran = true);
+            g.finish();
+        }
+        assert!(!ran, "filtered-out benchmarks must not run");
+    }
+}

@@ -12,11 +12,21 @@ use semloc_workloads::kernel_by_name;
 fn main() {
     let cfg = SimConfig::default();
     let names: Vec<String> = std::env::args().skip(1).collect();
-    let names = if names.is_empty() { vec!["graph500-list".to_string()] } else { names };
+    let names = if names.is_empty() {
+        vec!["graph500-list".to_string()]
+    } else {
+        names
+    };
     for kname in &names {
         let k = kernel_by_name(kname).expect("kernel");
         let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg);
-        for pf in [PrefetcherKind::None, PrefetcherKind::Stride, PrefetcherKind::GhbPcdc, PrefetcherKind::Sms, PrefetcherKind::context()] {
+        for pf in [
+            PrefetcherKind::None,
+            PrefetcherKind::Stride,
+            PrefetcherKind::GhbPcdc,
+            PrefetcherKind::Sms,
+            PrefetcherKind::context(),
+        ] {
             let r = run_kernel(k.as_ref(), &pf, &cfg);
             println!(
                 "{kname:14} {:10} speedup={:.2} ipc={:.3} l1mpki={:6.2} l2mpki={:5.2} issued={:7} filt={:6} rej={:6} hitpf={:7} shorter={:6} nontimely={:6} neverhit={:6}",

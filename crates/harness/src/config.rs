@@ -24,14 +24,21 @@ impl Default for SimConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(400_000);
-        SimConfig { cpu: CpuConfig::default(), mem: MemConfig::default(), instr_budget }
+        SimConfig {
+            cpu: CpuConfig::default(),
+            mem: MemConfig::default(),
+            instr_budget,
+        }
     }
 }
 
 impl SimConfig {
     /// A fast configuration for tests (small instruction budget).
     pub fn quick() -> Self {
-        SimConfig { instr_budget: 120_000, ..SimConfig::default() }
+        SimConfig {
+            instr_budget: 120_000,
+            ..SimConfig::default()
+        }
     }
 
     /// Set the instruction budget.
@@ -88,6 +95,9 @@ mod tests {
 
     #[test]
     fn quick_is_smaller() {
-        assert!(SimConfig::quick().instr_budget < SimConfig::default().with_budget(400_000).instr_budget);
+        assert!(
+            SimConfig::quick().instr_budget
+                < SimConfig::default().with_budget(400_000).instr_budget
+        );
     }
 }

@@ -43,7 +43,10 @@ impl Matrix {
             for pf in &lineup {
                 let r = run_kernel(k.as_ref(), pf, config);
                 progress(&r);
-                m.results.entry(k.name()).or_default().insert(r.prefetcher, r);
+                m.results
+                    .entry(k.name())
+                    .or_default()
+                    .insert(r.prefetcher, r);
             }
         }
         m
@@ -72,8 +75,9 @@ impl Matrix {
             m.kernel_order.push(k.name());
         }
         // Work queue of (kernel index, prefetcher index) pairs.
-        let jobs: Vec<(usize, usize)> =
-            (0..kernels.len()).flat_map(|ki| (0..lineup.len()).map(move |pi| (ki, pi))).collect();
+        let jobs: Vec<(usize, usize)> = (0..kernels.len())
+            .flat_map(|ki| (0..lineup.len()).map(move |pi| (ki, pi)))
+            .collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results: Mutex<Vec<RunResult>> = Mutex::new(Vec::with_capacity(jobs.len()));
         std::thread::scope(|scope| {
@@ -88,7 +92,10 @@ impl Matrix {
             }
         });
         for r in results.into_inner().expect("workers finished") {
-            m.results.entry(r.kernel).or_default().insert(r.prefetcher, r);
+            m.results
+                .entry(r.kernel)
+                .or_default()
+                .insert(r.prefetcher, r);
         }
         m
     }
@@ -159,11 +166,23 @@ impl Matrix {
             .collect()
     }
 
+    /// Fold every cell's [`RunResult::stats_digest`] (kernel order, then
+    /// prefetcher order) into one fingerprint of the whole matrix. Equal
+    /// digests mean bit-identical simulation statistics; the golden-digest
+    /// test pins this value across runner variants and hot-path rewrites.
+    pub fn stats_digest(&self) -> u64 {
+        let mut d = crate::runner::Digest::new();
+        for r in self.iter() {
+            d.u64(r.stats_digest());
+        }
+        d.finish()
+    }
+
     /// All results, flattened (kernel order, then prefetcher order).
     pub fn iter(&self) -> impl Iterator<Item = &RunResult> {
-        self.kernel_order.iter().flat_map(move |k| {
-            self.pf_order.iter().filter_map(move |p| self.get(k, p))
-        })
+        self.kernel_order
+            .iter()
+            .flat_map(move |k| self.pf_order.iter().filter_map(move |p| self.get(k, p)))
     }
 
     /// Export the full matrix as CSV (one row per kernel × prefetcher)
@@ -207,8 +226,16 @@ mod tests {
     use semloc_workloads::kernel_by_name;
 
     fn tiny_matrix() -> Matrix {
-        let kernels = vec![kernel_by_name("array").unwrap(), kernel_by_name("list").unwrap()];
-        Matrix::run(&kernels, &[PrefetcherKind::Stride], &SimConfig::quick(), |_| {})
+        let kernels = vec![
+            kernel_by_name("array").unwrap(),
+            kernel_by_name("list").unwrap(),
+        ];
+        Matrix::run(
+            &kernels,
+            &[PrefetcherKind::Stride],
+            &SimConfig::quick(),
+            |_| {},
+        )
     }
 
     #[test]
@@ -253,7 +280,10 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let kernels = vec![kernel_by_name("array").unwrap(), kernel_by_name("list").unwrap()];
+        let kernels = vec![
+            kernel_by_name("array").unwrap(),
+            kernel_by_name("list").unwrap(),
+        ];
         let cfg = SimConfig::quick();
         let seq = Matrix::run(&kernels, &[PrefetcherKind::Stride], &cfg, |_| {});
         let par = Matrix::run_parallel(&kernels, &[PrefetcherKind::Stride], &cfg, 4, |_| {});
@@ -271,6 +301,9 @@ mod tests {
     fn memory_intensive_filter() {
         let m = tiny_matrix();
         let heavy = m.memory_intensive(1.0, false);
-        assert!(heavy.contains(&"list"), "scattered list is memory intensive");
+        assert!(
+            heavy.contains(&"list"),
+            "scattered list is memory intensive"
+        );
     }
 }

@@ -1,6 +1,8 @@
 //! The prefetcher lineup of the paper's evaluation (§7).
 
-use semloc_baselines::{GhbFlavor, GhbPrefetcher, MarkovPrefetcher, NextLinePrefetcher, SmsPrefetcher, StridePrefetcher};
+use semloc_baselines::{
+    GhbFlavor, GhbPrefetcher, MarkovPrefetcher, NextLinePrefetcher, SmsPrefetcher, StridePrefetcher,
+};
 use semloc_context::{ContextConfig, ContextPrefetcher};
 use semloc_mem::{NoPrefetch, Prefetcher};
 
@@ -119,7 +121,12 @@ mod tests {
         // §7: "The storage size of all prefetchers was scaled to that used
         // by the context-based prefetcher."
         let budget = PrefetcherKind::context().build().storage_bytes() as f64;
-        for kind in [PrefetcherKind::Stride, PrefetcherKind::GhbGdc, PrefetcherKind::Sms, PrefetcherKind::Markov] {
+        for kind in [
+            PrefetcherKind::Stride,
+            PrefetcherKind::GhbGdc,
+            PrefetcherKind::Sms,
+            PrefetcherKind::Markov,
+        ] {
             let b = kind.build().storage_bytes() as f64;
             assert!(
                 (0.3..=1.3).contains(&(b / budget)),

@@ -49,6 +49,79 @@ impl RunResult {
     pub fn l2_mpki(&self) -> f64 {
         self.mem.l2_mpki(self.cpu.instructions)
     }
+
+    /// Order-independent fingerprint of every observable counter of this
+    /// run (`cpu` and `mem`, field by field). Two runs with the same digest
+    /// produced bit-identical simulation results; the golden-digest tests
+    /// pin these across runner variants and hot-path rewrites.
+    pub fn stats_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.str(self.kernel);
+        d.str(self.prefetcher);
+        let c = &self.cpu;
+        for v in [
+            c.instructions,
+            c.cycles,
+            c.loads,
+            c.stores,
+            c.branches,
+            c.mispredicts,
+        ] {
+            d.u64(v);
+        }
+        let m = &self.mem;
+        for v in [
+            m.demand_accesses,
+            m.l1_misses,
+            m.l1_mshr_merges,
+            m.l2_misses,
+            m.prefetches_issued,
+            m.prefetches_rejected,
+            m.prefetches_filtered,
+            m.writebacks,
+        ] {
+            d.u64(v);
+        }
+        let k = &m.classes;
+        for v in [
+            k.hit_prefetched,
+            k.shorter_wait,
+            k.non_timely,
+            k.miss_not_prefetched,
+            k.hit_older_demand,
+            k.prefetch_never_hit,
+        ] {
+            d.u64(v);
+        }
+        d.finish()
+    }
+}
+
+/// FNV-1a accumulator used for stats digests (stable across platforms —
+/// no dependence on `Hash` implementations or struct layout).
+pub(crate) struct Digest(u64);
+
+impl Digest {
+    pub(crate) fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = (self.0 ^ 0xff).wrapping_mul(0x100_0000_01b3);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Run `kernel` under `prefetcher` with `config`.
@@ -66,7 +139,11 @@ impl RunResult {
 /// let result = run_kernel(kernel.as_ref(), &PrefetcherKind::Stride, &cfg);
 /// assert!(result.cpu.ipc() > 0.0);
 /// ```
-pub fn run_kernel(kernel: &dyn Kernel, prefetcher: &PrefetcherKind, config: &SimConfig) -> RunResult {
+pub fn run_kernel(
+    kernel: &dyn Kernel,
+    prefetcher: &PrefetcherKind,
+    config: &SimConfig,
+) -> RunResult {
     if let PrefetcherKind::ContextCalibrated(base) = prefetcher {
         let probe_cfg = SimConfig {
             instr_budget: (config.instr_budget / 4).clamp(40_000, 150_000),
@@ -127,7 +204,9 @@ mod tests {
     fn context_run_exposes_learning_stats() {
         let k = kernel_by_name("list").unwrap();
         let r = run_kernel(k.as_ref(), &PrefetcherKind::context(), &quick());
-        let learn = r.learn.expect("context prefetcher must expose learning stats");
+        let learn = r
+            .learn
+            .expect("context prefetcher must expose learning stats");
         assert!(learn.collected > 0, "collection unit never fired");
         assert!(r.storage_bytes > 0);
     }
@@ -163,7 +242,10 @@ mod tests {
         );
         assert!(stride.speedup_over(&base) > 0.98, "and must not hurt");
         let covered = stride.mem.classes.shorter_wait + stride.mem.classes.hit_prefetched;
-        assert!(covered > 10_000, "stream accesses must ride prefetches (covered {covered})");
+        assert!(
+            covered > 10_000,
+            "stream accesses must ride prefetches (covered {covered})"
+        );
     }
 
     #[test]

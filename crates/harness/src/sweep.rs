@@ -37,7 +37,11 @@ pub fn storage_sweep(
     let mut default_speedups = Vec::new();
     for k in kernels {
         let base = run_kernel(k.as_ref(), &PrefetcherKind::None, config);
-        let ctx = run_kernel(k.as_ref(), &PrefetcherKind::Context(default_cfg.clone()), config);
+        let ctx = run_kernel(
+            k.as_ref(),
+            &PrefetcherKind::Context(default_cfg.clone()),
+            config,
+        );
         default_speedups.push((k.name(), ctx.speedup_over(&base)));
         base_ipc.push(base.cpu.ipc());
     }
@@ -61,13 +65,22 @@ pub fn storage_sweep(
         let mut top = Vec::new();
         for (i, k) in kernels.iter().enumerate() {
             let ctx = run_kernel(k.as_ref(), &PrefetcherKind::Context(cfg.clone()), config);
-            let s = if base_ipc[i] > 0.0 { ctx.cpu.ipc() / base_ipc[i] } else { 0.0 };
+            let s = if base_ipc[i] > 0.0 {
+                ctx.cpu.ipc() / base_ipc[i]
+            } else {
+                0.0
+            };
             all.push(s);
             if top10.contains(&k.name()) {
                 top.push(s);
             }
         }
-        points.push(SweepPoint { cst_entries: size, storage_bytes: storage, top10: geomean(&top), all: geomean(&all) });
+        points.push(SweepPoint {
+            cst_entries: size,
+            storage_bytes: storage,
+            top10: geomean(&top),
+            all: geomean(&all),
+        });
         progress(size);
     }
     points
@@ -113,7 +126,11 @@ pub fn ablation_variants() -> Vec<AblationVariant> {
     wide.delta_bits = 16;
 
     vec![
-        AblationVariant { name: "baseline", description: "paper configuration", config: base },
+        AblationVariant {
+            name: "baseline",
+            description: "paper configuration",
+            config: base,
+        },
         AblationVariant {
             name: "flat-reward",
             description: "no bell shape: uniform positive window 1..127, no negative edges",
@@ -141,12 +158,14 @@ pub fn ablation_variants() -> Vec<AblationVariant> {
         },
         AblationVariant {
             name: "no-split-signal",
-            description: "shared-and-weak context splitting disabled (only proven-eviction overload)",
+            description:
+                "shared-and-weak context splitting disabled (only proven-eviction overload)",
             config: no_split,
         },
         AblationVariant {
             name: "wide-delta",
-            description: "EXTENSION: 16-bit deltas (+-1 MB reach) relaxing the paper's +-4 kB range limit",
+            description:
+                "EXTENSION: 16-bit deltas (+-1 MB reach) relaxing the paper's +-4 kB range limit",
             config: wide,
         },
     ]

@@ -1,0 +1,54 @@
+//! Golden statistics digest for the quick evaluation matrix.
+//!
+//! The hot-path work (single-pass context hashing, indexed prefetch queue,
+//! flat cache arrays) must be a pure performance change: every simulated
+//! statistic has to stay bit-identical. This test pins one fingerprint of
+//! the full quick matrix — captured from the sequential runner before the
+//! rewrite — and asserts that both runners still reproduce it exactly.
+//!
+//! If a future change *intends* to alter simulation behaviour, update
+//! [`GOLDEN`] with the value printed by the failing assertion and record
+//! why in CHANGES.md.
+
+use semloc_harness::{Matrix, PrefetcherKind, SimConfig};
+use semloc_workloads::{kernel_by_name, KernelBox};
+
+/// Digest of the quick matrix (array/list/mcf × none/stride/context),
+/// captured from `Matrix::run` with the demand-refill cache fix in place
+/// and before the hot-path rewrite.
+const GOLDEN: u64 = 0xe1cb_22f1_96f5_5582;
+
+fn kernels() -> Vec<KernelBox> {
+    ["array", "list", "mcf"]
+        .iter()
+        .map(|n| kernel_by_name(n).expect("kernel registered"))
+        .collect()
+}
+
+fn lineup() -> Vec<PrefetcherKind> {
+    vec![PrefetcherKind::Stride, PrefetcherKind::context()]
+}
+
+#[test]
+fn sequential_matches_golden() {
+    let m = Matrix::run(&kernels(), &lineup(), &SimConfig::quick(), |_| {});
+    assert_eq!(
+        m.stats_digest(),
+        GOLDEN,
+        "sequential quick-matrix stats diverged from the pinned golden digest \
+         (got {:#018x}); the change is not behaviour-preserving",
+        m.stats_digest()
+    );
+}
+
+#[test]
+fn parallel_matches_golden() {
+    let m = Matrix::run_parallel(&kernels(), &lineup(), &SimConfig::quick(), 4, |_| {});
+    assert_eq!(
+        m.stats_digest(),
+        GOLDEN,
+        "parallel quick-matrix stats diverged from the pinned golden digest \
+         (got {:#018x})",
+        m.stats_digest()
+    );
+}

@@ -70,7 +70,11 @@ pub struct Eviction {
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat slice, set-major: set `s`, way `w` lives at
+    /// `s * ways + w`. One allocation and one indirection per access
+    /// instead of a `Vec<Vec<Line>>` pointer chase.
+    lines: Box<[Line]>,
+    ways: usize,
     set_mask: u64,
     line_shift: u32,
     tick: u64,
@@ -80,9 +84,11 @@ impl Cache {
     /// Build an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
+        let ways = cfg.ways as usize;
         let line_shift = cfg.line_bytes.trailing_zeros();
         Cache {
-            sets: vec![vec![Line::default(); cfg.ways as usize]; sets as usize],
+            lines: vec![Line::default(); sets as usize * ways].into_boxed_slice(),
+            ways,
             set_mask: sets - 1,
             line_shift,
             cfg,
@@ -98,28 +104,50 @@ impl Cache {
     #[inline]
     fn index(&self, addr: Addr) -> (usize, u64) {
         let block = addr >> self.line_shift;
-        ((block & self.set_mask) as usize, block >> self.set_mask.count_ones())
+        (
+            (block & self.set_mask) as usize,
+            block >> self.set_mask.count_ones(),
+        )
+    }
+
+    /// The ways of `set`, in way order.
+    #[inline]
+    fn set(&self, set: usize) -> &[Line] {
+        &self.lines[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// The ways of `set`, mutably.
+    #[inline]
+    fn set_mut(&mut self, set: usize) -> &mut [Line] {
+        let ways = self.ways;
+        &mut self.lines[set * ways..(set + 1) * ways]
     }
 
     /// Look up `addr` at cycle `now` as a demand access, updating LRU and
     /// touch/prefetch flags.
+    #[inline]
     pub fn lookup_demand(&mut self, addr: Addr, now: Cycle, is_write: bool) -> LookupResult {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        for line in &mut self.sets[set] {
+        for line in self.set_mut(set) {
             if line.valid && line.tag == tag {
                 line.lru = tick;
                 if is_write {
                     line.dirty = true;
                 }
                 if line.ready_at > now {
-                    return LookupResult::InFlight { ready_at: line.ready_at, prefetch: line.prefetched };
+                    return LookupResult::InFlight {
+                        ready_at: line.ready_at,
+                        prefetch: line.prefetched,
+                    };
                 }
                 let first = line.prefetched && !line.touched;
                 line.touched = true;
                 line.prefetched = false;
-                return LookupResult::Hit { first_touch_of_prefetch: first };
+                return LookupResult::Hit {
+                    first_touch_of_prefetch: first,
+                };
             }
         }
         LookupResult::Miss
@@ -127,14 +155,20 @@ impl Cache {
 
     /// Look up `addr` without modifying any state (for prefetch filtering
     /// and tests).
+    #[inline]
     pub fn probe(&self, addr: Addr, now: Cycle) -> LookupResult {
         let (set, tag) = self.index(addr);
-        for line in &self.sets[set] {
+        for line in self.set(set) {
             if line.valid && line.tag == tag {
                 if line.ready_at > now {
-                    return LookupResult::InFlight { ready_at: line.ready_at, prefetch: line.prefetched };
+                    return LookupResult::InFlight {
+                        ready_at: line.ready_at,
+                        prefetch: line.prefetched,
+                    };
                 }
-                return LookupResult::Hit { first_touch_of_prefetch: line.prefetched && !line.touched };
+                return LookupResult::Hit {
+                    first_touch_of_prefetch: line.prefetched && !line.touched,
+                };
             }
         }
         LookupResult::Miss
@@ -142,18 +176,30 @@ impl Cache {
 
     /// Insert the line containing `addr`, becoming ready at `ready_at`.
     /// Returns what was evicted.
+    #[inline]
     pub fn fill(&mut self, addr: Addr, ready_at: Cycle, prefetched: bool, dirty: bool) -> Eviction {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        let ways = &mut self.sets[set];
+        let ways = self.set_mut(set);
         // Refill of a line already present (e.g. prefetch raced a demand):
         // just refresh, never duplicate tags within a set.
         if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = tick;
             line.dirty |= dirty;
             line.ready_at = line.ready_at.min(ready_at);
-            return Eviction { valid: false, dirty: false, useless_prefetch: false };
+            if !prefetched {
+                // A demand fill claims the line: it must no longer count as
+                // an untouched prefetch (Fig 9 classes / `useless_prefetch`),
+                // even if a prefetched fill for it is still in flight.
+                line.prefetched = false;
+                line.touched = true;
+            }
+            return Eviction {
+                valid: false,
+                dirty: false,
+                useless_prefetch: false,
+            };
         }
         let victim = ways
             .iter_mut()
@@ -164,23 +210,30 @@ impl Cache {
             dirty: victim.valid && victim.dirty,
             useless_prefetch: victim.valid && victim.prefetched && !victim.touched,
         };
-        *victim = Line { tag, valid: true, dirty, prefetched, touched: false, lru: tick, ready_at };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty,
+            prefetched,
+            touched: false,
+            lru: tick,
+            ready_at,
+        };
         ev
     }
 
     /// Count valid lines that were prefetched and never demand-touched
     /// (the residual "prefetch never hit" population at end of run).
     pub fn count_untouched_prefetches(&self) -> u64 {
-        self.sets
+        self.lines
             .iter()
-            .flatten()
             .filter(|l| l.valid && l.prefetched && !l.touched)
             .count() as u64
     }
 
     /// Number of valid lines (occupancy), for tests.
     pub fn valid_lines(&self) -> u64 {
-        self.sets.iter().flatten().filter(|l| l.valid).count() as u64
+        self.lines.iter().filter(|l| l.valid).count() as u64
     }
 }
 
@@ -190,7 +243,13 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B = 512B
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 1, mshrs: 4 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+            mshrs: 4,
+        })
     }
 
     #[test]
@@ -199,17 +258,38 @@ mod tests {
         assert_eq!(c.lookup_demand(0x1000, 0, false), LookupResult::Miss);
         c.fill(0x1000, 10, false, false);
         // Before the fill completes: in flight.
-        assert_eq!(c.lookup_demand(0x1000, 5, false), LookupResult::InFlight { ready_at: 10, prefetch: false });
+        assert_eq!(
+            c.lookup_demand(0x1000, 5, false),
+            LookupResult::InFlight {
+                ready_at: 10,
+                prefetch: false
+            }
+        );
         // After: hit.
-        assert_eq!(c.lookup_demand(0x1000, 11, false), LookupResult::Hit { first_touch_of_prefetch: false });
+        assert_eq!(
+            c.lookup_demand(0x1000, 11, false),
+            LookupResult::Hit {
+                first_touch_of_prefetch: false
+            }
+        );
     }
 
     #[test]
     fn prefetched_line_first_touch_is_flagged_once() {
         let mut c = tiny();
         c.fill(0x2000, 0, true, false);
-        assert_eq!(c.lookup_demand(0x2000, 1, false), LookupResult::Hit { first_touch_of_prefetch: true });
-        assert_eq!(c.lookup_demand(0x2000, 2, false), LookupResult::Hit { first_touch_of_prefetch: false });
+        assert_eq!(
+            c.lookup_demand(0x2000, 1, false),
+            LookupResult::Hit {
+                first_touch_of_prefetch: true
+            }
+        );
+        assert_eq!(
+            c.lookup_demand(0x2000, 2, false),
+            LookupResult::Hit {
+                first_touch_of_prefetch: false
+            }
+        );
     }
 
     #[test]
@@ -225,7 +305,10 @@ mod tests {
         let ev = c.fill(d, 2, false, false);
         assert!(ev.valid);
         // b should have been the victim: a still hits.
-        assert!(matches!(c.lookup_demand(a, 3, false), LookupResult::Hit { .. }));
+        assert!(matches!(
+            c.lookup_demand(a, 3, false),
+            LookupResult::Hit { .. }
+        ));
         assert_eq!(c.lookup_demand(b, 3, false), LookupResult::Miss);
     }
 
@@ -254,6 +337,46 @@ mod tests {
         c.fill(0x0000, 0, false, false);
         c.fill(0x0000, 0, true, false);
         assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn demand_refill_of_prefetched_line_clears_prefetch_class() {
+        // Regression: a demand fill racing a prefetched in-flight line used
+        // to leave `prefetched`/`touched` untouched, so the line kept
+        // counting as an untouched prefetch.
+        let mut c = tiny();
+        c.fill(0x1000, 50, true, false); // prefetch, in flight until 50
+        c.fill(0x1000, 40, false, false); // demand fill for the same line
+        assert_eq!(
+            c.count_untouched_prefetches(),
+            0,
+            "demand fill claims the line"
+        );
+        // The next demand hit is an ordinary hit, not a prefetch first touch.
+        assert_eq!(
+            c.lookup_demand(0x1000, 60, false),
+            LookupResult::Hit {
+                first_touch_of_prefetch: false
+            }
+        );
+        // Evicting it must not report a useless prefetch.
+        let ev1 = c.fill(0x1100, 100, false, false);
+        let ev2 = c.fill(0x1200, 100, false, false);
+        assert!(!ev1.useless_prefetch && !ev2.useless_prefetch);
+    }
+
+    #[test]
+    fn prefetch_refill_of_demand_line_keeps_demand_class() {
+        let mut c = tiny();
+        c.fill(0x2000, 0, false, false); // demand-owned line
+        c.fill(0x2000, 10, true, false); // late prefetch refill
+        assert_eq!(c.count_untouched_prefetches(), 0);
+        assert_eq!(
+            c.lookup_demand(0x2000, 20, false),
+            LookupResult::Hit {
+                first_touch_of_prefetch: false
+            }
+        );
     }
 
     #[test]

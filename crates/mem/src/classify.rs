@@ -73,7 +73,11 @@ impl ClassCounts {
 
     /// Total demand accesses recorded.
     pub fn demands(&self) -> u64 {
-        self.hit_prefetched + self.shorter_wait + self.non_timely + self.miss_not_prefetched + self.hit_older_demand
+        self.hit_prefetched
+            + self.shorter_wait
+            + self.non_timely
+            + self.miss_not_prefetched
+            + self.hit_older_demand
     }
 
     /// Count for a class, as a fraction of demand accesses (Fig 9's y-axis).
@@ -143,7 +147,8 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> = AccessClass::ALL.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<_> =
+            AccessClass::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), AccessClass::ALL.len());
     }
 }

@@ -23,21 +23,43 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (size not divisible into
     /// `ways × line` sets, or non-power-of-two set count/line size).
     pub fn sets(&self) -> u64 {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = self.size_bytes / (self.ways as u64 * self.line_bytes);
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a positive power of two");
-        assert_eq!(self.size_bytes, sets * self.ways as u64 * self.line_bytes, "inconsistent cache geometry");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a positive power of two"
+        );
+        assert_eq!(
+            self.size_bytes,
+            sets * self.ways as u64 * self.line_bytes,
+            "inconsistent cache geometry"
+        );
         sets
     }
 
     /// The paper's L1 data cache: 64 kB, 8-way, 2-cycle, 4 MSHRs.
     pub fn l1d() -> Self {
-        CacheConfig { size_bytes: 64 * 1024, ways: 8, line_bytes: 64, latency: 2, mshrs: 4 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 2,
+            mshrs: 4,
+        }
     }
 
     /// The paper's shared L2: 2 MB, 16-way, 20-cycle, 20 MSHRs.
     pub fn l2() -> Self {
-        CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 16, line_bytes: 64, latency: 20, mshrs: 20 }
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+            latency: 20,
+            mshrs: 20,
+        }
     }
 }
 
@@ -59,7 +81,12 @@ pub struct MemConfig {
 
 impl Default for MemConfig {
     fn default() -> Self {
-        MemConfig { l1: CacheConfig::l1d(), l2: CacheConfig::l2(), dram_latency: 300, prefetch_mshr_reserve: 1 }
+        MemConfig {
+            l1: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            dram_latency: 300,
+            prefetch_mshr_reserve: 1,
+        }
     }
 }
 
@@ -103,6 +130,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        CacheConfig { size_bytes: 1000, ways: 3, line_bytes: 64, latency: 1, mshrs: 1 }.sets();
+        CacheConfig {
+            size_bytes: 1000,
+            ways: 3,
+            line_bytes: 64,
+            latency: 1,
+            mshrs: 1,
+        }
+        .sets();
     }
 }

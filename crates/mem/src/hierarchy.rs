@@ -85,7 +85,10 @@ impl<P: Prefetcher> Hierarchy<P> {
 
     /// Current memory pressure (free MSHRs).
     pub fn pressure(&mut self, now: Cycle) -> MemPressure {
-        MemPressure { l1_mshr_free: self.l1_mshrs.free(now), l2_mshr_free: self.l2_mshrs.free(now) }
+        MemPressure {
+            l1_mshr_free: self.l1_mshrs.free(now),
+            l2_mshr_free: self.l2_mshrs.free(now),
+        }
     }
 
     /// Perform one demand access at cycle `now`, train the prefetcher, and
@@ -114,21 +117,38 @@ impl<P: Prefetcher> Hierarchy<P> {
     fn demand_lookup(&mut self, addr: Addr, is_write: bool, now: Cycle) -> DemandResult {
         let l1_lat = self.cfg.l1.latency;
         match self.l1.lookup_demand(addr, now, is_write) {
-            LookupResult::Hit { first_touch_of_prefetch: true } => {
+            LookupResult::Hit {
+                first_touch_of_prefetch: true,
+            } => {
                 self.stats.classes.record(AccessClass::HitPrefetchedLine);
-                DemandResult { ready_at: now + l1_lat, class: AccessClass::HitPrefetchedLine }
+                DemandResult {
+                    ready_at: now + l1_lat,
+                    class: AccessClass::HitPrefetchedLine,
+                }
             }
-            LookupResult::Hit { first_touch_of_prefetch: false } => {
+            LookupResult::Hit {
+                first_touch_of_prefetch: false,
+            } => {
                 self.stats.classes.record(AccessClass::HitOlderDemand);
-                DemandResult { ready_at: now + l1_lat, class: AccessClass::HitOlderDemand }
+                DemandResult {
+                    ready_at: now + l1_lat,
+                    class: AccessClass::HitOlderDemand,
+                }
             }
             LookupResult::InFlight { ready_at, prefetch } => {
                 // Missed the array but merged into an outstanding fill (an
                 // MSHR hit — not a new miss).
                 self.stats.l1_mshr_merges += 1;
-                let class = if prefetch { AccessClass::ShorterWait } else { AccessClass::MissNotPrefetched };
+                let class = if prefetch {
+                    AccessClass::ShorterWait
+                } else {
+                    AccessClass::MissNotPrefetched
+                };
                 self.stats.classes.record(class);
-                DemandResult { ready_at: ready_at.max(now + l1_lat), class }
+                DemandResult {
+                    ready_at: ready_at.max(now + l1_lat),
+                    class,
+                }
             }
             LookupResult::Miss => {
                 self.stats.l1_misses += 1;
@@ -139,7 +159,10 @@ impl<P: Prefetcher> Hierarchy<P> {
                 };
                 self.stats.classes.record(class);
                 let fill = self.fetch_line(addr, now, MshrKind::Demand, is_write);
-                DemandResult { ready_at: fill, class }
+                DemandResult {
+                    ready_at: fill,
+                    class,
+                }
             }
         }
     }
@@ -186,7 +209,9 @@ impl<P: Prefetcher> Hierarchy<P> {
         };
 
         let _ = self.l1_mshrs.try_allocate(addr, l2_ready, kind, start);
-        let ev = self.l1.fill(addr, l2_ready, kind == MshrKind::Prefetch, dirty);
+        let ev = self
+            .l1
+            .fill(addr, l2_ready, kind == MshrKind::Prefetch, dirty);
         if ev.dirty {
             self.stats.writebacks += 1;
         }
@@ -226,7 +251,9 @@ impl<P: Prefetcher> Hierarchy<P> {
                     return false;
                 }
                 let fill = now + l1_lat + l2_lat + self.cfg.dram_latency;
-                let _ = self.l2_mshrs.try_allocate(addr, fill, MshrKind::Prefetch, now);
+                let _ = self
+                    .l2_mshrs
+                    .try_allocate(addr, fill, MshrKind::Prefetch, now);
                 let ev = self.l2.fill(addr, fill, false, false);
                 if ev.dirty {
                     self.stats.writebacks += 1;
@@ -234,7 +261,9 @@ impl<P: Prefetcher> Hierarchy<P> {
                 (fill, fill.saturating_sub(l2_lat))
             }
         };
-        let _ = self.l1_mshrs.try_allocate_window(addr, l1_window_start, fill, MshrKind::Prefetch, now);
+        let _ =
+            self.l1_mshrs
+                .try_allocate_window(addr, l1_window_start, fill, MshrKind::Prefetch, now);
         let ev = self.l1.fill(addr, fill, true, false);
         if ev.dirty {
             self.stats.writebacks += 1;
@@ -308,7 +337,11 @@ mod tests {
         assert_eq!(r.ready_at, 322);
         assert_eq!(m.stats().l1_misses, 1, "MSHR hit is not a new miss");
         assert_eq!(m.stats().l1_mshr_merges, 1);
-        assert_eq!(m.stats().l2_misses, 1, "merged access must not refetch from DRAM");
+        assert_eq!(
+            m.stats().l2_misses,
+            1,
+            "merged access must not refetch from DRAM"
+        );
     }
 
     #[test]
@@ -346,7 +379,13 @@ mod tests {
 
     #[test]
     fn timely_prefetch_yields_hit_prefetched_line() {
-        let mut m = Hierarchy::new(MemConfig::default(), OneShot { target: 0x20000, fired: false });
+        let mut m = Hierarchy::new(
+            MemConfig::default(),
+            OneShot {
+                target: 0x20000,
+                fired: false,
+            },
+        );
         m.demand_access(&ctx(0, 0x10000), 0); // triggers the prefetch
         assert_eq!(m.stats().prefetches_issued, 1);
         let r = m.demand_access(&ctx(1, 0x20000), 1000);
@@ -356,7 +395,13 @@ mod tests {
 
     #[test]
     fn late_demand_merges_into_inflight_prefetch() {
-        let mut m = Hierarchy::new(MemConfig::default(), OneShot { target: 0x20000, fired: false });
+        let mut m = Hierarchy::new(
+            MemConfig::default(),
+            OneShot {
+                target: 0x20000,
+                fired: false,
+            },
+        );
         m.demand_access(&ctx(0, 0x10000), 0);
         // Demand arrives while the prefetch is still in flight.
         let r = m.demand_access(&ctx(1, 0x20000), 100);
@@ -366,7 +411,13 @@ mod tests {
 
     #[test]
     fn untouched_prefetch_counted_at_finish() {
-        let mut m = Hierarchy::new(MemConfig::default(), OneShot { target: 0x20000, fired: false });
+        let mut m = Hierarchy::new(
+            MemConfig::default(),
+            OneShot {
+                target: 0x20000,
+                fired: false,
+            },
+        );
         m.demand_access(&ctx(0, 0x10000), 0);
         m.finish();
         assert_eq!(m.stats().classes.prefetch_never_hit, 1);
@@ -394,8 +445,16 @@ mod tests {
         // DRAM-bound prefetches ride the 20 L2 MSHRs (one already taken by
         // the demand miss): at most 19 can be outstanding; the rest are
         // rejected.
-        assert!(m.stats().prefetches_issued <= 20, "issued {}", m.stats().prefetches_issued);
-        assert!(m.stats().prefetches_rejected >= 12, "rejected {}", m.stats().prefetches_rejected);
+        assert!(
+            m.stats().prefetches_issued <= 20,
+            "issued {}",
+            m.stats().prefetches_issued
+        );
+        assert!(
+            m.stats().prefetches_rejected >= 12,
+            "rejected {}",
+            m.stats().prefetches_rejected
+        );
     }
 
     #[test]
@@ -405,7 +464,12 @@ mod tests {
             fn name(&self) -> &'static str {
                 "dup"
             }
-            fn on_access(&mut self, ctx: &AccessContext, _p: MemPressure, out: &mut Vec<PrefetchReq>) {
+            fn on_access(
+                &mut self,
+                ctx: &AccessContext,
+                _p: MemPressure,
+                out: &mut Vec<PrefetchReq>,
+            ) {
                 // Prefetch the line we just accessed: always redundant.
                 out.push(PrefetchReq::real(ctx.addr, 0));
             }
@@ -426,7 +490,12 @@ mod tests {
             fn name(&self) -> &'static str {
                 "shadow"
             }
-            fn on_access(&mut self, ctx: &AccessContext, _p: MemPressure, out: &mut Vec<PrefetchReq>) {
+            fn on_access(
+                &mut self,
+                ctx: &AccessContext,
+                _p: MemPressure,
+                out: &mut Vec<PrefetchReq>,
+            ) {
                 out.push(PrefetchReq::shadow(ctx.addr + 64, 0));
             }
             fn storage_bytes(&self) -> usize {

@@ -86,7 +86,10 @@ impl MshrFile {
     pub fn lookup(&mut self, addr: Addr, now: Cycle) -> Option<(Cycle, MshrKind)> {
         self.retire(now);
         let b = self.block(addr);
-        self.entries.iter().find(|e| e.block == b).map(|e| (e.fill_at, e.kind))
+        self.entries
+            .iter()
+            .find(|e| e.block == b)
+            .map(|e| (e.fill_at, e.kind))
     }
 
     /// Try to allocate an entry occupying a register from `now` until
@@ -99,15 +102,31 @@ impl MshrFile {
     /// `[start, fill_at]` — the final-transfer leg of a fill whose
     /// long-latency portion is tracked by the next level's MSHRs (used by
     /// prefetches that ride the L2's registers to DRAM).
-    pub fn try_allocate_window(&mut self, addr: Addr, start: Cycle, fill_at: Cycle, kind: MshrKind, now: Cycle) -> bool {
+    pub fn try_allocate_window(
+        &mut self,
+        addr: Addr,
+        start: Cycle,
+        fill_at: Cycle,
+        kind: MshrKind,
+        now: Cycle,
+    ) -> bool {
         self.retire(now);
         // Capacity is checked at the window start: how many existing
         // entries will still be active when this one becomes active?
-        let active_then = self.entries.iter().filter(|e| e.start <= start && e.fill_at > start).count();
+        let active_then = self
+            .entries
+            .iter()
+            .filter(|e| e.start <= start && e.fill_at > start)
+            .count();
         if active_then >= self.capacity {
             return false;
         }
-        self.entries.push(Entry { block: self.block(addr), start, fill_at, kind });
+        self.entries.push(Entry {
+            block: self.block(addr),
+            start,
+            fill_at,
+            kind,
+        });
         true
     }
 
@@ -123,13 +142,21 @@ impl MshrFile {
     /// backpressure uses this rather than [`MshrFile::free`].
     pub fn free_for_demand(&mut self, now: Cycle) -> u32 {
         self.retire(now);
-        let reserved = self.entries.iter().filter(|e| e.kind == MshrKind::Demand).count();
+        let reserved = self
+            .entries
+            .iter()
+            .filter(|e| e.kind == MshrKind::Demand)
+            .count();
         self.capacity.saturating_sub(reserved) as u32
     }
 
     /// Earliest completion among outstanding *demand* entries.
     pub fn earliest_demand_fill(&self) -> Option<Cycle> {
-        self.entries.iter().filter(|e| e.kind == MshrKind::Demand).map(|e| e.fill_at).min()
+        self.entries
+            .iter()
+            .filter(|e| e.kind == MshrKind::Demand)
+            .map(|e| e.fill_at)
+            .min()
     }
 
     /// Number of outstanding entries (without retiring), for tests.

@@ -35,12 +35,20 @@ pub struct PrefetchReq {
 impl PrefetchReq {
     /// A real (dispatched) prefetch request.
     pub fn real(addr: Addr, tag: u64) -> Self {
-        PrefetchReq { addr, shadow: false, tag }
+        PrefetchReq {
+            addr,
+            shadow: false,
+            tag,
+        }
     }
 
     /// A shadow (training-only) request.
     pub fn shadow(addr: Addr, tag: u64) -> Self {
-        PrefetchReq { addr, shadow: true, tag }
+        PrefetchReq {
+            addr,
+            shadow: true,
+            tag,
+        }
     }
 }
 
@@ -123,7 +131,12 @@ impl Prefetcher for Box<dyn Prefetcher> {
         (**self).name()
     }
 
-    fn on_access(&mut self, ctx: &AccessContext, pressure: MemPressure, out: &mut Vec<PrefetchReq>) {
+    fn on_access(
+        &mut self,
+        ctx: &AccessContext,
+        pressure: MemPressure,
+        out: &mut Vec<PrefetchReq>,
+    ) {
         (**self).on_access(ctx, pressure, out)
     }
 
@@ -161,7 +174,13 @@ impl Prefetcher for NoPrefetch {
         "none"
     }
 
-    fn on_access(&mut self, _ctx: &AccessContext, _pressure: MemPressure, _out: &mut Vec<PrefetchReq>) {}
+    fn on_access(
+        &mut self,
+        _ctx: &AccessContext,
+        _pressure: MemPressure,
+        _out: &mut Vec<PrefetchReq>,
+    ) {
+    }
 
     fn storage_bytes(&self) -> usize {
         0
@@ -177,7 +196,14 @@ mod tests {
         let mut p = NoPrefetch;
         let mut out = Vec::new();
         let ctx = AccessContext::bare(0, 0x400, 0x1000, false);
-        p.on_access(&ctx, MemPressure { l1_mshr_free: 4, l2_mshr_free: 20 }, &mut out);
+        p.on_access(
+            &ctx,
+            MemPressure {
+                l1_mshr_free: 4,
+                l2_mshr_free: 20,
+            },
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(p.storage_bytes(), 0);
         assert!(!p.was_predicted(0x1000));
@@ -185,7 +211,11 @@ mod tests {
 
     #[test]
     fn stats_accuracy() {
-        let s = PrefetcherStats { issued: 10, useful: 4, ..Default::default() };
+        let s = PrefetcherStats {
+            issued: 10,
+            useful: 4,
+            ..Default::default()
+        };
         assert!((s.accuracy() - 0.4).abs() < 1e-12);
         assert_eq!(PrefetcherStats::default().accuracy(), 0.0);
     }

@@ -72,7 +72,11 @@ mod tests {
 
     #[test]
     fn mpki_math() {
-        let s = MemStats { l1_misses: 50, l2_misses: 10, ..Default::default() };
+        let s = MemStats {
+            l1_misses: 50,
+            l2_misses: 10,
+            ..Default::default()
+        };
         assert!((s.l1_mpki(10_000) - 5.0).abs() < 1e-12);
         assert!((s.l2_mpki(10_000) - 1.0).abs() < 1e-12);
         assert_eq!(s.l1_mpki(0), 0.0);
@@ -80,7 +84,12 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = MemStats { demand_accesses: 200, l1_misses: 50, l2_misses: 25, ..Default::default() };
+        let s = MemStats {
+            demand_accesses: 200,
+            l1_misses: 50,
+            l2_misses: 25,
+            ..Default::default()
+        };
         assert!((s.l1_miss_rate() - 0.25).abs() < 1e-12);
         assert!((s.l2_miss_rate() - 0.5).abs() < 1e-12);
         assert_eq!(MemStats::default().l2_miss_rate(), 0.0);

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use semloc_mem::{AccessClass, Hierarchy, MemConfig, MemPressure, NoPrefetch, PrefetchReq, Prefetcher};
+use semloc_mem::{
+    AccessClass, Hierarchy, MemConfig, MemPressure, NoPrefetch, PrefetchReq, Prefetcher,
+};
 use semloc_trace::AccessContext;
 
 fn ctx(seq: u64, addr: u64) -> AccessContext {
@@ -106,7 +108,10 @@ fn pressure_reflects_outstanding_fills() {
     h.demand_access(&ctx(0, 0x100000), 0);
     h.demand_access(&ctx(1, 0x200000), 1);
     let free2 = h.pressure(2).l1_mshr_free;
-    assert!(free2 <= free0 - 2, "two outstanding misses must consume MSHRs");
+    assert!(
+        free2 <= free0 - 2,
+        "two outstanding misses must consume MSHRs"
+    );
     // After everything fills, pressure recovers.
     let free_late = h.pressure(10_000).l1_mshr_free;
     assert_eq!(free_late, free0);

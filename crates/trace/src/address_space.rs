@@ -184,10 +184,16 @@ mod tests {
         let addrs: Vec<Addr> = (0..256).map(|_| s.alloc(32)).collect();
         let sequential = addrs.windows(2).filter(|w| w[1] == w[0] + 32).count();
         // A shuffled bag leaves almost no consecutive pairs.
-        assert!(sequential < 32, "scatter produced {sequential} sequential pairs");
+        assert!(
+            sequential < 32,
+            "scatter produced {sequential} sequential pairs"
+        );
         let mut sorted = addrs.clone();
         sorted.sort_unstable();
-        assert!(sorted.windows(2).all(|w| w[1] - w[0] >= 32), "overlapping slots");
+        assert!(
+            sorted.windows(2).all(|w| w[1] - w[0] >= 32),
+            "overlapping slots"
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ impl PcAlloc {
     /// A PC allocator for the `region`-th kernel; regions are 64 KiB apart
     /// so different kernels never share PCs.
     pub fn new(region: u32) -> Self {
-        PcAlloc { next: CODE_BASE + (region as Addr) * 0x1_0000 }
+        PcAlloc {
+            next: CODE_BASE + (region as Addr) * 0x1_0000,
+        }
     }
 
     /// Allocate the next code-site PC (8-byte spaced, like real code).
@@ -97,7 +99,14 @@ impl<'a, S: TraceSink + ?Sized> Emitter<'a, S> {
     }
 
     /// Emit a 1-cycle ALU op.
-    pub fn alu(&mut self, pc: Addr, dst: Option<Reg>, src1: Option<Reg>, src2: Option<Reg>, result: u64) {
+    pub fn alu(
+        &mut self,
+        pc: Addr,
+        dst: Option<Reg>,
+        src1: Option<Reg>,
+        src2: Option<Reg>,
+        result: u64,
+    ) {
         self.raw(Instr::alu(pc, dst, src1, src2, result));
     }
 
@@ -111,7 +120,14 @@ impl<'a, S: TraceSink + ?Sized> Emitter<'a, S> {
 
     /// Emit a long-latency ALU op (mul/div/fp), `latency` cycles.
     pub fn alu_long(&mut self, pc: Addr, latency: u32, dst: Option<Reg>, src1: Option<Reg>) {
-        self.raw(Instr { pc, kind: crate::InstrKind::Alu { latency }, src1, src2: None, dst, result: 0 });
+        self.raw(Instr {
+            pc,
+            kind: crate::InstrKind::Alu { latency },
+            src1,
+            src2: None,
+            dst,
+            result: 0,
+        });
     }
 
     /// Emit a branch.

@@ -59,17 +59,29 @@ impl SemanticHints {
     /// Hints for following a pointer member at `link_offset` of an object of
     /// type `type_id` (the common `node->next` case).
     pub fn link(type_id: u16, link_offset: u16) -> Self {
-        SemanticHints { type_id, link_offset, ref_form: RefForm::Arrow }
+        SemanticHints {
+            type_id,
+            link_offset,
+            ref_form: RefForm::Arrow,
+        }
     }
 
     /// Hints for an indexed access into an array of objects of `type_id`.
     pub fn indexed(type_id: u16) -> Self {
-        SemanticHints { type_id, link_offset: 0, ref_form: RefForm::Index }
+        SemanticHints {
+            type_id,
+            link_offset: 0,
+            ref_form: RefForm::Index,
+        }
     }
 
     /// Hints for a plain dereference of a pointer to `type_id`.
     pub fn deref(type_id: u16) -> Self {
-        SemanticHints { type_id, link_offset: 0, ref_form: RefForm::Deref }
+        SemanticHints {
+            type_id,
+            link_offset: 0,
+            ref_form: RefForm::Deref,
+        }
     }
 
     /// Pack the hints into the 32-bit immediate format the compiler backend
@@ -77,7 +89,9 @@ impl SemanticHints {
     /// bits).
     #[inline]
     pub fn pack(self) -> u32 {
-        ((self.type_id as u32) << 16) | ((self.link_offset as u32 & 0x3fff) << 2) | self.ref_form.code() as u32
+        ((self.type_id as u32) << 16)
+            | ((self.link_offset as u32 & 0x3fff) << 2)
+            | self.ref_form.code() as u32
     }
 
     /// Unpack hints previously packed with [`SemanticHints::pack`].
@@ -98,7 +112,11 @@ mod tests {
     #[test]
     fn pack_roundtrips() {
         for form in RefForm::ALL {
-            let h = SemanticHints { type_id: 0xBEEF, link_offset: 0x123, ref_form: form };
+            let h = SemanticHints {
+                type_id: 0xBEEF,
+                link_offset: 0x123,
+                ref_form: form,
+            };
             assert_eq!(SemanticHints::unpack(h.pack()), h);
         }
     }
@@ -123,7 +141,11 @@ mod tests {
 
     #[test]
     fn link_offset_is_masked_to_14_bits() {
-        let h = SemanticHints { type_id: 1, link_offset: 0x3fff, ref_form: RefForm::Dot };
+        let h = SemanticHints {
+            type_id: 1,
+            link_offset: 0x3fff,
+            ref_form: RefForm::Dot,
+        };
         assert_eq!(SemanticHints::unpack(h.pack()).link_offset, 0x3fff);
     }
 }

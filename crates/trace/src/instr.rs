@@ -96,8 +96,21 @@ pub struct Instr {
 
 impl Instr {
     /// A 1-cycle ALU op `dst <- f(src1, src2)` producing `result`.
-    pub fn alu(pc: Addr, dst: Option<Reg>, src1: Option<Reg>, src2: Option<Reg>, result: u64) -> Self {
-        Instr { pc, kind: InstrKind::Alu { latency: 1 }, src1, src2, dst, result }
+    pub fn alu(
+        pc: Addr,
+        dst: Option<Reg>,
+        src1: Option<Reg>,
+        src2: Option<Reg>,
+        result: u64,
+    ) -> Self {
+        Instr {
+            pc,
+            kind: InstrKind::Alu { latency: 1 },
+            src1,
+            src2,
+            dst,
+            result,
+        }
     }
 
     /// A load of `size` bytes at `addr` into `dst`, producing `result`.
@@ -110,23 +123,57 @@ impl Instr {
         hints: Option<SemanticHints>,
         result: u64,
     ) -> Self {
-        Instr { pc, kind: InstrKind::Load { addr, size, hints }, src1: addr_src, src2: None, dst: Some(dst), result }
+        Instr {
+            pc,
+            kind: InstrKind::Load { addr, size, hints },
+            src1: addr_src,
+            src2: None,
+            dst: Some(dst),
+            result,
+        }
     }
 
     /// A store of `size` bytes at `addr` whose data comes from `data_src`.
-    pub fn store(pc: Addr, addr: Addr, size: u8, addr_src: Option<Reg>, data_src: Option<Reg>) -> Self {
-        Instr { pc, kind: InstrKind::Store { addr, size }, src1: addr_src, src2: data_src, dst: None, result: 0 }
+    pub fn store(
+        pc: Addr,
+        addr: Addr,
+        size: u8,
+        addr_src: Option<Reg>,
+        data_src: Option<Reg>,
+    ) -> Self {
+        Instr {
+            pc,
+            kind: InstrKind::Store { addr, size },
+            src1: addr_src,
+            src2: data_src,
+            dst: None,
+            result: 0,
+        }
     }
 
     /// A branch at `pc` to `target`, with the given resolved direction,
     /// conditioned on `cond_src`.
     pub fn branch(pc: Addr, taken: bool, target: Addr, cond_src: Option<Reg>) -> Self {
-        Instr { pc, kind: InstrKind::Branch { taken, target }, src1: cond_src, src2: None, dst: None, result: 0 }
+        Instr {
+            pc,
+            kind: InstrKind::Branch { taken, target },
+            src1: cond_src,
+            src2: None,
+            dst: None,
+            result: 0,
+        }
     }
 
     /// A no-op at `pc`.
     pub fn nop(pc: Addr) -> Self {
-        Instr { pc, kind: InstrKind::Nop, src1: None, src2: None, dst: None, result: 0 }
+        Instr {
+            pc,
+            kind: InstrKind::Nop,
+            src1: None,
+            src2: None,
+            dst: None,
+            result: 0,
+        }
     }
 
     /// Whether this instruction accesses data memory.

@@ -77,7 +77,11 @@ impl<W: Write> TraceWriter<W> {
         out.write_all(MAGIC)?;
         // Count placeholder is not rewritten (streams may not seek); the
         // count lives in the trailer instead.
-        Ok(TraceWriter { out, count: 0, limit })
+        Ok(TraceWriter {
+            out,
+            count: 0,
+            limit,
+        })
     }
 
     /// Instructions recorded so far.
@@ -168,7 +172,10 @@ impl<R: Read> TraceReader<R> {
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a semloc trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a semloc trace",
+            ));
         }
         Ok(TraceReader { input, replayed: 0 })
     }
@@ -188,34 +195,52 @@ impl<R: Read> TraceReader<R> {
                 if count != self.replayed {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        format!("trace count mismatch: trailer {count}, read {}", self.replayed),
+                        format!(
+                            "trace count mismatch: trailer {count}, read {}",
+                            self.replayed
+                        ),
                     ));
                 }
                 return Ok(None);
             }
-            K_ALU => InstrKind::Alu { latency: read_u32(&mut self.input)? },
+            K_ALU => InstrKind::Alu {
+                latency: read_u32(&mut self.input)?,
+            },
             K_LOAD => {
                 let addr = read_u64(&mut self.input)?;
                 let mut size = [0u8; 1];
                 self.input.read_exact(&mut size)?;
                 let packed = read_u32(&mut self.input)?;
                 let hints = (packed != u32::MAX).then(|| SemanticHints::unpack(packed));
-                InstrKind::Load { addr, size: size[0], hints }
+                InstrKind::Load {
+                    addr,
+                    size: size[0],
+                    hints,
+                }
             }
             K_STORE => {
                 let addr = read_u64(&mut self.input)?;
                 let mut size = [0u8; 1];
                 self.input.read_exact(&mut size)?;
-                InstrKind::Store { addr, size: size[0] }
+                InstrKind::Store {
+                    addr,
+                    size: size[0],
+                }
             }
             K_BRANCH => {
                 let mut taken = [0u8; 1];
                 self.input.read_exact(&mut taken)?;
-                InstrKind::Branch { taken: taken[0] != 0, target: read_u64(&mut self.input)? }
+                InstrKind::Branch {
+                    taken: taken[0] != 0,
+                    target: read_u64(&mut self.input)?,
+                }
             }
             K_NOP => InstrKind::Nop,
             other => {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad record kind {other}")));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad record kind {other}"),
+                ));
             }
         };
         let pc = read_u64(&mut self.input)?;
@@ -224,7 +249,14 @@ impl<R: Read> TraceReader<R> {
         let dst = read_reg(&mut self.input)?;
         let result = read_u64(&mut self.input)?;
         self.replayed += 1;
-        Ok(Some(Instr { pc, kind, src1, src2, dst, result }))
+        Ok(Some(Instr {
+            pc,
+            kind,
+            src1,
+            src2,
+            dst,
+            result,
+        }))
     }
 
     /// Replay the whole trace into `sink` (stops early if the sink is
@@ -253,7 +285,15 @@ mod tests {
 
     fn sample() -> Vec<Instr> {
         vec![
-            Instr::load(0x400, 0x1234, 8, Reg(3), Some(Reg(1)), Some(SemanticHints::link(7, 16)), 0xAB),
+            Instr::load(
+                0x400,
+                0x1234,
+                8,
+                Reg(3),
+                Some(Reg(1)),
+                Some(SemanticHints::link(7, 16)),
+                0xAB,
+            ),
             Instr::alu(0x408, Some(Reg(4)), Some(Reg(3)), None, 99),
             Instr::store(0x410, 0x5678, 8, Some(Reg(4)), Some(Reg(3))),
             Instr::branch(0x418, true, 0x400, Some(Reg(4))),
@@ -312,7 +352,15 @@ mod tests {
         for i in 0..5000u64 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             instrs.push(match state % 4 {
-                0 => Instr::load(i * 8, state % (1 << 30), 8, Reg((state % 32) as u8), None, None, state),
+                0 => Instr::load(
+                    i * 8,
+                    state % (1 << 30),
+                    8,
+                    Reg((state % 32) as u8),
+                    None,
+                    None,
+                    state,
+                ),
                 1 => Instr::alu(i * 8, Some(Reg((state % 32) as u8)), None, None, state),
                 2 => Instr::store(i * 8, state % (1 << 30), 8, None, None),
                 _ => Instr::branch(i * 8, state & 8 != 0, state % (1 << 20), None),
@@ -324,7 +372,10 @@ mod tests {
         }
         let bytes = w.finish().unwrap();
         let mut sink = RecordingSink::new();
-        TraceReader::new(&bytes[..]).unwrap().replay(&mut sink).unwrap();
+        TraceReader::new(&bytes[..])
+            .unwrap()
+            .replay(&mut sink)
+            .unwrap();
         assert_eq!(sink.instrs(), instrs.as_slice());
     }
 }

@@ -48,7 +48,10 @@ impl RecordingSink {
 
     /// A recorder that reports `done()` after `limit` instructions.
     pub fn with_limit(limit: usize) -> Self {
-        RecordingSink { instrs: Vec::new(), limit: Some(limit) }
+        RecordingSink {
+            instrs: Vec::new(),
+            limit: Some(limit),
+        }
     }
 
     /// The recorded instructions, in emission order.
@@ -103,7 +106,10 @@ impl CountingSink {
 
     /// A counter that reports `done()` after `limit` instructions.
     pub fn with_limit(limit: u64) -> Self {
-        CountingSink { limit, ..Self::default() }
+        CountingSink {
+            limit,
+            ..Self::default()
+        }
     }
 
     /// Fraction of instructions that access memory, or 0 if empty.

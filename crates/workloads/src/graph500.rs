@@ -48,12 +48,22 @@ pub struct Graph500 {
 impl Graph500 {
     /// The CSR variant at default scale.
     pub fn csr() -> Self {
-        Graph500 { layout: Layout::Csr, vertices: 512, degree: 8, seed: 71 }
+        Graph500 {
+            layout: Layout::Csr,
+            vertices: 512,
+            degree: 8,
+            seed: 71,
+        }
     }
 
     /// The linked variant at default scale.
     pub fn linked() -> Self {
-        Graph500 { layout: Layout::Linked, vertices: 512, degree: 8, seed: 71 }
+        Graph500 {
+            layout: Layout::Linked,
+            vertices: 512,
+            degree: 8,
+            seed: 71,
+        }
     }
 
     /// Adjacency lists of the generated graph (identical for both layouts —
@@ -61,10 +71,10 @@ impl Graph500 {
     fn adjacency(&self, s: &mut Session<'_>) -> Vec<Vec<usize>> {
         let n = self.vertices;
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for v in 0..n {
-            adj[v].push((v + 1) % n); // connectivity ring
+        for (v, list) in adj.iter_mut().enumerate() {
+            list.push((v + 1) % n); // connectivity ring
             for _ in 1..self.degree {
-                adj[v].push(s.rng.random_range(0..n));
+                list.push(s.rng.random_range(0..n));
             }
         }
         adj
@@ -99,19 +109,52 @@ fn bfs_csr(s: &mut Session<'_>, g: &CsrGraph, root: usize, sites: &CsrSites) {
             return;
         }
         let (lo, hi) = (g.offsets[v], g.offsets[v + 1]);
-        s.hinted_load(sites.xadj, g.xadj + (v as u64) * 8, regs::IDX, Some(regs::PTR), xh, lo);
-        s.hinted_load(sites.xadj2, g.xadj + (v as u64 + 1) * 8, regs::TMP, Some(regs::PTR), xh, hi);
+        s.hinted_load(
+            sites.xadj,
+            g.xadj + (v as u64) * 8,
+            regs::IDX,
+            Some(regs::PTR),
+            xh,
+            lo,
+        );
+        s.hinted_load(
+            sites.xadj2,
+            g.xadj + (v as u64 + 1) * 8,
+            regs::TMP,
+            Some(regs::PTR),
+            xh,
+            hi,
+        );
         for e in lo..hi {
             if s.done() {
                 return;
             }
             let w = g.targets[e as usize] as usize;
-            s.hinted_load(sites.adj, g.adjncy + e * 8, regs::PTR, Some(regs::IDX), ah, w as u64);
-            s.em.load(sites.vis_rd, g.visited + (w as u64), regs::VAL, Some(regs::PTR), None, seen[w] as u64);
+            s.hinted_load(
+                sites.adj,
+                g.adjncy + e * 8,
+                regs::PTR,
+                Some(regs::IDX),
+                ah,
+                w as u64,
+            );
+            s.em.load(
+                sites.vis_rd,
+                g.visited + (w as u64),
+                regs::VAL,
+                Some(regs::PTR),
+                None,
+                seen[w] as u64,
+            );
             s.em.branch(sites.vis_br, !seen[w], sites.adj, Some(regs::VAL));
             if !seen[w] {
                 seen[w] = true;
-                s.em.store(sites.vis_wr, g.visited + (w as u64), Some(regs::PTR), Some(regs::VAL));
+                s.em.store(
+                    sites.vis_wr,
+                    g.visited + (w as u64),
+                    Some(regs::PTR),
+                    Some(regs::VAL),
+                );
                 frontier.push(w);
             }
         }
@@ -140,12 +183,31 @@ fn bfs_linked(s: &mut Session<'_>, g: &LinkedGraph, root: usize, sites: &LinkedS
             let w = g.adj[v][k];
             let next_e = g.eaddrs[v].get(k + 1).copied().unwrap_or(0);
             s.hinted_load(sites.edge, ea, regs::TMP, Some(regs::TMP), eh, next_e);
-            s.hinted_load(sites.target, ea + 8, regs::PTR, Some(regs::TMP), th, g.vaddrs[w]);
-            s.em.load(sites.vis_rd, g.visited + (w as u64), regs::VAL, Some(regs::PTR), None, seen[w] as u64);
+            s.hinted_load(
+                sites.target,
+                ea + 8,
+                regs::PTR,
+                Some(regs::TMP),
+                th,
+                g.vaddrs[w],
+            );
+            s.em.load(
+                sites.vis_rd,
+                g.visited + (w as u64),
+                regs::VAL,
+                Some(regs::PTR),
+                None,
+                seen[w] as u64,
+            );
             s.em.branch(sites.vis_br, !seen[w], sites.edge, Some(regs::VAL));
             if !seen[w] {
                 seen[w] = true;
-                s.em.store(sites.vis_wr, g.visited + (w as u64), Some(regs::PTR), Some(regs::VAL));
+                s.em.store(
+                    sites.vis_wr,
+                    g.visited + (w as u64),
+                    Some(regs::PTR),
+                    Some(regs::VAL),
+                );
                 frontier.push(w);
             }
         }
@@ -191,7 +253,10 @@ impl Kernel for Graph500 {
             Layout::Csr => Placement::Bump,
             Layout::Linked => Placement::Scatter,
         };
-        let region = match self.layout { Layout::Csr => 20, Layout::Linked => 22 };
+        let region = match self.layout {
+            Layout::Csr => 20,
+            Layout::Linked => 22,
+        };
         let mut s = Session::new(sink, region, placement, self.seed);
         let adj = self.adjacency(&mut s);
         let n = self.vertices;
@@ -207,7 +272,13 @@ impl Kernel for Graph500 {
                 let xadj = s.heap.alloc_array(8, (n + 1) as u64);
                 let adjncy = s.heap.alloc_array(8, targets.len() as u64);
                 let visited = s.heap.alloc_array(1, n as u64);
-                let g = CsrGraph { xadj, adjncy, offsets, targets, visited };
+                let g = CsrGraph {
+                    xadj,
+                    adjncy,
+                    offsets,
+                    targets,
+                    visited,
+                };
                 let sites = CsrSites {
                     xadj: s.pcs.sites(2),
                     xadj2: s.pcs.sites(2),
@@ -233,10 +304,17 @@ impl Kernel for Graph500 {
                 // placement scrambles objects within heap slabs, so chains
                 // are spatially disordered at line granularity while staying
                 // slab-local.
-                let eaddrs: Vec<Vec<Addr>> =
-                    adj.iter().map(|list| list.iter().map(|_| s.heap.alloc(48)).collect()).collect();
+                let eaddrs: Vec<Vec<Addr>> = adj
+                    .iter()
+                    .map(|list| list.iter().map(|_| s.heap.alloc(48)).collect())
+                    .collect();
                 let visited = s.heap.alloc_array(1, n as u64);
-                let g = LinkedGraph { vaddrs, eaddrs, adj, visited };
+                let g = LinkedGraph {
+                    vaddrs,
+                    eaddrs,
+                    adj,
+                    visited,
+                };
                 let sites = LinkedSites {
                     ehead: s.pcs.sites(2),
                     edge: s.pcs.sites(2),
@@ -282,11 +360,11 @@ mod tests {
             sink.instrs()
                 .iter()
                 .filter_map(|i| match i.kind {
-                    InstrKind::Load { addr, hints: Some(h), .. }
-                        if h.type_id == tid && h.link_offset == off =>
-                    {
-                        Some(addr)
-                    }
+                    InstrKind::Load {
+                        addr,
+                        hints: Some(h),
+                        ..
+                    } if h.type_id == tid && h.link_offset == off => Some(addr),
                     _ => None,
                 })
                 .collect::<Vec<u64>>()
@@ -294,7 +372,9 @@ mod tests {
         let csr = edge_loads(&Graph500::csr(), T_ADJ, 0, 40_000);
         let linked = edge_loads(&Graph500::linked(), T_EDGE, 0, 40_000);
         assert!(csr.len() > 100 && linked.len() > 100);
-        let near = |v: &[u64]| v.windows(2).filter(|w| w[1].abs_diff(w[0]) <= 64).count() as f64 / v.len() as f64;
+        let near = |v: &[u64]| {
+            v.windows(2).filter(|w| w[1].abs_diff(w[0]) <= 64).count() as f64 / v.len() as f64
+        };
         assert!(
             near(&csr) > 2.0 * near(&linked),
             "CSR edge stream should be far more sequential ({:.2} vs {:.2})",

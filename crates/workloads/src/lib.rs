@@ -33,7 +33,10 @@ pub mod ssca2;
 pub mod ukernels;
 
 pub use object::Session;
-pub use registry::{all_kernels, kernel_by_name, memory_intensive, microbenchmarks, spec_suite, KernelBox, KernelInfo};
+pub use registry::{
+    all_kernels, kernel_by_name, memory_intensive, microbenchmarks, spec_suite, KernelBox,
+    KernelInfo,
+};
 
 use semloc_trace::TraceSink;
 
@@ -85,7 +88,13 @@ mod tests {
 
     #[test]
     fn suite_labels_are_unique() {
-        let all = [Suite::Spec, Suite::Pbbs, Suite::Graph500, Suite::Hpcs, Suite::Micro];
+        let all = [
+            Suite::Spec,
+            Suite::Pbbs,
+            Suite::Graph500,
+            Suite::Hpcs,
+            Suite::Micro,
+        ];
         let set: std::collections::HashSet<_> = all.iter().map(|s| s.label()).collect();
         assert_eq!(set.len(), all.len());
     }

@@ -9,7 +9,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use semloc_trace::{Addr, AddressSpace, Emitter, PcAlloc, Placement, Reg, SemanticHints, TraceSink};
+use semloc_trace::{
+    Addr, AddressSpace, Emitter, PcAlloc, Placement, Reg, SemanticHints, TraceSink,
+};
 
 /// Everything a running kernel needs.
 pub struct Session<'a> {
@@ -56,13 +58,16 @@ impl<'a> Session<'a> {
         result: u64,
     ) {
         self.em.nop(pc);
-        self.em.load(pc + 4, addr, dst, addr_src, Some(hints), result);
+        self.em
+            .load(pc + 4, addr, dst, addr_src, Some(hints), result);
     }
 }
 
 impl std::fmt::Debug for Session<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Session").field("emitted", &self.em.emitted()).finish_non_exhaustive()
+        f.debug_struct("Session")
+            .field("emitted", &self.em.emitted())
+            .finish_non_exhaustive()
     }
 }
 

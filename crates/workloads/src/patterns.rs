@@ -42,7 +42,12 @@ pub struct LoopSites {
 impl LoopSites {
     /// Allocate a fresh set of loop sites from the session's PC allocator.
     pub fn alloc(s: &mut Session<'_>) -> Self {
-        LoopSites { link: s.pcs.sites(2), payload: s.pcs.site(), work: s.pcs.site(), branch: s.pcs.site() }
+        LoopSites {
+            link: s.pcs.sites(2),
+            payload: s.pcs.site(),
+            work: s.pcs.site(),
+            branch: s.pcs.site(),
+        }
     }
 }
 
@@ -104,10 +109,29 @@ impl LinkedChain {
             }
             let node = self.nodes[i];
             let next = self.nodes[(i + 1) % self.nodes.len()];
-            s.hinted_load(sites.link, node + NEXT_OFFSET as u64, regs::PTR, Some(regs::PTR), hints, next);
-            s.em.load(sites.payload, node + PAYLOAD_OFFSET, regs::VAL, Some(regs::PTR), None, node ^ 0x5a);
+            s.hinted_load(
+                sites.link,
+                node + NEXT_OFFSET as u64,
+                regs::PTR,
+                Some(regs::PTR),
+                hints,
+                next,
+            );
+            s.em.load(
+                sites.payload,
+                node + PAYLOAD_OFFSET,
+                regs::VAL,
+                Some(regs::PTR),
+                None,
+                node ^ 0x5a,
+            );
             s.em.work(sites.work, work);
-            s.em.branch(sites.branch, i + 1 != self.nodes.len(), sites.link, Some(regs::VAL));
+            s.em.branch(
+                sites.branch,
+                i + 1 != self.nodes.len(),
+                sites.link,
+                Some(regs::VAL),
+            );
         }
     }
 }
@@ -115,7 +139,17 @@ impl LinkedChain {
 /// One sequential/strided scan over an array of `elems` elements of
 /// `elem_size` bytes at `base`: indexed loads with `Index` hints, `work`
 /// filler ops per element.
-pub fn stream(s: &mut Session<'_>, sites: LoopSites, base: Addr, elems: u64, elem_size: u64, stride: u64, type_id: u16, work: u32) {
+#[allow(clippy::too_many_arguments)]
+pub fn stream(
+    s: &mut Session<'_>,
+    sites: LoopSites,
+    base: Addr,
+    elems: u64,
+    elem_size: u64,
+    stride: u64,
+    type_id: u16,
+    work: u32,
+) {
     let hints = SemanticHints::indexed(type_id);
     let mut i = 0u64;
     while i < elems {
@@ -124,15 +158,28 @@ pub fn stream(s: &mut Session<'_>, sites: LoopSites, base: Addr, elems: u64, ele
         }
         let addr = base + i * elem_size;
         s.em.alu(sites.work, Some(regs::IDX), Some(regs::IDX), None, i);
-        s.hinted_load(sites.link, addr, regs::VAL, Some(regs::IDX), hints, addr ^ 1);
+        s.hinted_load(
+            sites.link,
+            addr,
+            regs::VAL,
+            Some(regs::IDX),
+            hints,
+            addr ^ 1,
+        );
         s.em.work(sites.work, work);
-        s.em.branch(sites.branch, i + stride < elems, sites.link, Some(regs::IDX));
+        s.em.branch(
+            sites.branch,
+            i + stride < elems,
+            sites.link,
+            Some(regs::IDX),
+        );
         i += stride;
     }
 }
 
 /// An indexed gather `data[idx]` for each index produced by `indices`:
 /// loads the index from an index array, then the dependent data element.
+#[allow(clippy::too_many_arguments)]
 pub fn gather(
     s: &mut Session<'_>,
     sites: LoopSites,
@@ -148,16 +195,42 @@ pub fn gather(
         if s.done() {
             return;
         }
-        s.em.load(sites.payload, index_base + (i as u64) * 8, regs::IDX, None, None, idx);
-        s.hinted_load(sites.link, data_base + idx * elem_size, regs::VAL, Some(regs::IDX), hints, idx);
+        s.em.load(
+            sites.payload,
+            index_base + (i as u64) * 8,
+            regs::IDX,
+            None,
+            None,
+            idx,
+        );
+        s.hinted_load(
+            sites.link,
+            data_base + idx * elem_size,
+            regs::VAL,
+            Some(regs::IDX),
+            hints,
+            idx,
+        );
         s.em.work(sites.work, work);
-        s.em.branch(sites.branch, i + 1 != indices.len(), sites.link, Some(regs::VAL));
+        s.em.branch(
+            sites.branch,
+            i + 1 != indices.len(),
+            sites.link,
+            Some(regs::VAL),
+        );
     }
 }
 
 /// A five-point 2-D stencil sweep over a `rows`×`cols` grid of 8-byte
 /// cells — the regular, bandwidth-bound pattern of lattice codes.
-pub fn stencil5(s: &mut Session<'_>, sites: LoopSites, base: Addr, rows: u64, cols: u64, work: u32) {
+pub fn stencil5(
+    s: &mut Session<'_>,
+    sites: LoopSites,
+    base: Addr,
+    rows: u64,
+    cols: u64,
+    work: u32,
+) {
     // No semantic hints here: §6 injects hints only for loads that produce
     // pointer values, and a stencil reads plain array data. The prefetcher
     // must handle it from hardware attributes alone.
@@ -168,10 +241,38 @@ pub fn stencil5(s: &mut Session<'_>, sites: LoopSites, base: Addr, rows: u64, co
             }
             let at = |rr: u64, cc: u64| base + (rr * cols + cc) * 8;
             s.em.load(sites.link, at(r, c), regs::VAL, Some(regs::IDX), None, 0);
-            s.em.load(sites.payload, at(r - 1, c), regs::TMP, Some(regs::IDX), None, 0);
-            s.em.load(sites.payload, at(r + 1, c), regs::TMP, Some(regs::IDX), None, 0);
-            s.em.load(sites.payload, at(r, c - 1), regs::TMP, Some(regs::IDX), None, 0);
-            s.em.load(sites.payload, at(r, c + 1), regs::TMP, Some(regs::IDX), None, 0);
+            s.em.load(
+                sites.payload,
+                at(r - 1, c),
+                regs::TMP,
+                Some(regs::IDX),
+                None,
+                0,
+            );
+            s.em.load(
+                sites.payload,
+                at(r + 1, c),
+                regs::TMP,
+                Some(regs::IDX),
+                None,
+                0,
+            );
+            s.em.load(
+                sites.payload,
+                at(r, c - 1),
+                regs::TMP,
+                Some(regs::IDX),
+                None,
+                0,
+            );
+            s.em.load(
+                sites.payload,
+                at(r, c + 1),
+                regs::TMP,
+                Some(regs::IDX),
+                None,
+                0,
+            );
             s.em.work(sites.work, work);
             s.em.store(sites.branch, at(r, c), Some(regs::IDX), Some(regs::VAL));
             s.em.branch(sites.branch, c + 2 < cols, sites.link, Some(regs::VAL));
@@ -204,7 +305,11 @@ mod tests {
         let loads: Vec<_> = instrs
             .iter()
             .filter_map(|i| match i.kind {
-                InstrKind::Load { addr, hints: Some(_), .. } => Some((addr, i.result)),
+                InstrKind::Load {
+                    addr,
+                    hints: Some(_),
+                    ..
+                } => Some((addr, i.result)),
                 _ => None,
             })
             .collect();
@@ -221,7 +326,11 @@ mod tests {
     #[test]
     fn shuffled_chain_has_low_spatial_order() {
         let (chain, _) = with_session(|s| LinkedChain::build_shuffled(s, 256, 32, 3));
-        let ordered = chain.nodes.windows(2).filter(|w| w[1] > w[0] && w[1] - w[0] <= 64).count();
+        let ordered = chain
+            .nodes
+            .windows(2)
+            .filter(|w| w[1] > w[0] && w[1] - w[0] <= 64)
+            .count();
         assert!(ordered < 64, "{ordered} of 255 steps are near-sequential");
     }
 
@@ -247,7 +356,10 @@ mod tests {
             let sites = LoopSites::alloc(s);
             gather(s, sites, idx, data, 8, &[5, 99, 0, 42], 2, 0);
         });
-        let loads = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Load { .. })).count();
+        let loads = instrs
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::Load { .. }))
+            .count();
         assert_eq!(loads, 8, "one index load + one data load per element");
     }
 
@@ -258,9 +370,18 @@ mod tests {
             let sites = LoopSites::alloc(s);
             stencil5(s, sites, base, 4, 4, 0);
         });
-        let loads = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Load { .. })).count();
-        let stores = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Store { .. })).count();
-        let nops = instrs.iter().filter(|i| matches!(i.kind, InstrKind::Nop)).count();
+        let loads = instrs
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::Load { .. }))
+            .count();
+        let stores = instrs
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::Store { .. }))
+            .count();
+        let nops = instrs
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::Nop))
+            .count();
         assert_eq!(loads, 4 * 5, "4 interior cells x 5 loads");
         assert_eq!(stores, 4);
         assert_eq!(nops, 0, "array stencils carry no hint NOPs (§6)");

@@ -28,7 +28,10 @@ pub struct SuffixArray {
 
 impl Default for SuffixArray {
     fn default() -> Self {
-        SuffixArray { n: 16 * 1024, seed: 91 }
+        SuffixArray {
+            n: 16 * 1024,
+            seed: 91,
+        }
     }
 }
 
@@ -65,11 +68,38 @@ impl Kernel for SuffixArray {
                     if s.done() {
                         return;
                     }
-                    s.em.load(sites_sa.payload, sa_base + (i as u64) * 8, regs::IDX, None, None, p as u64);
-                    s.hinted_load(site_r1, rank_base + (p as u64) * 8, regs::VAL, Some(regs::IDX), rh, text[p]);
+                    s.em.load(
+                        sites_sa.payload,
+                        sa_base + (i as u64) * 8,
+                        regs::IDX,
+                        None,
+                        None,
+                        p as u64,
+                    );
+                    s.hinted_load(
+                        site_r1,
+                        rank_base + (p as u64) * 8,
+                        regs::VAL,
+                        Some(regs::IDX),
+                        rh,
+                        text[p],
+                    );
                     let q = (p + k) % n;
-                    s.hinted_load(site_r2, rank_base + (q as u64) * 8, regs::TMP, Some(regs::IDX), rh, text[q]);
-                    s.em.alu(site_cmp, Some(regs::VAL), Some(regs::VAL), Some(regs::TMP), 0);
+                    s.hinted_load(
+                        site_r2,
+                        rank_base + (q as u64) * 8,
+                        regs::TMP,
+                        Some(regs::IDX),
+                        rh,
+                        text[q],
+                    );
+                    s.em.alu(
+                        site_cmp,
+                        Some(regs::VAL),
+                        Some(regs::VAL),
+                        Some(regs::TMP),
+                        0,
+                    );
                     s.em.branch(site_cmp, i + 1 != n, site_r1, Some(regs::VAL));
                 }
                 k *= 2;
@@ -94,7 +124,12 @@ pub struct SetCover {
 
 impl Default for SetCover {
     fn default() -> Self {
-        SetCover { sets: 1024, universe: 8192, card: 8, seed: 92 }
+        SetCover {
+            sets: 1024,
+            universe: 8192,
+            card: 8,
+            seed: 92,
+        }
     }
 }
 
@@ -145,7 +180,14 @@ impl Kernel for SetCover {
                         }
                         let next = chain.get(k + 1).map_or(0, |&(a, _)| a);
                         s.hinted_load(site_elem, ea, regs::PTR, Some(regs::PTR), eh, next);
-                        s.em.load(site_cov, covered_base + elem as u64, regs::VAL, Some(regs::PTR), None, covered[elem] as u64);
+                        s.em.load(
+                            site_cov,
+                            covered_base + elem as u64,
+                            regs::VAL,
+                            Some(regs::PTR),
+                            None,
+                            covered[elem] as u64,
+                        );
                         if !covered[elem] {
                             gain += 1;
                         }
@@ -155,7 +197,12 @@ impl Kernel for SetCover {
                     if gain as usize * (round + 2) >= self.card {
                         for &(_, elem) in chain {
                             covered[elem] = true;
-                            s.em.store(site_covw, covered_base + elem as u64, Some(regs::PTR), Some(regs::VAL));
+                            s.em.store(
+                                site_covw,
+                                covered_base + elem as u64,
+                                Some(regs::PTR),
+                                Some(regs::VAL),
+                            );
                         }
                     }
                 }
@@ -178,7 +225,11 @@ pub struct Knn {
 
 impl Default for Knn {
     fn default() -> Self {
-        Knn { points: 8192, grid: 32, seed: 93 }
+        Knn {
+            points: 8192,
+            grid: 32,
+            seed: 93,
+        }
     }
 }
 
@@ -216,7 +267,14 @@ impl Kernel for Knn {
                     }
                     let c = (qy + dy - 1) * g + (qx + dx - 1);
                     let head = cells[c].first().copied().unwrap_or(0);
-                    s.hinted_load(site_cell, cell_base + (c as u64) * 8, regs::PTR, Some(regs::IDX), ch, head);
+                    s.hinted_load(
+                        site_cell,
+                        cell_base + (c as u64) * 8,
+                        regs::PTR,
+                        Some(regs::IDX),
+                        ch,
+                        head,
+                    );
                     for &p in &cells[c] {
                         if s.done() {
                             return;
@@ -239,14 +297,21 @@ mod tests {
 
     #[test]
     fn all_pbbs_kernels_run_to_budget() {
-        let kernels: Vec<Box<dyn Kernel>> =
-            vec![Box::new(SuffixArray::default()), Box::new(SetCover::default()), Box::new(Knn::default())];
+        let kernels: Vec<Box<dyn Kernel>> = vec![
+            Box::new(SuffixArray::default()),
+            Box::new(SetCover::default()),
+            Box::new(Knn::default()),
+        ];
         for k in kernels {
             let mut sink = CountingSink::with_limit(60_000);
             k.run(&mut sink);
-            assert!(sink.total >= 60_000, "{} stalled at {}", k.name(), sink.total);
+            assert!(
+                sink.total >= 60_000,
+                "{} stalled at {}",
+                k.name(),
+                sink.total
+            );
             assert!(sink.mem_fraction() > 0.2, "{} too compute-bound", k.name());
         }
     }
-
 }

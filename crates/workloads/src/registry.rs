@@ -4,7 +4,9 @@ use crate::graph500::Graph500;
 use crate::pbbs::{Knn, SetCover, SuffixArray};
 use crate::spec::all_spec_proxies;
 use crate::ssca2::Ssca2;
-use crate::ukernels::{ArrayTraversal, Bst, HashTest, ListSort, ListTraversal, MapTest, Prim, SscaLds};
+use crate::ukernels::{
+    ArrayTraversal, Bst, HashTest, ListSort, ListTraversal, MapTest, Prim, SscaLds,
+};
 use crate::{Kernel, Suite};
 
 /// Metadata row for Table 3 listings.
@@ -47,12 +49,18 @@ pub fn all_kernels() -> Vec<KernelBox> {
 
 /// The µbenchmarks only (Fig 8 top, §7.1).
 pub fn microbenchmarks() -> Vec<KernelBox> {
-    all_kernels().into_iter().filter(|k| k.suite() == Suite::Micro).collect()
+    all_kernels()
+        .into_iter()
+        .filter(|k| k.suite() == Suite::Micro)
+        .collect()
 }
 
 /// The SPEC proxy suite only (Fig 12 bottom).
 pub fn spec_suite() -> Vec<KernelBox> {
-    all_kernels().into_iter().filter(|k| k.suite() == Suite::Spec).collect()
+    all_kernels()
+        .into_iter()
+        .filter(|k| k.suite() == Suite::Spec)
+        .collect()
 }
 
 /// Workloads the paper's Figs 10/11 highlight as memory-intensive; the
@@ -72,7 +80,10 @@ pub fn memory_intensive() -> Vec<KernelBox> {
         "listsort",
         "ssca_lds",
     ];
-    all_kernels().into_iter().filter(|k| NAMES.contains(&k.name())).collect()
+    all_kernels()
+        .into_iter()
+        .filter(|k| NAMES.contains(&k.name()))
+        .collect()
 }
 
 /// Look up a workload by its Table 3 name.
@@ -82,7 +93,13 @@ pub fn kernel_by_name(name: &str) -> Option<KernelBox> {
 
 /// Table 3 metadata for every workload.
 pub fn table3() -> Vec<KernelInfo> {
-    all_kernels().iter().map(|k| KernelInfo { name: k.name(), suite: k.suite() }).collect()
+    all_kernels()
+        .iter()
+        .map(|k| KernelInfo {
+            name: k.name(),
+            suite: k.suite(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -99,7 +116,8 @@ mod tests {
 
     #[test]
     fn suites_are_all_represented() {
-        let suites: std::collections::HashSet<_> = all_kernels().iter().map(|k| k.suite()).collect();
+        let suites: std::collections::HashSet<_> =
+            all_kernels().iter().map(|k| k.suite()).collect();
         assert_eq!(suites.len(), 5);
     }
 

@@ -99,17 +99,30 @@ impl SpecProxy {
     }
 
     fn stream(mut self, elems: u64, stride: u64, work: u32) -> Self {
-        self.streams.push(StreamCfg { elems, stride, work });
+        self.streams.push(StreamCfg {
+            elems,
+            stride,
+            work,
+        });
         self
     }
 
     fn gather(mut self, data_elems: u64, indices: usize, recurring: bool, work: u32) -> Self {
-        self.gathers.push(GatherCfg { data_elems, indices, recurring, work });
+        self.gathers.push(GatherCfg {
+            data_elems,
+            indices,
+            recurring,
+            work,
+        });
         self
     }
 
     fn chase(mut self, nodes: usize, node_size: u64, work: u32) -> Self {
-        self.chases.push(ChaseCfg { nodes, node_size, work });
+        self.chases.push(ChaseCfg {
+            nodes,
+            node_size,
+            work,
+        });
         self
     }
 
@@ -119,7 +132,11 @@ impl SpecProxy {
     }
 
     fn probe(mut self, entries: u64, probes: usize, work: u32) -> Self {
-        self.probes.push(ProbeCfg { entries, probes, work });
+        self.probes.push(ProbeCfg {
+            entries,
+            probes,
+            work,
+        });
         self
     }
 }
@@ -152,7 +169,9 @@ impl Kernel for SpecProxy {
             .map(|c| {
                 let idx_base = s.heap.alloc_array(8, c.indices as u64);
                 let data_base = s.heap.alloc_array(8, c.data_elems);
-                let idx: Vec<u64> = (0..c.indices).map(|_| s.rng.random_range(0..c.data_elems)).collect();
+                let idx: Vec<u64> = (0..c.indices)
+                    .map(|_| s.rng.random_range(0..c.data_elems))
+                    .collect();
                 let sites = LoopSites::alloc(&mut s);
                 (idx_base, data_base, idx, sites, c)
             })
@@ -199,10 +218,14 @@ impl Kernel for SpecProxy {
                 let seq: &[u64] = if c.recurring {
                     idx
                 } else {
-                    fresh = (0..c.indices).map(|_| s.rng.random_range(0..c.data_elems)).collect::<Vec<u64>>();
+                    fresh = (0..c.indices)
+                        .map(|_| s.rng.random_range(0..c.data_elems))
+                        .collect::<Vec<u64>>();
                     &fresh
                 };
-                patterns::gather(&mut s, *sites, *idx_base, *data_base, 8, seq, T_GATHER, c.work);
+                patterns::gather(
+                    &mut s, *sites, *idx_base, *data_base, 8, seq, T_GATHER, c.work,
+                );
                 if s.done() {
                     return;
                 }
@@ -226,7 +249,14 @@ impl Kernel for SpecProxy {
                     }
                     let slot: u64 = s.rng.random_range(0..c.entries);
                     s.em.alu(sites.work, Some(regs::KEY), None, None, slot);
-                    s.hinted_load(sites.link, base + slot * 8, regs::VAL, Some(regs::KEY), probe_hints, slot);
+                    s.hinted_load(
+                        sites.link,
+                        base + slot * 8,
+                        regs::VAL,
+                        Some(regs::KEY),
+                        probe_hints,
+                        slot,
+                    );
                     s.em.work(sites.work, c.work);
                     s.em.branch(sites.branch, slot & 1 == 0, sites.link, Some(regs::VAL));
                 }
@@ -244,33 +274,56 @@ pub fn all_spec_proxies() -> Vec<SpecProxy> {
         SpecProxy::new("sjeng", 40, Bump, 101).probe(512 * 1024, 64, 12),
         // Ray tracer: small hot structures, heavy fp work, some pointer
         // lists per object.
-        SpecProxy::new("povray", 41, Pools, 102).chase(256, 64, 20).stream(2048, 1, 16),
+        SpecProxy::new("povray", 41, Pools, 102)
+            .chase(256, 64, 20)
+            .stream(2048, 1, 16),
         // Sparse LP simplex: CSR-style gathers over big matrices.
-        SpecProxy::new("soplex", 42, Bump, 103).gather(512 * 1024, 4096, true, 2).stream(65536, 1, 2),
+        SpecProxy::new("soplex", 42, Bump, 103)
+            .gather(512 * 1024, 4096, true, 2)
+            .stream(65536, 1, 2),
         // FEM: sparse matvec with denser rows + local dense blocks.
-        SpecProxy::new("dealII", 43, Bump, 104).gather(256 * 1024, 2048, true, 4).stream(16384, 1, 6),
+        SpecProxy::new("dealII", 43, Bump, 104)
+            .gather(256 * 1024, 2048, true, 4)
+            .stream(16384, 1, 6),
         // Video encoder: 2-D block motion search.
-        SpecProxy::new("h264ref", 44, Bump, 105).grid(256, 256, 4).stream(8192, 1, 8),
+        SpecProxy::new("h264ref", 44, Bump, 105)
+            .grid(256, 256, 4)
+            .stream(8192, 1, 8),
         // Go engine: board scans + chain following, very branchy.
-        SpecProxy::new("gobmk", 45, Pools, 106).probe(8192, 32, 8).chase(512, 32, 6),
+        SpecProxy::new("gobmk", 45, Pools, 106)
+            .probe(8192, 32, 8)
+            .chase(512, 32, 6),
         // Profile HMM search: banded DP over sequential arrays.
-        SpecProxy::new("hmmer", 46, Bump, 107).stream(32768, 1, 10).stream(32768, 1, 10),
+        SpecProxy::new("hmmer", 46, Bump, 107)
+            .stream(32768, 1, 10)
+            .stream(32768, 1, 10),
         // Compressor: permutation-indexed accesses over a block.
         SpecProxy::new("bzip2", 47, Bump, 108).gather(128 * 1024, 8192, false, 3),
         // Lattice QCD: long regular sweeps, little reuse.
-        SpecProxy::new("milc", 48, Bump, 109).grid(128, 512, 2).stream(262144, 2, 1),
+        SpecProxy::new("milc", 48, Bump, 109)
+            .grid(128, 512, 2)
+            .stream(262144, 2, 1),
         // Molecular dynamics: recurring neighbor-list gathers.
         SpecProxy::new("namd", 49, Bump, 110).gather(65536, 8192, true, 6),
         // Discrete-event sim: event objects churned on a scattered heap.
-        SpecProxy::new("omnetpp", 50, Scatter, 111).chase(2048, 64, 4).gather(16384, 512, false, 2),
+        SpecProxy::new("omnetpp", 50, Scatter, 111)
+            .chase(2048, 64, 4)
+            .gather(16384, 512, false, 2),
         // Pathfinding: open-list + grid-neighbor mix.
-        SpecProxy::new("astar", 51, Pools, 112).grid(128, 128, 3).chase(1024, 48, 3).gather(32768, 1024, false, 2),
+        SpecProxy::new("astar", 51, Pools, 112)
+            .grid(128, 128, 3)
+            .chase(1024, 48, 3)
+            .gather(32768, 1024, false, 2),
         // Quantum simulator: strided sweeps over a huge bit vector.
         SpecProxy::new("libquantum", 52, Bump, 113).stream(1 << 19, 4, 1),
         // Network simplex: the heaviest pointer-chaser in the suite.
-        SpecProxy::new("mcf", 53, Scatter, 114).chase(2048, 128, 2).chase(1024, 256, 3),
+        SpecProxy::new("mcf", 53, Scatter, 114)
+            .chase(2048, 128, 2)
+            .chase(1024, 256, 3),
         // Speech recognition: streaming scoring + senone block gathers.
-        SpecProxy::new("sphinx3", 54, Bump, 115).stream(65536, 1, 3).gather(65536, 2048, true, 3),
+        SpecProxy::new("sphinx3", 54, Bump, 115)
+            .stream(65536, 1, 3)
+            .gather(65536, 2048, true, 3),
         // Lattice-Boltzmann: wide stencil streams with stores.
         SpecProxy::new("lbm", 55, Bump, 116).grid(256, 384, 1),
     ]
@@ -286,8 +339,22 @@ mod tests {
         let names: Vec<&str> = all_spec_proxies().iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), 16);
         for expected in [
-            "sjeng", "povray", "soplex", "dealII", "h264ref", "gobmk", "hmmer", "bzip2", "milc", "namd",
-            "omnetpp", "astar", "libquantum", "mcf", "sphinx3", "lbm",
+            "sjeng",
+            "povray",
+            "soplex",
+            "dealII",
+            "h264ref",
+            "gobmk",
+            "hmmer",
+            "bzip2",
+            "milc",
+            "namd",
+            "omnetpp",
+            "astar",
+            "libquantum",
+            "mcf",
+            "sphinx3",
+            "lbm",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -300,7 +367,12 @@ mod tests {
         for p in all_spec_proxies() {
             let mut sink = CountingSink::with_limit(30_000);
             p.run(&mut sink);
-            assert!(sink.total >= 30_000, "{} stalled at {}", p.name(), sink.total);
+            assert!(
+                sink.total >= 30_000,
+                "{} stalled at {}",
+                p.name(),
+                sink.total
+            );
         }
     }
 
@@ -319,7 +391,10 @@ mod tests {
 
     #[test]
     fn mcf_is_pointer_chasing_dominated() {
-        let mcf = all_spec_proxies().into_iter().find(|p| p.name() == "mcf").unwrap();
+        let mcf = all_spec_proxies()
+            .into_iter()
+            .find(|p| p.name() == "mcf")
+            .unwrap();
         let mut sink = CountingSink::with_limit(30_000);
         mcf.run(&mut sink);
         assert!(sink.mem_fraction() > 0.3);

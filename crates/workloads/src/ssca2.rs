@@ -40,12 +40,22 @@ pub struct Ssca2 {
 impl Ssca2 {
     /// The CSR variant at default scale.
     pub fn csr() -> Self {
-        Ssca2 { layout: Layout::Csr, vertices: 512, degree: 6, seed: 81 }
+        Ssca2 {
+            layout: Layout::Csr,
+            vertices: 512,
+            degree: 6,
+            seed: 81,
+        }
     }
 
     /// The linked variant at default scale.
     pub fn linked() -> Self {
-        Ssca2 { layout: Layout::Linked, vertices: 512, degree: 6, seed: 81 }
+        Ssca2 {
+            layout: Layout::Linked,
+            vertices: 512,
+            degree: 6,
+            seed: 81,
+        }
     }
 }
 
@@ -69,53 +79,62 @@ impl Kernel for Ssca2 {
 
     fn run(&self, sink: &mut dyn TraceSink) {
         let placement = Placement::Bump;
-        let region = match self.layout { Layout::Csr => 21, Layout::Linked => 23 };
+        let region = match self.layout {
+            Layout::Csr => 21,
+            Layout::Linked => 23,
+        };
         let mut s = Session::new(sink, region, placement, self.seed);
         let n = self.vertices;
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for v in 0..n {
-            adj[v].push((v + 1) % n);
+        for (v, list) in adj.iter_mut().enumerate() {
+            list.push((v + 1) % n);
             for _ in 1..self.degree {
-                adj[v].push(s.rng.random_range(0..n));
+                list.push(s.rng.random_range(0..n));
             }
         }
 
         // Edge storage per layout.
-        let (csr, linked): (Option<(Addr, Addr, Vec<u64>)>, Option<Vec<Vec<Addr>>>) = match self.layout {
-            Layout::Csr => {
-                let mut offsets = vec![0u64; n + 1];
-                let mut targets = Vec::new();
-                for (v, list) in adj.iter().enumerate() {
-                    offsets[v] = targets.len() as u64;
-                    targets.extend(list.iter().map(|&w| w as u64));
+        #[allow(clippy::type_complexity)]
+        let (csr, linked): (Option<(Addr, Addr, Vec<u64>)>, Option<Vec<Vec<Addr>>>) =
+            match self.layout {
+                Layout::Csr => {
+                    let mut offsets = vec![0u64; n + 1];
+                    let mut targets = Vec::new();
+                    for (v, list) in adj.iter().enumerate() {
+                        offsets[v] = targets.len() as u64;
+                        targets.extend(list.iter().map(|&w| w as u64));
+                    }
+                    offsets[n] = targets.len() as u64;
+                    let xadj = s.heap.alloc_array(8, (n + 1) as u64);
+                    let adjncy = s.heap.alloc_array(8, targets.len() as u64);
+                    (Some((xadj, adjncy, offsets)), None)
                 }
-                offsets[n] = targets.len() as u64;
-                let xadj = s.heap.alloc_array(8, (n + 1) as u64);
-                let adjncy = s.heap.alloc_array(8, targets.len() as u64);
-                (Some((xadj, adjncy, offsets)), None)
-            }
-            Layout::Linked => {
-                // Array-of-structs edge list: one contiguous array of
-                // 32-byte edge records grouped by source vertex, plus a
-                // header array of (start, count) per vertex.
-                let total: usize = adj.iter().map(|l| l.len()).sum();
-                let records = s.heap.alloc_array(32, total as u64);
-                let headers = s.heap.alloc_array(16, n as u64);
-                let mut starts = vec![0u64; n];
-                let mut acc = 0u64;
-                for (v, l) in adj.iter().enumerate() {
-                    starts[v] = acc;
-                    acc += l.len() as u64;
+                Layout::Linked => {
+                    // Array-of-structs edge list: one contiguous array of
+                    // 32-byte edge records grouped by source vertex, plus a
+                    // header array of (start, count) per vertex.
+                    let total: usize = adj.iter().map(|l| l.len()).sum();
+                    let records = s.heap.alloc_array(32, total as u64);
+                    let headers = s.heap.alloc_array(16, n as u64);
+                    let mut starts = vec![0u64; n];
+                    let mut acc = 0u64;
+                    for (v, l) in adj.iter().enumerate() {
+                        starts[v] = acc;
+                        acc += l.len() as u64;
+                    }
+                    let e = adj
+                        .iter()
+                        .enumerate()
+                        .map(|(v, l)| {
+                            (0..l.len())
+                                .map(|k| records + (starts[v] + k as u64) * 32)
+                                .collect()
+                        })
+                        .collect();
+                    let _ = headers;
+                    (None, Some(e))
                 }
-                let e = adj
-                    .iter()
-                    .enumerate()
-                    .map(|(v, l)| (0..l.len()).map(|k| records + (starts[v] + k as u64) * 32).collect())
-                    .collect();
-                let _ = headers;
-                (None, Some(e))
-            }
-        };
+            };
         let arrays = Arrays {
             sigma: s.heap.alloc_array(8, n as u64),
             delta: s.heap.alloc_array(8, n as u64),
@@ -161,9 +180,23 @@ impl Kernel for Ssca2 {
                             let (xadj, adjncy, ref offsets) = *csr.as_ref().expect("csr storage");
                             let e = offsets[v] + k as u64;
                             if k == 0 {
-                                s.hinted_load(site_x, xadj + (v as u64) * 8, regs::IDX, Some(regs::PTR), xh, e);
+                                s.hinted_load(
+                                    site_x,
+                                    xadj + (v as u64) * 8,
+                                    regs::IDX,
+                                    Some(regs::PTR),
+                                    xh,
+                                    e,
+                                );
                             }
-                            s.hinted_load(site_a, adjncy + e * 8, regs::PTR, Some(regs::IDX), ah, w as u64);
+                            s.hinted_load(
+                                site_a,
+                                adjncy + e * 8,
+                                regs::PTR,
+                                Some(regs::IDX),
+                                ah,
+                                w as u64,
+                            );
                         }
                         Layout::Linked => {
                             let ea = linked.as_ref().expect("linked storage")[v][k];
@@ -171,12 +204,29 @@ impl Kernel for Ssca2 {
                         }
                     }
                     // sigma[w] += sigma[v]; depth bookkeeping.
-                    s.em.load(site_sig, arrays.sigma + (w as u64) * 8, regs::VAL, Some(regs::PTR), None, 1);
-                    s.em.store(site_sigw, arrays.sigma + (w as u64) * 8, Some(regs::PTR), Some(regs::VAL));
+                    s.em.load(
+                        site_sig,
+                        arrays.sigma + (w as u64) * 8,
+                        regs::VAL,
+                        Some(regs::PTR),
+                        None,
+                        1,
+                    );
+                    s.em.store(
+                        site_sigw,
+                        arrays.sigma + (w as u64) * 8,
+                        Some(regs::PTR),
+                        Some(regs::VAL),
+                    );
                     s.em.branch(site_br, depth[w] == usize::MAX, site_a, Some(regs::VAL));
                     if depth[w] == usize::MAX {
                         depth[w] = depth[v] + 1;
-                        s.em.store(site_delw, arrays.depth + (w as u64) * 8, Some(regs::PTR), Some(regs::VAL));
+                        s.em.store(
+                            site_delw,
+                            arrays.depth + (w as u64) * 8,
+                            Some(regs::PTR),
+                            Some(regs::VAL),
+                        );
                         frontier.push_back(w);
                     }
                 }
@@ -186,9 +236,21 @@ impl Kernel for Ssca2 {
                 if s.done() {
                     return;
                 }
-                s.em.load(site_del, arrays.delta + (v as u64) * 8, regs::TMP, Some(regs::PTR), None, 0);
+                s.em.load(
+                    site_del,
+                    arrays.delta + (v as u64) * 8,
+                    regs::TMP,
+                    Some(regs::PTR),
+                    None,
+                    0,
+                );
                 s.em.alu_long(site_del, 4, Some(regs::TMP), Some(regs::TMP)); // fp accumulate
-                s.em.store(site_delw, arrays.delta + (v as u64) * 8, Some(regs::PTR), Some(regs::TMP));
+                s.em.store(
+                    site_delw,
+                    arrays.delta + (v as u64) * 8,
+                    Some(regs::PTR),
+                    Some(regs::TMP),
+                );
             }
         }
     }

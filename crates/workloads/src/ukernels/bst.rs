@@ -28,7 +28,10 @@ pub struct Bst {
 
 impl Default for Bst {
     fn default() -> Self {
-        Bst { keys: 4096, seed: 31 }
+        Bst {
+            keys: 4096,
+            seed: 31,
+        }
     }
 }
 
@@ -49,7 +52,12 @@ impl Bst {
         // key order.
         let mut nodes: Vec<Node> = sorted
             .iter()
-            .map(|&key| Node { addr: s.heap.alloc(32), key, left: None, right: None })
+            .map(|&key| Node {
+                addr: s.heap.alloc(32),
+                key,
+                left: None,
+                right: None,
+            })
             .collect();
         // Link into a balanced tree over the sorted index range.
         fn link(nodes: &mut [Node], lo: usize, hi: usize) -> Option<usize> {
@@ -75,17 +83,35 @@ impl Bst {
                 return;
             }
             let n = nodes[cur];
-            s.em.load(sites.key, n.addr + KEY_OFF, regs::VAL, Some(regs::PTR), None, n.key);
+            s.em.load(
+                sites.key,
+                n.addr + KEY_OFF,
+                regs::VAL,
+                Some(regs::PTR),
+                None,
+                n.key,
+            );
             if key == n.key {
                 s.em.branch(sites.cmp, true, sites.key, Some(regs::VAL));
                 return;
             }
-            let (next, off) = if key < n.key { (n.left, LEFT_OFF) } else { (n.right, RIGHT_OFF) };
+            let (next, off) = if key < n.key {
+                (n.left, LEFT_OFF)
+            } else {
+                (n.right, RIGHT_OFF)
+            };
             s.em.branch(sites.cmp, key < n.key, sites.key, Some(regs::VAL));
             match next {
                 Some(i) => {
                     let hints = SemanticHints::link(types::TREE_NODE, off);
-                    s.hinted_load(sites.link, n.addr + off as u64, regs::PTR, Some(regs::PTR), hints, nodes[i].addr);
+                    s.hinted_load(
+                        sites.link,
+                        n.addr + off as u64,
+                        regs::PTR,
+                        Some(regs::PTR),
+                        hints,
+                        nodes[i].addr,
+                    );
                     cur = i;
                 }
                 None => return,
@@ -112,7 +138,11 @@ impl Kernel for Bst {
     fn run(&self, sink: &mut dyn TraceSink) {
         let mut s = Session::new(sink, 13, Placement::Scatter, self.seed);
         let (nodes, root) = self.build(&mut s);
-        let sites = Sites { key: s.pcs.site(), cmp: s.pcs.site(), link: s.pcs.sites(2) };
+        let sites = Sites {
+            key: s.pcs.site(),
+            cmp: s.pcs.site(),
+            link: s.pcs.sites(2),
+        };
         while !s.done() {
             let key: u64 = s.rng.random_range(0..self.keys as u64) * 8 + 1;
             // The searched key rides in a register (a Table-1 context cue).
@@ -137,7 +167,11 @@ mod tests {
     #[test]
     fn lookups_have_logarithmic_depth() {
         let mut sink = RecordingSink::with_limit(100_000);
-        Bst { keys: 1024, seed: 2 }.run(&mut sink);
+        Bst {
+            keys: 1024,
+            seed: 2,
+        }
+        .run(&mut sink);
         // Count hinted link loads per lookup (delimited by the key-register
         // ALU writes).
         let mut depths = Vec::new();
@@ -156,6 +190,9 @@ mod tests {
         }
         assert!(!depths.is_empty());
         let avg: f64 = depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64;
-        assert!((6.0..=11.0).contains(&avg), "avg lookup depth {avg} for 1024 keys");
+        assert!(
+            (6.0..=11.0).contains(&avg),
+            "avg lookup depth {avg} for 1024 keys"
+        );
     }
 }

@@ -26,7 +26,10 @@ pub struct ListSort {
 
 impl Default for ListSort {
     fn default() -> Self {
-        ListSort { elems: 500, seed: 21 }
+        ListSort {
+            elems: 500,
+            seed: 21,
+        }
     }
 }
 
@@ -123,12 +126,20 @@ mod tests {
         // many times.
         let mut counts = std::collections::HashMap::new();
         for i in sink.instrs() {
-            if let InstrKind::Load { addr, hints: Some(_), .. } = i.kind {
+            if let InstrKind::Load {
+                addr,
+                hints: Some(_),
+                ..
+            } = i.kind
+            {
                 *counts.entry(addr).or_insert(0u32) += 1;
             }
         }
         let max = counts.values().copied().max().unwrap_or(0);
-        assert!(max > 20, "prefix nodes must recur heavily, max repeats = {max}");
+        assert!(
+            max > 20,
+            "prefix nodes must recur heavily, max repeats = {max}"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub struct Prim {
 
 impl Default for Prim {
     fn default() -> Self {
-        Prim { vertices: 224, degree: 8, seed: 51 }
+        Prim {
+            vertices: 224,
+            degree: 8,
+            seed: 51,
+        }
     }
 }
 
@@ -42,7 +46,7 @@ impl Prim {
     fn build(&self, s: &mut Session<'_>) -> Graph {
         let n = self.vertices;
         let mut edges: Vec<Vec<(u64, usize, u64)>> = vec![Vec::new(); n];
-        for v in 0..n {
+        for (v, list) in edges.iter_mut().enumerate() {
             // Ring edge keeps the graph connected, plus random extras.
             let mut targets = vec![(v + 1) % n];
             for _ in 1..self.degree {
@@ -51,7 +55,7 @@ impl Prim {
             for t in targets {
                 let w: u64 = s.rng.random_range(1..1000);
                 let e = s.heap.alloc(64);
-                edges[v].push((e, t, w));
+                list.push((e, t, w));
             }
         }
         let dist_base = s.heap.alloc_array(8, n as u64);
@@ -74,7 +78,14 @@ impl Prim {
                 if s.done() {
                     return;
                 }
-                s.em.load(sites.dist_scan, g.dist_base + (v as u64) * 8, regs::VAL, Some(regs::IDX), None, dist[v]);
+                s.em.load(
+                    sites.dist_scan,
+                    g.dist_base + (v as u64) * 8,
+                    regs::VAL,
+                    Some(regs::IDX),
+                    None,
+                    dist[v],
+                );
                 let better = !in_tree[v] && (best == usize::MAX || dist[v] < dist[best]);
                 s.em.branch(sites.scan_br, better, sites.dist_scan, Some(regs::VAL));
                 if better {
@@ -91,14 +102,33 @@ impl Prim {
                     return;
                 }
                 let next = g.edges[best].get(i + 1).map_or(0, |&(a, _, _)| a);
-                s.hinted_load(sites.edge, eaddr, regs::PTR, Some(regs::PTR), edge_hints, next);
+                s.hinted_load(
+                    sites.edge,
+                    eaddr,
+                    regs::PTR,
+                    Some(regs::PTR),
+                    edge_hints,
+                    next,
+                );
                 s.em.load(sites.edge_w, eaddr + 8, regs::TMP, Some(regs::PTR), None, w);
-                s.em.load(sites.dist_rd, g.dist_base + (t as u64) * 8, regs::VAL, Some(regs::IDX), None, dist[t]);
+                s.em.load(
+                    sites.dist_rd,
+                    g.dist_base + (t as u64) * 8,
+                    regs::VAL,
+                    Some(regs::IDX),
+                    None,
+                    dist[t],
+                );
                 let relax = !in_tree[t] && w < dist[t];
                 s.em.branch(sites.relax_br, relax, sites.edge, Some(regs::VAL));
                 if relax {
                     dist[t] = w;
-                    s.em.store(sites.dist_wr, g.dist_base + (t as u64) * 8, Some(regs::IDX), Some(regs::TMP));
+                    s.em.store(
+                        sites.dist_wr,
+                        g.dist_base + (t as u64) * 8,
+                        Some(regs::IDX),
+                        Some(regs::TMP),
+                    );
                 }
             }
         }
@@ -150,7 +180,12 @@ mod tests {
     #[test]
     fn runs_to_budget_with_mixed_accesses() {
         let mut sink = CountingSink::with_limit(80_000);
-        Prim { vertices: 128, degree: 4, seed: 1 }.run(&mut sink);
+        Prim {
+            vertices: 128,
+            degree: 4,
+            seed: 1,
+        }
+        .run(&mut sink);
         assert!(sink.total >= 80_000);
         assert!(sink.loads > 0 && sink.stores > 0 && sink.branches > 0);
     }

@@ -26,7 +26,11 @@ pub struct SscaLds {
 
 impl Default for SscaLds {
     fn default() -> Self {
-        SscaLds { vertices: 384, degree: 3, seed: 61 }
+        SscaLds {
+            vertices: 384,
+            degree: 3,
+            seed: 61,
+        }
     }
 }
 
@@ -50,10 +54,15 @@ impl Kernel for SscaLds {
         let vaddrs: Vec<u64> = (0..n).map(|_| s.heap.alloc(128)).collect();
         let order: Vec<usize> = (0..n).collect();
         let chain: Vec<u64> = vaddrs.clone();
-        let edges: Vec<Vec<u64>> =
-            (0..n).map(|_| (0..self.degree).map(|_| s.heap.alloc(64)).collect()).collect();
+        let edges: Vec<Vec<u64>> = (0..n)
+            .map(|_| (0..self.degree).map(|_| s.heap.alloc(64)).collect())
+            .collect();
         let weights: Vec<Vec<u64>> = (0..n)
-            .map(|_| (0..self.degree).map(|_| s.rng.random_range(1..100)).collect())
+            .map(|_| {
+                (0..self.degree)
+                    .map(|_| s.rng.random_range(1..100))
+                    .collect()
+            })
             .collect();
 
         let v_hints = SemanticHints::link(types::VERTEX, 0);
@@ -76,15 +85,35 @@ impl Kernel for SscaLds {
                 // Follow the vertex chain, then its edge-head pointer.
                 s.hinted_load(site_v, v, regs::PTR, Some(regs::PTR), v_hints, next_v);
                 let ehead = edges[vi].first().copied().unwrap_or(0);
-                s.hinted_load(site_ehead, v + 8, regs::TMP, Some(regs::PTR), ehead_hints, ehead);
+                s.hinted_load(
+                    site_ehead,
+                    v + 8,
+                    regs::TMP,
+                    Some(regs::PTR),
+                    ehead_hints,
+                    ehead,
+                );
                 for (k, &e) in edges[vi].iter().enumerate() {
                     if s.done() {
                         return;
                     }
                     let next_e = edges[vi].get(k + 1).copied().unwrap_or(0);
                     s.hinted_load(site_e, e, regs::TMP, Some(regs::TMP), e_hints, next_e);
-                    s.em.load(site_w, e + 8, regs::VAL, Some(regs::TMP), None, weights[vi][k]);
-                    s.em.alu(site_acc, Some(regs::IDX), Some(regs::IDX), Some(regs::VAL), 0);
+                    s.em.load(
+                        site_w,
+                        e + 8,
+                        regs::VAL,
+                        Some(regs::TMP),
+                        None,
+                        weights[vi][k],
+                    );
+                    s.em.alu(
+                        site_acc,
+                        Some(regs::IDX),
+                        Some(regs::IDX),
+                        Some(regs::VAL),
+                        0,
+                    );
                 }
                 s.em.branch(site_br, pos + 1 != n, site_v, Some(regs::IDX));
             }
@@ -107,7 +136,12 @@ mod tests {
     #[test]
     fn uses_distinct_type_ids_for_vertices_and_edges() {
         let mut sink = RecordingSink::with_limit(30_000);
-        SscaLds { vertices: 128, degree: 3, seed: 1 }.run(&mut sink);
+        SscaLds {
+            vertices: 128,
+            degree: 3,
+            seed: 1,
+        }
+        .run(&mut sink);
         let mut tids = std::collections::HashSet::new();
         for i in sink.instrs() {
             if let InstrKind::Load { hints: Some(h), .. } = i.kind {

@@ -26,7 +26,11 @@ pub struct HashTest {
 
 impl Default for HashTest {
     fn default() -> Self {
-        HashTest { buckets: 4096, elems: 8192, seed: 41 }
+        HashTest {
+            buckets: 4096,
+            elems: 8192,
+            seed: 41,
+        }
     }
 }
 
@@ -40,7 +44,10 @@ impl Kernel for HashTest {
     }
 
     fn run(&self, sink: &mut dyn TraceSink) {
-        assert!(self.buckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(
+            self.buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
         let mut s = Session::new(sink, 14, Placement::Scatter, self.seed);
         let bucket_base = s.heap.alloc_array(8, self.buckets as u64);
         // chains[b] = chain node addresses of bucket b, search order.
@@ -63,17 +70,42 @@ impl Kernel for HashTest {
             s.em.work(site_hash, 3);
             let chain = &chains[b];
             let head = chain.first().copied().unwrap_or(0);
-            s.hinted_load(site_bucket, bucket_base + (b as u64) * 8, regs::PTR, Some(regs::KEY), bucket_hints, head);
-            let stop_at = if chain.is_empty() { 0 } else { (key as usize) % chain.len() + 1 };
+            s.hinted_load(
+                site_bucket,
+                bucket_base + (b as u64) * 8,
+                regs::PTR,
+                Some(regs::KEY),
+                bucket_hints,
+                head,
+            );
+            let stop_at = if chain.is_empty() {
+                0
+            } else {
+                (key as usize) % chain.len() + 1
+            };
             for (i, &node) in chain.iter().take(stop_at).enumerate() {
                 if s.done() {
                     return;
                 }
                 let next = chain.get(i + 1).copied().unwrap_or(0);
-                s.em.load(site_cmp, node + 8, regs::VAL, Some(regs::PTR), None, key ^ 1);
+                s.em.load(
+                    site_cmp,
+                    node + 8,
+                    regs::VAL,
+                    Some(regs::PTR),
+                    None,
+                    key ^ 1,
+                );
                 s.em.branch(site_cmp, i + 1 == stop_at, site_chain, Some(regs::VAL));
                 if i + 1 != stop_at {
-                    s.hinted_load(site_chain, node, regs::PTR, Some(regs::PTR), link_hints, next);
+                    s.hinted_load(
+                        site_chain,
+                        node,
+                        regs::PTR,
+                        Some(regs::PTR),
+                        link_hints,
+                        next,
+                    );
                 }
             }
         }
@@ -94,7 +126,10 @@ pub struct MapTest {
 
 impl Default for MapTest {
     fn default() -> Self {
-        MapTest { keys: 8192, seed: 43 }
+        MapTest {
+            keys: 8192,
+            seed: 43,
+        }
     }
 }
 
@@ -136,7 +171,14 @@ impl Kernel for MapTest {
                 }
                 let mid = (lo + hi) / 2;
                 let node = addrs[mid];
-                s.em.load(site_cmp, node + 16, regs::VAL, Some(regs::PTR), None, mid as u64);
+                s.em.load(
+                    site_cmp,
+                    node + 16,
+                    regs::VAL,
+                    Some(regs::PTR),
+                    None,
+                    mid as u64,
+                );
                 if mid as u64 == target {
                     // Touch the mapped value, done.
                     s.em.load(site_val, node + 24, regs::TMP, Some(regs::PTR), None, 0);
@@ -150,7 +192,14 @@ impl Kernel for MapTest {
                     Some((clo, chi)) => {
                         let cmid = (clo + chi) / 2;
                         let hints = SemanticHints::link(types::TREE_NODE, off);
-                        s.hinted_load(site_link, node + off as u64, regs::PTR, Some(regs::PTR), hints, addrs[cmid]);
+                        s.hinted_load(
+                            site_link,
+                            node + off as u64,
+                            regs::PTR,
+                            Some(regs::PTR),
+                            hints,
+                            addrs[cmid],
+                        );
                         lo = clo;
                         hi = chi;
                     }
@@ -186,6 +235,11 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn hashtest_rejects_bad_bucket_count() {
         let mut sink = CountingSink::with_limit(10);
-        HashTest { buckets: 1000, elems: 10, seed: 0 }.run(&mut sink);
+        HashTest {
+            buckets: 1000,
+            elems: 10,
+            seed: 0,
+        }
+        .run(&mut sink);
     }
 }

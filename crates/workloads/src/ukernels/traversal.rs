@@ -23,7 +23,11 @@ pub struct ListTraversal {
 
 impl Default for ListTraversal {
     fn default() -> Self {
-        ListTraversal { nodes: 1024, work: 3, seed: 11 }
+        ListTraversal {
+            nodes: 1024,
+            work: 3,
+            seed: 11,
+        }
     }
 }
 
@@ -64,7 +68,11 @@ pub struct ArrayTraversal {
 
 impl Default for ArrayTraversal {
     fn default() -> Self {
-        ArrayTraversal { elems: 32 * 1024, work: 3, seed: 12 }
+        ArrayTraversal {
+            elems: 32 * 1024,
+            work: 3,
+            seed: 12,
+        }
     }
 }
 
@@ -82,7 +90,16 @@ impl Kernel for ArrayTraversal {
         let base = s.heap.alloc_array(8, self.elems);
         let sites = LoopSites::alloc(&mut s);
         while !s.done() {
-            patterns::stream(&mut s, sites, base, self.elems, 8, 1, types::ARRAY_ELEM, self.work);
+            patterns::stream(
+                &mut s,
+                sites,
+                base,
+                self.elems,
+                8,
+                1,
+                types::ARRAY_ELEM,
+                self.work,
+            );
         }
     }
 }
@@ -108,7 +125,11 @@ mod tests {
             .instrs()
             .iter()
             .filter_map(|i| match i.kind {
-                InstrKind::Load { addr, hints: Some(_), .. } => Some(addr),
+                InstrKind::Load {
+                    addr,
+                    hints: Some(_),
+                    ..
+                } => Some(addr),
                 _ => None,
             })
             .collect();
@@ -119,12 +140,21 @@ mod tests {
     #[test]
     fn list_traversal_order_is_stable_across_laps() {
         let mut sink = RecordingSink::with_limit(120_000);
-        ListTraversal { nodes: 512, work: 0, seed: 5 }.run(&mut sink);
+        ListTraversal {
+            nodes: 512,
+            work: 0,
+            seed: 5,
+        }
+        .run(&mut sink);
         let addrs: Vec<u64> = sink
             .instrs()
             .iter()
             .filter_map(|i| match i.kind {
-                InstrKind::Load { addr, hints: Some(_), .. } => Some(addr),
+                InstrKind::Load {
+                    addr,
+                    hints: Some(_),
+                    ..
+                } => Some(addr),
                 _ => None,
             })
             .collect();

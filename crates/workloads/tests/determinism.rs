@@ -84,7 +84,7 @@ fn memory_accesses_stay_in_the_heap_segment() {
         for i in sink.instrs() {
             if let Some(addr) = i.mem_addr() {
                 assert!(
-                    addr >= HEAP_BASE && addr < HEAP_BASE + (1 << 33),
+                    (HEAP_BASE..HEAP_BASE + (1 << 33)).contains(&addr),
                     "{}: access at {addr:#x} outside the simulated heap",
                     k.name()
                 );
@@ -104,7 +104,11 @@ fn code_sites_are_stable_and_kernel_unique() {
         for i in sink.instrs() {
             let region = i.pc >> 16;
             if let Some(owner) = regions.get(&region) {
-                assert_eq!(*owner, k.name(), "PC region {region:#x} shared between kernels");
+                assert_eq!(
+                    *owner,
+                    k.name(),
+                    "PC region {region:#x} shared between kernels"
+                );
             } else {
                 regions.insert(region, k.name());
             }
@@ -116,18 +120,30 @@ fn code_sites_are_stable_and_kernel_unique() {
 fn kernels_respect_custom_scales() {
     use semloc_workloads::ukernels::{Bst, ListTraversal};
     for nodes in [128usize, 1024] {
-        let k = ListTraversal { nodes, work: 1, seed: 3 };
+        let k = ListTraversal {
+            nodes,
+            work: 1,
+            seed: 3,
+        };
         let mut sink = RecordingSink::with_limit(30_000);
         k.run(&mut sink);
         let distinct: std::collections::HashSet<u64> = sink
             .instrs()
             .iter()
             .filter_map(|i| match i.kind {
-                InstrKind::Load { addr, hints: Some(_), .. } => Some(addr),
+                InstrKind::Load {
+                    addr,
+                    hints: Some(_),
+                    ..
+                } => Some(addr),
                 _ => None,
             })
             .collect();
-        assert_eq!(distinct.len(), nodes, "list must touch each node's link exactly once per lap");
+        assert_eq!(
+            distinct.len(),
+            nodes,
+            "list must touch each node's link exactly once per lap"
+        );
     }
     let k = Bst { keys: 256, seed: 9 };
     let mut sink = CountingSink::with_limit(10_000);

@@ -29,7 +29,12 @@ impl Prefetcher for NextTwoForward {
         "next-two-forward"
     }
 
-    fn on_access(&mut self, ctx: &AccessContext, _pressure: MemPressure, out: &mut Vec<PrefetchReq>) {
+    fn on_access(
+        &mut self,
+        ctx: &AccessContext,
+        _pressure: MemPressure,
+        out: &mut Vec<PrefetchReq>,
+    ) {
         let slot = ((ctx.pc >> 3) & 15) as usize;
         let prev = self.last_addr[slot];
         self.last_addr[slot] = ctx.addr;
@@ -58,7 +63,10 @@ fn run_custom(kernel_name: &str, cfg: &SimConfig) -> f64 {
 
 fn main() {
     let cfg = SimConfig::default().with_budget(200_000);
-    println!("{:<12} {:>12} {:>12} {:>12}", "workload", "custom", "next-line", "context");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "workload", "custom", "next-line", "context"
+    );
     for name in ["array", "hmmer", "list", "mcf"] {
         let kernel = kernel_by_name(name).expect("workload");
         let base = run_kernel(kernel.as_ref(), &PrefetcherKind::None, &cfg);

@@ -28,7 +28,10 @@ fn main() {
     println!("active-attribute-count distribution over live reducer entries:");
     for (count, n) in hist.iter().enumerate() {
         if *n > 0 {
-            println!("  {count} attrs: {n:>6} entries  {}", "#".repeat((*n as usize / 50).min(60)));
+            println!(
+                "  {count} attrs: {n:>6} entries  {}",
+                "#".repeat((*n as usize / 50).min(60))
+            );
         }
     }
     println!(
@@ -38,9 +41,15 @@ fn main() {
     );
 
     println!("\n-- context-states table --");
-    println!("occupancy: {}/{} entries", p.cst().occupancy(), p.cst().len());
+    println!(
+        "occupancy: {}/{} entries",
+        p.cst().occupancy(),
+        p.cst().len()
+    );
     let mut entries: Vec<(usize, Vec<(i16, i8)>)> = p.cst().dump().collect();
-    entries.sort_by_key(|(_, links)| std::cmp::Reverse(links.first().map(|&(_, s)| s).unwrap_or(i8::MIN)));
+    entries.sort_by_key(|(_, links)| {
+        std::cmp::Reverse(links.first().map(|&(_, s)| s).unwrap_or(i8::MIN))
+    });
     println!("strongest learned associations (CST index -> ranked [delta x 32B blocks @ score]):");
     for (idx, links) in entries.iter().take(10) {
         let rendered: Vec<String> = links.iter().map(|(d, s)| format!("{d:+} @ {s}")).collect();
@@ -50,6 +59,12 @@ fn main() {
     let stats = p.learn_stats();
     println!("\n-- learning outcome --");
     println!("collected candidates: {}", stats.collected);
-    println!("prediction accuracy:  {:.0}%", stats.prediction_accuracy() * 100.0);
-    println!("hits in reward window: {:.0}%", stats.depth_cdf.fraction_in_window(18, 50) * 100.0);
+    println!(
+        "prediction accuracy:  {:.0}%",
+        stats.prediction_accuracy() * 100.0
+    );
+    println!(
+        "hits in reward window: {:.0}%",
+        stats.depth_cdf.fraction_in_window(18, 50) * 100.0
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
     ];
 
     println!("Graph500 BFS, 512 vertices x degree 8, same graph in two layouts\n");
-    println!("{:<11} {:>10} {:>13} {:>12}", "prefetcher", "CSR cpi", "linked cpi", "linked/CSR");
+    println!(
+        "{:<11} {:>10} {:>13} {:>12}",
+        "prefetcher", "CSR cpi", "linked cpi", "linked/CSR"
+    );
     let mut base_linked = 0.0;
     let mut ctx_linked = 0.0;
     for pf in &lineup {

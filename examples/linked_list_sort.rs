@@ -16,21 +16,29 @@ use semloc::workloads::Kernel;
 
 fn main() {
     // --- 1. inspect the access stream itself ---
-    let kernel = ListSort { elems: 100, seed: 42 };
+    let kernel = ListSort {
+        elems: 100,
+        seed: 42,
+    };
     let mut sink = RecordingSink::with_limit(30_000);
     kernel.run(&mut sink);
     let link_loads: Vec<u64> = sink
         .instrs()
         .iter()
         .filter_map(|i| match i.kind {
-            InstrKind::Load { addr, hints: Some(_), .. } => Some(addr),
+            InstrKind::Load {
+                addr,
+                hints: Some(_),
+                ..
+            } => Some(addr),
             _ => None,
         })
         .collect();
 
     // Physical disorder: how often does the next link load sit at a higher
     // address than the previous one (a sorted-in-memory list would be ~100%)?
-    let ascending = link_loads.windows(2).filter(|w| w[1] > w[0]).count() as f64 / (link_loads.len() - 1) as f64;
+    let ascending = link_loads.windows(2).filter(|w| w[1] > w[0]).count() as f64
+        / (link_loads.len() - 1) as f64;
     // Semantic recurrence: how often is a (node -> next) transition one we
     // have seen before?
     let mut seen = std::collections::HashSet::new();
@@ -41,7 +49,10 @@ fn main() {
         }
     }
     println!("linked-list insertion sort, 100 random elements:");
-    println!("  physical order:    {:.0}% of consecutive link loads ascend (random ~50%)", ascending * 100.0);
+    println!(
+        "  physical order:    {:.0}% of consecutive link loads ascend (random ~50%)",
+        ascending * 100.0
+    );
     println!(
         "  semantic order:    {:.0}% of node->next transitions recur across insertions",
         recurring as f64 / (link_loads.len() - 1) as f64 * 100.0
@@ -54,7 +65,10 @@ fn main() {
     let stride = run_kernel(&big, &PrefetcherKind::Stride, &cfg);
     let ctx = run_kernel(&big, &PrefetcherKind::context(), &cfg);
     println!("\nfull-size run ({} elements):", big.elems);
-    println!("  stride prefetcher: {:.2}x (no spatial pattern to find)", stride.speedup_over(&base));
+    println!(
+        "  stride prefetcher: {:.2}x (no spatial pattern to find)",
+        stride.speedup_over(&base)
+    );
     println!("  context prefetcher: {:.2}x", ctx.speedup_over(&base));
     if let Some(l) = &ctx.learn {
         println!(

@@ -16,14 +16,30 @@ fn main() {
     // chaser.
     let kernel = kernel_by_name("mcf").expect("mcf is registered");
 
-    println!("running `{}` on the Table-2 machine ({} instructions)...", kernel.name(), cfg.instr_budget);
+    println!(
+        "running `{}` on the Table-2 machine ({} instructions)...",
+        kernel.name(),
+        cfg.instr_budget
+    );
     let baseline = run_kernel(kernel.as_ref(), &PrefetcherKind::None, &cfg);
     let context = run_kernel(kernel.as_ref(), &PrefetcherKind::context(), &cfg);
 
     println!("\n                 baseline    context");
-    println!("IPC            {:>9.3}  {:>9.3}", baseline.cpu.ipc(), context.cpu.ipc());
-    println!("L1 MPKI        {:>9.1}  {:>9.1}", baseline.l1_mpki(), context.l1_mpki());
-    println!("L2 MPKI        {:>9.2}  {:>9.2}", baseline.l2_mpki(), context.l2_mpki());
+    println!(
+        "IPC            {:>9.3}  {:>9.3}",
+        baseline.cpu.ipc(),
+        context.cpu.ipc()
+    );
+    println!(
+        "L1 MPKI        {:>9.1}  {:>9.1}",
+        baseline.l1_mpki(),
+        context.l1_mpki()
+    );
+    println!(
+        "L2 MPKI        {:>9.2}  {:>9.2}",
+        baseline.l2_mpki(),
+        context.l2_mpki()
+    );
     println!("\nspeedup: {:.2}x", context.speedup_over(&baseline));
 
     let learn = context.learn.expect("context prefetcher learning stats");

@@ -60,18 +60,33 @@ const PREFETCHERS: [&str; 10] = [
 
 fn print_result(r: &RunResult, baseline: Option<&RunResult>) {
     println!("workload:        {}", r.kernel);
-    println!("prefetcher:      {} ({:.1} kB)", r.prefetcher, r.storage_bytes as f64 / 1024.0);
+    println!(
+        "prefetcher:      {} ({:.1} kB)",
+        r.prefetcher,
+        r.storage_bytes as f64 / 1024.0
+    );
     println!("instructions:    {}", r.cpu.instructions);
     println!("cycles:          {}", r.cpu.cycles);
     println!("IPC:             {:.3}", r.cpu.ipc());
     if let Some(b) = baseline {
-        println!("speedup:         {:.2}x over no prefetching", r.speedup_over(b));
+        println!(
+            "speedup:         {:.2}x over no prefetching",
+            r.speedup_over(b)
+        );
     }
-    println!("L1 MPKI:         {:.2}   L2 MPKI: {:.2}", r.l1_mpki(), r.l2_mpki());
+    println!(
+        "L1 MPKI:         {:.2}   L2 MPKI: {:.2}",
+        r.l1_mpki(),
+        r.l2_mpki()
+    );
     println!(
         "branches:        {} ({:.1}% mispredicted)",
         r.cpu.branches,
-        if r.cpu.branches > 0 { r.cpu.mispredicts as f64 / r.cpu.branches as f64 * 100.0 } else { 0.0 }
+        if r.cpu.branches > 0 {
+            r.cpu.mispredicts as f64 / r.cpu.branches as f64 * 100.0
+        } else {
+            0.0
+        }
     );
     let c = &r.mem.classes;
     println!(
@@ -117,7 +132,11 @@ fn cmd_run(kernel: &str, pf: &str, budget: u64) -> ExitCode {
     };
     let cfg = SimConfig::default().with_budget(budget);
     let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg);
-    let r = if matches!(pf, PrefetcherKind::None) { base.clone() } else { run_kernel(k.as_ref(), &pf, &cfg) };
+    let r = if matches!(pf, PrefetcherKind::None) {
+        base.clone()
+    } else {
+        run_kernel(k.as_ref(), &pf, &cfg)
+    };
     print_result(&r, Some(&base));
     ExitCode::SUCCESS
 }
@@ -135,7 +154,11 @@ fn cmd_compare(kernel: &str, budget: u64) -> ExitCode {
     );
     for name in PREFETCHERS {
         let pf = prefetcher_by_name(name).expect("listed prefetchers exist");
-        let r = if name == "none" { base.clone() } else { run_kernel(k.as_ref(), &pf, &cfg) };
+        let r = if name == "none" {
+            base.clone()
+        } else {
+            run_kernel(k.as_ref(), &pf, &cfg)
+        };
         println!(
             "{:<20} {:>8.3} {:>8.2}x {:>9.2} {:>9.2}",
             name,
@@ -206,10 +229,12 @@ fn cmd_replay(path: &str, pf: &str) -> ExitCode {
         Ok(n) => {
             let (stats, mem) = cpu.finish();
             println!("replayed {n} instructions from {path}");
-            println!("IPC: {:.3}   L1 MPKI: {:.2}   L2 MPKI: {:.2}",
+            println!(
+                "IPC: {:.3}   L1 MPKI: {:.2}   L2 MPKI: {:.2}",
                 stats.ipc(),
                 mem.stats().l1_mpki(stats.instructions),
-                mem.stats().l2_mpki(stats.instructions));
+                mem.stats().l2_mpki(stats.instructions)
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -239,7 +264,11 @@ fn cmd_inspect(kernel: &str, budget: u64) -> ExitCode {
             println!("  {count} attrs: {n} entries");
         }
     }
-    println!("splits: {}  merges: {}", p.reducer().activations(), p.reducer().deactivations());
+    println!(
+        "splits: {}  merges: {}",
+        p.reducer().activations(),
+        p.reducer().deactivations()
+    );
     println!("CST occupancy: {}/{}", p.cst().occupancy(), p.cst().len());
     let mut entries: Vec<(usize, Vec<(i16, i8)>)> = p.cst().dump().collect();
     entries.sort_by_key(|(_, l)| std::cmp::Reverse(l.first().map(|&(_, s)| s).unwrap_or(i8::MIN)));

@@ -31,8 +31,18 @@ fn every_registered_workload_simulates_under_every_prefetcher() {
                 pf.label(),
                 r.cpu.instructions
             );
-            assert!(r.cpu.cycles > 0 && r.cpu.ipc() > 0.0, "{}/{} produced no cycles", kernel.name(), pf.label());
-            assert!(r.mem.demand_accesses > 0, "{}/{} made no memory accesses", kernel.name(), pf.label());
+            assert!(
+                r.cpu.cycles > 0 && r.cpu.ipc() > 0.0,
+                "{}/{} produced no cycles",
+                kernel.name(),
+                pf.label()
+            );
+            assert!(
+                r.mem.demand_accesses > 0,
+                "{}/{} made no memory accesses",
+                kernel.name(),
+                pf.label()
+            );
         }
     }
 }
@@ -67,7 +77,10 @@ fn prefetching_never_changes_instruction_count() {
     let k = kernel_by_name("hmmer").unwrap();
     let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &quick());
     let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &quick());
-    assert_eq!(base.cpu.instructions, ctx.cpu.instructions, "prefetching is microarchitectural only");
+    assert_eq!(
+        base.cpu.instructions, ctx.cpu.instructions,
+        "prefetching is microarchitectural only"
+    );
     assert_eq!(base.cpu.loads, ctx.cpu.loads);
     assert_eq!(base.cpu.branches, ctx.cpu.branches);
 }
@@ -75,7 +88,12 @@ fn prefetching_never_changes_instruction_count() {
 #[test]
 fn matrix_runs_share_one_baseline() {
     let kernels = vec![kernel_by_name("list").unwrap()];
-    let m = Matrix::run(&kernels, &[PrefetcherKind::Sms, PrefetcherKind::context()], &quick(), |_| {});
+    let m = Matrix::run(
+        &kernels,
+        &[PrefetcherKind::Sms, PrefetcherKind::context()],
+        &quick(),
+        |_| {},
+    );
     assert_eq!(m.prefetchers(), &["none", "sms", "context"]);
     let s_none = m.speedup("list", "none").unwrap();
     assert!((s_none - 1.0).abs() < 1e-12);
@@ -85,7 +103,11 @@ fn matrix_runs_share_one_baseline() {
 #[test]
 fn registry_partitions_are_consistent() {
     let total = all_kernels().len();
-    assert_eq!(microbenchmarks().len() + spec_suite().len() + 7, total, "3 PBBS + 2 Graph500 + 2 HPCS");
+    assert_eq!(
+        microbenchmarks().len() + spec_suite().len() + 7,
+        total,
+        "3 PBBS + 2 Graph500 + 2 HPCS"
+    );
 }
 
 #[test]
@@ -93,9 +115,11 @@ fn issue_threshold_throttles_real_prefetches() {
     use semloc::context::ContextConfig;
     let k = kernel_by_name("bst").unwrap();
     let default_run = run_kernel(k.as_ref(), &PrefetcherKind::context(), &quick());
-    let mut cfg = ContextConfig::default();
-    cfg.issue_score_threshold = 100; // only near-saturated candidates qualify
-    cfg.max_degree = 1;
+    let cfg = ContextConfig {
+        issue_score_threshold: 100, // only near-saturated candidates qualify
+        max_degree: 1,
+        ..ContextConfig::default()
+    };
     let strict = run_kernel(k.as_ref(), &PrefetcherKind::Context(cfg), &quick());
     assert!(
         strict.mem.prefetches_issued < default_run.mem.prefetches_issued / 2,
@@ -104,7 +128,10 @@ fn issue_threshold_throttles_real_prefetches() {
         default_run.mem.prefetches_issued
     );
     let learn = strict.learn.unwrap();
-    assert!(learn.shadow_issued > 0, "training must continue through shadows");
+    assert!(
+        learn.shadow_issued > 0,
+        "training must continue through shadows"
+    );
 }
 
 #[test]

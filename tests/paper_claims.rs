@@ -22,16 +22,27 @@ fn context_beats_spatio_temporal_on_irregular_workloads() {
         let k = kernel_by_name(name).unwrap();
         let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &c);
         let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c).speedup_over(&base);
-        let best_other = [PrefetcherKind::Stride, PrefetcherKind::GhbGdc, PrefetcherKind::GhbPcdc, PrefetcherKind::Sms]
-            .iter()
-            .map(|pf| run_kernel(k.as_ref(), pf, &c).speedup_over(&base))
-            .fold(0.0f64, f64::max);
+        let best_other = [
+            PrefetcherKind::Stride,
+            PrefetcherKind::GhbGdc,
+            PrefetcherKind::GhbPcdc,
+            PrefetcherKind::Sms,
+        ]
+        .iter()
+        .map(|pf| run_kernel(k.as_ref(), pf, &c).speedup_over(&base))
+        .fold(0.0f64, f64::max);
         if ctx > best_other {
             ctx_wins += 1;
         }
-        assert!(ctx > 1.1, "{name}: context must deliver a real speedup, got {ctx:.2}");
+        assert!(
+            ctx > 1.1,
+            "{name}: context must deliver a real speedup, got {ctx:.2}"
+        );
     }
-    assert!(ctx_wins >= 3, "context must win most irregular workloads ({ctx_wins}/4)");
+    assert!(
+        ctx_wins >= 3,
+        "context must win most irregular workloads ({ctx_wins}/4)"
+    );
 }
 
 /// §7.2: the context prefetcher sharply reduces L2 MPKI on memory-bound
@@ -69,9 +80,17 @@ fn hit_depths_respond_to_the_reward_window() {
 fn storage_budgets_match_table2() {
     let ctx = PrefetcherKind::context().build().storage_bytes() as f64 / 1024.0;
     assert!((24.0..=40.0).contains(&ctx), "context storage {ctx:.1} kB");
-    for pf in [PrefetcherKind::GhbGdc, PrefetcherKind::Sms, PrefetcherKind::Stride] {
+    for pf in [
+        PrefetcherKind::GhbGdc,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Stride,
+    ] {
         let b = pf.build().storage_bytes() as f64 / 1024.0;
-        assert!((10.0..=40.0).contains(&b), "{} storage {b:.1} kB", pf.label());
+        assert!(
+            (10.0..=40.0).contains(&b),
+            "{} storage {b:.1} kB",
+            pf.label()
+        );
     }
 }
 
@@ -80,12 +99,23 @@ fn storage_budgets_match_table2() {
 #[test]
 fn layout_twins_differ_spatially() {
     let c = cfg();
-    let list = run_kernel(kernel_by_name("list").unwrap().as_ref(), &PrefetcherKind::Stride, &c);
-    let array = run_kernel(kernel_by_name("array").unwrap().as_ref(), &PrefetcherKind::Stride, &c);
+    let list = run_kernel(
+        kernel_by_name("list").unwrap().as_ref(),
+        &PrefetcherKind::Stride,
+        &c,
+    );
+    let array = run_kernel(
+        kernel_by_name("array").unwrap().as_ref(),
+        &PrefetcherKind::Stride,
+        &c,
+    );
     // Stride prefetching covers the array but is helpless on the list.
     let array_cover = array.mem.classes.hit_prefetched + array.mem.classes.shorter_wait;
     let list_cover = list.mem.classes.hit_prefetched + list.mem.classes.shorter_wait;
-    assert!(array_cover > 100 * (list_cover + 1), "stride: array {array_cover} vs list {list_cover}");
+    assert!(
+        array_cover > 100 * (list_cover + 1),
+        "stride: array {array_cover} vs list {list_cover}"
+    );
 }
 
 /// §7.5/Fig 14: the context prefetcher improves the naive linked layout
@@ -96,7 +126,11 @@ fn context_helps_naive_linked_layouts() {
     let k = kernel_by_name("ssca2-list").unwrap();
     let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &c);
     let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c);
-    assert!(ctx.speedup_over(&base) > 1.05, "got {:.3}", ctx.speedup_over(&base));
+    assert!(
+        ctx.speedup_over(&base) > 1.05,
+        "got {:.3}",
+        ctx.speedup_over(&base)
+    );
 }
 
 /// The reducer's dynamic feature selection matters (DESIGN ablation A2):
@@ -108,10 +142,13 @@ fn frozen_reducer_does_not_beat_adaptive() {
     let k = kernel_by_name("list").unwrap();
     let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &c);
     let adaptive = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c).speedup_over(&base);
-    let mut frozen_cfg = ContextConfig::default();
-    frozen_cfg.freeze_reducer = true;
-    frozen_cfg.initial_active = 1; // IP only, fixed
-    let frozen = run_kernel(k.as_ref(), &PrefetcherKind::Context(frozen_cfg), &c).speedup_over(&base);
+    let frozen_cfg = ContextConfig {
+        freeze_reducer: true,
+        initial_active: 1, // IP only, fixed
+        ..ContextConfig::default()
+    };
+    let frozen =
+        run_kernel(k.as_ref(), &PrefetcherKind::Context(frozen_cfg), &c).speedup_over(&base);
     assert!(
         adaptive >= frozen * 0.95,
         "adaptive {adaptive:.2} must not lose to frozen-IP-only {frozen:.2}"

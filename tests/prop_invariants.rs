@@ -118,7 +118,7 @@ proptest! {
                 prop_assert_eq!(h.entry.block, b);
             }
             total_hits += hits.len();
-            let (_, expired) = q.push(b.wrapping_add(1), ContextKey(1), semloc::context::FullHash(0), 1, seq, seq % 3 == 0);
+            let (_, expired) = q.push(b.wrapping_add(1), ContextKey(1), semloc::context::FullHash(0), 1, seq, seq.is_multiple_of(3));
             pushed += 1;
             if let Some(e) = expired {
                 prop_assert!(e.issue_seq + 16 <= seq, "expired entry was not the oldest");
