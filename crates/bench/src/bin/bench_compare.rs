@@ -1,13 +1,15 @@
-//! Before/after measurement of the hot-path rewrites, written to
-//! `BENCH_hotpath.json`.
+//! Before/after measurement of the hot-path rewrites (written to
+//! `BENCH_hotpath.json`) and of the record-once/replay-many trace store
+//! (written to `BENCH_trace.json`).
 //!
 //! "Before" numbers come from the legacy replicas in
 //! [`semloc_bench::legacy`] (linear-scan prefetch queue, nested-`Vec`
-//! cache, two-pass hashing, the original `on_access` pipeline); "after"
-//! numbers from the shipped implementations. Both sides share the
-//! unchanged CST/reducer/history/CPU code, so each ratio isolates the
-//! rewritten component. Run with `cargo run --release -p semloc-bench
-//! --bin bench_compare [output.json]`.
+//! cache, two-pass hashing, the original `on_access` pipeline) and — for
+//! the trace rows — from [`run_kernel_uncached`], which regenerates the
+//! workload for every matrix cell as the harness did before the store.
+//! "After" numbers come from the shipped implementations. Run with
+//! `cargo run --release -p semloc-bench --bin bench_compare
+//! [hotpath.json] [trace.json]`.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -18,10 +20,14 @@ use semloc_context::attrs::{ContextKey, FeatureVec, FullHash};
 use semloc_context::pfq::{PfqHit, PrefetchQueue};
 use semloc_context::{ContextConfig, ContextPrefetcher};
 use semloc_cpu::Cpu;
-use semloc_harness::SimConfig;
+use semloc_harness::{
+    run_kernel_uncached, run_kernel_with_store, PrefetcherKind, SimConfig, TraceStore,
+};
 use semloc_mem::{Cache, CacheConfig, Hierarchy, MemPressure, Prefetcher};
-use semloc_trace::{AccessContext, SemanticHints};
-use semloc_workloads::kernel_by_name;
+use semloc_trace::{AccessContext, CountingSink, SemanticHints};
+use semloc_workloads::graph500::{Graph500, Layout};
+use semloc_workloads::ukernels::{HashTest, ListTraversal};
+use semloc_workloads::{capture_kernel, kernel_by_name, Kernel, KernelBox, ReplayKernel};
 
 fn pressure() -> MemPressure {
     MemPressure {
@@ -238,10 +244,119 @@ fn bench_sim<P: Prefetcher, F: FnMut() -> P>(cfg: &SimConfig, mut build: F) -> f
     })
 }
 
+/// Production-scale kernel instances for the trace-store rows. At the
+/// ROADMAP's target scales, per-run data-structure construction (graph
+/// generation, list/table allocation) is a substantial share of each matrix
+/// cell — exactly the cost the record-once/replay-many store amortizes
+/// across prefetcher columns.
+fn big_kernels() -> Vec<KernelBox> {
+    vec![
+        Box::new(Graph500 {
+            layout: Layout::Csr,
+            vertices: 131_072,
+            degree: 16,
+            seed: 71,
+        }),
+        Box::new(ListTraversal {
+            nodes: 524_288,
+            work: 3,
+            seed: 11,
+        }),
+        Box::new(HashTest {
+            buckets: 131_072,
+            elems: 262_144,
+            seed: 41,
+        }),
+    ]
+}
+
+/// The multi-column lineup of the end-to-end row: baseline plus the four
+/// table-driven competitors (the Fig 12 set minus the context prefetcher,
+/// whose training cost would dilute what this row isolates).
+fn trace_lineup() -> Vec<PrefetcherKind> {
+    vec![
+        PrefetcherKind::None,
+        PrefetcherKind::Stride,
+        PrefetcherKind::GhbGdc,
+        PrefetcherKind::GhbPcdc,
+        PrefetcherKind::Sms,
+    ]
+}
+
+/// ns/instruction to *produce* the workload stream: running the generator
+/// (graph construction + BFS) vs replaying a captured [`TraceBuffer`].
+fn bench_stream_production(kernel: &dyn Kernel, budget: u64) -> (f64, f64) {
+    let generate = time_per(9, budget, || {
+        let mut sink = CountingSink::with_limit(budget);
+        kernel.run(&mut sink);
+        sink.total
+    });
+    let trace = std::sync::Arc::new(capture_kernel(kernel, budget));
+    let replayer = ReplayKernel::new(trace);
+    let replay = time_per(9, budget, || {
+        let mut sink = CountingSink::with_limit(budget);
+        replayer.run(&mut sink);
+        sink.total
+    });
+    (generate, replay)
+}
+
+/// Wall-clock ns for the full kernels × lineup matrix: regenerating the
+/// workload per cell (the pre-store harness behaviour, kept as
+/// [`run_kernel_uncached`]) vs a fresh [`TraceStore`] capturing each kernel
+/// once and replaying it for every column.
+fn bench_trace_matrix(
+    kernels: &[KernelBox],
+    lineup: &[PrefetcherKind],
+    cfg: &SimConfig,
+) -> (f64, f64) {
+    let regenerate = time_per(3, 1, || {
+        let mut acc = 0u64;
+        for k in kernels {
+            for pf in lineup {
+                acc = acc.wrapping_add(run_kernel_uncached(k.as_ref(), pf, cfg).cpu.cycles);
+            }
+        }
+        acc
+    });
+    let replay = time_per(3, 1, || {
+        let store = TraceStore::new();
+        let mut acc = 0u64;
+        for k in kernels {
+            for pf in lineup {
+                acc = acc.wrapping_add(
+                    run_kernel_with_store(&store, k.as_ref(), pf, cfg)
+                        .cpu
+                        .cycles,
+                );
+            }
+        }
+        acc
+    });
+    (regenerate, replay)
+}
+
+/// One calibrated-context cell on a warm store vs uncached: the store
+/// memoizes the no-prefetch probe and the captured stream, so a calibrated
+/// re-run pays only the calibrated simulation itself.
+fn bench_calibrated_rerun(kernel: &dyn Kernel, cfg: &SimConfig) -> (f64, f64) {
+    let pf = PrefetcherKind::context_calibrated();
+    let uncached = time_per(3, 1, || run_kernel_uncached(kernel, &pf, cfg).cpu.cycles);
+    let store = TraceStore::new();
+    run_kernel_with_store(&store, kernel, &pf, cfg); // warm capture + probe memo
+    let warm = time_per(3, 1, || {
+        run_kernel_with_store(&store, kernel, &pf, cfg).cpu.cycles
+    });
+    (uncached, warm)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let trace_out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_trace.json".into());
     let ctxs = stream(100_000);
 
     println!("component                       before (ns)   after (ns)   speedup");
@@ -307,8 +422,87 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
     println!("\nwrote {out_path}");
+
+    // ---- trace store: record-once / replay-many ------------------------
+    let kernels = big_kernels();
+    let lineup = trace_lineup();
+    let cfg = SimConfig::default().with_budget(60_000);
+
+    // Correctness first (untimed): the store must be invisible in the
+    // results — every cell's statistics digest must match the uncached run.
+    {
+        let store = TraceStore::new();
+        for k in &kernels {
+            for pf in &lineup {
+                let cached = run_kernel_with_store(&store, k.as_ref(), pf, &cfg);
+                let uncached = run_kernel_uncached(k.as_ref(), pf, &cfg);
+                assert_eq!(
+                    cached.stats_digest(),
+                    uncached.stats_digest(),
+                    "{}/{}: replay-backed stats diverged from regeneration",
+                    k.name(),
+                    pf.label()
+                );
+            }
+        }
+    }
+
+    println!();
+    println!("trace store                     before (ns)   after (ns)   speedup");
+    println!("-----------------------------------------------------------------");
+    let mut trace_json = String::from("{\n");
+    let mut trace_row = |name: &str, bench: &str, before: f64, after: f64| {
+        let speedup = before / after;
+        println!("{name:<30} {before:>12.2} {after:>12.2} {speedup:>8.2}x");
+        let _ = writeln!(
+            trace_json,
+            "  \"{bench}\": {{\"before_ns\": {before:.2}, \"after_ns\": {after:.2}, \"speedup\": {speedup:.3}}},"
+        );
+        speedup
+    };
+
+    let (generate, replay) = bench_stream_production(kernels[0].as_ref(), cfg.instr_budget);
+    trace_row(
+        "stream production (per instr)",
+        "trace_store/replay_vs_generate",
+        generate,
+        replay,
+    );
+
+    let (regen_matrix, replay_matrix) = bench_trace_matrix(&kernels, &lineup, &cfg);
+    let matrix_speedup = trace_row(
+        "matrix end-to-end (3k x 5pf)",
+        "trace_store/matrix_end_to_end",
+        regen_matrix,
+        replay_matrix,
+    );
+
+    let (cal_uncached, cal_warm) = bench_calibrated_rerun(kernels[1].as_ref(), &cfg);
+    let cal_speedup = trace_row(
+        "calibrated cell, warm store",
+        "trace_store/calibrated_rerun",
+        cal_uncached,
+        cal_warm,
+    );
+
+    let _ = write!(
+        trace_json,
+        "  \"meta\": {{\"kernels\": [\"graph500 32768v x16\", \"list 131072n\", \"hashtest 32768b/65536e\"], \"lineup\": [\"none\", \"stride\", \"ghb-g/dc\", \"ghb-pc/dc\", \"sms\"], \"instr_budget\": {}, \"note\": \"before = run_kernel_uncached (regenerate per cell); after = shared TraceStore (capture once, replay per column); per-cell stats digests asserted equal before timing\"}}\n}}\n",
+        cfg.instr_budget
+    );
+    std::fs::write(&trace_out_path, &trace_json).expect("write BENCH_trace.json");
+    println!("\nwrote {trace_out_path}");
+
     assert!(
         sim_speedup > 1.0,
         "end-to-end simulation must not regress (got {sim_speedup:.2}x)"
+    );
+    assert!(
+        matrix_speedup >= 1.5,
+        "trace store must deliver >= 1.5x on the multi-column matrix (got {matrix_speedup:.2}x)"
+    );
+    assert!(
+        cal_speedup > 1.0,
+        "warm-store calibrated rerun must not regress (got {cal_speedup:.2}x)"
     );
 }

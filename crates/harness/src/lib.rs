@@ -17,11 +17,13 @@ pub mod matrix;
 pub mod prefetchers;
 pub mod report;
 pub mod runner;
+pub mod store;
 pub mod sweep;
 
 pub use config::SimConfig;
 pub use matrix::Matrix;
 pub use prefetchers::PrefetcherKind;
 pub use report::Table;
-pub use runner::{run_kernel, RunResult};
+pub use runner::{run_kernel, run_kernel_uncached, run_kernel_with_store, RunResult};
+pub use store::TraceStore;
 pub use sweep::{ablation_variants, storage_sweep, AblationVariant, SweepPoint};

@@ -22,14 +22,13 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Run every kernel under the baseline plus each given prefetcher.
-    /// `progress` is invoked after each run completes (for CLI feedback).
-    pub fn run(
+    /// Shared setup for both runners: an empty matrix with the kernel and
+    /// prefetcher display orders filled in, plus the full lineup (baseline
+    /// `none` prepended to the requested prefetchers).
+    fn prepare(
         kernels: &[KernelBox],
         prefetchers: &[PrefetcherKind],
-        config: &SimConfig,
-        mut progress: impl FnMut(&RunResult),
-    ) -> Self {
+    ) -> (Self, Vec<PrefetcherKind>) {
         let mut m = Matrix::default();
         let mut lineup = vec![PrefetcherKind::None];
         lineup.extend(prefetchers.iter().cloned());
@@ -40,6 +39,20 @@ impl Matrix {
         }
         for k in kernels {
             m.kernel_order.push(k.name());
+        }
+        (m, lineup)
+    }
+
+    /// Run every kernel under the baseline plus each given prefetcher.
+    /// `progress` is invoked after each run completes (for CLI feedback).
+    pub fn run(
+        kernels: &[KernelBox],
+        prefetchers: &[PrefetcherKind],
+        config: &SimConfig,
+        mut progress: impl FnMut(&RunResult),
+    ) -> Self {
+        let (mut m, lineup) = Self::prepare(kernels, prefetchers);
+        for k in kernels {
             for pf in &lineup {
                 let r = run_kernel(k.as_ref(), pf, config);
                 progress(&r);
@@ -55,7 +68,9 @@ impl Matrix {
     /// Like [`Matrix::run`], but fans the independent (kernel, prefetcher)
     /// simulations out over `threads` worker threads. Results are
     /// bit-identical to the sequential runner (every run is deterministic
-    /// and isolated); only completion order differs.
+    /// and isolated); only completion order differs. Workers share the
+    /// process-global [`TraceStore`](crate::TraceStore), so each kernel's
+    /// stream is generated once no matter how many columns consume it.
     pub fn run_parallel(
         kernels: &[KernelBox],
         prefetchers: &[PrefetcherKind],
@@ -63,17 +78,7 @@ impl Matrix {
         threads: usize,
         progress: impl Fn(&RunResult) + Sync,
     ) -> Self {
-        let mut m = Matrix::default();
-        let mut lineup = vec![PrefetcherKind::None];
-        lineup.extend(prefetchers.iter().cloned());
-        for pf in &lineup {
-            if !m.pf_order.contains(&pf.label()) {
-                m.pf_order.push(pf.label());
-            }
-        }
-        for k in kernels {
-            m.kernel_order.push(k.name());
-        }
+        let (mut m, lineup) = Self::prepare(kernels, prefetchers);
         // Work queue of (kernel index, prefetcher index) pairs.
         let jobs: Vec<(usize, usize)> = (0..kernels.len())
             .flat_map(|ki| (0..lineup.len()).map(move |pi| (ki, pi)))

@@ -7,6 +7,7 @@ use semloc_workloads::Kernel;
 
 use crate::config::SimConfig;
 use crate::prefetchers::PrefetcherKind;
+use crate::store::TraceStore;
 
 /// Everything measured in one simulated run.
 #[derive(Clone, Debug)]
@@ -124,7 +125,10 @@ impl Digest {
     }
 }
 
-/// Run `kernel` under `prefetcher` with `config`.
+/// Run `kernel` under `prefetcher` with `config`, through the process-global
+/// [`TraceStore`](crate::TraceStore): the kernel's instruction stream is
+/// captured on first use and replayed (bit-identically — see the
+/// golden-digest test) for every subsequent run of the same configuration.
 ///
 /// For [`PrefetcherKind::ContextCalibrated`] a short no-prefetch probe run
 /// first measures the workload parameters of the §4.3 prefetch-distance
@@ -144,17 +148,71 @@ pub fn run_kernel(
     prefetcher: &PrefetcherKind,
     config: &SimConfig,
 ) -> RunResult {
+    run_kernel_with_store(TraceStore::global(), kernel, prefetcher, config)
+}
+
+/// [`run_kernel`] against an explicit [`TraceStore`] (the global store is
+/// just a shared instance of this). Useful for benchmarks and tests that
+/// need an isolated cache.
+pub fn run_kernel_with_store(
+    store: &TraceStore,
+    kernel: &dyn Kernel,
+    prefetcher: &PrefetcherKind,
+    config: &SimConfig,
+) -> RunResult {
     if let PrefetcherKind::ContextCalibrated(base) = prefetcher {
         let probe_cfg = SimConfig {
             instr_budget: (config.instr_budget / 4).clamp(40_000, 150_000),
             ..config.clone()
         };
-        let probe = run_kernel(kernel, &PrefetcherKind::None, &probe_cfg);
+        // One capture covers both the probe and the main run: by the prefix
+        // property, a trace recorded at the larger budget replays the exact
+        // stream either budget would generate.
+        let capture_budget = if config.instr_budget == 0 {
+            0
+        } else {
+            config.instr_budget.max(probe_cfg.instr_budget)
+        };
+        let replay = store.replay(kernel, capture_budget);
+        let probe_key = format!("{}|{:?}", kernel.trace_key(), probe_cfg);
+        let probe = store.probe_result(&probe_key, || {
+            simulate(&replay, &PrefetcherKind::None, &probe_cfg)
+        });
         let penalty = config.mem.l1_miss_penalty(probe.mem.l2_miss_rate());
         let target = penalty * probe.cpu.ipc() * probe.cpu.mem_fraction();
         let calibrated = PrefetcherKind::Context(base.clone().calibrated(target));
-        return run_kernel(kernel, &calibrated, config);
+        return simulate(&replay, &calibrated, config);
     }
+    let replay = store.replay(kernel, config.instr_budget);
+    simulate(&replay, prefetcher, config)
+}
+
+/// [`run_kernel`] without the trace store: re-runs the workload generator
+/// for this cell (and for the calibration probe). This is the pre-store
+/// behaviour, kept as the baseline side of `bench_compare`'s
+/// replay-vs-regenerate rows and for store-equivalence tests.
+pub fn run_kernel_uncached(
+    kernel: &dyn Kernel,
+    prefetcher: &PrefetcherKind,
+    config: &SimConfig,
+) -> RunResult {
+    if let PrefetcherKind::ContextCalibrated(base) = prefetcher {
+        let probe_cfg = SimConfig {
+            instr_budget: (config.instr_budget / 4).clamp(40_000, 150_000),
+            ..config.clone()
+        };
+        let probe = run_kernel_uncached(kernel, &PrefetcherKind::None, &probe_cfg);
+        let penalty = config.mem.l1_miss_penalty(probe.mem.l2_miss_rate());
+        let target = penalty * probe.cpu.ipc() * probe.cpu.mem_fraction();
+        let calibrated = PrefetcherKind::Context(base.clone().calibrated(target));
+        return run_kernel_uncached(kernel, &calibrated, config);
+    }
+    simulate(kernel, prefetcher, config)
+}
+
+/// Drive one kernel (generated or replayed — both are just [`Kernel`]s)
+/// through the simulator and collect every statistic.
+fn simulate(kernel: &dyn Kernel, prefetcher: &PrefetcherKind, config: &SimConfig) -> RunResult {
     let hierarchy = Hierarchy::new(config.mem.clone(), prefetcher.build());
     let mut cpu = Cpu::new(config.cpu.clone(), hierarchy, config.instr_budget);
     kernel.run(&mut cpu);
@@ -246,6 +304,51 @@ mod tests {
             covered > 10_000,
             "stream accesses must ride prefetches (covered {covered})"
         );
+    }
+
+    #[test]
+    fn store_backed_runs_match_uncached() {
+        // The trace store must be invisible in the results: every prefetcher
+        // kind (including the probe-driven calibrated variant) produces
+        // bit-identical statistics with and without it.
+        let k = kernel_by_name("list").unwrap();
+        let cfg = SimConfig::default().with_budget(60_000);
+        for pf in [
+            PrefetcherKind::Stride,
+            PrefetcherKind::context(),
+            PrefetcherKind::context_calibrated(),
+        ] {
+            let store = TraceStore::new();
+            let cached = run_kernel_with_store(&store, k.as_ref(), &pf, &cfg);
+            let uncached = run_kernel_uncached(k.as_ref(), &pf, &cfg);
+            assert_eq!(cached.cpu, uncached.cpu, "{} cpu stats differ", pf.label());
+            assert_eq!(cached.mem, uncached.mem, "{} mem stats differ", pf.label());
+            assert_eq!(cached.stats_digest(), uncached.stats_digest());
+        }
+    }
+
+    #[test]
+    fn calibrated_probe_is_memoized_per_store() {
+        let k = kernel_by_name("list").unwrap();
+        let cfg = SimConfig::default().with_budget(60_000);
+        let store = TraceStore::new();
+        let a = run_kernel_with_store(
+            &store,
+            k.as_ref(),
+            &PrefetcherKind::context_calibrated(),
+            &cfg,
+        );
+        let b = run_kernel_with_store(
+            &store,
+            k.as_ref(),
+            &PrefetcherKind::context_calibrated(),
+            &cfg,
+        );
+        assert_eq!(a.stats_digest(), b.stats_digest());
+        // One capture serves the probe and both main runs.
+        let (hits, misses) = store.stats();
+        assert_eq!(misses, 1, "kernel must be captured exactly once");
+        assert!(hits >= 1);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! The shared trace store: record each kernel's instruction stream once,
+//! replay it for every prefetcher column, sweep point, and figure binary.
+//!
+//! Every run funneled through [`run_kernel`](crate::run_kernel) consults the
+//! process-global store ([`TraceStore::global`]), so the whole experiment
+//! matrix — `Matrix::run`, `Matrix::run_parallel` workers, the calibration
+//! probe, and all the figure binaries — pays each kernel's generation cost
+//! once per process instead of once per cell. With `SEMLOC_TRACE_DIR` set,
+//! captures also persist in the `SEMLOC01` format so separate processes
+//! (e.g. the individual `fig*` binaries) reuse each other's traces.
+//!
+//! Correctness rests on the prefix property documented in
+//! [`semloc_workloads::replay`]: a capture at budget `B` replays
+//! bit-identically to generation at any budget ≤ `B`, so one capture at the
+//! largest budget needed serves the probe and the main run alike. The
+//! golden-digest test pins generated == replayed == the published digest.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use semloc_trace::TraceBuffer;
+use semloc_workloads::{capture_kernel, CapturedTrace, Kernel, ReplayKernel};
+
+use crate::runner::{Digest, RunResult};
+
+type Slot = Arc<Mutex<Option<Arc<CapturedTrace>>>>;
+
+/// A lazily-populated, thread-safe cache of captured kernel traces, keyed by
+/// [`Kernel::trace_key`] (the kernel's full configuration — name, placement,
+/// sizes, seed) and covering budgets per the prefix property.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    /// Two-level locking: the outer map lock is held only to find/insert a
+    /// slot, the per-key slot lock is held across capture — so the same
+    /// kernel is captured exactly once while *different* kernels capture
+    /// concurrently (the `run_parallel` workers hammer this).
+    slots: Mutex<HashMap<String, Slot>>,
+    /// Memoized calibration-probe results, keyed by
+    /// `trace_key + probe config` (see [`TraceStore::probe_result`]).
+    probes: Mutex<HashMap<String, RunResult>>,
+    /// On-disk cache directory (`SEMLOC_TRACE_DIR`), if configured.
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store that also persists captures under `dir` (created on first
+    /// write) in the `SEMLOC01` format.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        TraceStore {
+            dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// A store configured from the environment: on-disk caching under
+    /// `SEMLOC_TRACE_DIR` when set, in-memory only otherwise.
+    pub fn from_env() -> Self {
+        match std::env::var_os("SEMLOC_TRACE_DIR") {
+            Some(d) if !d.is_empty() => Self::with_dir(PathBuf::from(d)),
+            _ => Self::new(),
+        }
+    }
+
+    /// The process-global store every [`run_kernel`](crate::run_kernel)
+    /// call goes through. Initialized from the environment on first use.
+    pub fn global() -> &'static TraceStore {
+        static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
+        GLOBAL.get_or_init(TraceStore::from_env)
+    }
+
+    /// `(hits, misses)` — replays served from a previous capture vs.
+    /// captures that had to run the generator.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// A replayable stand-in for `kernel` whose stream covers `budget`
+    /// instructions (0 = the kernel's complete stream). Captures the kernel
+    /// on first use (checking the on-disk cache first, when configured) and
+    /// serves every later request for the same configuration from memory.
+    pub fn replay(&self, kernel: &dyn Kernel, budget: u64) -> ReplayKernel {
+        let key = kernel.trace_key();
+        let slot = {
+            let mut slots = self.slots.lock().expect("no panics hold the lock");
+            slots.entry(key.clone()).or_default().clone()
+        };
+        let mut guard = slot.lock().expect("no panics hold the lock");
+        if let Some(trace) = guard.as_ref() {
+            if trace.covers(budget) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return ReplayKernel::new(Arc::clone(trace));
+            }
+        }
+        // A stale (smaller) capture is superseded by one covering both the
+        // old and the new budget, so earlier replays stay valid.
+        let capture_budget = match guard.as_ref() {
+            Some(prev) if budget != 0 && prev.budget != 0 => budget.max(prev.budget),
+            _ => budget,
+        };
+        let trace = Arc::new(
+            self.load_from_disk(kernel, &key, capture_budget)
+                .unwrap_or_else(|| {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let t = capture_kernel(kernel, capture_budget);
+                    self.save_to_disk(&t);
+                    t
+                }),
+        );
+        *guard = Some(Arc::clone(&trace));
+        ReplayKernel::new(trace)
+    }
+
+    /// Memoized calibration-probe result. `key` must identify both the
+    /// kernel configuration and the probe's [`SimConfig`](crate::SimConfig)
+    /// (the runner uses `trace_key + the probe config's Debug rendering`);
+    /// `compute` runs the probe on a miss. Runs are deterministic, so a
+    /// memoized clone is bit-identical to recomputation.
+    pub fn probe_result(&self, key: &str, compute: impl FnOnce() -> RunResult) -> RunResult {
+        if let Some(r) = self
+            .probes
+            .lock()
+            .expect("no panics hold the lock")
+            .get(key)
+        {
+            return r.clone();
+        }
+        // Computed outside the lock; a racing worker may duplicate the
+        // probe, but determinism makes either result correct.
+        let r = compute();
+        self.probes
+            .lock()
+            .expect("no panics hold the lock")
+            .entry(key.to_string())
+            .or_insert_with(|| r.clone());
+        r
+    }
+
+    /// Stable file name for a capture: kernel name (sanitized), FNV-1a of
+    /// the full trace key, capture budget, and an `f`(ull)/`p`(artial)
+    /// completeness flag.
+    fn file_name(name: &str, key: &str, budget: u64, complete: bool) -> String {
+        let sane: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let mut d = Digest::new();
+        d.str(key);
+        format!(
+            "{sane}-{:016x}-{budget}-{}.trace",
+            d.finish(),
+            if complete { 'f' } else { 'p' }
+        )
+    }
+
+    /// Look for an on-disk capture of `key` covering `budget`. Any
+    /// unreadable or corrupt file is ignored (the caller regenerates).
+    fn load_from_disk(&self, kernel: &dyn Kernel, key: &str, budget: u64) -> Option<CapturedTrace> {
+        let dir = self.dir.as_deref()?;
+        let prefix = Self::file_name(kernel.name(), key, 0, true);
+        let prefix = &prefix[..prefix.len() - "0-f.trace".len()];
+        let mut best: Option<(u64, bool, PathBuf)> = None;
+        for entry in fs::read_dir(dir).ok()?.flatten() {
+            let fname = entry.file_name();
+            let fname = fname.to_string_lossy();
+            let Some(rest) = fname.strip_prefix(prefix) else {
+                continue;
+            };
+            let Some(rest) = rest.strip_suffix(".trace") else {
+                continue;
+            };
+            let (b, complete) = match rest.rsplit_once('-') {
+                Some((b, "f")) => (b, true),
+                Some((b, "p")) => (b, false),
+                _ => continue,
+            };
+            let Ok(file_budget) = b.parse::<u64>() else {
+                continue;
+            };
+            let covers = complete || (budget != 0 && file_budget != 0 && file_budget >= budget);
+            let better = match best.as_ref() {
+                Some((bb, bc, _)) => (complete, file_budget) > (*bc, *bb),
+                None => true,
+            };
+            if covers && better {
+                best = Some((file_budget, complete, entry.path()));
+            }
+        }
+        let (file_budget, complete, path) = best?;
+        let buf = Self::read_trace(&path).ok()?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(CapturedTrace {
+            name: kernel.name(),
+            suite: kernel.suite(),
+            key: key.to_string(),
+            budget: file_budget,
+            complete,
+            buf,
+        })
+    }
+
+    fn read_trace(path: &Path) -> io::Result<TraceBuffer> {
+        TraceBuffer::read_semloc(io::BufReader::new(fs::File::open(path)?))
+    }
+
+    /// Persist a capture (atomically: temp file + rename). Failures are
+    /// silent — the disk cache is an optimization, never a correctness
+    /// dependency.
+    fn save_to_disk(&self, trace: &CapturedTrace) {
+        let Some(dir) = self.dir.as_deref() else {
+            return;
+        };
+        let _ = Self::try_save(dir, trace);
+    }
+
+    fn try_save(dir: &Path, trace: &CapturedTrace) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let name = Self::file_name(trace.name, &trace.key, trace.budget, trace.complete);
+        let tmp = dir.join(format!("{name}.tmp{}", std::process::id()));
+        trace
+            .buf
+            .write_semloc(io::BufWriter::new(fs::File::create(&tmp)?))?;
+        fs::rename(&tmp, dir.join(name))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::prefetchers::PrefetcherKind;
+    use crate::runner::run_kernel_with_store;
+    use semloc_trace::RecordingSink;
+    use semloc_workloads::kernel_by_name;
+
+    #[test]
+    fn second_replay_is_a_hit() {
+        let store = TraceStore::new();
+        let k = kernel_by_name("list").unwrap();
+        store.replay(k.as_ref(), 10_000);
+        store.replay(k.as_ref(), 10_000);
+        store.replay(k.as_ref(), 5_000); // covered by the 10k capture
+        assert_eq!(store.stats(), (2, 1));
+    }
+
+    #[test]
+    fn larger_budget_recaptures_and_supersedes() {
+        let store = TraceStore::new();
+        let k = kernel_by_name("list").unwrap();
+        store.replay(k.as_ref(), 5_000);
+        let big = store.replay(k.as_ref(), 20_000);
+        assert!(big.trace().covers(20_000));
+        assert_eq!(store.stats(), (0, 2));
+        // And the superseding capture now serves the original budget too.
+        store.replay(k.as_ref(), 5_000);
+        assert_eq!(store.stats(), (1, 2));
+    }
+
+    #[test]
+    fn replay_stream_matches_generation() {
+        let store = TraceStore::new();
+        let k = kernel_by_name("mcf").unwrap();
+        let replay = store.replay(k.as_ref(), 8_000);
+        let mut a = RecordingSink::with_limit(8_000);
+        k.run(&mut a);
+        let mut b = RecordingSink::with_limit(8_000);
+        replay.run(&mut b);
+        assert_eq!(a.instrs(), b.instrs());
+    }
+
+    #[test]
+    fn disk_cache_roundtrips_across_stores() {
+        let dir = std::env::temp_dir().join(format!("semloc-store-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let k = kernel_by_name("list").unwrap();
+
+        let writer = TraceStore::with_dir(&dir);
+        writer.replay(k.as_ref(), 12_000);
+        assert_eq!(writer.stats(), (0, 1));
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1, "one .trace file");
+
+        // A fresh store (as another process would create) loads from disk
+        // instead of regenerating.
+        let reader = TraceStore::with_dir(&dir);
+        let replay = reader.replay(k.as_ref(), 12_000);
+        assert_eq!(reader.stats(), (1, 0), "disk load must count as a hit");
+        let mut a = RecordingSink::with_limit(12_000);
+        k.run(&mut a);
+        let mut b = RecordingSink::with_limit(12_000);
+        replay.run(&mut b);
+        assert_eq!(a.instrs(), b.instrs(), "disk roundtrip must be bit-exact");
+
+        // A request the on-disk capture cannot cover regenerates.
+        let reader2 = TraceStore::with_dir(&dir);
+        reader2.replay(k.as_ref(), 50_000);
+        assert_eq!(reader2.stats(), (0, 1));
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_file_falls_back_to_generation() {
+        let dir = std::env::temp_dir().join(format!("semloc-store-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let k = kernel_by_name("list").unwrap();
+        let fname = TraceStore::file_name(k.name(), &k.trace_key(), 6_000, false);
+        fs::write(dir.join(fname), b"SEMLOC01garbage").unwrap();
+
+        let store = TraceStore::with_dir(&dir);
+        let replay = store.replay(k.as_ref(), 6_000);
+        assert_eq!(store.stats(), (0, 1), "corrupt file must not be a hit");
+        let mut a = RecordingSink::with_limit(6_000);
+        k.run(&mut a);
+        let mut b = RecordingSink::with_limit(6_000);
+        replay.run(&mut b);
+        assert_eq!(a.instrs(), b.instrs());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_results_are_memoized() {
+        let store = TraceStore::new();
+        let mut computed = 0;
+        let compute = |n: &mut i32| {
+            *n += 1;
+            let k = kernel_by_name("array").unwrap();
+            run_kernel_with_store(
+                &store,
+                k.as_ref(),
+                &PrefetcherKind::None,
+                &SimConfig::default().with_budget(5_000),
+            )
+        };
+        let a = store.probe_result("k", || compute(&mut computed));
+        let b = store.probe_result("k", || compute(&mut computed));
+        assert_eq!(computed, 1, "second lookup must hit the memo");
+        assert_eq!(a.stats_digest(), b.stats_digest());
+    }
+
+    #[test]
+    fn concurrent_replays_capture_once_per_kernel() {
+        let store = TraceStore::new();
+        let kernels: Vec<_> = ["list", "array", "mcf"]
+            .iter()
+            .map(|n| kernel_by_name(n).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in &kernels {
+                        store.replay(k.as_ref(), 10_000);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = store.stats();
+        assert_eq!(misses, 3, "each kernel captured exactly once");
+        assert_eq!(hits, 9);
+    }
+}

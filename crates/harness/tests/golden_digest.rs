@@ -1,17 +1,28 @@
 //! Golden statistics digest for the quick evaluation matrix.
 //!
 //! The hot-path work (single-pass context hashing, indexed prefetch queue,
-//! flat cache arrays) must be a pure performance change: every simulated
-//! statistic has to stay bit-identical. This test pins one fingerprint of
-//! the full quick matrix — captured from the sequential runner before the
-//! rewrite — and asserts that both runners still reproduce it exactly.
+//! flat cache arrays) and the record-once/replay-many trace store must be
+//! pure performance changes: every simulated statistic has to stay
+//! bit-identical. This test pins one fingerprint of the full quick matrix —
+//! captured from the sequential runner before either rewrite — and asserts
+//! that the sequential runner, the parallel runner, and explicit
+//! trace-replay all still reproduce it exactly:
+//!
+//! `sequential == parallel == replay == GOLDEN`
+//!
+//! (The sequential/parallel runners go through the process-global
+//! [`TraceStore`] since the store landed, so those two tests already
+//! exercise store-backed replay; `replay_matches_golden` additionally pins
+//! the explicit capture → [`ReplayKernel`] path.)
 //!
 //! If a future change *intends* to alter simulation behaviour, update
 //! [`GOLDEN`] with the value printed by the failing assertion and record
 //! why in CHANGES.md.
 
+use std::sync::Arc;
+
 use semloc_harness::{Matrix, PrefetcherKind, SimConfig};
-use semloc_workloads::{kernel_by_name, KernelBox};
+use semloc_workloads::{capture_kernel, kernel_by_name, KernelBox, ReplayKernel};
 
 /// Digest of the quick matrix (array/list/mcf × none/stride/context),
 /// captured from `Matrix::run` with the demand-refill cache fix in place
@@ -49,6 +60,30 @@ fn parallel_matches_golden() {
         GOLDEN,
         "parallel quick-matrix stats diverged from the pinned golden digest \
          (got {:#018x})",
+        m.stats_digest()
+    );
+}
+
+#[test]
+fn replay_matches_golden() {
+    // Capture each kernel's stream once, then drive the whole matrix from
+    // the replayed traces. Replay must be bit-identical to generation, so
+    // the digest must equal the one pinned before the trace store existed.
+    let cfg = SimConfig::quick();
+    let replayed: Vec<KernelBox> = kernels()
+        .iter()
+        .map(|k| {
+            let trace = capture_kernel(k.as_ref(), cfg.instr_budget);
+            assert!(trace.covers(cfg.instr_budget));
+            Box::new(ReplayKernel::new(Arc::new(trace))) as KernelBox
+        })
+        .collect();
+    let m = Matrix::run(&replayed, &lineup(), &cfg, |_| {});
+    assert_eq!(
+        m.stats_digest(),
+        GOLDEN,
+        "replayed quick-matrix stats diverged from the pinned golden digest \
+         (got {:#018x}); replay is not bit-identical to generation",
         m.stats_digest()
     );
 }

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod address_space;
+pub mod buffer;
 pub mod context;
 pub mod emit;
 pub mod hints;
@@ -41,6 +42,7 @@ pub mod record;
 pub mod sink;
 
 pub use address_space::{AddressSpace, Placement};
+pub use buffer::{BufferSink, TraceBuffer};
 pub use context::{AccessContext, RECENT_ADDRS};
 pub use emit::{Emitter, PcAlloc};
 pub use hints::{RefForm, SemanticHints};

@@ -28,6 +28,7 @@ pub mod object;
 pub mod patterns;
 pub mod pbbs;
 pub mod registry;
+pub mod replay;
 pub mod spec;
 pub mod ssca2;
 pub mod ukernels;
@@ -37,6 +38,7 @@ pub use registry::{
     all_kernels, kernel_by_name, memory_intensive, microbenchmarks, spec_suite, KernelBox,
     KernelInfo,
 };
+pub use replay::{capture_kernel, CapturedTrace, ReplayKernel};
 
 use semloc_trace::TraceSink;
 
@@ -69,7 +71,13 @@ impl Suite {
 }
 
 /// A runnable benchmark kernel.
-pub trait Kernel {
+///
+/// The `Debug` supertrait doubles as the kernel's *configuration identity*:
+/// every kernel is a plain struct whose derived `Debug` output spells out
+/// its name and every configuration field (layout, sizes, seed), so
+/// [`Kernel::trace_key`] distinguishes two instances of the same kernel
+/// type with different parameters.
+pub trait Kernel: std::fmt::Debug {
     /// Unique name (e.g. `"mcf"`, `"graph500-list"`).
     fn name(&self) -> &'static str;
 
@@ -80,6 +88,14 @@ pub trait Kernel {
     /// kernel finishes or `sink.done()` turns true. Deterministic for a
     /// fixed kernel configuration.
     fn run(&self, sink: &mut dyn TraceSink);
+
+    /// A string that uniquely identifies the instruction stream this kernel
+    /// produces — used as the cache key by the trace store. The default
+    /// (the derived `Debug` rendering) covers every configuration field, so
+    /// two differently-parameterized instances never collide.
+    fn trace_key(&self) -> String {
+        format!("{self:?}")
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,191 @@
+//! Record-once / replay-many: capture a kernel's instruction stream into a
+//! [`TraceBuffer`] and replay it through the `Kernel` trait.
+//!
+//! Why replay is bit-identical to generation: kernels receive **no**
+//! feedback from their sink other than `done()`, and every sink the
+//! harness drives (the OoO core, [`BufferSink`]) gates identically —
+//! instructions are accepted while the count is below the budget and
+//! dropped after, with `done()` flipping exactly at the budget. So the
+//! stream a kernel emits is a pure function of its configuration, and the
+//! first `b` accepted instructions are the same for every budget ≥ `b`
+//! (delaying `done()` only *extends* the stream — the prefix property).
+//! A trace captured at the largest budget a matrix needs therefore serves
+//! every smaller budget, including the calibration probe's.
+
+use std::sync::Arc;
+
+use semloc_trace::{BufferSink, TraceBuffer, TraceSink};
+
+use crate::{Kernel, Suite};
+
+/// A kernel's instruction stream, captured once for reuse across every
+/// prefetcher column / sweep point that needs it.
+#[derive(Debug, Clone)]
+pub struct CapturedTrace {
+    /// The source kernel's registry name.
+    pub name: &'static str,
+    /// The source kernel's suite.
+    pub suite: Suite,
+    /// The source kernel's [`Kernel::trace_key`] (its full configuration).
+    pub key: String,
+    /// The instruction budget the capture ran under (0 = unbounded).
+    pub budget: u64,
+    /// Whether the generator finished on its own before the capture budget
+    /// — i.e. the buffer holds the kernel's *entire* stream.
+    pub complete: bool,
+    /// The captured stream.
+    pub buf: TraceBuffer,
+}
+
+impl CapturedTrace {
+    /// Whether this capture can serve a replay at `budget` (0 = unbounded).
+    ///
+    /// A complete capture serves any budget. A truncated capture serves any
+    /// budget up to its own, by the prefix property.
+    pub fn covers(&self, budget: u64) -> bool {
+        self.complete || (budget != 0 && self.budget != 0 && self.budget >= budget)
+    }
+}
+
+/// Run `kernel` once against a [`BufferSink`] with the given instruction
+/// budget (0 = unbounded) and return the captured stream.
+pub fn capture_kernel(kernel: &dyn Kernel, budget: u64) -> CapturedTrace {
+    let mut sink = BufferSink::with_limit(budget);
+    kernel.run(&mut sink);
+    let complete = budget == 0 || (sink.len() as u64) < budget;
+    CapturedTrace {
+        name: kernel.name(),
+        suite: kernel.suite(),
+        key: kernel.trace_key(),
+        budget,
+        complete,
+        buf: sink.into_buffer(),
+    }
+}
+
+/// A [`Kernel`] that replays a [`CapturedTrace`] instead of re-running the
+/// generator. Drop-in at every existing call site: same name, same suite,
+/// same `trace_key`, bit-identical stream.
+#[derive(Debug, Clone)]
+pub struct ReplayKernel {
+    trace: Arc<CapturedTrace>,
+}
+
+impl ReplayKernel {
+    /// Wrap a captured trace.
+    pub fn new(trace: Arc<CapturedTrace>) -> Self {
+        ReplayKernel { trace }
+    }
+
+    /// The underlying capture.
+    pub fn trace(&self) -> &Arc<CapturedTrace> {
+        &self.trace
+    }
+}
+
+impl Kernel for ReplayKernel {
+    fn name(&self) -> &'static str {
+        self.trace.name
+    }
+
+    fn suite(&self) -> Suite {
+        self.trace.suite
+    }
+
+    fn run(&self, sink: &mut dyn TraceSink) {
+        for i in self.trace.buf.iter() {
+            if sink.done() {
+                return;
+            }
+            sink.instr(i);
+        }
+    }
+
+    /// The *source* kernel's key, so a replay-backed run caches under the
+    /// same identity as a generated one.
+    fn trace_key(&self) -> String {
+        self.trace.key.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph500::Graph500;
+    use crate::kernel_by_name;
+    use semloc_trace::RecordingSink;
+
+    #[test]
+    fn replay_is_bit_identical_to_generation() {
+        for name in ["list", "mcf", "graph500"] {
+            let k = kernel_by_name(name).unwrap();
+            let budget = 30_000u64;
+
+            let mut direct = RecordingSink::with_limit(budget as usize);
+            k.run(&mut direct);
+
+            let trace = capture_kernel(k.as_ref(), budget);
+            let replay = ReplayKernel::new(Arc::new(trace));
+            let mut replayed = RecordingSink::with_limit(budget as usize);
+            replay.run(&mut replayed);
+
+            assert_eq!(
+                direct.instrs(),
+                replayed.instrs(),
+                "{name}: replay diverged from generation"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_property_holds_across_budgets() {
+        // A capture at a large budget must serve smaller budgets with the
+        // exact stream generation-at-that-budget would produce.
+        let k = kernel_by_name("list").unwrap();
+        let big = capture_kernel(k.as_ref(), 40_000);
+        let replay = ReplayKernel::new(Arc::new(big));
+        for small in [1_000u64, 10_000, 25_000] {
+            let mut direct = RecordingSink::with_limit(small as usize);
+            k.run(&mut direct);
+            let mut replayed = RecordingSink::with_limit(small as usize);
+            replay.run(&mut replayed);
+            assert_eq!(direct.instrs(), replayed.instrs(), "budget {small}");
+        }
+    }
+
+    #[test]
+    fn covers_semantics() {
+        let k = kernel_by_name("array").unwrap();
+        let t = capture_kernel(k.as_ref(), 5_000);
+        assert!(!t.complete, "array loops forever; capture must truncate");
+        assert!(t.covers(5_000));
+        assert!(t.covers(100));
+        assert!(!t.covers(5_001));
+        assert!(!t.covers(0), "truncated capture cannot serve unbounded");
+
+        let complete = CapturedTrace {
+            complete: true,
+            ..t
+        };
+        assert!(complete.covers(0));
+        assert!(complete.covers(u64::MAX));
+    }
+
+    #[test]
+    fn trace_key_distinguishes_configurations() {
+        let a = Graph500::csr();
+        let b = Graph500 {
+            vertices: 1024,
+            ..Graph500::csr()
+        };
+        assert_eq!(a.name(), b.name());
+        assert_ne!(a.trace_key(), b.trace_key());
+
+        // And the replay adapter preserves the source identity.
+        let t = capture_kernel(&a, 1_000);
+        let r = ReplayKernel::new(Arc::new(t));
+        assert_eq!(r.trace_key(), a.trace_key());
+        assert_eq!(r.name(), a.name());
+        assert_eq!(r.suite(), a.suite());
+    }
+}
