@@ -103,6 +103,21 @@ impl AdaptiveEpsilon {
     pub fn accuracy(&self) -> f64 {
         self.accuracy
     }
+
+    /// The floor exploration rate reached at perfect accuracy.
+    pub fn eps_min(&self) -> f64 {
+        self.eps_min
+    }
+
+    /// The ceiling exploration rate of a cold predictor.
+    pub fn eps_max(&self) -> f64 {
+        self.eps_max
+    }
+
+    /// The EWMA smoothing factor for accuracy updates.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
 }
 
 impl ExplorationPolicy for AdaptiveEpsilon {

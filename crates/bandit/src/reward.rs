@@ -74,6 +74,16 @@ impl BellReward {
         BellReward::new(18, 50, 16, -8, -4)
     }
 
+    /// The peak reward at the window center.
+    pub fn peak(&self) -> i32 {
+        self.peak
+    }
+
+    /// The (non-positive) penalty applied just past the early edge.
+    pub fn edge_penalty(&self) -> i32 {
+        self.edge_penalty
+    }
+
     /// Build a bell for a measured target prefetch distance, per §4.3:
     /// `distance = L1 miss penalty × IPC × Prob(mem op)`. The window spans
     /// 0.6×–1.67× the target, mirroring the paper's 18–50 around ~30.

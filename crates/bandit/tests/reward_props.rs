@@ -1,0 +1,125 @@
+//! Property tests over the reward machinery: the [`BellReward`] shape
+//! (symmetry, monotone decay, strictly-negative expiry) under *arbitrary*
+//! valid parameterizations, and the saturating-arithmetic invariants of
+//! [`ScoredSet`] (clamping at the i8 rails, cap semantics that never lower
+//! a score).
+
+use proptest::prelude::*;
+
+use semloc_bandit::scored::{Replacement, ScoredSet};
+use semloc_bandit::{BellReward, RewardFunction};
+
+/// An arbitrary *valid* bell: lo < hi, positive peak, non-positive
+/// penalties.
+fn bell_from(raw: (u64, u64, u64, u64)) -> BellReward {
+    let (a, b, c, d) = raw;
+    let lo = 1 + (a % 60) as u32;
+    let hi = lo + 2 + (b % 100) as u32;
+    let peak = 1 + (c % 40) as i32;
+    let edge = -((d % 20) as i32);
+    let expiry = -(1 + (d >> 32 & 0xf) as i32);
+    BellReward::new(lo, hi, peak, edge, expiry)
+}
+
+proptest! {
+    #[test]
+    fn bell_symmetry_around_center(raw in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())) {
+        let bell = bell_from(raw);
+        let (lo, hi) = bell.window();
+        // exp(-x²) is even around the (possibly half-integer) center
+        // (lo+hi)/2, so depths d and (lo+hi)−d mirror each other exactly
+        // while both stay in the bell regime (≤ hi).
+        let c2 = lo + hi;
+        for d in lo..=(c2 / 2) {
+            prop_assert_eq!(bell.reward(d), bell.reward(c2 - d));
+        }
+    }
+
+    #[test]
+    fn bell_monotone_decay_on_both_sides(raw in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())) {
+        let bell = bell_from(raw);
+        let (lo, hi) = bell.window();
+        let center = (lo + hi) / 2;
+        for d in 1..=center {
+            prop_assert!(bell.reward(d - 1) <= bell.reward(d));
+        }
+        for d in center..hi {
+            prop_assert!(bell.reward(d + 1) <= bell.reward(d));
+        }
+        // Past the early edge the penalty decays toward zero and never
+        // goes positive.
+        let mut prev = bell.reward(hi + 1);
+        prop_assert!(prev <= 0);
+        for d in (hi + 2)..(hi + 64) {
+            let r = bell.reward(d);
+            prop_assert!(r <= 0 && r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn bell_peak_bounds_every_reward(raw in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())) {
+        let bell = bell_from(raw);
+        let (_, hi) = bell.window();
+        for d in 0..(hi + 64) {
+            prop_assert!(bell.reward(d) <= bell.peak());
+        }
+        prop_assert!(bell.expiry() < 0, "expiry must always be a strict penalty");
+    }
+
+    #[test]
+    fn scores_clamp_at_the_i8_rails(
+        deltas in proptest::collection::vec(-120i32..=120, 1..60),
+        action in any::<i16>(),
+    ) {
+        let mut set: ScoredSet<i16, 4> = ScoredSet::new(Replacement::LowestScore);
+        set.insert(action);
+        let mut expected = 0i32;
+        for d in deltas {
+            set.reward(action, d);
+            expected = (expected + d).clamp(i8::MIN as i32, i8::MAX as i32);
+            prop_assert_eq!(set.score_of(action), Some(expected as i8));
+        }
+    }
+
+    #[test]
+    fn capped_reward_never_exceeds_cap_nor_lowers_a_score(
+        start_rewards in proptest::collection::vec(1i32..=50, 0..10),
+        cap in -20i8..=60,
+        delta in 1i32..=50,
+    ) {
+        let mut set: ScoredSet<i16, 4> = ScoredSet::new(Replacement::LowestScore);
+        set.insert(7);
+        for r in start_rewards {
+            set.reward(7, r);
+        }
+        let before = set.score_of(7).unwrap();
+        set.reward_capped(7, delta, cap);
+        let after = set.score_of(7).unwrap();
+        // A positive capped reward stops at max(cap, previous score): it
+        // respects the cap but never *reduces* an already-higher score.
+        prop_assert!(after >= before, "capped positive reward lowered {before} -> {after}");
+        prop_assert!(after <= before.max(cap), "cap exceeded: {before} -> {after} (cap {cap})");
+    }
+
+    #[test]
+    fn negative_capped_reward_ignores_the_cap(
+        penalty in -50i32..=-1,
+        cap in -20i8..=60,
+    ) {
+        let mut set: ScoredSet<i16, 4> = ScoredSet::new(Replacement::LowestScore);
+        set.insert(3);
+        set.reward(3, 40);
+        set.reward_capped(3, penalty, cap);
+        prop_assert_eq!(
+            set.score_of(3),
+            Some((40 + penalty).clamp(i8::MIN as i32, i8::MAX as i32) as i8),
+            "penalties apply in full regardless of the cap"
+        );
+    }
+}
+
+#[test]
+fn expiry_is_negative_for_paper_default() {
+    assert!(BellReward::paper_default().expiry() < 0);
+}

@@ -13,6 +13,7 @@
 //!    layout comparisons (Fig 14).
 
 pub mod config;
+pub mod diff;
 pub mod matrix;
 pub mod prefetchers;
 pub mod report;
@@ -21,6 +22,7 @@ pub mod store;
 pub mod sweep;
 
 pub use config::SimConfig;
+pub use diff::{diff_kernel, DiffReport, Divergence, TeePrefetcher};
 pub use matrix::Matrix;
 pub use prefetchers::PrefetcherKind;
 pub use report::Table;

@@ -6,7 +6,7 @@
 //! matrix — `Matrix::run`, `Matrix::run_parallel` workers, the calibration
 //! probe, and all the figure binaries — pays each kernel's generation cost
 //! once per process instead of once per cell. With `SEMLOC_TRACE_DIR` set,
-//! captures also persist in the `SEMLOC01` format so separate processes
+//! captures also persist in the `SEMLOC02` format so separate processes
 //! (e.g. the individual `fig*` binaries) reuse each other's traces.
 //!
 //! Correctness rests on the prefix property documented in
@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use semloc_trace::TraceBuffer;
+use semloc_trace::{FaultPlan, ShortWriter, TraceBuffer};
 use semloc_workloads::{capture_kernel, CapturedTrace, Kernel, ReplayKernel};
 
 use crate::runner::{Digest, RunResult};
@@ -46,6 +46,22 @@ pub struct TraceStore {
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// On-disk captures that were found but rejected as unreadable, corrupt,
+    /// or inconsistent with their file-name metadata. Every injected storage
+    /// fault must either land here (detected) or provably leave no cache
+    /// file behind (tolerated) — the fault-injection suite asserts both.
+    disk_rejects: AtomicU64,
+    /// Fault injection for the save path (testing only): corruptions applied
+    /// to the serialized bytes before they reach disk, and an optional write
+    /// budget in bytes after which the underlying writer fails.
+    save_faults: Mutex<SaveFaults>,
+}
+
+/// Injected failure modes for [`TraceStore::save_to_disk`].
+#[derive(Debug, Default)]
+struct SaveFaults {
+    plan: FaultPlan,
+    short_write: Option<usize>,
 }
 
 impl TraceStore {
@@ -55,7 +71,7 @@ impl TraceStore {
     }
 
     /// A store that also persists captures under `dir` (created on first
-    /// write) in the `SEMLOC01` format.
+    /// write) in the `SEMLOC02` format.
     pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
         TraceStore {
             dir: Some(dir.into()),
@@ -86,6 +102,34 @@ impl TraceStore {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// On-disk captures that were found but rejected (unreadable, corrupt,
+    /// or inconsistent with their file-name metadata) and therefore
+    /// regenerated. Nonzero means a storage fault was *detected*.
+    pub fn disk_rejects(&self) -> u64 {
+        self.disk_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt every subsequent capture save with `plan` (fault-injection
+    /// harness only): the serialized bytes are mutated in memory just
+    /// before they reach disk, modelling silent media/tooling corruption.
+    pub fn inject_save_faults(&self, plan: FaultPlan) {
+        self.save_faults
+            .lock()
+            .expect("no panics hold the lock")
+            .plan = plan;
+    }
+
+    /// Make every subsequent capture save fail after `budget` bytes
+    /// (fault-injection harness only), modelling a full disk or a process
+    /// killed mid-write. The interrupted temp file is cleaned up, so no
+    /// cache entry appears — the fault is *tolerated* by regeneration.
+    pub fn inject_short_write(&self, budget: usize) {
+        self.save_faults
+            .lock()
+            .expect("no panics hold the lock")
+            .short_write = Some(budget);
     }
 
     /// A replayable stand-in for `kernel` whose stream covers `budget`
@@ -200,7 +244,20 @@ impl TraceStore {
             }
         }
         let (file_budget, complete, path) = best?;
-        let buf = Self::read_trace(&path).ok()?;
+        let buf = match Self::read_trace(&path) {
+            Ok(buf) => buf,
+            Err(_) => {
+                self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        // A partial capture contains exactly its named budget of
+        // instructions; anything else means the file name lies about the
+        // payload (e.g. a valid trace renamed to claim more coverage).
+        if !complete && buf.len() as u64 != file_budget {
+            self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         self.hits.fetch_add(1, Ordering::Relaxed);
         Some(CapturedTrace {
             name: kernel.name(),
@@ -223,18 +280,49 @@ impl TraceStore {
         let Some(dir) = self.dir.as_deref() else {
             return;
         };
-        let _ = Self::try_save(dir, trace);
+        let faults = self.save_faults.lock().expect("no panics hold the lock");
+        let _ = Self::try_save(dir, trace, &faults);
     }
 
-    fn try_save(dir: &Path, trace: &CapturedTrace) -> io::Result<()> {
+    fn try_save(dir: &Path, trace: &CapturedTrace, faults: &SaveFaults) -> io::Result<()> {
         fs::create_dir_all(dir)?;
         let name = Self::file_name(trace.name, &trace.key, trace.budget, trace.complete);
         let tmp = dir.join(format!("{name}.tmp{}", std::process::id()));
-        trace
-            .buf
-            .write_semloc(io::BufWriter::new(fs::File::create(&tmp)?))?;
+        let written = Self::write_capture(&tmp, trace, faults);
+        if let Err(e) = written {
+            // An interrupted write must not leave a half-file that a later
+            // rename could resurrect.
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
         fs::rename(&tmp, dir.join(name))?;
         Ok(())
+    }
+
+    fn write_capture(path: &Path, trace: &CapturedTrace, faults: &SaveFaults) -> io::Result<()> {
+        use io::Write as _;
+        if faults.plan.is_empty() && faults.short_write.is_none() {
+            // Fault-free fast path: stream straight to disk.
+            return trace
+                .buf
+                .write_semloc(io::BufWriter::new(fs::File::create(path)?));
+        }
+        let mut bytes = Vec::new();
+        trace.buf.write_semloc(&mut bytes)?;
+        faults.plan.corrupt(&mut bytes);
+        let file = fs::File::create(path)?;
+        match faults.short_write {
+            Some(budget) => {
+                let mut w = ShortWriter::new(io::BufWriter::new(file), budget as u64);
+                w.write_all(&bytes)?;
+                w.flush()
+            }
+            None => {
+                let mut w = io::BufWriter::new(file);
+                w.write_all(&bytes)?;
+                w.flush()
+            }
+        }
     }
 }
 
@@ -319,7 +407,7 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let k = kernel_by_name("list").unwrap();
         let fname = TraceStore::file_name(k.name(), &k.trace_key(), 6_000, false);
-        fs::write(dir.join(fname), b"SEMLOC01garbage").unwrap();
+        fs::write(dir.join(fname), b"SEMLOC02garbage").unwrap();
 
         let store = TraceStore::with_dir(&dir);
         let replay = store.replay(k.as_ref(), 6_000);

@@ -40,28 +40,40 @@ fn lineup() -> Vec<PrefetcherKind> {
     vec![PrefetcherKind::Stride, PrefetcherKind::context()]
 }
 
-#[test]
-fn sequential_matches_golden() {
-    let m = Matrix::run(&kernels(), &lineup(), &SimConfig::quick(), |_| {});
-    assert_eq!(
-        m.stats_digest(),
-        GOLDEN,
-        "sequential quick-matrix stats diverged from the pinned golden digest \
-         (got {:#018x}); the change is not behaviour-preserving",
+/// On mismatch, don't just report the aggregate fingerprint — render the
+/// per-cell digest table so the failing (kernel × prefetcher) cell is
+/// named directly and can be compared across two CI logs.
+fn assert_golden(m: &Matrix, what: &str) {
+    if m.stats_digest() == GOLDEN {
+        return;
+    }
+    let mut table = String::from("kernel       prefetcher         cell digest\n");
+    for r in m.iter() {
+        table.push_str(&format!(
+            "{:<12} {:<18} {:#018x}\n",
+            r.kernel,
+            r.prefetcher,
+            r.stats_digest()
+        ));
+    }
+    panic!(
+        "{what} quick-matrix stats diverged from the pinned golden digest \
+         (got {:#018x}, want {GOLDEN:#018x}); the change is not \
+         behaviour-preserving.\nPer-cell digests:\n{table}",
         m.stats_digest()
     );
 }
 
 #[test]
+fn sequential_matches_golden() {
+    let m = Matrix::run(&kernels(), &lineup(), &SimConfig::quick(), |_| {});
+    assert_golden(&m, "sequential");
+}
+
+#[test]
 fn parallel_matches_golden() {
     let m = Matrix::run_parallel(&kernels(), &lineup(), &SimConfig::quick(), 4, |_| {});
-    assert_eq!(
-        m.stats_digest(),
-        GOLDEN,
-        "parallel quick-matrix stats diverged from the pinned golden digest \
-         (got {:#018x})",
-        m.stats_digest()
-    );
+    assert_golden(&m, "parallel");
 }
 
 #[test]
@@ -79,11 +91,5 @@ fn replay_matches_golden() {
         })
         .collect();
     let m = Matrix::run(&replayed, &lineup(), &cfg, |_| {});
-    assert_eq!(
-        m.stats_digest(),
-        GOLDEN,
-        "replayed quick-matrix stats diverged from the pinned golden digest \
-         (got {:#018x}); replay is not bit-identical to generation",
-        m.stats_digest()
-    );
+    assert_golden(&m, "replayed");
 }

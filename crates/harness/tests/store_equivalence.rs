@@ -1,0 +1,49 @@
+//! The trace store must be a pure performance optimization: for **every**
+//! registered kernel, a store-routed run and a direct (uncached,
+//! regenerate-every-time) run must produce bit-identical statistics. The
+//! runner's own unit test covers one kernel × three prefetchers; this
+//! sweep covers the whole registry — any kernel whose generator violates
+//! the capture/replay prefix property, or whose `trace_key` under-describes
+//! its configuration, fails here by name.
+
+use semloc_harness::{
+    run_kernel_uncached, run_kernel_with_store, PrefetcherKind, SimConfig, TraceStore,
+};
+use semloc_workloads::all_kernels;
+
+#[test]
+fn every_registered_kernel_replays_identically_through_the_store() {
+    let cfg = SimConfig::default().with_budget(9_000);
+    let pf = PrefetcherKind::context();
+    let mut checked = 0;
+    for kernel in all_kernels() {
+        let store = TraceStore::new();
+        let cached = run_kernel_with_store(&store, kernel.as_ref(), &pf, &cfg);
+        let uncached = run_kernel_uncached(kernel.as_ref(), &pf, &cfg);
+        assert_eq!(
+            cached.cpu,
+            uncached.cpu,
+            "{}: cpu stats differ between store-routed and direct runs",
+            kernel.name()
+        );
+        assert_eq!(
+            cached.mem,
+            uncached.mem,
+            "{}: mem stats differ between store-routed and direct runs",
+            kernel.name()
+        );
+        assert_eq!(
+            cached.stats_digest(),
+            uncached.stats_digest(),
+            "{}: stats digest differs between store-routed and direct runs",
+            kernel.name()
+        );
+        let (_, misses) = store.stats();
+        assert!(misses >= 1, "{}: store never captured", kernel.name());
+        checked += 1;
+    }
+    assert!(
+        checked >= 20,
+        "registry sweep looks truncated: only {checked} kernels"
+    );
+}

@@ -3,7 +3,7 @@
 //! [`TraceBuffer`] stores a captured instruction stream in struct-of-arrays
 //! form with delta-encoded program counters and data addresses, so a
 //! 400k-instruction trace costs a few megabytes and decodes with purely
-//! sequential reads. It is the in-memory twin of the `SEMLOC01` on-disk
+//! sequential reads. It is the in-memory twin of the `SEMLOC02` on-disk
 //! format in [`record`](crate::record): both round-trip every [`Instr`]
 //! field bit-exactly, and [`TraceBuffer::write_semloc`] /
 //! [`TraceBuffer::read_semloc`] convert between them.
@@ -210,7 +210,7 @@ impl TraceBuffer {
         }
     }
 
-    /// Serialize to the `SEMLOC01` on-disk format.
+    /// Serialize to the `SEMLOC02` on-disk format.
     ///
     /// # Errors
     ///
@@ -231,7 +231,7 @@ impl TraceBuffer {
         Ok(())
     }
 
-    /// Deserialize a buffer from the `SEMLOC01` on-disk format, validating
+    /// Deserialize a buffer from the `SEMLOC02` on-disk format, validating
     /// the trailer.
     ///
     /// # Errors
@@ -507,7 +507,7 @@ mod tests {
             ));
         }
         // op 1 + pc-delta 1 + addr-delta 2 + size 1 + dst reg 1 = 6 bytes,
-        // vs ~34 for the flat struct and ~30 for SEMLOC01.
+        // vs ~34 for the flat struct and ~30 for SEMLOC02.
         let per_instr = buf.encoded_bytes() as f64 / buf.len() as f64;
         assert!(
             per_instr < 6.5,
@@ -523,7 +523,7 @@ mod tests {
         }
         let mut bytes = Vec::new();
         buf.write_semloc(&mut bytes).unwrap();
-        // The serialized form is a valid SEMLOC01 trace...
+        // The serialized form is a valid SEMLOC02 trace...
         let mut sink = RecordingSink::new();
         crate::record::TraceReader::new(&bytes[..])
             .unwrap()

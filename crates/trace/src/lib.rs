@@ -36,6 +36,7 @@ pub mod address_space;
 pub mod buffer;
 pub mod context;
 pub mod emit;
+pub mod fault;
 pub mod hints;
 pub mod instr;
 pub mod record;
@@ -45,6 +46,7 @@ pub use address_space::{AddressSpace, Placement};
 pub use buffer::{BufferSink, TraceBuffer};
 pub use context::{AccessContext, RECENT_ADDRS};
 pub use emit::{Emitter, PcAlloc};
+pub use fault::{Fault, FaultPlan, ShortWriter};
 pub use hints::{RefForm, SemanticHints};
 pub use instr::{Instr, InstrKind, Reg};
 pub use record::{TraceReader, TraceWriter};

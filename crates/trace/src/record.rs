@@ -4,8 +4,10 @@
 //! persisting a trace is useful for cross-tool comparison, for debugging a
 //! specific interval, and for driving the simulator from traces produced
 //! elsewhere. The format is a dense little-endian encoding, roughly 20–30
-//! bytes per instruction, with a magic header and an instruction count for
-//! integrity checking.
+//! bytes per instruction, with a magic header and a trailer carrying both
+//! the instruction count and an FNV-1a checksum of every record byte for
+//! integrity checking: any corruption of the payload is detected at the
+//! trailer, not silently replayed.
 
 use std::io::{self, Read, Write};
 
@@ -13,7 +15,7 @@ use crate::hints::SemanticHints;
 use crate::instr::{Instr, InstrKind, Reg};
 use crate::sink::TraceSink;
 
-const MAGIC: &[u8; 8] = b"SEMLOC01";
+const MAGIC: &[u8; 8] = b"SEMLOC02";
 
 const K_ALU: u8 = 0;
 const K_LOAD: u8 = 1;
@@ -21,26 +23,23 @@ const K_STORE: u8 = 2;
 const K_BRANCH: u8 = 3;
 const K_NOP: u8 = 4;
 
-fn write_reg<W: Write>(w: &mut W, r: Option<Reg>) -> io::Result<()> {
-    w.write_all(&[r.map_or(u8::MAX, |r| r.0)])
+/// FNV-1a offset basis; the checksum accumulator starts here.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a accumulator. Every step is a bijection of
+/// the accumulator state, so two streams differing in any byte keep
+/// differing hashes no matter what identical suffix follows.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
-fn read_reg<R: Read>(r: &mut R) -> io::Result<Option<Reg>> {
-    let mut b = [0u8; 1];
-    r.read_exact(&mut b)?;
-    Ok((b[0] != u8::MAX).then_some(Reg(b[0])))
-}
-
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+fn reg_byte(r: Option<Reg>) -> u8 {
+    r.map_or(u8::MAX, |r| r.0)
 }
 
 /// A [`TraceSink`] that serializes every instruction to a writer.
@@ -64,6 +63,7 @@ pub struct TraceWriter<W: Write> {
     out: W,
     count: u64,
     limit: u64,
+    hash: u64,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -81,6 +81,7 @@ impl<W: Write> TraceWriter<W> {
             out,
             count: 0,
             limit,
+            hash: FNV_OFFSET,
         })
     }
 
@@ -89,8 +90,8 @@ impl<W: Write> TraceWriter<W> {
         self.count
     }
 
-    /// Finish the trace: writes the trailer (kind marker + count) and
-    /// returns the writer.
+    /// Finish the trace: writes the trailer (kind marker + count +
+    /// record checksum) and returns the writer.
     ///
     /// # Errors
     ///
@@ -98,39 +99,44 @@ impl<W: Write> TraceWriter<W> {
     pub fn finish(mut self) -> io::Result<W> {
         self.out.write_all(&[u8::MAX])?;
         self.out.write_all(&self.count.to_le_bytes())?;
+        self.out.write_all(&self.hash.to_le_bytes())?;
         Ok(self.out)
     }
 
+    /// Write record bytes, folding them into the running checksum.
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.out.write_all(bytes)?;
+        self.hash = fnv1a(self.hash, bytes);
+        Ok(())
+    }
+
     fn encode(&mut self, i: &Instr) -> io::Result<()> {
-        let o = &mut self.out;
         match i.kind {
             InstrKind::Alu { latency } => {
-                o.write_all(&[K_ALU])?;
-                o.write_all(&latency.to_le_bytes())?;
+                self.put(&[K_ALU])?;
+                self.put(&latency.to_le_bytes())?;
             }
             InstrKind::Load { addr, size, hints } => {
-                o.write_all(&[K_LOAD])?;
-                o.write_all(&addr.to_le_bytes())?;
-                o.write_all(&[size])?;
+                self.put(&[K_LOAD])?;
+                self.put(&addr.to_le_bytes())?;
+                self.put(&[size])?;
                 let packed = hints.map_or(u32::MAX, |h| h.pack());
-                o.write_all(&packed.to_le_bytes())?;
+                self.put(&packed.to_le_bytes())?;
             }
             InstrKind::Store { addr, size } => {
-                o.write_all(&[K_STORE])?;
-                o.write_all(&addr.to_le_bytes())?;
-                o.write_all(&[size])?;
+                self.put(&[K_STORE])?;
+                self.put(&addr.to_le_bytes())?;
+                self.put(&[size])?;
             }
             InstrKind::Branch { taken, target } => {
-                o.write_all(&[K_BRANCH, taken as u8])?;
-                o.write_all(&target.to_le_bytes())?;
+                self.put(&[K_BRANCH, taken as u8])?;
+                self.put(&target.to_le_bytes())?;
             }
-            InstrKind::Nop => o.write_all(&[K_NOP])?,
+            InstrKind::Nop => self.put(&[K_NOP])?,
         }
-        o.write_all(&i.pc.to_le_bytes())?;
-        write_reg(o, i.src1)?;
-        write_reg(o, i.src2)?;
-        write_reg(o, i.dst)?;
-        o.write_all(&i.result.to_le_bytes())?;
+        self.put(&i.pc.to_le_bytes())?;
+        self.put(&[reg_byte(i.src1), reg_byte(i.src2), reg_byte(i.dst)])?;
+        self.put(&i.result.to_le_bytes())?;
         Ok(())
     }
 }
@@ -155,10 +161,15 @@ impl<W: Write> TraceSink for TraceWriter<W> {
 }
 
 /// Reads a trace produced by [`TraceWriter`] and replays it into any sink.
+///
+/// The trailer's count and checksum are validated when the reader reaches
+/// it; consumers that stop early (a sink reporting `done()`) deliberately
+/// skip that validation, since they never observe the unread tail.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     input: R,
     replayed: u64,
+    hash: u64,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -177,64 +188,102 @@ impl<R: Read> TraceReader<R> {
                 "not a semloc trace",
             ));
         }
-        Ok(TraceReader { input, replayed: 0 })
+        Ok(TraceReader {
+            input,
+            replayed: 0,
+            hash: FNV_OFFSET,
+        })
+    }
+
+    /// Read record bytes, folding them into the running checksum.
+    fn fill(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.input.read_exact(buf)?;
+        self.hash = fnv1a(self.hash, buf);
+        Ok(())
+    }
+
+    fn byte_h(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.fill(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn u32_h(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.fill(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64_h(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.fill(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn reg_h(&mut self) -> io::Result<Option<Reg>> {
+        let b = self.byte_h()?;
+        Ok((b != u8::MAX).then_some(Reg(b)))
+    }
+
+    /// Read a trailer field (not part of the checksummed payload).
+    fn trailer_u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.input.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Read the next instruction, or `None` at the (validated) trailer.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on a malformed record or a count mismatch at
-    /// the trailer.
+    /// Returns `InvalidData` on a malformed record, or a count or checksum
+    /// mismatch at the trailer.
     pub fn next_instr(&mut self) -> io::Result<Option<Instr>> {
         let mut kind = [0u8; 1];
         self.input.read_exact(&mut kind)?;
-        let kind = match kind[0] {
-            u8::MAX => {
-                let count = read_u64(&mut self.input)?;
-                if count != self.replayed {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!(
-                            "trace count mismatch: trailer {count}, read {}",
-                            self.replayed
-                        ),
-                    ));
-                }
-                return Ok(None);
+        if kind[0] == u8::MAX {
+            let count = self.trailer_u64()?;
+            if count != self.replayed {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "trace count mismatch: trailer {count}, read {}",
+                        self.replayed
+                    ),
+                ));
             }
+            let checksum = self.trailer_u64()?;
+            if checksum != self.hash {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "trace checksum mismatch: trailer {checksum:#018x}, computed {:#018x}",
+                        self.hash
+                    ),
+                ));
+            }
+            return Ok(None);
+        }
+        self.hash = fnv1a(self.hash, &kind);
+        let kind = match kind[0] {
             K_ALU => InstrKind::Alu {
-                latency: read_u32(&mut self.input)?,
+                latency: self.u32_h()?,
             },
             K_LOAD => {
-                let addr = read_u64(&mut self.input)?;
-                let mut size = [0u8; 1];
-                self.input.read_exact(&mut size)?;
-                let packed = read_u32(&mut self.input)?;
+                let addr = self.u64_h()?;
+                let size = self.byte_h()?;
+                let packed = self.u32_h()?;
                 let hints = (packed != u32::MAX).then(|| SemanticHints::unpack(packed));
-                InstrKind::Load {
-                    addr,
-                    size: size[0],
-                    hints,
-                }
+                InstrKind::Load { addr, size, hints }
             }
-            K_STORE => {
-                let addr = read_u64(&mut self.input)?;
-                let mut size = [0u8; 1];
-                self.input.read_exact(&mut size)?;
-                InstrKind::Store {
-                    addr,
-                    size: size[0],
-                }
-            }
-            K_BRANCH => {
-                let mut taken = [0u8; 1];
-                self.input.read_exact(&mut taken)?;
-                InstrKind::Branch {
-                    taken: taken[0] != 0,
-                    target: read_u64(&mut self.input)?,
-                }
-            }
+            K_STORE => InstrKind::Store {
+                addr: self.u64_h()?,
+                size: self.byte_h()?,
+            },
+            K_BRANCH => InstrKind::Branch {
+                taken: self.byte_h()? != 0,
+                target: self.u64_h()?,
+            },
             K_NOP => InstrKind::Nop,
             other => {
                 return Err(io::Error::new(
@@ -243,11 +292,11 @@ impl<R: Read> TraceReader<R> {
                 ));
             }
         };
-        let pc = read_u64(&mut self.input)?;
-        let src1 = read_reg(&mut self.input)?;
-        let src2 = read_reg(&mut self.input)?;
-        let dst = read_reg(&mut self.input)?;
-        let result = read_u64(&mut self.input)?;
+        let pc = self.u64_h()?;
+        let src1 = self.reg_h()?;
+        let src2 = self.reg_h()?;
+        let dst = self.reg_h()?;
+        let result = self.u64_h()?;
         self.replayed += 1;
         Ok(Some(Instr {
             pc,
@@ -329,6 +378,11 @@ mod tests {
     fn bad_magic_is_rejected() {
         let err = TraceReader::new(&b"NOTATRACE"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The previous format revision is rejected the same way: the
+        // checksum trailer changed the stream layout, so SEMLOC01 files
+        // must regenerate rather than misparse.
+        let err = TraceReader::new(&b"SEMLOC01rest"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -342,6 +396,25 @@ mod tests {
         let mut r = TraceReader::new(&bytes[..]).unwrap();
         let mut sink = RecordingSink::new();
         assert!(r.replay(&mut sink).is_err());
+    }
+
+    #[test]
+    fn payload_corruption_fails_checksum() {
+        let mut w = TraceWriter::new(Vec::new(), 0).unwrap();
+        for i in sample() {
+            w.instr(i);
+        }
+        let mut bytes = w.finish().unwrap();
+        // Flip one bit inside the first record's result field — a spot
+        // that stays structurally valid, so only the checksum catches it.
+        bytes[8 + 14 + 8 + 3] ^= 0x10;
+        let mut sink = RecordingSink::new();
+        let err = TraceReader::new(&bytes[..])
+            .unwrap()
+            .replay(&mut sink)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got {err}");
     }
 
     #[test]

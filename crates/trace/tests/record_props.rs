@@ -1,4 +1,4 @@
-//! Property tests over the trace encodings: the `SEMLOC01` stream format
+//! Property tests over the trace encodings: the `SEMLOC02` stream format
 //! (`record.rs`) and the struct-of-arrays [`TraceBuffer`] must round-trip
 //! every [`InstrKind`] variant — including absent registers and
 //! `SemanticHints` edge values — bit-exactly, and the reader must reject
@@ -47,7 +47,7 @@ fn instr_from(raw: (u64, u64, u64, u64)) -> Instr {
             },
             ref_form: RefForm::ALL[(sel >> 28 & 0b11) as usize],
         };
-        // The all-ones packing is SEMLOC01's "no hints" sentinel (see
+        // The all-ones packing is SEMLOC02's "no hints" sentinel (see
         // `reserved_hint_packing_decodes_as_none`); representable hints
         // must avoid it.
         if h.pack() == u32::MAX {
@@ -121,7 +121,7 @@ fn encode(instrs: &[Instr]) -> Vec<u8> {
 }
 
 proptest! {
-    /// SEMLOC01 round-trips arbitrary streams field-for-field.
+    /// SEMLOC02 round-trips arbitrary streams field-for-field.
     #[test]
     fn semloc_format_roundtrips(raws in proptest::collection::vec(
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 0..200))
@@ -136,7 +136,7 @@ proptest! {
     }
 
     /// The SoA buffer round-trips the same streams, and converting through
-    /// the SEMLOC01 format preserves them too.
+    /// the SEMLOC02 format preserves them too.
     #[test]
     fn trace_buffer_roundtrips(raws in proptest::collection::vec(
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 0..200))
@@ -177,7 +177,7 @@ fn bad_magic_is_invalid_data() {
     for junk in [
         &b"SEMLOC00"[..],
         &b"\0\0\0\0\0\0\0\0"[..],
-        &b"SEMLOC01"[..8 - 1],
+        &b"SEMLOC02"[..8 - 1],
     ] {
         let err = TraceReader::new(junk).unwrap_err();
         assert!(
@@ -193,9 +193,10 @@ fn trailer_count_mismatch_is_invalid_data() {
         .map(|i| instr_from((i, i * 8, i * 64, i)))
         .collect();
     let mut bytes = encode(&instrs);
-    // The trailer is MAX marker + little-endian count: tamper the count.
+    // The trailer is MAX marker + little-endian count + checksum: the
+    // count's low byte sits 16 bytes from the end. Tamper it.
     let n = bytes.len();
-    bytes[n - 8] = bytes[n - 8].wrapping_add(1);
+    bytes[n - 16] = bytes[n - 16].wrapping_add(1);
     let mut sink = RecordingSink::new();
     let err = TraceReader::new(&bytes[..])
         .unwrap()
@@ -208,7 +209,7 @@ fn trailer_count_mismatch_is_invalid_data() {
 #[test]
 fn unknown_record_kind_is_invalid_data() {
     let mut bytes = Vec::new();
-    bytes.extend_from_slice(b"SEMLOC01");
+    bytes.extend_from_slice(b"SEMLOC02");
     bytes.push(0x7b); // neither a kind tag nor the trailer marker
     let err = TraceReader::new(&bytes[..])
         .unwrap()
@@ -220,7 +221,7 @@ fn unknown_record_kind_is_invalid_data() {
 
 #[test]
 fn reserved_hint_packing_decodes_as_none() {
-    // SEMLOC01 encodes "no hints" as an all-ones u32; the one hint value
+    // SEMLOC02 encodes "no hints" as an all-ones u32; the one hint value
     // that packs to the same bits (type 0xffff, link 0x3fff, Index) is
     // therefore unrepresentable in the stream format and reads back as
     // `None`. The SoA `TraceBuffer` uses a presence flag instead and
