@@ -7,6 +7,7 @@
 //! begins to converge, similar to the proposal by Tokic" (§4.1).
 
 use rand::{Rng, RngExt};
+use semloc_trace::{snap_err, SnapReader, SnapWriter, Snapshot};
 
 /// Decides, per step, whether to exploit the best-known action or explore a
 /// random one.
@@ -130,6 +131,41 @@ impl ExplorationPolicy for AdaptiveEpsilon {
     }
 }
 
+impl Snapshot for AdaptiveEpsilon {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"EPSL", 1);
+        w.put_f64(self.eps_min);
+        w.put_f64(self.eps_max);
+        w.put_f64(self.accuracy);
+        w.put_f64(self.alpha);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"EPSL", 1)?;
+        let eps_min = r.get_f64()?;
+        let eps_max = r.get_f64()?;
+        let accuracy = r.get_f64()?;
+        let alpha = r.get_f64()?;
+        let bounds_ok = (0.0..=1.0).contains(&eps_min)
+            && (0.0..=1.0).contains(&eps_max)
+            && eps_min <= eps_max
+            && (0.0..=1.0).contains(&accuracy)
+            && alpha > 0.0
+            && alpha <= 1.0;
+        if !bounds_ok {
+            return Err(snap_err(format!(
+                "adaptive-epsilon snapshot out of bounds: \
+                 eps_min={eps_min}, eps_max={eps_max}, accuracy={accuracy}, alpha={alpha}"
+            )));
+        }
+        self.eps_min = eps_min;
+        self.eps_max = eps_max;
+        self.accuracy = accuracy;
+        self.alpha = alpha;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +219,39 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn bad_epsilon_rejected() {
         FixedEpsilon::new(1.5);
+    }
+
+    #[test]
+    fn adaptive_snapshot_round_trips_mid_anneal() {
+        use semloc_trace::{SnapReader, SnapWriter, Snapshot};
+        let mut p = AdaptiveEpsilon::paper_default();
+        for i in 0..137 {
+            p.observe(i % 3 != 0);
+        }
+        let mut w = SnapWriter::new();
+        p.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut q = AdaptiveEpsilon::paper_default();
+        q.restore(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(p, q);
+        // The restored policy continues the exact same trajectory.
+        p.observe(true);
+        q.observe(true);
+        assert_eq!(p.epsilon().to_bits(), q.epsilon().to_bits());
+    }
+
+    #[test]
+    fn adaptive_snapshot_rejects_corrupt_bounds() {
+        use semloc_trace::{SnapReader, SnapWriter, Snapshot};
+        let p = AdaptiveEpsilon::paper_default();
+        let mut w = SnapWriter::new();
+        p.save(&mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt eps_max (second f64 after the 8-byte section header) to a
+        // huge value: restore must fail, not construct an invalid policy.
+        bytes[16..24].copy_from_slice(&f64::to_bits(7.5).to_le_bytes());
+        let mut q = AdaptiveEpsilon::paper_default();
+        let err = q.restore(&mut SnapReader::new(&bytes)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

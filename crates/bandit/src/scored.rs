@@ -176,6 +176,44 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
             Some(self.slots[rng.random_range(0..self.slots.len())].action)
         }
     }
+
+    /// The insertion clock driving FIFO eviction ages (checkpoint state:
+    /// restoring it preserves future eviction order exactly).
+    pub fn clock(&self) -> u32 {
+        self.clock
+    }
+
+    /// Every slot as `(action, score, inserted_at)` in internal slot order,
+    /// for checkpointing. Slot order matters: lookup tie-breaks and the
+    /// stable ranking walk slots in this order.
+    pub fn slots_raw(&self) -> impl Iterator<Item = (A, i8, u32)> + '_ {
+        self.slots
+            .iter()
+            .map(|s| (s.action, s.score, s.inserted_at))
+    }
+
+    /// Rebuild the set from raw checkpoint state captured by
+    /// [`ScoredSet::clock`] + [`ScoredSet::slots_raw`]. The replacement
+    /// policy is construction configuration and is kept as-is.
+    ///
+    /// Fails when `slots` exceeds the set's capacity `N`.
+    pub fn restore_raw(&mut self, clock: u32, slots: &[(A, i8, u32)]) -> std::io::Result<()> {
+        if slots.len() > N {
+            return Err(semloc_trace::snap_err(format!(
+                "scored-set snapshot has {} slots, capacity is {N}",
+                slots.len()
+            )));
+        }
+        self.clock = clock;
+        self.slots.clear();
+        self.slots
+            .extend(slots.iter().map(|&(action, score, inserted_at)| Slot {
+                action,
+                score,
+                inserted_at,
+            }));
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -288,5 +326,29 @@ mod tests {
     fn reward_on_missing_action_reports_false() {
         let mut s = Set::default();
         assert!(!s.reward(42, 1));
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_eviction_order() {
+        let mut s: ScoredSet<u64, 2> = ScoredSet::new(Replacement::Fifo);
+        s.insert(1);
+        s.insert(2);
+        let raw: Vec<_> = s.slots_raw().collect();
+        let mut t: ScoredSet<u64, 2> = ScoredSet::new(Replacement::Fifo);
+        t.restore_raw(s.clock(), &raw).unwrap();
+        // Under FIFO, the restored set must evict the same (oldest) victim.
+        assert_eq!(s.insert(3), t.insert(3));
+        assert_eq!(s.clock(), t.clock());
+        assert_eq!(
+            s.slots_raw().collect::<Vec<_>>(),
+            t.slots_raw().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn raw_restore_rejects_overflow() {
+        let mut t: ScoredSet<u64, 2> = ScoredSet::default();
+        let too_many = [(1u64, 0i8, 1u32), (2, 0, 2), (3, 0, 3)];
+        assert!(t.restore_raw(9, &too_many).is_err());
     }
 }

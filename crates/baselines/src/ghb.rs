@@ -12,9 +12,9 @@
 //! degree 3, ~32 kB.
 
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
-use semloc_trace::AccessContext;
 #[cfg(test)]
 use semloc_trace::Addr;
+use semloc_trace::{snap_err, AccessContext, SnapReader, SnapWriter, Snapshot};
 
 /// Localization and correlation mode of the GHB.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -236,6 +236,62 @@ impl Prefetcher for GhbPrefetcher {
 
     fn stats(&self) -> PrefetcherStats {
         self.stats
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.section(*b"GHB0", 1);
+        self.stats.save(w);
+        w.put_u64(self.pushes);
+        w.put_len(self.ghb.len());
+        for e in &self.ghb {
+            w.put_u64(e.block);
+            w.put_u64(e.prev);
+        }
+        w.put_len(self.it.len());
+        for e in &self.it {
+            w.put_u16(e.tag);
+            w.put_u64(e.head);
+            w.put_bool(e.valid);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"GHB0", 1)?;
+        self.stats.restore(r)?;
+        let pushes = r.get_u64()?;
+        let n = r.get_len()?;
+        if n != self.ghb.len() {
+            return Err(snap_err(format!(
+                "GHB snapshot has {n} buffer entries, expected {}",
+                self.ghb.len()
+            )));
+        }
+        let mut ghb = Vec::with_capacity(n);
+        for _ in 0..n {
+            ghb.push(GhbEntry {
+                block: r.get_u64()?,
+                prev: r.get_u64()?,
+            });
+        }
+        let m = r.get_len()?;
+        if m != self.it.len() {
+            return Err(snap_err(format!(
+                "GHB snapshot has {m} index entries, expected {}",
+                self.it.len()
+            )));
+        }
+        let mut it = Vec::with_capacity(m);
+        for _ in 0..m {
+            it.push(ItEntry {
+                tag: r.get_u16()?,
+                head: r.get_u64()?,
+                valid: r.get_bool()?,
+            });
+        }
+        self.pushes = pushes;
+        self.ghb = ghb;
+        self.it = it;
+        Ok(())
     }
 }
 

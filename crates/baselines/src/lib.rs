@@ -28,3 +28,102 @@ pub use markov::MarkovPrefetcher;
 pub use next_line::NextLinePrefetcher;
 pub use sms::SmsPrefetcher;
 pub use stride::StridePrefetcher;
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use semloc_mem::{MemPressure, Prefetcher};
+    use semloc_trace::{AccessContext, SnapReader, SnapWriter};
+
+    fn pressure() -> MemPressure {
+        MemPressure {
+            l1_mshr_free: 4,
+            l2_mshr_free: 20,
+        }
+    }
+
+    /// Mixed per-PC strided streams with a recurring irregular chain —
+    /// enough variety to populate every baseline's tables.
+    fn drive(p: &mut dyn Prefetcher, range: std::ops::Range<u64>, out: &mut Vec<u64>) {
+        let chain = [0x70_0000u64, 0x21_0000, 0x95_0000, 0x33_0000];
+        let mut buf = Vec::new();
+        for i in range {
+            let (pc, addr) = match i % 3 {
+                0 => (0x400, 0x10_0000 + (i / 3) * 64),
+                1 => (0x900, 0x80_0000 + (i / 3) * 4096),
+                _ => (0x700, chain[(i / 3) as usize % chain.len()]),
+            };
+            buf.clear();
+            p.on_access(
+                &AccessContext::bare(i, pc, addr, false),
+                pressure(),
+                &mut buf,
+            );
+            out.extend(buf.iter().map(|r| r.addr));
+        }
+    }
+
+    fn round_trip(mut p: Box<dyn Prefetcher>, mut q: Box<dyn Prefetcher>) {
+        let mut sink = Vec::new();
+        drive(p.as_mut(), 0..3000, &mut sink);
+
+        let mut w = SnapWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        q.restore_state(&mut r).expect("restore succeeds");
+        r.expect_end().expect("snapshot fully consumed");
+        let mut w2 = SnapWriter::new();
+        q.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "{}: re-save differs", p.name());
+
+        let mut out_p = Vec::new();
+        let mut out_q = Vec::new();
+        drive(p.as_mut(), 3000..4000, &mut out_p);
+        drive(q.as_mut(), 3000..4000, &mut out_q);
+        assert_eq!(out_p, out_q, "{}: continuation diverged", p.name());
+        assert_eq!(p.stats(), q.stats());
+    }
+
+    #[test]
+    fn every_baseline_round_trips_bit_identically() {
+        round_trip(
+            Box::new(StridePrefetcher::paper_default()),
+            Box::new(StridePrefetcher::paper_default()),
+        );
+        for flavor in [GhbFlavor::GlobalDc, GhbFlavor::PcDc, GhbFlavor::GlobalAc] {
+            round_trip(
+                Box::new(GhbPrefetcher::paper_default(flavor)),
+                Box::new(GhbPrefetcher::paper_default(flavor)),
+            );
+        }
+        round_trip(
+            Box::new(SmsPrefetcher::paper_default()),
+            Box::new(SmsPrefetcher::paper_default()),
+        );
+        round_trip(
+            Box::new(MarkovPrefetcher::paper_default()),
+            Box::new(MarkovPrefetcher::paper_default()),
+        );
+        round_trip(
+            Box::new(NextLinePrefetcher::default()),
+            Box::new(NextLinePrefetcher::default()),
+        );
+    }
+
+    #[test]
+    fn geometry_mismatch_is_rejected() {
+        let mut p = GhbPrefetcher::paper_default(GhbFlavor::GlobalDc);
+        let mut sink = Vec::new();
+        drive(&mut p, 0..100, &mut sink);
+        let mut w = SnapWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut q = GhbPrefetcher::new(GhbFlavor::GlobalDc, 256, 64, 3);
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(
+            q.restore_state(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

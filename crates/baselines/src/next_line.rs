@@ -2,7 +2,7 @@
 //! and the subject of the `custom_prefetcher` example.
 
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
-use semloc_trace::AccessContext;
+use semloc_trace::{AccessContext, SnapReader, SnapWriter, Snapshot};
 
 /// Prefetch the `degree` lines following every demand access.
 #[derive(Debug)]
@@ -65,6 +65,16 @@ impl Prefetcher for NextLinePrefetcher {
 
     fn stats(&self) -> PrefetcherStats {
         self.stats
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.section(*b"NXTL", 1);
+        self.stats.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"NXTL", 1)?;
+        self.stats.restore(r)
     }
 }
 

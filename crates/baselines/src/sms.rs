@@ -9,7 +9,7 @@
 //! filter tables, 2K-entry pattern history table (PHT), ~20 kB.
 
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
-use semloc_trace::{AccessContext, Addr};
+use semloc_trace::{snap_err, AccessContext, Addr, SnapReader, SnapWriter, Snapshot};
 
 const LINE: u64 = 64;
 
@@ -193,6 +193,76 @@ impl Prefetcher for SmsPrefetcher {
 
     fn stats(&self) -> PrefetcherStats {
         self.stats
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.section(*b"SMS0", 1);
+        self.stats.save(w);
+        w.put_u64(self.tick);
+        // AGT/filter order matters (swap_remove reshuffles it), so the live
+        // vectors are serialized verbatim.
+        for gens in [&self.agt, &self.filter] {
+            w.put_len(gens.len());
+            for g in gens.iter() {
+                w.put_u64(g.region);
+                w.put_u64(g.signature);
+                w.put_u32(g.pattern);
+                w.put_u64(g.last_use);
+            }
+        }
+        w.put_len(self.pht.len());
+        for e in &self.pht {
+            w.put_u16(e.tag);
+            w.put_u32(e.pattern);
+            w.put_bool(e.valid);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"SMS0", 1)?;
+        self.stats.restore(r)?;
+        let tick = r.get_u64()?;
+        let mut tables: [Vec<Generation>; 2] = [Vec::new(), Vec::new()];
+        for (t, cap) in tables
+            .iter_mut()
+            .zip([self.agt_capacity, self.filter_capacity])
+        {
+            let n = r.get_len()?;
+            if n > cap {
+                return Err(snap_err(format!(
+                    "SMS snapshot has {n} generations, capacity is {cap}"
+                )));
+            }
+            for _ in 0..n {
+                t.push(Generation {
+                    region: r.get_u64()?,
+                    signature: r.get_u64()?,
+                    pattern: r.get_u32()?,
+                    last_use: r.get_u64()?,
+                });
+            }
+        }
+        let m = r.get_len()?;
+        if m != self.pht.len() {
+            return Err(snap_err(format!(
+                "SMS snapshot has {m} PHT entries, expected {}",
+                self.pht.len()
+            )));
+        }
+        let mut pht = Vec::with_capacity(m);
+        for _ in 0..m {
+            pht.push(PhtEntry {
+                tag: r.get_u16()?,
+                pattern: r.get_u32()?,
+                valid: r.get_bool()?,
+            });
+        }
+        self.tick = tick;
+        let [agt, filter] = tables;
+        self.agt = agt;
+        self.filter = filter;
+        self.pht = pht;
+        Ok(())
     }
 }
 

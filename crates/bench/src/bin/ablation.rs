@@ -39,9 +39,10 @@ fn main() {
         let speedups: Vec<f64> = kernels
             .iter()
             .zip(&baselines)
-            .map(|(k, b)| {
+            .filter_map(|(k, b)| {
                 run_kernel(k.as_ref(), &PrefetcherKind::Context(v.config.clone()), &cfg)
                     .speedup_over(b)
+                    .ok()
             })
             .collect();
         let geo = geomean(speedups);
@@ -65,8 +66,10 @@ fn main() {
     let speedups: Vec<f64> = kernels
         .iter()
         .zip(&baselines)
-        .map(|(k, b)| {
-            run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &cfg).speedup_over(b)
+        .filter_map(|(k, b)| {
+            run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &cfg)
+                .speedup_over(b)
+                .ok()
         })
         .collect();
     let geo = geomean(speedups);

@@ -37,7 +37,10 @@ fn main() {
     for (k, suite) in m.kernels().to_vec().iter().zip(&suites) {
         let mut row = vec![k.to_string(), suite.label().to_string()];
         for p in m.prefetchers().iter().skip(1) {
-            row.push(format!("{:.2}x", m.speedup(k, p).unwrap_or(0.0)));
+            row.push(match m.speedup(k, p) {
+                Ok(s) => format!("{s:.2}x"),
+                Err(_) => "n/a".to_string(),
+            });
         }
         t.row(row);
     }
@@ -54,13 +57,13 @@ fn main() {
     for p in m.prefetchers().iter().skip(1) {
         let max = all
             .iter()
-            .filter_map(|k| m.speedup(k, p))
+            .filter_map(|k| m.speedup(k, p).ok())
             .fold(0.0f64, f64::max);
         println!(
             "  {:<10} all {:.2}x  spec {:.2}x  max {:.2}x",
             p,
-            m.geomean_speedup(p, &all),
-            m.geomean_speedup(p, &spec),
+            m.geomean_speedup(p, &all).unwrap_or(f64::NAN),
+            m.geomean_speedup(p, &spec).unwrap_or(f64::NAN),
             max
         );
     }
@@ -225,13 +228,17 @@ fn main() {
         .map(|k| run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg))
         .collect();
     for v in ablation_variants() {
-        let geo = geomean(ks.iter().zip(&bases).map(|(k, b)| {
-            run_kernel(k.as_ref(), &PrefetcherKind::Context(v.config.clone()), &cfg).speedup_over(b)
+        let geo = geomean(ks.iter().zip(&bases).filter_map(|(k, b)| {
+            run_kernel(k.as_ref(), &PrefetcherKind::Context(v.config.clone()), &cfg)
+                .speedup_over(b)
+                .ok()
         }));
         println!("  {:<16} {:.2}x  ({})", v.name, geo, v.description);
     }
-    let geo = geomean(ks.iter().zip(&bases).map(|(k, b)| {
-        run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &cfg).speedup_over(b)
+    let geo = geomean(ks.iter().zip(&bases).filter_map(|(k, b)| {
+        run_kernel(k.as_ref(), &PrefetcherKind::context_calibrated(), &cfg)
+            .speedup_over(b)
+            .ok()
     }));
     println!(
         "  {:<16} {geo:.2}x  (EXTENSION: per-workload #4.3 reward calibration)",

@@ -1,15 +1,19 @@
 //! Before/after measurement of the hot-path rewrites (written to
-//! `BENCH_hotpath.json`) and of the record-once/replay-many trace store
-//! (written to `BENCH_trace.json`).
+//! `BENCH_hotpath.json`), of the record-once/replay-many trace store
+//! (written to `BENCH_trace.json`), and of the checkpointable engine +
+//! result memo (written to `BENCH_ckpt.json`).
 //!
 //! "Before" numbers come from the legacy replicas in
 //! [`semloc_bench::legacy`] (linear-scan prefetch queue, nested-`Vec`
 //! cache, two-pass hashing, the original `on_access` pipeline) and — for
 //! the trace rows — from [`run_kernel_uncached`], which regenerates the
 //! workload for every matrix cell as the harness did before the store.
-//! "After" numbers come from the shipped implementations. Run with
-//! `cargo run --release -p semloc-bench --bin bench_compare
-//! [hotpath.json] [trace.json]`.
+//! For the checkpoint rows, "before" is the pre-checkpoint harness
+//! behaviour: every figure pipeline re-simulates cells it shares with
+//! other figures ([`TraceStore::without_result_memo`]), and a killed run
+//! restarts from instruction zero. "After" numbers come from the shipped
+//! implementations. Run with `cargo run --release -p semloc-bench --bin
+//! bench_compare [hotpath.json] [trace.json] [ckpt.json]`.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -21,7 +25,8 @@ use semloc_context::pfq::{PfqHit, PrefetchQueue};
 use semloc_context::{ContextConfig, ContextPrefetcher};
 use semloc_cpu::Cpu;
 use semloc_harness::{
-    run_kernel_uncached, run_kernel_with_store, PrefetcherKind, SimConfig, TraceStore,
+    run_kernel_uncached, run_kernel_with_store, run_resumable, storage_sweep_with_store,
+    CkptPayload, CkptStore, Engine, PrefetcherKind, SimCheckpoint, SimConfig, TraceStore,
 };
 use semloc_mem::{Cache, CacheConfig, Hierarchy, MemPressure, Prefetcher};
 use semloc_trace::{AccessContext, CountingSink, SemanticHints};
@@ -350,6 +355,27 @@ fn bench_calibrated_rerun(kernel: &dyn Kernel, cfg: &SimConfig) -> (f64, f64) {
     (uncached, warm)
 }
 
+/// The cells an `all_experiments`-style figure pipeline simulates: the
+/// quick matrix (baseline + default context) followed by the Fig 13
+/// storage sweep over `[512, 2048]`. The sweep's per-kernel baseline, its
+/// ranking run at the default configuration, and its 2048-entry point all
+/// duplicate matrix cells — exactly the overlap the result memo collapses.
+/// Returns a digest over every statistic so before/after can assert
+/// bit-identity.
+fn figure_pipeline(store: &TraceStore, kernels: &[KernelBox], cfg: &SimConfig) -> u64 {
+    let lineup = [PrefetcherKind::None, PrefetcherKind::context()];
+    let mut acc = 0u64;
+    for k in kernels {
+        for pf in &lineup {
+            acc ^= run_kernel_with_store(store, k.as_ref(), pf, cfg).stats_digest();
+        }
+    }
+    for p in storage_sweep_with_store(store, kernels, &[512, 2048], cfg, |_| {}) {
+        acc ^= p.all.to_bits() ^ p.top10.to_bits().rotate_left(17);
+    }
+    acc
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -493,6 +519,123 @@ fn main() {
     std::fs::write(&trace_out_path, &trace_json).expect("write BENCH_trace.json");
     println!("\nwrote {trace_out_path}");
 
+    // ---- checkpointable engine + full-run result memo ------------------
+    let ckpt_out_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_ckpt.json".into());
+    let small: Vec<KernelBox> = ["array", "list", "mcf"]
+        .iter()
+        .map(|n| kernel_by_name(n).expect("registered"))
+        .collect();
+    let cfg = SimConfig::quick();
+
+    // Correctness first (untimed): sharing warm state across the matrix
+    // and the sweep must be invisible in every statistic.
+    let pipeline_digest = figure_pipeline(&TraceStore::without_result_memo(), &small, &cfg);
+    assert_eq!(
+        figure_pipeline(&TraceStore::new(), &small, &cfg),
+        pipeline_digest,
+        "result memo changed the figure pipeline's statistics"
+    );
+
+    println!();
+    println!("checkpoint engine               before (ns)   after (ns)   speedup");
+    println!("-----------------------------------------------------------------");
+    let mut ckpt_json = String::from("{\n");
+    let mut ckpt_row = |name: &str, bench: &str, before: f64, after: f64| {
+        let speedup = before / after;
+        println!("{name:<30} {before:>12.2} {after:>12.2} {speedup:>8.2}x");
+        let _ = writeln!(
+            ckpt_json,
+            "  \"{bench}\": {{\"before_ns\": {before:.2}, \"after_ns\": {after:.2}, \"speedup\": {speedup:.3}}},"
+        );
+        speedup
+    };
+
+    let pipe_before = time_per(2, 1, || {
+        figure_pipeline(&TraceStore::without_result_memo(), &small, &cfg)
+    });
+    let pipe_after = time_per(2, 1, || figure_pipeline(&TraceStore::new(), &small, &cfg));
+    let pipeline_speedup = ckpt_row(
+        "matrix+sweep pipeline",
+        "checkpoint/matrix_sweep_pipeline",
+        pipe_before,
+        pipe_after,
+    );
+
+    let kind = PrefetcherKind::context();
+    let replay = ReplayKernel::new(std::sync::Arc::new(capture_kernel(
+        kernel_by_name("list").expect("registered").as_ref(),
+        cfg.instr_budget,
+    )));
+    let ckpt_bytes = {
+        let mut e = Engine::new(replay.clone(), &kind, &cfg);
+        e.run_to(cfg.instr_budget / 2);
+        e.checkpoint().to_bytes()
+    };
+    let restart = time_per(5, 1, || {
+        let mut e = Engine::new(replay.clone(), &kind, &cfg);
+        e.run_to_end();
+        e.finish().cpu.cycles
+    });
+    let resume = time_per(5, 1, || {
+        let ckpt = SimCheckpoint::from_bytes(&ckpt_bytes).expect("own checkpoint decodes");
+        let mut e = Engine::new(replay.clone(), &kind, &cfg);
+        e.restore(&ckpt).expect("own checkpoint restores");
+        e.run_to_end();
+        e.finish().cpu.cycles
+    });
+    let resume_speedup = ckpt_row(
+        "kill at 50%: restart vs resume",
+        "checkpoint/kill_resume_half",
+        restart,
+        resume,
+    );
+
+    let dir = std::env::temp_dir().join(format!("semloc-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CkptStore::with_dir(&dir);
+    let warm = run_resumable(&store, replay.clone(), &kind, &cfg);
+    match store.load(
+        "list",
+        Engine::new(replay.clone(), &kind, &cfg).fingerprint(),
+    ) {
+        Some(CkptPayload::Final(_)) => {}
+        other => panic!("expected a final checkpoint on disk, got {other:?}"),
+    }
+    let disabled = CkptStore::new();
+    let fresh_once = run_resumable(&disabled, replay.clone(), &kind, &cfg);
+    assert_eq!(
+        warm.stats_digest(),
+        fresh_once.stats_digest(),
+        "resumable run diverged from the checkpoint-free run"
+    );
+    let fresh = time_per(5, 1, || {
+        run_resumable(&disabled, replay.clone(), &kind, &cfg)
+            .cpu
+            .cycles
+    });
+    let shortcut = time_per(5, 1, || {
+        run_resumable(&store, replay.clone(), &kind, &cfg)
+            .cpu
+            .cycles
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let shortcut_speedup = ckpt_row(
+        "finished cell, final ckpt",
+        "checkpoint/final_short_circuit",
+        fresh,
+        shortcut,
+    );
+
+    let _ = write!(
+        ckpt_json,
+        "  \"meta\": {{\"kernels\": [\"array\", \"list\", \"mcf\"], \"instr_budget\": {}, \"sweep_sizes\": [512, 2048], \"note\": \"before = pre-checkpoint harness (no shared result memo, killed runs restart from zero, finished cells re-simulate); after = warm-state pipeline + SEMLOC-CKPT resume; pipeline digests asserted bit-identical before timing\"}}\n}}\n",
+        cfg.instr_budget
+    );
+    std::fs::write(&ckpt_out_path, &ckpt_json).expect("write BENCH_ckpt.json");
+    println!("\nwrote {ckpt_out_path}");
+
     assert!(
         sim_speedup > 1.0,
         "end-to-end simulation must not regress (got {sim_speedup:.2}x)"
@@ -504,5 +647,17 @@ fn main() {
     assert!(
         cal_speedup > 1.0,
         "warm-store calibrated rerun must not regress (got {cal_speedup:.2}x)"
+    );
+    assert!(
+        pipeline_speedup >= 1.3,
+        "warm-state pipeline must deliver >= 1.3x on matrix+sweep (got {pipeline_speedup:.2}x)"
+    );
+    assert!(
+        resume_speedup > 1.2,
+        "resuming from a 50% checkpoint must beat restarting (got {resume_speedup:.2}x)"
+    );
+    assert!(
+        shortcut_speedup > 2.0,
+        "a final checkpoint must short-circuit simulation (got {shortcut_speedup:.2}x)"
     );
 }

@@ -37,7 +37,10 @@ fn main() {
             let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg);
             for pf in [PrefetcherKind::Stride, PrefetcherKind::context()] {
                 let r = run_kernel(k.as_ref(), &pf, &cfg);
-                row.push(format!("{:.2}x", r.speedup_over(&base)));
+                row.push(match r.speedup_over(&base) {
+                    Ok(s) => format!("{s:.2}x"),
+                    Err(_) => "n/a".to_string(),
+                });
             }
             eprintln!("[done] {name} in_order={in_order}");
         }

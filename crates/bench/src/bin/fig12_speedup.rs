@@ -29,7 +29,10 @@ fn main() {
     for (k, suite) in m.kernels().to_vec().iter().zip(&suites) {
         let mut row = vec![k.to_string(), suite.label().to_string()];
         for p in m.prefetchers().iter().skip(1) {
-            row.push(report::ratio(m.speedup(k, p).unwrap_or(0.0)));
+            row.push(match m.speedup(k, p) {
+                Ok(s) => report::ratio(s),
+                Err(_) => "n/a".to_string(),
+            });
         }
         table.row(row);
     }
@@ -49,23 +52,23 @@ fn main() {
     for p in m.prefetchers().iter().skip(1) {
         let max = all
             .iter()
-            .filter_map(|k| m.speedup(k, p))
+            .filter_map(|k| m.speedup(k, p).ok())
             .fold(0.0f64, f64::max);
         agg.row([
             p.to_string(),
-            report::ratio(m.geomean_speedup(p, &all)),
-            report::ratio(m.geomean_speedup(p, &spec)),
+            report::ratio(m.geomean_speedup(p, &all).unwrap_or(f64::NAN)),
+            report::ratio(m.geomean_speedup(p, &spec).unwrap_or(f64::NAN)),
             report::ratio(max),
         ]);
     }
     println!("{}", agg.render());
 
-    let ctx_gain = m.geomean_speedup("context", &all) - 1.0;
+    let ctx_gain = m.geomean_speedup("context", &all).unwrap_or(f64::NAN) - 1.0;
     let best_other = m
         .prefetchers()
         .iter()
         .filter(|&&p| p != "none" && p != "context")
-        .map(|p| m.geomean_speedup(p, &all))
+        .filter_map(|p| m.geomean_speedup(p, &all).ok())
         .fold(0.0f64, f64::max)
         - 1.0;
     println!(

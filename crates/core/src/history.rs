@@ -8,6 +8,7 @@
 use std::collections::VecDeque;
 
 use crate::attrs::{ContextKey, FullHash};
+use semloc_trace::{snap_err, SnapReader, SnapWriter, Snapshot};
 
 /// One recorded context observation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,6 +78,39 @@ impl HistoryQueue {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl Snapshot for HistoryQueue {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"HIST", 1);
+        w.put_len(self.entries.len());
+        for e in &self.entries {
+            w.put_u32(e.key.0);
+            w.put_u16(e.full.0);
+            w.put_u64(e.block);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"HIST", 1)?;
+        let n = r.get_len()?;
+        if n > self.capacity {
+            return Err(snap_err(format!(
+                "history snapshot has {n} entries, capacity is {}",
+                self.capacity
+            )));
+        }
+        let mut entries = VecDeque::with_capacity(self.capacity + 1);
+        for _ in 0..n {
+            entries.push_back(HistoryEntry {
+                key: ContextKey(r.get_u32()?),
+                full: FullHash(r.get_u16()?),
+                block: r.get_u64()?,
+            });
+        }
+        self.entries = entries;
+        Ok(())
     }
 }
 

@@ -29,7 +29,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::attrs::{ContextKey, FullHash};
-use semloc_trace::Seq;
+use semloc_trace::{snap_err, Seq, SnapReader, SnapWriter, Snapshot};
 
 /// An outstanding prediction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -257,6 +257,74 @@ impl PrefetchQueue {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl Snapshot for PrefetchQueue {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"PFQ0", 1);
+        w.put_u64(self.next_id);
+        w.put_len(self.entries.len());
+        // The block → ids index is derivable (it covers exactly the un-hit
+        // entries in deque order), so only the deque is serialized and the
+        // index is rebuilt on restore.
+        for e in &self.entries {
+            w.put_u64(e.id);
+            w.put_u64(e.block);
+            w.put_u32(e.key.0);
+            w.put_u16(e.full.0);
+            w.put_i16(e.delta);
+            w.put_u64(e.issue_seq);
+            w.put_bool(e.shadow);
+            w.put_bool(e.hit);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"PFQ0", 1)?;
+        let next_id = r.get_u64()?;
+        let n = r.get_len()?;
+        if n > self.capacity {
+            return Err(snap_err(format!(
+                "prefetch-queue snapshot has {n} entries, capacity is {}",
+                self.capacity
+            )));
+        }
+        let mut entries = VecDeque::with_capacity(self.capacity + 1);
+        for i in 0..n {
+            let e = PfqEntry {
+                id: r.get_u64()?,
+                block: r.get_u64()?,
+                key: ContextKey(r.get_u32()?),
+                full: FullHash(r.get_u16()?),
+                delta: r.get_i16()?,
+                issue_seq: r.get_u64()?,
+                shadow: r.get_bool()?,
+                hit: r.get_bool()?,
+            };
+            // Position lookups assume contiguous ascending ids ending just
+            // before next_id; a snapshot violating that is corrupt.
+            let expect = next_id - (n - i) as u64;
+            if e.id != expect {
+                return Err(snap_err(format!(
+                    "prefetch-queue snapshot id {} out of sequence (expected {expect})",
+                    e.id
+                )));
+            }
+            entries.push_back(e);
+        }
+        self.next_id = next_id;
+        self.entries = entries;
+        self.index.clear();
+        for e in &self.entries {
+            if !e.hit {
+                self.index
+                    .entry(e.block)
+                    .or_insert_with(|| self.pool.pop().unwrap_or_default())
+                    .push(e.id);
+            }
+        }
+        Ok(())
     }
 }
 

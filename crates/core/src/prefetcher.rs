@@ -20,7 +20,7 @@ use rand::SeedableRng;
 
 use semloc_bandit::{ExplorationPolicy, RewardFunction};
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
-use semloc_trace::{AccessContext, Addr};
+use semloc_trace::{AccessContext, Addr, SnapReader, SnapWriter, Snapshot};
 
 use crate::attrs::{ContextKey, FeatureVec, FullHash};
 use crate::config::ContextConfig;
@@ -388,6 +388,44 @@ impl Prefetcher for ContextPrefetcher {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.section(*b"CTXP", 1);
+        // The exploration policy lives inside the config but is mutated run
+        // state (observe() anneals ε), so it snapshots with everything else.
+        // hit_buf/rank_buf are scratch cleared before each use and are
+        // restored empty.
+        self.cfg.exploration.save(w);
+        self.cst.save(w);
+        self.reducer.save(w);
+        self.history.save(w);
+        self.pfq.save(w);
+        let s = self.rng.state();
+        for word in s {
+            w.put_u64(word);
+        }
+        self.stats.save(w);
+        self.mem_stats.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"CTXP", 1)?;
+        self.cfg.exploration.restore(r)?;
+        self.cst.restore(r)?;
+        self.reducer.restore(r)?;
+        self.history.restore(r)?;
+        self.pfq.restore(r)?;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.get_u64()?;
+        }
+        self.rng = StdRng::from_state(s);
+        self.stats.restore(r)?;
+        self.mem_stats.restore(r)?;
+        self.hit_buf.clear();
+        self.rank_buf.clear();
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for ContextPrefetcher {
@@ -599,6 +637,61 @@ mod tests {
             (issued as f64) < 0.2 * 20_000.0,
             "issued {issued} real prefetches on random traffic"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut p = ContextPrefetcher::new(ContextConfig::default());
+        drive_stride(&mut p, 3000, 64);
+
+        let mut w = SnapWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut q = ContextPrefetcher::new(ContextConfig::default());
+        let mut r = SnapReader::new(&bytes);
+        q.restore_state(&mut r).expect("restore succeeds");
+        r.expect_end().expect("snapshot fully consumed");
+
+        // save → restore → save must reproduce the exact byte stream.
+        let mut w2 = SnapWriter::new();
+        q.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "re-save differs after restore");
+
+        // Continued execution (including RNG-driven exploration) must match.
+        let mut out_p = Vec::new();
+        let mut out_q = Vec::new();
+        for i in 3000..5000u64 {
+            let c = ctx(i, 0x400, 0x10_0000 + i * 64);
+            out_p.clear();
+            out_q.clear();
+            p.on_access(&c, pressure(), &mut out_p);
+            q.on_access(&c, pressure(), &mut out_q);
+            assert_eq!(out_p, out_q, "diverged at access {i}");
+            for r in &out_p {
+                p.on_issue_result(r.tag, true);
+                q.on_issue_result(r.tag, true);
+            }
+        }
+        assert_eq!(
+            format!("{:?}", p.learn_stats()),
+            format!("{:?}", q.learn_stats())
+        );
+        assert_eq!(p.stats(), q.stats());
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_geometry() {
+        let mut p = ContextPrefetcher::new(ContextConfig::default());
+        drive_stride(&mut p, 500, 64);
+        let mut w = SnapWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut q = ContextPrefetcher::new(ContextConfig::default().with_cst_entries(256));
+        let mut r = SnapReader::new(&bytes);
+        let err = q.restore_state(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

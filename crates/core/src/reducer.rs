@@ -14,6 +14,7 @@
 //!   *deactivates* an attribute, merging contexts.
 
 use crate::attrs::{Attr, FullHash};
+use semloc_trace::{snap_err, SnapReader, SnapWriter, Snapshot};
 
 #[derive(Clone, Copy, Debug)]
 struct Entry {
@@ -155,6 +156,54 @@ impl Reducer {
             }
         }
         h
+    }
+}
+
+impl Snapshot for Reducer {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"REDU", 1);
+        w.put_u64(self.activations);
+        w.put_u64(self.deactivations);
+        w.put_len(self.entries.len());
+        for e in &self.entries {
+            w.put_u8(e.tag);
+            w.put_u8(e.active);
+            w.put_i8(e.pressure);
+            w.put_bool(e.valid);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"REDU", 1)?;
+        let activations = r.get_u64()?;
+        let deactivations = r.get_u64()?;
+        let n = r.get_len()?;
+        if n != self.entries.len() {
+            return Err(snap_err(format!(
+                "reducer snapshot has {n} entries, table expects {}",
+                self.entries.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let e = Entry {
+                tag: r.get_u8()?,
+                active: r.get_u8()?,
+                pressure: r.get_i8()?,
+                valid: r.get_bool()?,
+            };
+            if !(1..=Attr::COUNT as u8).contains(&e.active) {
+                return Err(snap_err(format!(
+                    "reducer active count {} out of range",
+                    e.active
+                )));
+            }
+            entries.push(e);
+        }
+        self.activations = activations;
+        self.deactivations = deactivations;
+        self.entries = entries;
+        Ok(())
     }
 }
 

@@ -1,8 +1,10 @@
 //! Prefetcher-side statistics: hit-depth CDFs (Fig 8) and learning
 //! convergence counters (§7.1).
 
+use semloc_trace::{snap_err, SnapReader, SnapWriter, Snapshot};
+
 /// Histogram of prediction hit depths, cumulable into the Fig 8 CDF.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HitDepthCdf {
     buckets: Vec<u64>,
     total: u64,
@@ -82,7 +84,7 @@ impl HitDepthCdf {
 }
 
 /// Learning/convergence counters for the context prefetcher.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ContextStats {
     /// Real prefetches dispatched to the memory system.
     pub real_issued: u64,
@@ -118,6 +120,59 @@ impl ContextStats {
         } else {
             self.hits as f64 / resolved as f64
         }
+    }
+}
+
+impl Snapshot for ContextStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"CSTS", 1);
+        w.put_u64(self.real_issued);
+        w.put_u64(self.shadow_issued);
+        w.put_u64(self.demoted);
+        w.put_u64(self.hits);
+        w.put_u64(self.expired);
+        w.put_u64(self.timely_hits);
+        w.put_u64(self.late_hits);
+        w.put_u64(self.early_hits);
+        w.put_u64(self.collected);
+        w.put_u64(self.delta_overflow);
+        w.put_u64(self.depth_cdf.total);
+        w.put_len(self.depth_cdf.buckets.len());
+        for &b in &self.depth_cdf.buckets {
+            w.put_u64(b);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"CSTS", 1)?;
+        self.real_issued = r.get_u64()?;
+        self.shadow_issued = r.get_u64()?;
+        self.demoted = r.get_u64()?;
+        self.hits = r.get_u64()?;
+        self.expired = r.get_u64()?;
+        self.timely_hits = r.get_u64()?;
+        self.late_hits = r.get_u64()?;
+        self.early_hits = r.get_u64()?;
+        self.collected = r.get_u64()?;
+        self.delta_overflow = r.get_u64()?;
+        let total = r.get_u64()?;
+        let n = r.get_len()?;
+        if n != self.depth_cdf.buckets.len() {
+            return Err(snap_err(format!(
+                "hit-depth CDF snapshot has {n} buckets, expected {}",
+                self.depth_cdf.buckets.len()
+            )));
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(r.get_u64()?);
+        }
+        if buckets.iter().sum::<u64>() != total {
+            return Err(snap_err("hit-depth CDF total disagrees with buckets"));
+        }
+        self.depth_cdf.buckets = buckets;
+        self.depth_cdf.total = total;
+        Ok(())
     }
 }
 

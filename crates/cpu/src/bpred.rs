@@ -5,7 +5,7 @@
 //! maintain the global branch-history register that feeds the prefetcher's
 //! *branch history* context attribute (Table 1).
 
-use semloc_trace::Addr;
+use semloc_trace::{snap_err, Addr, SnapReader, SnapWriter, Snapshot};
 
 /// Global-history XOR PC predictor with 2-bit saturating counters.
 ///
@@ -61,6 +61,34 @@ impl Gshare {
         };
         self.history = (self.history << 1) | taken as u16;
         predicted == taken
+    }
+}
+
+impl Snapshot for Gshare {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"BPRD", 1);
+        w.put_u16(self.history);
+        w.put_len(self.table.len());
+        w.put_bytes(&self.table);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"BPRD", 1)?;
+        let history = r.get_u16()?;
+        let n = r.get_len()?;
+        if n != self.table.len() {
+            return Err(snap_err(format!(
+                "gshare snapshot has {n} counters, predictor expects {}",
+                self.table.len()
+            )));
+        }
+        let table = r.get_bytes(n)?;
+        if let Some(bad) = table.iter().find(|&&c| c > 3) {
+            return Err(snap_err(format!("gshare counter {bad} out of 2-bit range")));
+        }
+        self.history = history;
+        self.table.copy_from_slice(table);
+        Ok(())
     }
 }
 

@@ -12,7 +12,8 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use semloc_mem::{Hierarchy, Prefetcher};
 use semloc_trace::{
-    AccessContext, Addr, Cycle, Instr, InstrKind, Reg, Seq, TraceSink, RECENT_ADDRS,
+    snap_err, AccessContext, Addr, Cycle, Instr, InstrKind, Reg, Seq, SnapReader, SnapWriter,
+    Snapshot, TraceSink, RECENT_ADDRS,
 };
 
 use crate::bpred::Gshare;
@@ -61,6 +62,37 @@ impl Occupancy {
     /// Occupy one slot until `until`.
     fn occupy(&mut self, until: Cycle) {
         self.free_times.push(Reverse(until));
+    }
+}
+
+impl Snapshot for Occupancy {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"OCCU", 1);
+        // A binary heap has no canonical iteration order; serializing the
+        // multiset sorted makes save → restore → save byte-identical.
+        let mut v: Vec<Cycle> = self.free_times.iter().map(|&Reverse(t)| t).collect();
+        v.sort_unstable();
+        w.put_len(v.len());
+        for t in v {
+            w.put_u64(t);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"OCCU", 1)?;
+        let n = r.get_len()?;
+        if n > self.capacity {
+            return Err(snap_err(format!(
+                "occupancy snapshot has {n} entries, capacity is {}",
+                self.capacity
+            )));
+        }
+        let mut heap = BinaryHeap::with_capacity(self.capacity + 1);
+        for _ in 0..n {
+            heap.push(Reverse(r.get_u64()?));
+        }
+        self.free_times = heap;
+        Ok(())
     }
 }
 
@@ -293,6 +325,79 @@ impl<P: Prefetcher> Cpu<P> {
         self.recent_addrs.rotate_right(1);
         self.recent_addrs[0] = addr;
         self.last_loaded = loaded;
+    }
+}
+
+impl<P: Prefetcher> Snapshot for Cpu<P> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"CPU0", 1);
+        w.put_u64(self.budget);
+        self.stats.save(w);
+        w.put_u64(self.dispatch_cycle);
+        w.put_u32(self.dispatched_in_cycle);
+        w.put_u64(self.fetch_resume);
+        self.bpred.save(w);
+        w.put_len(self.rob.len());
+        for &t in &self.rob {
+            w.put_u64(t);
+        }
+        self.iq.save(w);
+        self.lq.save(w);
+        self.sq.save(w);
+        w.put_u64(self.last_retire);
+        w.put_u32(self.retired_in_cycle);
+        w.put_u64(self.last_issue);
+        for &t in self.reg_ready.iter() {
+            w.put_u64(t);
+        }
+        for &v in self.reg_vals.iter() {
+            w.put_u64(v);
+        }
+        for &a in self.recent_addrs.iter() {
+            w.put_u64(a);
+        }
+        w.put_u64(self.last_loaded);
+        w.put_u64(self.mem_seq);
+        self.mem.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"CPU0", 1)?;
+        self.budget = r.get_u64()?;
+        self.stats.restore(r)?;
+        self.dispatch_cycle = r.get_u64()?;
+        self.dispatched_in_cycle = r.get_u32()?;
+        self.fetch_resume = r.get_u64()?;
+        self.bpred.restore(r)?;
+        let n = r.get_len()?;
+        if n > self.cfg.rob_size {
+            return Err(snap_err(format!(
+                "ROB snapshot has {n} entries, capacity is {}",
+                self.cfg.rob_size
+            )));
+        }
+        self.rob.clear();
+        for _ in 0..n {
+            self.rob.push_back(r.get_u64()?);
+        }
+        self.iq.restore(r)?;
+        self.lq.restore(r)?;
+        self.sq.restore(r)?;
+        self.last_retire = r.get_u64()?;
+        self.retired_in_cycle = r.get_u32()?;
+        self.last_issue = r.get_u64()?;
+        for t in self.reg_ready.iter_mut() {
+            *t = r.get_u64()?;
+        }
+        for v in self.reg_vals.iter_mut() {
+            *v = r.get_u64()?;
+        }
+        for a in self.recent_addrs.iter_mut() {
+            *a = r.get_u64()?;
+        }
+        self.last_loaded = r.get_u64()?;
+        self.mem_seq = r.get_u64()?;
+        self.mem.restore(r)
     }
 }
 
@@ -544,6 +649,90 @@ mod tests {
         }
         assert_eq!(c.stats().instructions, 10);
         assert!(c.done());
+    }
+
+    fn mixed_instr(i: u64) -> Instr {
+        let mut state = i
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state ^= state >> 33;
+        match state % 5 {
+            0 => Instr::alu(
+                0x400 + (i % 16) * 8,
+                Some(Reg(1)),
+                Some(Reg(2)),
+                None,
+                state,
+            ),
+            1 => Instr::branch(0x480, state & 8 != 0, 0x500, None),
+            2 => Instr::load(
+                0x500,
+                0x1_0000 + (state % 512) * 64,
+                8,
+                Reg((1 + state % 6) as u8),
+                Some(Reg(1)),
+                None,
+                state,
+            ),
+            3 => Instr::store(0x508, 0x2_0000 + (state % 256) * 64, 8, Some(Reg(2)), None),
+            _ => Instr::load(
+                0x510,
+                0x3_0000 + (state % 128) * 4096,
+                8,
+                Reg(3),
+                None,
+                None,
+                state,
+            ),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut warm = cpu();
+        for i in 0..5000 {
+            warm.instr(mixed_instr(i));
+        }
+        let mut w = SnapWriter::new();
+        warm.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = cpu();
+        let mut r = SnapReader::new(&bytes);
+        restored.restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        // Re-saving the restored core must reproduce the exact bytes.
+        let mut w2 = SnapWriter::new();
+        restored.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "save-restore-save must be stable");
+
+        // Continuing both cores over the same suffix must stay identical.
+        for i in 5000..8000 {
+            warm.instr(mixed_instr(i));
+            restored.instr(mixed_instr(i));
+        }
+        assert_eq!(warm.stats(), restored.stats());
+        assert_eq!(warm.mem().stats(), restored.mem().stats());
+        assert_eq!(warm.mem_accesses(), restored.mem_accesses());
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_geometry() {
+        let mut warm = cpu();
+        for i in 0..100 {
+            warm.instr(mixed_instr(i));
+        }
+        let mut w = SnapWriter::new();
+        warm.save(&mut w);
+        let bytes = w.into_bytes();
+        let small = CpuConfig {
+            bpred_log2_entries: 4,
+            ..CpuConfig::default()
+        };
+        let mut other = Cpu::new(small, Hierarchy::new(MemConfig::default(), NoPrefetch), 0);
+        let err = other.restore(&mut SnapReader::new(&bytes)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

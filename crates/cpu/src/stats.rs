@@ -1,5 +1,7 @@
 //! Core performance counters.
 
+use semloc_trace::{SnapReader, SnapWriter, Snapshot};
+
 /// Counters maintained by the [`Cpu`](crate::Cpu).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CpuStats {
@@ -44,6 +46,29 @@ impl CpuStats {
         } else {
             (self.loads + self.stores) as f64 / self.instructions as f64
         }
+    }
+}
+
+impl Snapshot for CpuStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"CPUS", 1);
+        w.put_u64(self.instructions);
+        w.put_u64(self.cycles);
+        w.put_u64(self.loads);
+        w.put_u64(self.stores);
+        w.put_u64(self.branches);
+        w.put_u64(self.mispredicts);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"CPUS", 1)?;
+        self.instructions = r.get_u64()?;
+        self.cycles = r.get_u64()?;
+        self.loads = r.get_u64()?;
+        self.stores = r.get_u64()?;
+        self.branches = r.get_u64()?;
+        self.mispredicts = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -30,7 +30,7 @@ fn main() {
             let r = run_kernel(k.as_ref(), &pf, &cfg);
             println!(
                 "{kname:14} {:10} speedup={:.2} ipc={:.3} l1mpki={:6.2} l2mpki={:5.2} issued={:7} filt={:6} rej={:6} hitpf={:7} shorter={:6} nontimely={:6} neverhit={:6}",
-                r.prefetcher, r.speedup_over(&base), r.cpu.ipc(), r.l1_mpki(), r.l2_mpki(),
+                r.prefetcher, r.speedup_over(&base).unwrap_or(f64::NAN), r.cpu.ipc(), r.l1_mpki(), r.l2_mpki(),
                 r.mem.prefetches_issued, r.mem.prefetches_filtered, r.mem.prefetches_rejected,
                 r.mem.classes.hit_prefetched, r.mem.classes.shorter_wait, r.mem.classes.non_timely, r.mem.classes.prefetch_never_hit
             );

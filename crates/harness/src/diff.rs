@@ -23,7 +23,7 @@ use semloc_context::{ContextConfig, ContextPrefetcher, ContextStats};
 use semloc_cpu::Cpu;
 use semloc_mem::{Hierarchy, MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
 use semloc_spec::SpecPrefetcher;
-use semloc_trace::{AccessContext, Addr};
+use semloc_trace::{AccessContext, Addr, SnapReader, SnapWriter};
 use semloc_workloads::Kernel;
 
 use crate::config::SimConfig;
@@ -48,6 +48,12 @@ pub struct Divergence {
     pub core_dump: String,
     /// Full state dump of the spec prefetcher at the divergence.
     pub spec_dump: String,
+    /// Serialized snapshot of the optimized prefetcher, restorable into a
+    /// fresh `ContextPrefetcher` of the same configuration via
+    /// `Prefetcher::restore_state` for post-mortem single-stepping.
+    pub core_snapshot: Vec<u8>,
+    /// Serialized snapshot of the spec prefetcher (same contract).
+    pub spec_snapshot: Vec<u8>,
 }
 
 impl fmt::Display for Divergence {
@@ -198,6 +204,10 @@ impl TeePrefetcher {
         if self.divergence.is_some() {
             return;
         }
+        let mut core_snap = SnapWriter::new();
+        self.core.save_state(&mut core_snap);
+        let mut spec_snap = SnapWriter::new();
+        self.spec.save_state(&mut spec_snap);
         self.divergence = Some(Divergence {
             access: self.accesses,
             seq,
@@ -207,6 +217,8 @@ impl TeePrefetcher {
             context,
             core_dump: core_dump_state(&self.core),
             spec_dump: self.spec.dump_state(),
+            core_snapshot: core_snap.into_bytes(),
+            spec_snapshot: spec_snap.into_bytes(),
         });
     }
 
@@ -453,6 +465,26 @@ impl Prefetcher for TeePrefetcher {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.section(*b"TEE0", 1);
+        w.put_u64(self.accesses);
+        self.core.save_state(w);
+        self.spec.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"TEE0", 1)?;
+        self.accesses = r.get_u64()?;
+        self.core.restore_state(r)?;
+        self.spec.restore_state(r)?;
+        // A tee is only checkpointed while clean; transient probe state
+        // does not survive a restore.
+        self.divergence = None;
+        self.was_pred_mismatch.set(None);
+        self.spec_out.clear();
+        Ok(())
+    }
 }
 
 /// Run `kernel` through the store-replayed simulator with both prefetcher
@@ -534,5 +566,25 @@ mod tests {
             .expect("mismatched seeds must be detected");
         assert!(d.access > 0);
         assert!(!d.core_dump.is_empty() && !d.spec_dump.is_empty());
+
+        // Both sides' serialized snapshots restore into fresh instances of
+        // the same configuration, bit-identically (save → restore → save).
+        let mut core = ContextPrefetcher::new(ContextConfig::default());
+        let mut r = SnapReader::new(&d.core_snapshot);
+        core.restore_state(&mut r).expect("core snapshot restores");
+        r.expect_end().expect("core snapshot fully consumed");
+        let mut w = SnapWriter::new();
+        core.save_state(&mut w);
+        assert_eq!(d.core_snapshot, w.into_bytes());
+
+        let mut cfg_spec = ContextConfig::default();
+        cfg_spec.seed ^= 1;
+        let mut spec = SpecPrefetcher::new(cfg_spec);
+        let mut r = SnapReader::new(&d.spec_snapshot);
+        spec.restore_state(&mut r).expect("spec snapshot restores");
+        r.expect_end().expect("spec snapshot fully consumed");
+        let mut w = SnapWriter::new();
+        spec.save_state(&mut w);
+        assert_eq!(d.spec_snapshot, w.into_bytes());
     }
 }

@@ -12,8 +12,10 @@
 //!    classes (Fig 9), hit-depth CDFs (Fig 8), storage sweeps (Fig 13) and
 //!    layout comparisons (Fig 14).
 
+pub mod ckpt;
 pub mod config;
 pub mod diff;
+pub mod engine;
 pub mod matrix;
 pub mod prefetchers;
 pub mod report;
@@ -21,11 +23,17 @@ pub mod runner;
 pub mod store;
 pub mod sweep;
 
+pub use ckpt::{decode_ckpt, encode_ckpt, CkptPayload, CkptStore, CKPT_MAGIC, CKPT_VERSION};
 pub use config::SimConfig;
 pub use diff::{diff_kernel, DiffReport, Divergence, TeePrefetcher};
+pub use engine::{Engine, SimCheckpoint, SIM_CKPT_VERSION};
 pub use matrix::Matrix;
 pub use prefetchers::PrefetcherKind;
 pub use report::Table;
-pub use runner::{run_kernel, run_kernel_uncached, run_kernel_with_store, RunResult};
+pub use runner::{
+    run_kernel, run_kernel_uncached, run_kernel_with_store, run_resumable, RunResult, SpeedupError,
+};
 pub use store::TraceStore;
-pub use sweep::{ablation_variants, storage_sweep, AblationVariant, SweepPoint};
+pub use sweep::{
+    ablation_variants, storage_sweep, storage_sweep_with_store, AblationVariant, SweepPoint,
+};

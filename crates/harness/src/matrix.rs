@@ -9,7 +9,8 @@ use semloc_workloads::KernelBox;
 
 use crate::config::SimConfig;
 use crate::prefetchers::PrefetcherKind;
-use crate::runner::{run_kernel, RunResult};
+use crate::runner::{run_baseline_priming_probe, run_kernel_with_store, RunResult, SpeedupError};
+use crate::store::TraceStore;
 
 /// Results of a full run matrix. Always includes a `none` column as the
 /// speedup baseline.
@@ -25,6 +26,14 @@ impl Matrix {
     /// Shared setup for both runners: an empty matrix with the kernel and
     /// prefetcher display orders filled in, plus the full lineup (baseline
     /// `none` prepended to the requested prefetchers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two entries in the lineup share a display
+    /// [`label`](PrefetcherKind::label) (e.g. `Context` and
+    /// `ContextCalibrated`, which both render as `context`). Cells are
+    /// keyed by label, so a duplicate would silently overwrite the earlier
+    /// column's results — a hard error beats a wrong figure.
     fn prepare(
         kernels: &[KernelBox],
         prefetchers: &[PrefetcherKind],
@@ -33,9 +42,15 @@ impl Matrix {
         let mut lineup = vec![PrefetcherKind::None];
         lineup.extend(prefetchers.iter().cloned());
         for pf in &lineup {
-            if !m.pf_order.contains(&pf.label()) {
-                m.pf_order.push(pf.label());
-            }
+            assert!(
+                !m.pf_order.contains(&pf.label()),
+                "duplicate prefetcher label {:?} in matrix lineup ({:?} collides with an \
+                 earlier entry); cells are keyed by label, so one column would silently \
+                 overwrite the other",
+                pf.label(),
+                pf,
+            );
+            m.pf_order.push(pf.label());
         }
         for k in kernels {
             m.kernel_order.push(k.name());
@@ -43,18 +58,55 @@ impl Matrix {
         (m, lineup)
     }
 
+    /// Whether a `none` cell should pause at the calibration-probe budget
+    /// and fork the warmed engine into the probe memo (the lineup contains
+    /// a calibrated context column that will want that exact probe).
+    fn run_cell(
+        store: &TraceStore,
+        kernel: &dyn semloc_workloads::Kernel,
+        pf: &PrefetcherKind,
+        wants_probe: bool,
+        config: &SimConfig,
+    ) -> RunResult {
+        if wants_probe && matches!(pf, PrefetcherKind::None) {
+            run_baseline_priming_probe(store, kernel, config)
+        } else {
+            run_kernel_with_store(store, kernel, pf, config)
+        }
+    }
+
     /// Run every kernel under the baseline plus each given prefetcher.
     /// `progress` is invoked after each run completes (for CLI feedback).
+    /// See [`Matrix::prepare`]'s panic contract for lineup constraints.
     pub fn run(
+        kernels: &[KernelBox],
+        prefetchers: &[PrefetcherKind],
+        config: &SimConfig,
+        progress: impl FnMut(&RunResult),
+    ) -> Self {
+        Self::run_with_store(TraceStore::global(), kernels, prefetchers, config, progress)
+    }
+
+    /// [`Matrix::run`] against an explicit [`TraceStore`]. When the lineup
+    /// contains [`PrefetcherKind::ContextCalibrated`], the baseline column
+    /// doubles as the calibration probe: each kernel's no-prefetch run
+    /// pauses at the probe budget, forks its warmed engine state into the
+    /// probe memo, and continues — so the probe prefix is simulated once
+    /// per kernel instead of once per column.
+    pub fn run_with_store(
+        store: &TraceStore,
         kernels: &[KernelBox],
         prefetchers: &[PrefetcherKind],
         config: &SimConfig,
         mut progress: impl FnMut(&RunResult),
     ) -> Self {
         let (mut m, lineup) = Self::prepare(kernels, prefetchers);
+        let wants_probe = lineup
+            .iter()
+            .any(|pf| matches!(pf, PrefetcherKind::ContextCalibrated(_)));
         for k in kernels {
             for pf in &lineup {
-                let r = run_kernel(k.as_ref(), pf, config);
+                let r = Self::run_cell(store, k.as_ref(), pf, wants_probe, config);
                 progress(&r);
                 m.results
                     .entry(k.name())
@@ -78,7 +130,30 @@ impl Matrix {
         threads: usize,
         progress: impl Fn(&RunResult) + Sync,
     ) -> Self {
+        Self::run_parallel_with_store(
+            TraceStore::global(),
+            kernels,
+            prefetchers,
+            config,
+            threads,
+            progress,
+        )
+    }
+
+    /// [`Matrix::run_parallel`] against an explicit [`TraceStore`]; see
+    /// [`Matrix::run_with_store`] for the baseline-as-probe behaviour.
+    pub fn run_parallel_with_store(
+        store: &TraceStore,
+        kernels: &[KernelBox],
+        prefetchers: &[PrefetcherKind],
+        config: &SimConfig,
+        threads: usize,
+        progress: impl Fn(&RunResult) + Sync,
+    ) -> Self {
         let (mut m, lineup) = Self::prepare(kernels, prefetchers);
+        let wants_probe = lineup
+            .iter()
+            .any(|pf| matches!(pf, PrefetcherKind::ContextCalibrated(_)));
         // Work queue of (kernel index, prefetcher index) pairs.
         let jobs: Vec<(usize, usize)> = (0..kernels.len())
             .flat_map(|ki| (0..lineup.len()).map(move |pi| (ki, pi)))
@@ -90,7 +165,13 @@ impl Matrix {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(&(ki, pi)) = jobs.get(i) else { break };
-                    let r = run_kernel(kernels[ki].as_ref(), &lineup[pi], config);
+                    let r = Self::run_cell(
+                        store,
+                        kernels[ki].as_ref(),
+                        &lineup[pi],
+                        wants_probe,
+                        config,
+                    );
                     progress(&r);
                     results.lock().expect("no panics hold the lock").push(r);
                 });
@@ -121,39 +202,39 @@ impl Matrix {
     }
 
     /// Speedup of `prefetcher` on `kernel` over the no-prefetch baseline.
-    pub fn speedup(&self, kernel: &str, prefetcher: &str) -> Option<f64> {
-        let base = self.get(kernel, "none")?;
-        Some(self.get(kernel, prefetcher)?.speedup_over(base))
+    /// Missing cells and degenerate IPCs are typed [`SpeedupError`]s.
+    pub fn speedup(&self, kernel: &str, prefetcher: &str) -> Result<f64, SpeedupError> {
+        let base = self.get(kernel, "none").ok_or(SpeedupError::MissingCell)?;
+        self.get(kernel, prefetcher)
+            .ok_or(SpeedupError::MissingCell)?
+            .speedup_over(base)
     }
 
-    /// Geometric-mean speedup of `prefetcher` across `kernels`.
-    pub fn geomean_speedup(&self, prefetcher: &str, kernels: &[&str]) -> f64 {
+    /// Geometric-mean speedup of `prefetcher` across `kernels`. Every cell
+    /// must yield a valid speedup; the first failure propagates (an empty
+    /// kernel set is a [`SpeedupError::MissingCell`]). Valid speedups are
+    /// always finite and positive, so the log-mean is well defined.
+    pub fn geomean_speedup(&self, prefetcher: &str, kernels: &[&str]) -> Result<f64, SpeedupError> {
+        if kernels.is_empty() {
+            return Err(SpeedupError::MissingCell);
+        }
         let mut log_sum = 0.0;
-        let mut n = 0usize;
         for k in kernels {
-            if let Some(s) = self.speedup(k, prefetcher) {
-                if s > 0.0 {
-                    log_sum += s.ln();
-                    n += 1;
-                }
-            }
+            log_sum += self.speedup(k, prefetcher)?.ln();
         }
-        if n == 0 {
-            0.0
-        } else {
-            (log_sum / n as f64).exp()
-        }
+        Ok((log_sum / kernels.len() as f64).exp())
     }
 
     /// The `n` kernels that benefit most from `prefetcher` (the paper's
-    /// "Top10" selection in Fig 13).
+    /// "Top10" selection in Fig 13). Kernels without a valid speedup are
+    /// excluded from the ranking.
     pub fn top_n(&self, prefetcher: &str, n: usize) -> Vec<&'static str> {
         let mut pairs: Vec<(&'static str, f64)> = self
             .kernel_order
             .iter()
-            .filter_map(|&k| self.speedup(k, prefetcher).map(|s| (k, s)))
+            .filter_map(|&k| self.speedup(k, prefetcher).ok().map(|s| (k, s)))
             .collect();
-        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite speedups"));
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
         pairs.into_iter().take(n).map(|(k, _)| k).collect()
     }
 
@@ -198,7 +279,9 @@ impl Matrix {
             "kernel,prefetcher,instructions,cycles,ipc,speedup,l1_mpki,l2_mpki,prefetches_issued,prefetches_rejected,hit_prefetched,shorter_wait,non_timely,miss_not_prefetched,hit_older_demand,prefetch_never_hit\n",
         );
         for r in self.iter() {
-            let speedup = self.speedup(r.kernel, r.prefetcher).unwrap_or(0.0);
+            // NaN marks an uncomputable speedup in the export (never a
+            // silent 0.0, which would plot as a plausible slowdown).
+            let speedup = self.speedup(r.kernel, r.prefetcher).map_or(f64::NAN, |s| s);
             let c = &r.mem.classes;
             out.push_str(&format!(
                 "{},{},{},{},{:.4},{:.4},{:.3},{:.3},{},{},{},{},{},{},{},{}
@@ -258,10 +341,41 @@ mod tests {
         let m = tiny_matrix();
         let s = m.speedup("array", "stride").unwrap();
         assert!(s > 0.5);
-        let g = m.geomean_speedup("stride", &["array", "list"]);
+        let g = m.geomean_speedup("stride", &["array", "list"]).unwrap();
         assert!(g > 0.0);
         // Geomean of baseline against itself is exactly 1.
-        assert!((m.geomean_speedup("none", &["array", "list"]) - 1.0).abs() < 1e-12);
+        let g_none = m.geomean_speedup("none", &["array", "list"]).unwrap();
+        assert!((g_none - 1.0).abs() < 1e-12);
+        // Missing cells surface as typed errors, never silent zeros.
+        assert_eq!(
+            m.speedup("array", "ghb-gdc"),
+            Err(SpeedupError::MissingCell)
+        );
+        assert_eq!(
+            m.geomean_speedup("stride", &["array", "no-such-kernel"]),
+            Err(SpeedupError::MissingCell)
+        );
+        assert_eq!(
+            m.geomean_speedup("stride", &[]),
+            Err(SpeedupError::MissingCell)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate prefetcher label")]
+    fn duplicate_labels_are_a_hard_error() {
+        let kernels = vec![kernel_by_name("array").unwrap()];
+        // Context and ContextCalibrated both display as "context": the
+        // second column would silently overwrite the first.
+        Matrix::run(
+            &kernels,
+            &[
+                PrefetcherKind::context(),
+                PrefetcherKind::context_calibrated(),
+            ],
+            &SimConfig::quick(),
+            |_| {},
+        );
     }
 
     #[test]
@@ -299,6 +413,30 @@ mod tests {
                 assert_eq!(a.cpu, b.cpu, "{k}/{p} differs between runners");
                 assert_eq!(a.mem, b.mem);
             }
+        }
+    }
+
+    #[test]
+    fn calibrated_matrix_matches_standalone_runs() {
+        // The baseline column doubles as the calibration probe (pause,
+        // fork, continue) — which must be invisible in the results: every
+        // cell is bit-identical to a standalone store-less run.
+        let kernels = vec![kernel_by_name("list").unwrap()];
+        let cfg = SimConfig::quick();
+        let store = TraceStore::new();
+        let m = Matrix::run_with_store(
+            &store,
+            &kernels,
+            &[PrefetcherKind::context_calibrated()],
+            &cfg,
+            |_| {},
+        );
+        for pf in [PrefetcherKind::None, PrefetcherKind::context_calibrated()] {
+            let standalone = crate::runner::run_kernel_uncached(kernels[0].as_ref(), &pf, &cfg);
+            let cell = m.get("list", pf.label()).unwrap();
+            assert_eq!(cell.cpu, standalone.cpu, "{} cpu stats differ", pf.label());
+            assert_eq!(cell.mem, standalone.mem, "{} mem stats differ", pf.label());
+            assert_eq!(cell.stats_digest(), standalone.stats_digest());
         }
     }
 

@@ -1,11 +1,16 @@
 //! Single-run driver: workload × prefetcher × configuration → statistics.
 
-use semloc_context::{ContextPrefetcher, ContextStats};
+use std::io;
+
+use semloc_context::{ContextConfig, ContextPrefetcher, ContextStats};
 use semloc_cpu::{Cpu, CpuStats};
 use semloc_mem::{Hierarchy, MemStats, Prefetcher, PrefetcherStats};
-use semloc_workloads::Kernel;
+use semloc_trace::{snap_err, SnapReader, SnapWriter, Snapshot};
+use semloc_workloads::{Kernel, ReplayKernel};
 
+use crate::ckpt::{CkptPayload, CkptStore};
 use crate::config::SimConfig;
+use crate::engine::{Engine, SimCheckpoint};
 use crate::prefetchers::PrefetcherKind;
 use crate::store::TraceStore;
 
@@ -29,16 +34,49 @@ pub struct RunResult {
     pub storage_bytes: usize,
 }
 
+/// Why a speedup could not be computed. Speedups are IPC ratios; a zero or
+/// non-finite IPC would silently poison every aggregate built on top
+/// (geomeans, Top-N rankings, CSV exports), so the accessors surface the
+/// degenerate cases as typed errors instead of returning `0.0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpeedupError {
+    /// The baseline run's IPC is zero — the ratio is undefined.
+    ZeroBaselineIpc,
+    /// An IPC involved is NaN, infinite, or zero, so no meaningful ratio
+    /// exists (e.g. a run that retired no instructions).
+    NonFiniteIpc,
+    /// The matrix holds no result for the requested (kernel, prefetcher)
+    /// cell.
+    MissingCell,
+}
+
+impl std::fmt::Display for SpeedupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpeedupError::ZeroBaselineIpc => write!(f, "baseline IPC is zero"),
+            SpeedupError::NonFiniteIpc => write!(f, "IPC is zero or non-finite"),
+            SpeedupError::MissingCell => write!(f, "no result for the requested matrix cell"),
+        }
+    }
+}
+
+impl std::error::Error for SpeedupError {}
+
 impl RunResult {
     /// Speedup of this run relative to `baseline` (same kernel, usually
-    /// the no-prefetch run): ratio of IPCs.
-    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+    /// the no-prefetch run): ratio of IPCs. Degenerate IPCs (zero or
+    /// non-finite on either side) are a typed [`SpeedupError`], never a
+    /// silent `0.0`.
+    pub fn speedup_over(&self, baseline: &RunResult) -> Result<f64, SpeedupError> {
         let b = baseline.cpu.ipc();
-        if b == 0.0 {
-            0.0
-        } else {
-            self.cpu.ipc() / b
+        let s = self.cpu.ipc();
+        if !b.is_finite() || !s.is_finite() || s == 0.0 {
+            return Err(SpeedupError::NonFiniteIpc);
         }
+        if b == 0.0 {
+            return Err(SpeedupError::ZeroBaselineIpc);
+        }
+        Ok(s / b)
     }
 
     /// L1 misses per kilo-instruction.
@@ -95,6 +133,72 @@ impl RunResult {
             d.u64(v);
         }
         d.finish()
+    }
+
+    /// Serialize this result as an `RRES` snapshot section (the payload of
+    /// a *final* on-disk checkpoint — see [`crate::ckpt`]).
+    pub(crate) fn save_snap(&self, w: &mut SnapWriter) {
+        w.section(*b"RRES", 1);
+        w.put_len(self.kernel.len());
+        w.put_bytes(self.kernel.as_bytes());
+        w.put_len(self.prefetcher.len());
+        w.put_bytes(self.prefetcher.as_bytes());
+        self.cpu.save(w);
+        self.mem.save(w);
+        self.pf.save(w);
+        w.put_bool(self.learn.is_some());
+        if let Some(l) = &self.learn {
+            l.save(w);
+        }
+        w.put_u64(self.storage_bytes as u64);
+    }
+
+    /// Parse an `RRES` section written by [`RunResult::save_snap`]. The
+    /// embedded kernel and prefetcher names must match the expected cell
+    /// (names live in the registry as `&'static str`s, so the caller
+    /// supplies the identities it is resuming and the snapshot merely
+    /// confirms them).
+    pub(crate) fn restore_snap(
+        kernel: &'static str,
+        prefetcher: &'static str,
+        r: &mut SnapReader<'_>,
+    ) -> io::Result<RunResult> {
+        r.section(*b"RRES", 1)?;
+        let n = r.get_len()?;
+        if r.get_bytes(n)? != kernel.as_bytes() {
+            return Err(snap_err(format!(
+                "result snapshot is not for kernel {kernel}"
+            )));
+        }
+        let n = r.get_len()?;
+        if r.get_bytes(n)? != prefetcher.as_bytes() {
+            return Err(snap_err(format!(
+                "result snapshot is not for prefetcher {prefetcher}"
+            )));
+        }
+        let mut cpu = CpuStats::default();
+        cpu.restore(r)?;
+        let mut mem = MemStats::default();
+        mem.restore(r)?;
+        let mut pf = PrefetcherStats::default();
+        pf.restore(r)?;
+        let learn = if r.get_bool()? {
+            let mut l = ContextStats::default();
+            l.restore(r)?;
+            Some(l)
+        } else {
+            None
+        };
+        let storage_bytes = r.get_u64()? as usize;
+        Ok(RunResult {
+            kernel,
+            prefetcher,
+            cpu,
+            mem,
+            pf,
+            learn,
+            storage_bytes,
+        })
     }
 }
 
@@ -154,17 +258,74 @@ pub fn run_kernel(
 /// [`run_kernel`] against an explicit [`TraceStore`] (the global store is
 /// just a shared instance of this). Useful for benchmarks and tests that
 /// need an isolated cache.
+///
+/// Identical (kernel, prefetcher, config) cells are served from the
+/// store's full-run result memo — runs are deterministic, so the memoized
+/// clone is bit-identical to recomputation. On a memo miss the cell runs
+/// through the checkpointable [`Engine`], resuming from and periodically
+/// writing on-disk checkpoints when the process-global
+/// [`CkptStore`](crate::CkptStore) is enabled (`SEMLOC_CKPT_DIR`).
 pub fn run_kernel_with_store(
     store: &TraceStore,
     kernel: &dyn Kernel,
     prefetcher: &PrefetcherKind,
     config: &SimConfig,
 ) -> RunResult {
+    let key = result_key(kernel, prefetcher, config);
+    if let Some(r) = store.result(&key) {
+        return r;
+    }
+    let (replay, kind) = resolve(store, kernel, prefetcher, config);
+    let r = run_resumable(CkptStore::global(), replay, &kind, config);
+    store.memoize_result(&key, &r);
+    r
+}
+
+/// The result-memo identity of one cell: the kernel's full configuration
+/// (its trace key), the *requested* prefetcher kind, and the simulation
+/// config. Debug renderings cover every field of both structs.
+pub(crate) fn result_key(
+    kernel: &dyn Kernel,
+    prefetcher: &PrefetcherKind,
+    config: &SimConfig,
+) -> String {
+    format!("{}|{:?}|{:?}", kernel.trace_key(), prefetcher, config)
+}
+
+/// The calibration probe's configuration: a no-prefetch run over a quarter
+/// of the budget (clamped to a useful measurement window).
+pub(crate) fn probe_config(config: &SimConfig) -> SimConfig {
+    SimConfig {
+        instr_budget: (config.instr_budget / 4).clamp(40_000, 150_000),
+        ..config.clone()
+    }
+}
+
+/// Memo key of a calibration-probe result (see [`TraceStore::probe_result`]).
+pub(crate) fn probe_key(kernel: &dyn Kernel, probe_cfg: &SimConfig) -> String {
+    format!("{}|{:?}", kernel.trace_key(), probe_cfg)
+}
+
+/// Retune `base` with the §4.3 prefetch-distance formula from a measured
+/// no-prefetch probe.
+fn calibrate(base: &ContextConfig, probe: &RunResult, config: &SimConfig) -> PrefetcherKind {
+    let penalty = config.mem.l1_miss_penalty(probe.mem.l2_miss_rate());
+    let target = penalty * probe.cpu.ipc() * probe.cpu.mem_fraction();
+    PrefetcherKind::Context(base.clone().calibrated(target))
+}
+
+/// Resolve a requested prefetcher kind into the concrete kind an [`Engine`]
+/// can run, capturing the kernel's stream along the way. For
+/// [`PrefetcherKind::ContextCalibrated`] this runs (or recalls) the
+/// no-prefetch calibration probe first.
+pub(crate) fn resolve(
+    store: &TraceStore,
+    kernel: &dyn Kernel,
+    prefetcher: &PrefetcherKind,
+    config: &SimConfig,
+) -> (ReplayKernel, PrefetcherKind) {
     if let PrefetcherKind::ContextCalibrated(base) = prefetcher {
-        let probe_cfg = SimConfig {
-            instr_budget: (config.instr_budget / 4).clamp(40_000, 150_000),
-            ..config.clone()
-        };
+        let probe_cfg = probe_config(config);
         // One capture covers both the probe and the main run: by the prefix
         // property, a trace recorded at the larger budget replays the exact
         // stream either budget would generate.
@@ -174,17 +335,121 @@ pub fn run_kernel_with_store(
             config.instr_budget.max(probe_cfg.instr_budget)
         };
         let replay = store.replay(kernel, capture_budget);
-        let probe_key = format!("{}|{:?}", kernel.trace_key(), probe_cfg);
-        let probe = store.probe_result(&probe_key, || {
+        let probe = store.probe_result(&probe_key(kernel, &probe_cfg), || {
             simulate(&replay, &PrefetcherKind::None, &probe_cfg)
         });
-        let penalty = config.mem.l1_miss_penalty(probe.mem.l2_miss_rate());
-        let target = penalty * probe.cpu.ipc() * probe.cpu.mem_fraction();
-        let calibrated = PrefetcherKind::Context(base.clone().calibrated(target));
-        return simulate(&replay, &calibrated, config);
+        let kind = calibrate(base, &probe, config);
+        (replay, kind)
+    } else {
+        (
+            store.replay(kernel, config.instr_budget),
+            prefetcher.clone(),
+        )
     }
-    let replay = store.replay(kernel, config.instr_budget);
-    simulate(&replay, prefetcher, config)
+}
+
+/// Run one resolved cell through the [`Engine`], with on-disk
+/// checkpoint/resume when `ckpt` is enabled: a valid *final* checkpoint
+/// short-circuits the run entirely; a valid *mid-run* checkpoint warm-starts
+/// the engine at its cursor; corrupt or foreign checkpoints are counted as
+/// rejects and the cell runs fresh. While running, a mid-run checkpoint is
+/// written every [`CkptStore::interval`] instructions, and the finished
+/// result is persisted as a final checkpoint.
+pub fn run_resumable(
+    ckpt: &CkptStore,
+    replay: ReplayKernel,
+    kind: &PrefetcherKind,
+    config: &SimConfig,
+) -> RunResult {
+    let kernel_name = replay.name();
+    if !ckpt.enabled() {
+        let mut engine = Engine::new(replay, kind, config);
+        engine.run_to_end();
+        return engine.finish();
+    }
+    let mut engine = Engine::new(replay.clone(), kind, config);
+    let fp = engine.fingerprint();
+    match ckpt.load(kernel_name, fp) {
+        Some(CkptPayload::Final(bytes)) => {
+            let mut r = SnapReader::new(&bytes);
+            let parsed = RunResult::restore_snap(kernel_name, kind.label(), &mut r)
+                .and_then(|res| r.expect_end().map(|()| res));
+            match parsed {
+                Ok(res) => return res,
+                Err(_) => ckpt.note_reject(),
+            }
+        }
+        Some(CkptPayload::Mid(bytes)) => {
+            let restored = SimCheckpoint::from_bytes(&bytes).and_then(|c| engine.restore(&c));
+            if restored.is_err() {
+                // A partially-restored engine is unusable; start cold.
+                ckpt.note_reject();
+                engine = Engine::new(replay, kind, config);
+            }
+        }
+        None => {}
+    }
+    let interval = ckpt.interval().max(1);
+    while !engine.done() {
+        let before = engine.cursor();
+        engine.run_to(before.saturating_add(interval));
+        if engine.cursor() == before {
+            break; // stream exhausted below the budget
+        }
+        if !engine.done() {
+            ckpt.save(
+                kernel_name,
+                fp,
+                &CkptPayload::Mid(engine.checkpoint().to_bytes()),
+            );
+        }
+    }
+    let result = engine.finish();
+    let mut w = SnapWriter::new();
+    result.save_snap(&mut w);
+    ckpt.save(kernel_name, fp, &CkptPayload::Final(w.into_bytes()));
+    result
+}
+
+/// Run the no-prefetch baseline for `kernel`, pausing at the calibration
+/// probe's budget to fork the warmed engine into the probe result before
+/// continuing to the full budget — so a later
+/// [`PrefetcherKind::ContextCalibrated`] column finds its probe memoized
+/// without ever simulating the probe prefix separately. The probe is a
+/// strict prefix of this very run (same trace, same no-prefetch
+/// configuration), so the forked result is bit-identical to a standalone
+/// probe; the store-equivalence suite pins that.
+///
+/// Used by the matrix runners for the baseline column when the lineup
+/// contains a calibrated context prefetcher.
+pub(crate) fn run_baseline_priming_probe(
+    store: &TraceStore,
+    kernel: &dyn Kernel,
+    config: &SimConfig,
+) -> RunResult {
+    let key = result_key(kernel, &PrefetcherKind::None, config);
+    if let Some(r) = store.result(&key) {
+        return r;
+    }
+    let probe_cfg = probe_config(config);
+    // The pause point must lie inside this run's own budget; otherwise the
+    // probe is not a prefix and the calibrated column computes it itself.
+    if config.instr_budget != 0 && probe_cfg.instr_budget > config.instr_budget {
+        return run_kernel_with_store(store, kernel, &PrefetcherKind::None, config);
+    }
+    let capture_budget = if config.instr_budget == 0 {
+        0
+    } else {
+        config.instr_budget.max(probe_cfg.instr_budget)
+    };
+    let replay = store.replay(kernel, capture_budget);
+    let mut engine = Engine::new(replay, &PrefetcherKind::None, config);
+    engine.run_to(probe_cfg.instr_budget);
+    store.probe_result(&probe_key(kernel, &probe_cfg), || engine.fork().finish());
+    engine.run_to_end();
+    let r = engine.finish();
+    store.memoize_result(&key, &r);
+    r
 }
 
 /// [`run_kernel`] without the trace store: re-runs the workload generator
@@ -216,6 +481,18 @@ fn simulate(kernel: &dyn Kernel, prefetcher: &PrefetcherKind, config: &SimConfig
     let hierarchy = Hierarchy::new(config.mem.clone(), prefetcher.build());
     let mut cpu = Cpu::new(config.cpu.clone(), hierarchy, config.instr_budget);
     kernel.run(&mut cpu);
+    collect_result(kernel.name(), prefetcher.label(), cpu)
+}
+
+/// Finalize a driven simulator into a [`RunResult`]: drain in-flight
+/// prefetcher state, then harvest CPU, memory, prefetcher, and (for the
+/// context prefetcher) learning statistics. Shared by [`simulate`] and
+/// [`Engine::finish`] so both paths produce bit-identical results.
+pub(crate) fn collect_result(
+    kernel: &'static str,
+    prefetcher: &'static str,
+    cpu: Cpu<Box<dyn Prefetcher>>,
+) -> RunResult {
     let (cpu_stats, mut mem) = cpu.finish();
     let learn = mem
         .prefetcher()
@@ -227,8 +504,8 @@ fn simulate(kernel: &dyn Kernel, prefetcher: &PrefetcherKind, config: &SimConfig
     let mem_stats = *mem.stats();
     let _ = mem.prefetcher_mut();
     RunResult {
-        kernel: kernel.name(),
-        prefetcher: prefetcher.build().name(),
+        kernel,
+        prefetcher,
         cpu: cpu_stats,
         mem: mem_stats,
         pf,
@@ -275,7 +552,7 @@ mod tests {
         let cfg = SimConfig::default().with_budget(300_000);
         let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg);
         let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &cfg);
-        let speedup = ctx.speedup_over(&base);
+        let speedup = ctx.speedup_over(&base).expect("both IPCs are finite");
         assert!(
             speedup > 1.05,
             "context prefetcher should accelerate the scattered list (got {speedup:.3}x)"
@@ -298,7 +575,10 @@ mod tests {
             stride.l1_mpki(),
             base.l1_mpki()
         );
-        assert!(stride.speedup_over(&base) > 0.98, "and must not hurt");
+        assert!(
+            stride.speedup_over(&base).expect("finite IPCs") > 0.98,
+            "and must not hurt"
+        );
         let covered = stride.mem.classes.shorter_wait + stride.mem.classes.hit_prefetched;
         assert!(
             covered > 10_000,
@@ -345,10 +625,24 @@ mod tests {
             &cfg,
         );
         assert_eq!(a.stats_digest(), b.stats_digest());
-        // One capture serves the probe and both main runs.
-        let (hits, misses) = store.stats();
+        // One capture serves the probe and the first main run; the second
+        // run is a full-result memo hit and never touches the trace.
+        let (_, misses) = store.stats();
         assert_eq!(misses, 1, "kernel must be captured exactly once");
-        assert!(hits >= 1);
+        let (result_hits, result_misses) = store.result_stats();
+        assert_eq!(result_misses, 1, "first run must simulate");
+        assert!(result_hits >= 1, "second run must be a result-memo hit");
+    }
+
+    #[test]
+    fn speedup_errors_are_typed() {
+        let k = kernel_by_name("array").unwrap();
+        let r = run_kernel(k.as_ref(), &PrefetcherKind::None, &quick());
+        let mut idle = r.clone();
+        idle.cpu.instructions = 0; // IPC becomes zero
+        assert_eq!(r.speedup_over(&idle), Err(SpeedupError::ZeroBaselineIpc));
+        assert_eq!(idle.speedup_over(&r), Err(SpeedupError::NonFiniteIpc));
+        assert!(r.speedup_over(&r).is_ok());
     }
 
     #[test]

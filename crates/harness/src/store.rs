@@ -42,10 +42,21 @@ pub struct TraceStore {
     /// Memoized calibration-probe results, keyed by
     /// `trace_key + probe config` (see [`TraceStore::probe_result`]).
     probes: Mutex<HashMap<String, RunResult>>,
+    /// Memoized full-run results, keyed by
+    /// `trace_key + prefetcher kind + config` (see [`TraceStore::result`]).
+    /// Runs are deterministic, so a memoized clone is bit-identical to
+    /// recomputation; the matrix, the storage sweep, and the figure
+    /// binaries share repeated cells (every sweep re-runs the no-prefetch
+    /// baseline and the default-context column) through this map.
+    results: Mutex<HashMap<String, RunResult>>,
+    /// Memoization opt-out for benchmarks measuring the un-memoized cost.
+    disable_result_memo: bool,
     /// On-disk cache directory (`SEMLOC_TRACE_DIR`), if configured.
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
     /// On-disk captures that were found but rejected as unreadable, corrupt,
     /// or inconsistent with their file-name metadata. Every injected storage
     /// fault must either land here (detected) or provably leave no cache
@@ -75,6 +86,18 @@ impl TraceStore {
     pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
         TraceStore {
             dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// An in-memory store with full-run result memoization disabled: every
+    /// [`run_kernel_with_store`](crate::run_kernel_with_store) call
+    /// simulates its cell even when an identical cell already ran. This is
+    /// the "before" side of `bench_compare`'s warm-state rows; traces are
+    /// still captured once (the pre-memo behaviour).
+    pub fn without_result_memo() -> Self {
+        TraceStore {
+            disable_result_memo: true,
             ..Self::default()
         }
     }
@@ -191,6 +214,50 @@ impl TraceStore {
             .entry(key.to_string())
             .or_insert_with(|| r.clone());
         r
+    }
+
+    /// Memoized full-run result for `key` (built by the runner from the
+    /// kernel's trace key, the prefetcher kind, and the config — the same
+    /// identity the golden digest pins), if one was stored and memoization
+    /// is enabled. Counts a result hit or miss either way.
+    pub fn result(&self, key: &str) -> Option<RunResult> {
+        if self.disable_result_memo {
+            return None;
+        }
+        let r = self
+            .results
+            .lock()
+            .expect("no panics hold the lock")
+            .get(key)
+            .cloned();
+        match r {
+            Some(_) => self.result_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.result_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        r
+    }
+
+    /// Memoize a computed full-run result under `key`. A racing worker may
+    /// insert first; determinism makes either copy correct, so the first
+    /// insertion wins.
+    pub fn memoize_result(&self, key: &str, r: &RunResult) {
+        if self.disable_result_memo {
+            return;
+        }
+        self.results
+            .lock()
+            .expect("no panics hold the lock")
+            .entry(key.to_string())
+            .or_insert_with(|| r.clone());
+    }
+
+    /// `(hits, misses)` of the full-run result memo — runs served from a
+    /// previous identical run vs. cells that had to simulate.
+    pub fn result_stats(&self) -> (u64, u64) {
+        (
+            self.result_hits.load(Ordering::Relaxed),
+            self.result_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Stable file name for a capture: kernel name (sanitized), FNV-1a of

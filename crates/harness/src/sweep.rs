@@ -7,7 +7,8 @@ use semloc_workloads::KernelBox;
 
 use crate::config::SimConfig;
 use crate::prefetchers::PrefetcherKind;
-use crate::runner::run_kernel;
+use crate::runner::run_kernel_with_store;
+use crate::store::TraceStore;
 
 /// One point of the Fig 13 storage sweep.
 #[derive(Clone, Debug)]
@@ -25,28 +26,48 @@ pub struct SweepPoint {
 /// Run the Fig 13 storage sweep: scale the CST (with the reducer at 8×)
 /// over `sizes` and measure geomean speedups for all kernels and the
 /// Top-10 subset (selected at the default size, as the paper does).
+/// Uses the process-global [`TraceStore`].
 pub fn storage_sweep(
+    kernels: &[KernelBox],
+    sizes: &[usize],
+    config: &SimConfig,
+    progress: impl FnMut(usize),
+) -> Vec<SweepPoint> {
+    storage_sweep_with_store(TraceStore::global(), kernels, sizes, config, progress)
+}
+
+/// [`storage_sweep`] against an explicit [`TraceStore`]. Each kernel's
+/// no-prefetch baseline is simulated once and memoized in the store's
+/// full-run result memo — every sweep size reuses it (and a matrix run
+/// over the same store contributes its cells too, and vice versa).
+pub fn storage_sweep_with_store(
+    store: &TraceStore,
     kernels: &[KernelBox],
     sizes: &[usize],
     config: &SimConfig,
     mut progress: impl FnMut(usize),
 ) -> Vec<SweepPoint> {
     // Baselines and Top-10 selection from the default configuration.
+    // Kernels with a degenerate speedup (zero/non-finite IPC) are dropped
+    // from the ranking instead of poisoning the sort.
     let default_cfg = ContextConfig::default();
-    let mut base_ipc = Vec::new();
+    let mut bases = Vec::new();
     let mut default_speedups = Vec::new();
     for k in kernels {
-        let base = run_kernel(k.as_ref(), &PrefetcherKind::None, config);
-        let ctx = run_kernel(
+        let base = run_kernel_with_store(store, k.as_ref(), &PrefetcherKind::None, config);
+        let ctx = run_kernel_with_store(
+            store,
             k.as_ref(),
             &PrefetcherKind::Context(default_cfg.clone()),
             config,
         );
-        default_speedups.push((k.name(), ctx.speedup_over(&base)));
-        base_ipc.push(base.cpu.ipc());
+        if let Ok(s) = ctx.speedup_over(&base) {
+            default_speedups.push((k.name(), s));
+        }
+        bases.push(base);
     }
-    let mut ranked = default_speedups.clone();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite speedups"));
+    let mut ranked = default_speedups;
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     let top10: Vec<&str> = ranked.iter().take(10).map(|&(n, _)| n).collect();
 
     let geomean = |vals: &[f64]| -> f64 {
@@ -64,11 +85,14 @@ pub fn storage_sweep(
         let mut all = Vec::new();
         let mut top = Vec::new();
         for (i, k) in kernels.iter().enumerate() {
-            let ctx = run_kernel(k.as_ref(), &PrefetcherKind::Context(cfg.clone()), config);
-            let s = if base_ipc[i] > 0.0 {
-                ctx.cpu.ipc() / base_ipc[i]
-            } else {
-                0.0
+            let ctx = run_kernel_with_store(
+                store,
+                k.as_ref(),
+                &PrefetcherKind::Context(cfg.clone()),
+                config,
+            );
+            let Ok(s) = ctx.speedup_over(&bases[i]) else {
+                continue;
             };
             all.push(s);
             if top10.contains(&k.name()) {
@@ -184,6 +208,35 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert!(pts[1].storage_bytes > pts[0].storage_bytes);
         assert!(pts.iter().all(|p| p.all > 0.0 && p.top10 > 0.0));
+    }
+
+    #[test]
+    fn sweep_reuses_memoized_results() {
+        let kernels = vec![kernel_by_name("list").unwrap()];
+        let cfg = SimConfig::quick();
+        // Memo off: every run simulates.
+        let off = TraceStore::without_result_memo();
+        let pts_off = storage_sweep_with_store(&off, &kernels, &[256, 1024], &cfg, |_| {});
+        // Memo on: identical points...
+        let on = TraceStore::new();
+        let pts_on = storage_sweep_with_store(&on, &kernels, &[256, 1024], &cfg, |_| {});
+        for (a, b) in pts_off.iter().zip(&pts_on) {
+            assert_eq!(
+                a.all.to_bits(),
+                b.all.to_bits(),
+                "memoization changed results"
+            );
+            assert_eq!(a.top10.to_bits(), b.top10.to_bits());
+        }
+        // ...and a second sweep over the same store simulates nothing new.
+        let (_, misses_before) = on.result_stats();
+        storage_sweep_with_store(&on, &kernels, &[256, 1024], &cfg, |_| {});
+        let (hits, misses_after) = on.result_stats();
+        assert_eq!(
+            misses_after, misses_before,
+            "second sweep must be memo-only"
+        );
+        assert!(hits >= 4, "baseline + context runs must hit the memo");
     }
 
     #[test]

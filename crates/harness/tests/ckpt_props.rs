@@ -1,0 +1,102 @@
+//! Property tests over the checkpoint encodings: the `SIMC` simulation
+//! checkpoint and the on-disk `SEMLOC-CKPT` envelope must round-trip
+//! arbitrary payloads bit-exactly, and every decoder must reject foreign
+//! or mangled inputs instead of misinterpreting them.
+
+use proptest::prelude::*;
+
+use semloc_harness::{decode_ckpt, encode_ckpt, CkptPayload, SimCheckpoint, SIM_CKPT_VERSION};
+
+proptest! {
+    #[test]
+    fn sim_checkpoint_round_trips(
+        fingerprint in any::<u64>(),
+        cursor in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let ckpt = SimCheckpoint {
+            version: SIM_CKPT_VERSION,
+            fingerprint,
+            cursor,
+            payload,
+        };
+        let parsed = SimCheckpoint::from_bytes(&ckpt.to_bytes()).expect("round trip");
+        prop_assert_eq!(parsed, ckpt);
+    }
+
+    #[test]
+    fn sim_checkpoint_rejects_truncation_and_extension(
+        fingerprint in any::<u64>(),
+        cursor in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        cut in any::<u64>(),
+        extra in 1usize..16,
+    ) {
+        let bytes = SimCheckpoint {
+            version: SIM_CKPT_VERSION,
+            fingerprint,
+            cursor,
+            payload,
+        }
+        .to_bytes();
+        // Any strict prefix fails (UnexpectedEof at some field)...
+        let keep = (cut % bytes.len() as u64) as usize;
+        prop_assert!(SimCheckpoint::from_bytes(&bytes[..keep]).is_err());
+        // ...and so does trailing garbage (expect_end).
+        let mut long = bytes;
+        long.extend(std::iter::repeat_n(0xA5u8, extra));
+        prop_assert!(SimCheckpoint::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn semloc_ckpt_envelope_round_trips(
+        fingerprint in any::<u64>(),
+        is_final in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let kind = if is_final {
+            CkptPayload::Final(payload)
+        } else {
+            CkptPayload::Mid(payload)
+        };
+        let bytes = encode_ckpt(&kind, fingerprint);
+        prop_assert_eq!(decode_ckpt(&bytes, fingerprint), Some(kind));
+    }
+
+    #[test]
+    fn semloc_ckpt_envelope_rejects_foreign_fingerprints(
+        fingerprint in any::<u64>(),
+        delta in 1u64..u64::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // `delta` is never 0 and never wraps back to 0, so `other` is
+        // guaranteed to differ from `fingerprint`.
+        let other = fingerprint.wrapping_add(delta);
+        let bytes = encode_ckpt(&CkptPayload::Mid(payload), fingerprint);
+        prop_assert_eq!(decode_ckpt(&bytes, other), None);
+    }
+
+    #[test]
+    fn semloc_ckpt_envelope_rejects_any_bit_flip(
+        fingerprint in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..96),
+        flip in any::<u64>(),
+    ) {
+        let good = encode_ckpt(&CkptPayload::Final(payload), fingerprint);
+        let bit = (flip % (good.len() as u64 * 8)) as usize;
+        let mut bad = good;
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_eq!(decode_ckpt(&bad, fingerprint), None);
+    }
+
+    #[test]
+    fn semloc_ckpt_envelope_rejects_truncation(
+        fingerprint in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..96),
+        cut in any::<u64>(),
+    ) {
+        let bytes = encode_ckpt(&CkptPayload::Mid(payload), fingerprint);
+        let keep = (cut % bytes.len() as u64) as usize;
+        prop_assert_eq!(decode_ckpt(&bytes[..keep], fingerprint), None);
+    }
+}

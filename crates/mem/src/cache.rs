@@ -7,7 +7,7 @@
 //! the Fig 9 access classification and the "prefetch never hit" statistic.
 
 use crate::config::CacheConfig;
-use semloc_trace::{Addr, Cycle};
+use semloc_trace::{snap_err, Addr, Cycle, SnapReader, SnapWriter, Snapshot};
 
 /// One cache line's metadata.
 #[derive(Clone, Copy, Debug, Default)]
@@ -234,6 +234,53 @@ impl Cache {
     /// Number of valid lines (occupancy), for tests.
     pub fn valid_lines(&self) -> u64 {
         self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+}
+
+impl Snapshot for Cache {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"CACH", 1);
+        w.put_u64(self.tick);
+        w.put_len(self.lines.len());
+        for l in self.lines.iter() {
+            w.put_u64(l.tag);
+            let flags = l.valid as u8
+                | (l.dirty as u8) << 1
+                | (l.prefetched as u8) << 2
+                | (l.touched as u8) << 3;
+            w.put_u8(flags);
+            w.put_u64(l.lru);
+            w.put_u64(l.ready_at);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"CACH", 1)?;
+        let tick = r.get_u64()?;
+        let n = r.get_len()?;
+        if n != self.lines.len() {
+            return Err(snap_err(format!(
+                "cache snapshot has {n} lines, geometry expects {}",
+                self.lines.len()
+            )));
+        }
+        let mut lines = vec![Line::default(); n];
+        for l in &mut lines {
+            l.tag = r.get_u64()?;
+            let flags = r.get_u8()?;
+            if flags & !0x0F != 0 {
+                return Err(snap_err(format!("cache line flags {flags:#04x} invalid")));
+            }
+            l.valid = flags & 1 != 0;
+            l.dirty = flags & 2 != 0;
+            l.prefetched = flags & 4 != 0;
+            l.touched = flags & 8 != 0;
+            l.lru = r.get_u64()?;
+            l.ready_at = r.get_u64()?;
+        }
+        self.tick = tick;
+        self.lines.copy_from_slice(&lines);
+        Ok(())
     }
 }
 

@@ -12,7 +12,7 @@ use crate::config::MemConfig;
 use crate::mshr::{MshrFile, MshrKind};
 use crate::prefetcher::{MemPressure, PrefetchReq, Prefetcher};
 use crate::stats::MemStats;
-use semloc_trace::{AccessContext, Addr, Cycle};
+use semloc_trace::{AccessContext, Addr, Cycle, SnapReader, SnapWriter, Snapshot};
 
 /// Result of a demand access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -281,6 +281,28 @@ impl<P: Prefetcher> Hierarchy<P> {
     pub fn finish(&mut self) {
         self.prefetcher.finish();
         self.stats.classes.prefetch_never_hit += self.l1.count_untouched_prefetches();
+    }
+}
+
+impl<P: Prefetcher> Snapshot for Hierarchy<P> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"HIER", 1);
+        self.l1.save(w);
+        self.l2.save(w);
+        self.l1_mshrs.save(w);
+        self.l2_mshrs.save(w);
+        self.stats.save(w);
+        self.prefetcher.save_state(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"HIER", 1)?;
+        self.l1.restore(r)?;
+        self.l2.restore(r)?;
+        self.l1_mshrs.restore(r)?;
+        self.l2_mshrs.restore(r)?;
+        self.stats.restore(r)?;
+        self.prefetcher.restore_state(r)
     }
 }
 

@@ -5,7 +5,7 @@
 //! Capacity pressure is what throttles prefetching (§4.2 of the paper) and
 //! bounds memory-level parallelism in the core model.
 
-use semloc_trace::{Addr, Cycle};
+use semloc_trace::{snap_err, Addr, Cycle, SnapReader, SnapWriter, Snapshot};
 
 /// Whether an outstanding fill was initiated by a demand or a prefetch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -167,6 +167,46 @@ impl MshrFile {
     /// Whether the file is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl Snapshot for MshrFile {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"MSHR", 1);
+        w.put_len(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.block);
+            w.put_u64(e.start);
+            w.put_u64(e.fill_at);
+            w.put_u8(match e.kind {
+                MshrKind::Demand => 0,
+                MshrKind::Prefetch => 1,
+            });
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"MSHR", 1)?;
+        let n = r.get_len()?;
+        let mut entries = Vec::with_capacity(n.max(self.capacity));
+        for _ in 0..n {
+            let block = r.get_u64()?;
+            let start = r.get_u64()?;
+            let fill_at = r.get_u64()?;
+            let kind = match r.get_u8()? {
+                0 => MshrKind::Demand,
+                1 => MshrKind::Prefetch,
+                k => return Err(snap_err(format!("MSHR kind byte {k} invalid"))),
+            };
+            entries.push(Entry {
+                block,
+                start,
+                fill_at,
+                kind,
+            });
+        }
+        self.entries = entries;
+        Ok(())
     }
 }
 

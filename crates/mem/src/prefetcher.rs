@@ -6,7 +6,7 @@
 //! demand access, attempts to issue the returned requests subject to MSHR
 //! pressure, and reports back which were actually dispatched.
 
-use semloc_trace::{AccessContext, Addr};
+use semloc_trace::{AccessContext, Addr, SnapReader, SnapWriter, Snapshot};
 
 /// Snapshot of memory-system pressure handed to the prefetcher so it can
 /// throttle (§4.2: "prefetch operations may be skipped if the memory system
@@ -78,6 +78,25 @@ impl PrefetcherStats {
     }
 }
 
+impl Snapshot for PrefetcherStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"PFST", 1);
+        w.put_u64(self.issued);
+        w.put_u64(self.rejected);
+        w.put_u64(self.shadow);
+        w.put_u64(self.useful);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"PFST", 1)?;
+        self.issued = r.get_u64()?;
+        self.rejected = r.get_u64()?;
+        self.shadow = r.get_u64()?;
+        self.useful = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// A hardware prefetcher attached to the L1 data cache.
 pub trait Prefetcher {
     /// Short display name (e.g. `"context"`, `"ghb-pc/dc"`).
@@ -124,6 +143,21 @@ pub trait Prefetcher {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Append the prefetcher's complete run state (tables, queues, RNG
+    /// streams, counters) to `w`. Stateful prefetchers MUST override this
+    /// together with [`Prefetcher::restore_state`]; the default writes a
+    /// stateless marker section only, which is correct solely for
+    /// prefetchers with no run state at all (e.g. [`NoPrefetch`]).
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.section(*b"PF--", 1);
+    }
+
+    /// Restore state previously written by [`Prefetcher::save_state`] into
+    /// a prefetcher constructed from the same configuration.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"PF--", 1)
+    }
 }
 
 impl Prefetcher for Box<dyn Prefetcher> {
@@ -162,6 +196,14 @@ impl Prefetcher for Box<dyn Prefetcher> {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         (**self).as_any()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        (**self).save_state(w)
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        (**self).restore_state(r)
     }
 }
 

@@ -1,6 +1,7 @@
 //! Memory-system statistics.
 
 use crate::classify::ClassCounts;
+use semloc_trace::{SnapReader, SnapWriter, Snapshot};
 
 /// Counters maintained by the [`Hierarchy`](crate::Hierarchy).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,6 +48,45 @@ impl MemStats {
     /// L2 miss rate over L1 misses (feeds the §4.3 miss-penalty formula).
     pub fn l2_miss_rate(&self) -> f64 {
         rate(self.l2_misses, self.l1_misses)
+    }
+}
+
+impl Snapshot for MemStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"MEMS", 1);
+        w.put_u64(self.demand_accesses);
+        w.put_u64(self.l1_misses);
+        w.put_u64(self.l1_mshr_merges);
+        w.put_u64(self.l2_misses);
+        w.put_u64(self.prefetches_issued);
+        w.put_u64(self.prefetches_rejected);
+        w.put_u64(self.prefetches_filtered);
+        w.put_u64(self.writebacks);
+        w.put_u64(self.classes.hit_prefetched);
+        w.put_u64(self.classes.shorter_wait);
+        w.put_u64(self.classes.non_timely);
+        w.put_u64(self.classes.miss_not_prefetched);
+        w.put_u64(self.classes.hit_older_demand);
+        w.put_u64(self.classes.prefetch_never_hit);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"MEMS", 1)?;
+        self.demand_accesses = r.get_u64()?;
+        self.l1_misses = r.get_u64()?;
+        self.l1_mshr_merges = r.get_u64()?;
+        self.l2_misses = r.get_u64()?;
+        self.prefetches_issued = r.get_u64()?;
+        self.prefetches_rejected = r.get_u64()?;
+        self.prefetches_filtered = r.get_u64()?;
+        self.writebacks = r.get_u64()?;
+        self.classes.hit_prefetched = r.get_u64()?;
+        self.classes.shorter_wait = r.get_u64()?;
+        self.classes.non_timely = r.get_u64()?;
+        self.classes.miss_not_prefetched = r.get_u64()?;
+        self.classes.hit_older_demand = r.get_u64()?;
+        self.classes.prefetch_never_hit = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -15,7 +15,7 @@ use rand::{RngExt, SeedableRng};
 
 use semloc_bandit::RewardFunction;
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
-use semloc_trace::{AccessContext, Addr};
+use semloc_trace::{snap_err, AccessContext, Addr, SnapReader, SnapWriter, Snapshot};
 
 use semloc_context::{ContextConfig, ContextKey, ContextStats, FullHash};
 
@@ -454,6 +454,42 @@ impl Prefetcher for SpecPrefetcher {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.section(*b"SPEC", 1);
+        // Of the ε state only the EWMA accuracy is mutated at run time; the
+        // bounds are construction config.
+        w.put_f64(self.eps.accuracy);
+        self.cst.save(w);
+        self.reducer.save(w);
+        self.history.save(w);
+        self.pfq.save(w);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        self.stats.save(w);
+        self.mem_stats.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"SPEC", 1)?;
+        let accuracy = r.get_f64()?;
+        if !(0.0..=1.0).contains(&accuracy) {
+            return Err(snap_err(format!("spec accuracy {accuracy} out of range")));
+        }
+        self.eps.accuracy = accuracy;
+        self.cst.restore(r)?;
+        self.reducer.restore(r)?;
+        self.history.restore(r)?;
+        self.pfq.restore(r)?;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.get_u64()?;
+        }
+        self.rng = StdRng::from_state(s);
+        self.stats.restore(r)?;
+        self.mem_stats.restore(r)
     }
 }
 

@@ -41,6 +41,7 @@ pub mod hints;
 pub mod instr;
 pub mod record;
 pub mod sink;
+pub mod snap;
 
 pub use address_space::{AddressSpace, Placement};
 pub use buffer::{BufferSink, TraceBuffer};
@@ -51,6 +52,7 @@ pub use hints::{RefForm, SemanticHints};
 pub use instr::{Instr, InstrKind, Reg};
 pub use record::{TraceReader, TraceWriter};
 pub use sink::{CountingSink, RecordingSink, TraceSink};
+pub use snap::{snap_err, SnapReader, SnapWriter, Snapshot};
 
 /// A virtual address in the simulated machine.
 pub type Addr = u64;

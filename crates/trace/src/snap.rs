@@ -1,0 +1,370 @@
+//! Versioned binary snapshots of simulator state.
+//!
+//! Every stateful layer of the simulator implements [`Snapshot`]: a
+//! complete, deterministic dump of its run state (including RNG streams)
+//! into a [`SnapWriter`], and the inverse restore from a [`SnapReader`].
+//! The contract is *bit identity*: a component that is saved, restored into
+//! a freshly-constructed instance with the same configuration, and then
+//! driven forward must produce exactly the same statistics as one that was
+//! never interrupted — and re-saving a restored component must yield
+//! byte-identical bytes.
+//!
+//! The encoding is a flat little-endian stream of tagged *sections*. Each
+//! component opens its own section with a 4-byte ASCII tag and a `u32`
+//! version; readers validate both before touching the payload, so a stale
+//! or foreign snapshot fails with a typed [`std::io::Error`] instead of
+//! silently misinterpreting bytes. Construction-time configuration
+//! (geometries, capacities, seeds) is deliberately *not* serialized — the
+//! restore target is always built from the same configuration, and restore
+//! implementations validate structural parameters (table lengths, entry
+//! counts) against their own.
+
+use std::io;
+
+/// Versioned save/restore of a component's complete run state.
+pub trait Snapshot {
+    /// Append this component's state to `w` as one or more tagged sections.
+    fn save(&self, w: &mut SnapWriter);
+
+    /// Restore state previously written by [`Snapshot::save`] from `r`.
+    ///
+    /// `self` must have been constructed with the same configuration as the
+    /// saved instance; implementations validate structural parameters and
+    /// fail with [`io::ErrorKind::InvalidData`] on any mismatch.
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> io::Result<()>;
+}
+
+/// An [`io::ErrorKind::InvalidData`] error for malformed snapshots.
+pub fn snap_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Little-endian byte sink for [`Snapshot::save`].
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the serialized snapshot.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Open a section: a 4-byte ASCII tag plus a `u32` version.
+    pub fn section(&mut self, tag: [u8; 4], version: u32) {
+        self.buf.extend_from_slice(&tag);
+        self.put_u32(version);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i8` (two's complement byte).
+    pub fn put_i8(&mut self, v: i8) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append an `i16`, little-endian two's complement.
+    pub fn put_i16(&mut self, v: i16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64`, little-endian two's complement.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append an `f64` via its exact IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a collection length as a `u64`.
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+
+    /// Append raw bytes (length NOT prefixed; pair with [`Self::put_len`]).
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Cursor over a serialized snapshot for [`Snapshot::restore`].
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail unless every byte has been consumed (trailing garbage guard).
+    pub fn expect_end(&self) -> io::Result<()> {
+        if self.remaining() != 0 {
+            return Err(snap_err(format!(
+                "snapshot has {} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "snapshot truncated: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.remaining()
+                ),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Validate a section header written by [`SnapWriter::section`].
+    pub fn section(&mut self, tag: [u8; 4], version: u32) -> io::Result<()> {
+        let got: [u8; 4] = self.take(4)?.try_into().unwrap();
+        if got != tag {
+            return Err(snap_err(format!(
+                "snapshot section mismatch: expected {:?}, found {:?}",
+                String::from_utf8_lossy(&tag),
+                String::from_utf8_lossy(&got)
+            )));
+        }
+        let v = self.get_u32()?;
+        if v != version {
+            return Err(snap_err(format!(
+                "snapshot section {:?} version mismatch: expected {version}, found {v}",
+                String::from_utf8_lossy(&tag)
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`, little-endian.
+    pub fn get_u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`, little-endian.
+    pub fn get_u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`, little-endian.
+    pub fn get_u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `i8`.
+    pub fn get_i8(&mut self) -> io::Result<i8> {
+        Ok(self.take(1)?[0] as i8)
+    }
+
+    /// Read an `i16`, little-endian two's complement.
+    pub fn get_i16(&mut self) -> io::Result<i16> {
+        Ok(i16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read an `i64`, little-endian two's complement.
+    pub fn get_i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a bool; any byte other than 0/1 is malformed.
+    pub fn get_bool(&mut self) -> io::Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(snap_err(format!("snapshot bool has invalid value {b}"))),
+        }
+    }
+
+    /// Read an `f64` from its exact bit pattern.
+    pub fn get_f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a collection length, bounds-checked against the bytes actually
+    /// remaining (each element needs at least one byte), so a corrupt length
+    /// cannot trigger an absurd allocation.
+    pub fn get_len(&mut self) -> io::Result<usize> {
+        let n = self.get_u64()?;
+        if n > self.remaining() as u64 {
+            return Err(snap_err(format!(
+                "snapshot length {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read exactly `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.section(*b"TST0", 3);
+        w.put_u8(0xAB);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 7);
+        w.put_i8(-5);
+        w.put_i16(-12345);
+        w.put_i64(i64::MIN + 1);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_f64(-0.125);
+        w.put_len(3);
+        w.put_bytes(b"abc");
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes);
+        r.section(*b"TST0", 3).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.get_i8().unwrap(), -5);
+        assert_eq!(r.get_i16().unwrap(), -12345);
+        assert_eq!(r.get_i64().unwrap(), i64::MIN + 1);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_f64().unwrap(), -0.125);
+        let n = r.get_len().unwrap();
+        assert_eq!(r.get_bytes(n).unwrap(), b"abc");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn nan_bit_pattern_survives() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut w = SnapWriter::new();
+        w.put_f64(weird);
+        let bytes = w.into_bytes();
+        let got = SnapReader::new(&bytes).get_f64().unwrap();
+        assert_eq!(got.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn wrong_tag_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.section(*b"AAAA", 1);
+        let bytes = w.into_bytes();
+        let err = SnapReader::new(&bytes).section(*b"BBBB", 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.section(*b"AAAA", 1);
+        let bytes = w.into_bytes();
+        let err = SnapReader::new(&bytes).section(*b"AAAA", 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_is_unexpected_eof() {
+        let mut w = SnapWriter::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..5]);
+        let err = r.get_u64().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_without_allocation() {
+        let mut w = SnapWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let err = SnapReader::new(&bytes).get_len().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        let bytes = [7u8];
+        let err = SnapReader::new(&bytes).get_bool().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = SnapWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        r.get_u8().unwrap();
+        assert!(r.expect_end().is_err());
+        r.get_u8().unwrap();
+        r.expect_end().unwrap();
+    }
+}

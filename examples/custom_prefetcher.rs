@@ -71,8 +71,12 @@ fn main() {
         let kernel = kernel_by_name(name).expect("workload");
         let base = run_kernel(kernel.as_ref(), &PrefetcherKind::None, &cfg);
         let custom = run_custom(name, &cfg) / base.cpu.ipc();
-        let nl = run_kernel(kernel.as_ref(), &PrefetcherKind::NextLine, &cfg).speedup_over(&base);
-        let ctx = run_kernel(kernel.as_ref(), &PrefetcherKind::context(), &cfg).speedup_over(&base);
+        let nl = run_kernel(kernel.as_ref(), &PrefetcherKind::NextLine, &cfg)
+            .speedup_over(&base)
+            .expect("finite IPCs");
+        let ctx = run_kernel(kernel.as_ref(), &PrefetcherKind::context(), &cfg)
+            .speedup_over(&base)
+            .expect("finite IPCs");
         println!("{name:<12} {custom:>11.2}x {nl:>11.2}x {ctx:>11.2}x");
     }
     println!("\n(a 128-byte table buys decent streaming coverage; semantic patterns need the context prefetcher)");

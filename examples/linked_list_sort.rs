@@ -67,9 +67,12 @@ fn main() {
     println!("\nfull-size run ({} elements):", big.elems);
     println!(
         "  stride prefetcher: {:.2}x (no spatial pattern to find)",
-        stride.speedup_over(&base)
+        stride.speedup_over(&base).expect("finite IPCs")
     );
-    println!("  context prefetcher: {:.2}x", ctx.speedup_over(&base));
+    println!(
+        "  context prefetcher: {:.2}x",
+        ctx.speedup_over(&base).expect("finite IPCs")
+    );
     if let Some(l) = &ctx.learn {
         println!(
             "  context learned {} associations, {:.0}% prediction accuracy",

@@ -40,7 +40,10 @@ fn main() {
         baseline.l2_mpki(),
         context.l2_mpki()
     );
-    println!("\nspeedup: {:.2}x", context.speedup_over(&baseline));
+    println!(
+        "\nspeedup: {:.2}x",
+        context.speedup_over(&baseline).expect("finite IPCs")
+    );
 
     let learn = context.learn.expect("context prefetcher learning stats");
     println!(

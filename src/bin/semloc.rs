@@ -69,10 +69,10 @@ fn print_result(r: &RunResult, baseline: Option<&RunResult>) {
     println!("cycles:          {}", r.cpu.cycles);
     println!("IPC:             {:.3}", r.cpu.ipc());
     if let Some(b) = baseline {
-        println!(
-            "speedup:         {:.2}x over no prefetching",
-            r.speedup_over(b)
-        );
+        match r.speedup_over(b) {
+            Ok(s) => println!("speedup:         {s:.2}x over no prefetching"),
+            Err(e) => println!("speedup:         n/a ({e})"),
+        }
     }
     println!(
         "L1 MPKI:         {:.2}   L2 MPKI: {:.2}",
@@ -163,7 +163,7 @@ fn cmd_compare(kernel: &str, budget: u64) -> ExitCode {
             "{:<20} {:>8.3} {:>8.2}x {:>9.2} {:>9.2}",
             name,
             r.cpu.ipc(),
-            r.speedup_over(&base),
+            r.speedup_over(&base).unwrap_or(f64::NAN),
             r.l1_mpki(),
             r.l2_mpki()
         );

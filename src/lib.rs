@@ -29,7 +29,7 @@
 //! let kernel = kernel_by_name("list").expect("registered workload");
 //! let base = run_kernel(kernel.as_ref(), &PrefetcherKind::None, &cfg);
 //! let ctx = run_kernel(kernel.as_ref(), &PrefetcherKind::context(), &cfg);
-//! assert!(ctx.speedup_over(&base) > 0.5);
+//! assert!(ctx.speedup_over(&base).expect("finite IPCs") > 0.5);
 //! ```
 
 pub use semloc_bandit as bandit;

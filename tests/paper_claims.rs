@@ -21,7 +21,9 @@ fn context_beats_spatio_temporal_on_irregular_workloads() {
     for name in names {
         let k = kernel_by_name(name).unwrap();
         let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &c);
-        let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c).speedup_over(&base);
+        let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c)
+            .speedup_over(&base)
+            .expect("finite IPCs");
         let best_other = [
             PrefetcherKind::Stride,
             PrefetcherKind::GhbGdc,
@@ -29,7 +31,11 @@ fn context_beats_spatio_temporal_on_irregular_workloads() {
             PrefetcherKind::Sms,
         ]
         .iter()
-        .map(|pf| run_kernel(k.as_ref(), pf, &c).speedup_over(&base))
+        .map(|pf| {
+            run_kernel(k.as_ref(), pf, &c)
+                .speedup_over(&base)
+                .expect("finite IPCs")
+        })
         .fold(0.0f64, f64::max);
         if ctx > best_other {
             ctx_wins += 1;
@@ -126,11 +132,8 @@ fn context_helps_naive_linked_layouts() {
     let k = kernel_by_name("ssca2-list").unwrap();
     let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &c);
     let ctx = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c);
-    assert!(
-        ctx.speedup_over(&base) > 1.05,
-        "got {:.3}",
-        ctx.speedup_over(&base)
-    );
+    let s = ctx.speedup_over(&base).expect("finite IPCs");
+    assert!(s > 1.05, "got {s:.3}");
 }
 
 /// The reducer's dynamic feature selection matters (DESIGN ablation A2):
@@ -141,14 +144,17 @@ fn frozen_reducer_does_not_beat_adaptive() {
     let c = cfg();
     let k = kernel_by_name("list").unwrap();
     let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &c);
-    let adaptive = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c).speedup_over(&base);
+    let adaptive = run_kernel(k.as_ref(), &PrefetcherKind::context(), &c)
+        .speedup_over(&base)
+        .expect("finite IPCs");
     let frozen_cfg = ContextConfig {
         freeze_reducer: true,
         initial_active: 1, // IP only, fixed
         ..ContextConfig::default()
     };
-    let frozen =
-        run_kernel(k.as_ref(), &PrefetcherKind::Context(frozen_cfg), &c).speedup_over(&base);
+    let frozen = run_kernel(k.as_ref(), &PrefetcherKind::Context(frozen_cfg), &c)
+        .speedup_over(&base)
+        .expect("finite IPCs");
     assert!(
         adaptive >= frozen * 0.95,
         "adaptive {adaptive:.2} must not lose to frozen-IP-only {frozen:.2}"
