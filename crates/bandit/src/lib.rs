@@ -18,6 +18,9 @@
 //! * [`MultiArmedBandit`] — the classical model the paper generalizes,
 //!   kept here for reference, tests and examples.
 
+// Mirror of semloc-lint rule D3 (no-unwrap); D1/D2 are mirrored via clippy.toml.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod mab;
 pub mod policy;
 pub mod reward;

@@ -73,6 +73,7 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
     /// Insert `action` with score 0 if not already present. When full, the
     /// replacement policy selects a victim. Returns the evicted action and
     /// its score, if any.
+    #[allow(clippy::expect_used)]
     pub fn insert(&mut self, action: A) -> Option<(A, i8)> {
         self.clock = self.clock.wrapping_add(1);
         if self.slots.iter().any(|s| s.action == action) {
@@ -94,6 +95,7 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
                 .enumerate()
                 .min_by_key(|(_, s)| s.score)
                 .map(|(i, _)| i)
+                // semloc-lint: allow(no-unwrap): eviction path only runs when the set is full
                 .expect("full set is non-empty"),
             Replacement::Fifo => self
                 .slots
@@ -101,6 +103,7 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
                 .enumerate()
                 .min_by_key(|(_, s)| s.inserted_at)
                 .map(|(i, _)| i)
+                // semloc-lint: allow(no-unwrap): eviction path only runs when the set is full
                 .expect("full set is non-empty"),
         };
         let evicted = (self.slots[victim].action, self.slots[victim].score);
@@ -299,7 +302,7 @@ mod tests {
         s.insert(5);
         s.insert(6);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             seen.insert(s.random(&mut rng).unwrap());
         }

@@ -17,6 +17,9 @@
 //! All of them implement [`semloc_mem::Prefetcher`] and are storage-scaled
 //! to the context prefetcher's budget, as the paper scales its competitors.
 
+// Mirror of semloc-lint rule D3 (no-unwrap); D1/D2 are mirrored via clippy.toml.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod ghb;
 pub mod markov;
 pub mod next_line;

@@ -107,6 +107,7 @@ impl Prefetcher for SmsPrefetcher {
         "sms"
     }
 
+    #[allow(clippy::expect_used)]
     fn on_access(
         &mut self,
         ctx: &AccessContext,
@@ -136,6 +137,7 @@ impl Prefetcher for SmsPrefetcher {
                     .enumerate()
                     .min_by_key(|(_, g)| g.last_use)
                     .map(|(i, _)| i)
+                    // semloc-lint: allow(no-unwrap): len >= agt_capacity >= 1 was just checked
                     .expect("AGT at capacity is non-empty");
                 let done = self.agt.swap_remove(oldest);
                 self.archive(done);
@@ -167,6 +169,7 @@ impl Prefetcher for SmsPrefetcher {
                 .enumerate()
                 .min_by_key(|(_, g)| g.last_use)
                 .map(|(i, _)| i)
+                // semloc-lint: allow(no-unwrap): len >= filter_capacity >= 1 was just checked
                 .expect("filter at capacity is non-empty");
             let done = self.filter.swap_remove(oldest);
             self.archive(done);
@@ -346,7 +349,7 @@ mod tests {
         out.clear();
         let fresh = 0xC00_0000 + 7 * 64; // same trigger offset (7)
         p.on_access(&ctx(0x500, fresh), pressure(), &mut out);
-        let addrs: std::collections::HashSet<u64> = out.iter().map(|r| r.addr).collect();
+        let addrs: std::collections::BTreeSet<u64> = out.iter().map(|r| r.addr).collect();
         assert_eq!(
             addrs,
             [0xC00_0000 + 64, 0xC00_0000 + 4 * 64].into_iter().collect()

@@ -15,6 +15,9 @@
 //! implementations. Run with `cargo run --release -p semloc-bench --bin
 //! bench_compare [hotpath.json] [trace.json] [ckpt.json]`.
 
+// Wall-clock timing is this binary's purpose (semloc-lint rule D2 exempts the bench crate).
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;

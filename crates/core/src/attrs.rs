@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn order_contains_each_attribute_once() {
-        let set: std::collections::HashSet<_> = Attr::ORDER.iter().collect();
+        let set: std::collections::BTreeSet<_> = Attr::ORDER.iter().collect();
         assert_eq!(set.len(), Attr::COUNT);
     }
 

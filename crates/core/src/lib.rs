@@ -40,6 +40,9 @@
 //! assert!(mem.prefetcher().storage_bytes() < 40 * 1024);
 //! ```
 
+// Mirror of semloc-lint rule D3 (no-unwrap); D1/D2 are mirrored via clippy.toml.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod attrs;
 pub mod config;
 pub mod cst;

@@ -36,6 +36,7 @@ impl Occupancy {
     }
 
     /// Earliest cycle ≥ `at` when a slot is free; drains freed entries.
+    #[allow(clippy::expect_used)]
     fn admit(&mut self, mut at: Cycle) -> Cycle {
         while let Some(&Reverse(t)) = self.free_times.peek() {
             if t <= at {
@@ -45,6 +46,7 @@ impl Occupancy {
             }
         }
         if self.free_times.len() >= self.capacity {
+            // semloc-lint: allow(no-unwrap): len >= capacity >= 1 was just checked
             let Reverse(t) = self.free_times.pop().expect("non-empty at capacity");
             at = at.max(t);
             // Entries freed between the old `at` and the new one.
@@ -225,10 +227,12 @@ impl<P: Prefetcher> Cpu<P> {
         r
     }
 
+    #[allow(clippy::expect_used)]
     fn step(&mut self, instr: Instr) {
         // Structural lower bound: the ROB must have room.
         let mut floor = 0;
         if self.rob.len() >= self.cfg.rob_size {
+            // semloc-lint: allow(no-unwrap): len >= rob_size >= 1 was just checked
             floor = self.rob.pop_front().expect("ROB non-empty at capacity");
         }
         let d0 = self.dispatch_cycle.max(self.fetch_resume).max(floor);

@@ -19,6 +19,9 @@
 //! The core implements [`TraceSink`], so a workload kernel drives it
 //! directly and no trace is ever materialized.
 
+// Mirror of semloc-lint rule D3 (no-unwrap); D1/D2 are mirrored via clippy.toml.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod bpred;
 pub mod config;
 pub mod core;

@@ -145,6 +145,6 @@ fn branch_history_feeds_contexts() {
     let histories = &c.mem().prefetcher().0;
     assert_eq!(histories.len(), 8);
     // Histories must differ over time (the BHR shifts each branch).
-    let distinct: std::collections::HashSet<_> = histories.iter().collect();
+    let distinct: std::collections::BTreeSet<_> = histories.iter().collect();
     assert!(distinct.len() >= 4, "BHR must evolve, saw {distinct:?}");
 }

@@ -16,6 +16,9 @@
 //! `bench_compare` tool builds `BENCH_hotpath.json` from its own runs, but
 //! any harness invocation can be captured the same way.
 
+// Wall-clock timing is this crate's purpose (semloc-lint rule D2 exempts bench/criterion).
+#![allow(clippy::disallowed_methods)]
+
 use std::hint::black_box;
 use std::io::Write as _;
 use std::time::{Duration, Instant};

@@ -243,7 +243,7 @@ mod tests {
     fn ablations_are_distinct_and_valid() {
         let variants = ablation_variants();
         assert!(variants.len() >= 6);
-        let names: std::collections::HashSet<_> = variants.iter().map(|v| v.name).collect();
+        let names: std::collections::BTreeSet<_> = variants.iter().map(|v| v.name).collect();
         assert_eq!(names.len(), variants.len());
         for v in &variants {
             v.config.validate();

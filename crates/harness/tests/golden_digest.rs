@@ -18,6 +18,22 @@
 //! If a future change *intends* to alter simulation behaviour, update
 //! [`GOLDEN`] with the value printed by the failing assertion and record
 //! why in CHANGES.md.
+//!
+//! **Why iteration order is part of this contract.** The digest folds
+//! every counter of every cell, and several of those counters are fed by
+//! code that *walks* containers: prefetch emission order decides MSHR
+//! occupancy and which request gets rejected under pressure, eviction
+//! scans decide which line a stats bump lands on, and the RNG stream is
+//! consumed in whatever order exploration draws are made. A
+//! `std::collections::HashMap`/`HashSet` randomizes its iteration order
+//! per *process*, so a single order-sensitive walk of one would make this
+//! digest differ between two runs of the same binary — the failure would
+//! look like flakiness, not like the layout bug it is. That is exactly
+//! what `semloc-lint` rule D1 (`no-std-hash-collections`) bans from
+//! sim-state crates; the two allowed exceptions (the prefetch queue's
+//! fixed-seed block index, the harness's keyed-only memo maps) are argued
+//! inline at their declarations and re-audited by the lint on every CI
+//! run.
 
 use std::sync::Arc;
 

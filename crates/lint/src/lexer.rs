@@ -1,0 +1,480 @@
+//! A lightweight Rust lexer: just enough to tokenize real-world Rust for
+//! line-oriented static analysis without any dependencies.
+//!
+//! The lexer's one job is to never misclassify *where code is*: rule
+//! matching happens on the token stream, so anything that looks like a
+//! violation inside a string literal, a (possibly nested) block comment, a
+//! raw string, or a doc comment must not produce tokens. It also collects
+//! `// semloc-lint: allow(...)` suppression pragmas with the line they
+//! govern, and it is the substrate for the `#[cfg(test)]` scope tracker in
+//! [`crate::scopes`].
+//!
+//! Deliberate simplifications (documented, tested):
+//!
+//! * Numeric literals keep their value only when they are plain integers
+//!   (decimal / hex / octal / binary, `_` separators, type suffixes); float
+//!   and malformed literals become valueless number tokens.
+//! * Raw identifiers (`r#fn`) lex as an `r` identifier followed by punct —
+//!   harmless, since no rule matches on `r`.
+//! * Macro bodies are lexed like ordinary code (conservative: a `panic!`
+//!   inside `macro_rules!` counts as a panic site).
+
+/// One lexical token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token kind. Literal *contents* are deliberately dropped: rules must
+/// never match inside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`.`, `!`, `{`, `<`, ...).
+    Punct(char),
+    /// Integer literal, with its value when it parses as `u64`.
+    Int(Option<u64>),
+    /// Any other literal: string, raw string, byte string, char, float.
+    Lit,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+}
+
+/// A `// semloc-lint: allow(rule, ...)` pragma found while lexing.
+///
+/// `line` is the line the comment sits on; the suppression applies to
+/// findings on that line and on the immediately following line (so the
+/// pragma can trail the offending expression or sit on its own line just
+/// above it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowPragma {
+    pub line: u32,
+    pub rules: Vec<String>,
+}
+
+/// Lexer output: the token stream plus every suppression pragma seen.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    pub tokens: Vec<Token>,
+    pub pragmas: Vec<AllowPragma>,
+}
+
+/// Tokenize `src`, collecting suppression pragmas along the way.
+pub fn lex(src: &str) -> LexOut {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexOut,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: LexOut::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, maintaining line/column. Multi-byte UTF-8
+    /// continuation bytes do not advance the column, so columns stay
+    /// *approximately* right in the presence of non-ASCII source.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: Tok, line: u32, col: u32) {
+        self.out.tokens.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> LexOut {
+        while let Some(b) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(Tok::Lit, line, col);
+                }
+                b'\'' => self.char_or_lifetime(line, col),
+                b'r' | b'b' if self.raw_or_byte_literal(line, col) => {}
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(line, col),
+                b'0'..=b'9' => self.number(line, col),
+                _ => {
+                    self.bump();
+                    // Multi-byte UTF-8 puncts are rare and never rule
+                    // targets; collapse them to their lead byte as char.
+                    self.push(Tok::Punct(b as char), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `// ...` including doc comments. Pragmas are only honored in plain
+    /// `//` comments (a doc comment describing the pragma syntax must not
+    /// accidentally suppress findings).
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+        let body = text.trim_start_matches('/');
+        let is_doc = text.starts_with("///") || text.starts_with("//!");
+        if !is_doc {
+            if let Some(p) = parse_pragma(body, line) {
+                self.out.pragmas.push(p);
+            }
+        }
+    }
+
+    /// `/* ... */` with nesting (Rust block comments nest).
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Body of a `"..."` string (opening quote already consumed).
+    fn string_body(&mut self) {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// `'a'` / `'\n'` char literals vs `'a` lifetimes.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume the backslash and the
+                // escaped character, then scan to the closing quote
+                // (covers \u{...} of any length and \' itself).
+                self.bump();
+                self.bump();
+                while let Some(b) = self.bump() {
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Lit, line, col);
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 => {
+                // `'x'` is a char literal; `'x` followed by anything else
+                // is a lifetime.
+                if self.peek(1) == Some(b'\'') && c != b'_' {
+                    self.bump();
+                    self.bump();
+                    self.push(Tok::Lit, line, col);
+                } else if self.peek(1) == Some(b'\'') {
+                    // `'_'` — the underscore char literal.
+                    self.bump();
+                    self.bump();
+                    self.push(Tok::Lit, line, col);
+                } else {
+                    while let Some(b) = self.peek(0) {
+                        if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Lifetime, line, col);
+                }
+            }
+            _ => {
+                // Punctuation char literal such as '(' or '\''-less junk;
+                // consume one char and an optional closing quote.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(Tok::Lit, line, col);
+            }
+        }
+    }
+
+    /// Try to lex `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`
+    /// starting at an `r`/`b`. Returns false if it is just an identifier.
+    fn raw_or_byte_literal(&mut self, line: u32, col: u32) -> bool {
+        let mut ahead = 1usize;
+        let first = self.peek(0);
+        if first == Some(b'b') {
+            match self.peek(1) {
+                Some(b'\'') => {
+                    // Byte char literal b'x' / b'\n'.
+                    self.bump();
+                    self.bump();
+                    if self.peek(0) == Some(b'\\') {
+                        self.bump();
+                    }
+                    while let Some(b) = self.bump() {
+                        if b == b'\'' {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Lit, line, col);
+                    return true;
+                }
+                Some(b'"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body();
+                    self.push(Tok::Lit, line, col);
+                    return true;
+                }
+                Some(b'r') => ahead = 2,
+                _ => return false,
+            }
+        }
+        // At `r` (ahead = 1) or `br` (ahead = 2): raw string?
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some(b'"') {
+            return false;
+        }
+        for _ in 0..(ahead + hashes + 1) {
+            self.bump();
+        }
+        // Scan for `"` followed by `hashes` hashes.
+        'scan: while let Some(b) = self.bump() {
+            if b == b'"' {
+                for h in 0..hashes {
+                    if self.peek(h) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Tok::Lit, line, col);
+        true
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or("")
+            .to_string();
+        self.push(Tok::Ident(s), line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                // `1.5` continues the literal; `0..n` and `1.max(..)` do not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+        self.push(Tok::Int(parse_int(text)), line, col);
+    }
+}
+
+/// Parse an integer literal's value: radix prefixes, `_` separators and
+/// type suffixes allowed. Returns `None` for floats or out-of-range values.
+fn parse_int(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(d) = clean.strip_prefix("0x").or(clean.strip_prefix("0X")) {
+        (16, d)
+    } else if let Some(d) = clean.strip_prefix("0o") {
+        (8, d)
+    } else if let Some(d) = clean.strip_prefix("0b") {
+        (2, d)
+    } else {
+        (10, clean.as_str())
+    };
+    // Strip a type suffix (usize, u64, i32, ...): cut at the first char
+    // that is not a digit of the radix.
+    let end = digits
+        .char_indices()
+        .find(|&(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(digits.len());
+    let (num, suffix) = digits.split_at(end);
+    const SUFFIXES: [&str; 12] = [
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    ];
+    if !suffix.is_empty() && !SUFFIXES.contains(&suffix) {
+        return None; // float (`5e3`, `2f64`) or malformed
+    }
+    u64::from_str_radix(num, radix).ok()
+}
+
+/// Parse `semloc-lint: allow(rule-a, rule-b): optional reason` from a
+/// comment body (leading slashes already stripped).
+fn parse_pragma(body: &str, line: u32) -> Option<AllowPragma> {
+    let body = body.trim_start();
+    let rest = body.strip_prefix("semloc-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    Some(AllowPragma { line, rules })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_idents() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap /* nested HashMap */ still comment */
+            let a = "HashMap::new()";
+            let b = r#"HashMap"#;
+            let c = b"HashMap";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_code() {
+        let ids = idents("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn char_literals_lex_as_literals() {
+        let toks = lex(r"let c = 'x'; let q = '\''; let u = '\u{1F600}'; let n = '_';").tokens;
+        let lits = toks.iter().filter(|t| t.kind == Tok::Lit).count();
+        assert_eq!(lits, 4);
+    }
+
+    #[test]
+    fn int_values_parse() {
+        let toks = lex("16 * 1024, 0x40, 2048usize, 1 << 11, 1_000, 1.5").tokens;
+        let ints: Vec<Option<u64>> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                Tok::Int(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ints,
+            vec![
+                Some(16),
+                Some(1024),
+                Some(0x40),
+                Some(2048),
+                Some(1),
+                Some(11),
+                Some(1000),
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn pragma_parses_with_reason() {
+        let out = lex("let x = m.get(k); // semloc-lint: allow(no-unwrap, d1): keyed access only");
+        assert_eq!(out.pragmas.len(), 1);
+        assert_eq!(out.pragmas[0].rules, vec!["no-unwrap", "d1"]);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_pragmas() {
+        let out = lex("/// semloc-lint: allow(no-unwrap)\nfn f() {}");
+        assert!(out.pragmas.is_empty());
+    }
+
+    #[test]
+    fn raw_ident_r_does_not_break_lexing() {
+        let ids = idents("let r#type = 1; let rx = r; HashMap");
+        assert!(ids.contains(&"HashMap".to_string()));
+    }
+}

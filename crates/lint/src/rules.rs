@@ -1,0 +1,951 @@
+//! The launch rule set: D1–D5.
+//!
+//! Each rule documents *why* it exists in its `explain` text (shown by
+//! `semloc-lint --explain <rule>`): the project's correctness story rests
+//! on bit-identical determinism (golden stat digests, the spec-vs-core
+//! differential oracle, checkpoint/restore fidelity), and these rules make
+//! the assumptions behind that story statically checkable.
+
+use crate::lexer::{Tok, Token};
+use crate::{FileKind, Finding, LexData, Severity, SourceFile};
+
+/// Crates holding simulation state: iteration order, panics and hidden
+/// state in these crates can silently break golden digests.
+pub const SIM_CRATES: &[&str] = &["core", "mem", "cpu", "bandit", "baselines", "spec", "trace"];
+
+/// Crates allowed to read wall-clock time (measurement harnesses).
+pub const WALL_CLOCK_CRATES: &[&str] = &["bench", "criterion"];
+
+/// Static description of one rule.
+pub struct RuleInfo {
+    /// Stable rule id, used in findings, pragmas and JSON output.
+    pub id: &'static str,
+    /// Short alias accepted in pragmas (`d1`..`d5`).
+    pub alias: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+    pub explain: &'static str,
+}
+
+/// The launch rule catalog.
+pub const RULES: [RuleInfo; 5] = [
+    RuleInfo {
+        id: "no-std-hash-collections",
+        alias: "d1",
+        severity: Severity::Deny,
+        summary: "sim-state crates must not use std HashMap/HashSet",
+        explain: "\
+std's HashMap/HashSet randomize their hash seed per process, so their
+iteration order differs between runs. Any map whose iteration order can
+reach statistics, prediction order, or serialized state silently breaks
+bit-identical reproducibility (golden digest 0xe1cb22f196f55582, the
+spec-vs-core differential oracle, checkpoint fidelity). In sim-state
+crates (core, mem, cpu, bandit, baselines, spec, trace), use BTreeMap,
+Vec, or index tables instead. A map that is provably keyed-access-only
+with a fixed-seed hasher may be kept with a pragma:
+  // semloc-lint: allow(no-std-hash-collections): <why order never leaks>
+Scope: library and binary code of sim crates; #[cfg(test)] code is exempt
+(tests only use hash sets for order-insensitive set equality).",
+    },
+    RuleInfo {
+        id: "no-wall-clock",
+        alias: "d2",
+        severity: Severity::Deny,
+        summary: "no Instant::now/SystemTime outside bench/criterion",
+        explain: "\
+Wall-clock reads make simulation output depend on host timing. The
+simulator models its own clock; only the measurement crates (bench,
+criterion) and benches/ targets may read real time. Everywhere else,
+Instant and SystemTime are denied — including test code, where a timing
+assertion would be flaky by construction.",
+    },
+    RuleInfo {
+        id: "no-unwrap",
+        alias: "d3",
+        severity: Severity::Deny,
+        summary: "no unwrap/expect/panic in sim-crate library code",
+        explain: "\
+A panic path in library code of a sim crate can take down a whole matrix
+run and, worse, hides the error taxonomy the harness relies on (typed
+io::Errors for snapshot/trace corruption, SpeedupError for degenerate
+stats). Library (non-test, non-bin) code of sim crates must return typed
+errors or use infallible indexing. Flagged: .unwrap(), .expect(),
+panic!, unreachable!, todo!, unimplemented!. Not flagged: assert!
+(constructor precondition checks documented under '# Panics' are
+deliberate API contracts). Provably-unreachable sites keep a pragma with
+a one-line justification:
+  // semloc-lint: allow(no-unwrap): <the invariant that makes this safe>",
+    },
+    RuleInfo {
+        id: "snapshot-coverage",
+        alias: "d4",
+        severity: Severity::Deny,
+        summary: "every run-state struct must be checkpoint-covered and manifested",
+        explain: "\
+Checkpoint/restore (PR 4) only stays exact if *every* struct holding
+mutable run state participates in snapshotting. The source of truth is
+crates/lint/snapshot_manifest.txt: each entry names a sim-crate struct
+and its coverage mechanism ('snapshot' for `impl Snapshot for X`,
+'state' for a `fn save_state` override inside an `impl ... for X`
+block). The rule fails when (a) a manifest entry has no matching
+coverage in its crate, (b) a covered struct is missing from the
+manifest, or (c) — heuristic, warn-level — a non-test struct embeds a
+manifested state type in its fields without being covered itself, which
+is how new state silently escapes checkpointing. Fix (c) by
+implementing Snapshot and adding the struct to the manifest, or pragma
+the declaration if the field is genuinely derived/transient state:
+  // semloc-lint: allow(snapshot-coverage): <why this is not run state>",
+    },
+    RuleInfo {
+        id: "paper-constants",
+        alias: "d5",
+        severity: Severity::Deny,
+        summary: "Table 2 structural constants must match the paper",
+        explain: "\
+The paper (Peled et al., ISCA 2015, Table 2) fixes the prefetcher's
+structural constants: 2K-entry CST with 4 links, 16K-entry reducer (8x
+the CST), 50-entry history queue, 128-entry prefetch queue, and the
+18-50-access bell reward window. Experiments and docs all assume these
+defaults; silent drift would invalidate every pinned figure. The rule
+re-parses crates/core/src/config.rs (Default impl), crates/core/src/cst.rs
+(LINKS), crates/spec/src/tables.rs (SPEC_LINKS) and
+crates/bandit/src/reward.rs (BellReward::new literals in paper_default)
+and checks the values, power-of-two table sizes, the reducer = 8x CST
+ratio, and that the bell window fits inside the history queue. A
+deliberate sweep default may be annotated:
+  // semloc-lint: allow(paper-constants): <why the default departs>",
+    },
+];
+
+/// Look up a rule by id or alias.
+pub fn rule(id_or_alias: &str) -> Option<&'static RuleInfo> {
+    RULES
+        .iter()
+        .find(|r| r.id == id_or_alias || r.alias == id_or_alias)
+}
+
+fn is_sim_crate(file: &SourceFile) -> bool {
+    file.crate_dir
+        .as_deref()
+        .is_some_and(|c| SIM_CRATES.contains(&c))
+}
+
+/// D1–D3: single-file token rules. `lexed` must come from `file.content`.
+pub fn check_file(file: &SourceFile, lexed: &LexData) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &lexed.tokens;
+    let d1_applies = is_sim_crate(file) && matches!(file.kind, FileKind::LibSrc | FileKind::Bin);
+    let d2_applies = !file
+        .crate_dir
+        .as_deref()
+        .is_some_and(|c| WALL_CLOCK_CRATES.contains(&c))
+        && file.kind != FileKind::Benches;
+    let d3_applies = is_sim_crate(file) && file.kind == FileKind::LibSrc;
+
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.kind else { continue };
+        let in_test = lexed.test_mask[i];
+
+        if d1_applies && !in_test && (name == "HashMap" || name == "HashSet") {
+            out.push(Finding::new(
+                "no-std-hash-collections",
+                Severity::Deny,
+                file,
+                t,
+                format!(
+                    "std::collections::{name} in sim-state crate `{}`: iteration order is \
+                     nondeterministic; use BTreeMap/Vec/an index table, or pragma a \
+                     provably keyed-access-only fixed-seed map",
+                    file.crate_dir.as_deref().unwrap_or("?")
+                ),
+            ));
+        }
+
+        if d2_applies && (name == "Instant" || name == "SystemTime") {
+            out.push(Finding::new(
+                "no-wall-clock",
+                Severity::Deny,
+                file,
+                t,
+                format!("wall-clock type `{name}` outside bench/criterion: simulation output must not depend on host time"),
+            ));
+        }
+
+        if d3_applies && !in_test {
+            let prev_dot = i > 0 && toks[i - 1].kind == Tok::Punct('.');
+            let next = toks.get(i + 1).map(|t| &t.kind);
+            let next_paren = next == Some(&Tok::Punct('('));
+            let next_bang = next == Some(&Tok::Punct('!'));
+            let hit = match name.as_str() {
+                "unwrap" | "expect" => prev_dot && next_paren,
+                "panic" | "unreachable" | "todo" | "unimplemented" => next_bang,
+                _ => false,
+            };
+            if hit {
+                let display = if next_bang {
+                    format!("{name}!")
+                } else {
+                    format!(".{name}()")
+                };
+                out.push(Finding::new(
+                    "no-unwrap",
+                    Severity::Deny,
+                    file,
+                    t,
+                    format!(
+                        "`{display}` in sim-crate library code: return a typed error or use \
+                         infallible indexing; pragma only with a one-line invariant justification"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D4: snapshot coverage
+// ---------------------------------------------------------------------------
+
+/// Coverage mechanism named in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// `impl Snapshot for X` (crates/trace/src/snap.rs trait).
+    Snapshot,
+    /// `fn save_state` override inside an `impl ... for X` block
+    /// (the `Prefetcher` trait's state hooks).
+    State,
+}
+
+impl Mechanism {
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::Snapshot => "snapshot",
+            Mechanism::State => "state",
+        }
+    }
+}
+
+/// One `crate/Struct mechanism` line of the manifest.
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    pub crate_dir: String,
+    pub name: String,
+    pub mechanism: Mechanism,
+    pub line: u32,
+}
+
+/// Parse `snapshot_manifest.txt`. Malformed lines become findings.
+pub fn parse_manifest(text: &str, path: &str) -> (Vec<ManifestEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut parts = l.split_whitespace();
+        let target = parts.next().unwrap_or("");
+        let mech = parts.next().unwrap_or("");
+        let mechanism = match mech {
+            "snapshot" => Some(Mechanism::Snapshot),
+            "state" => Some(Mechanism::State),
+            _ => None,
+        };
+        match (target.split_once('/'), mechanism) {
+            (Some((c, n)), Some(m)) if !c.is_empty() && !n.is_empty() => {
+                entries.push(ManifestEntry {
+                    crate_dir: c.to_string(),
+                    name: n.to_string(),
+                    mechanism: m,
+                    line,
+                });
+            }
+            _ => findings.push(Finding {
+                rule: "snapshot-coverage",
+                severity: Severity::Deny,
+                file: path.to_string(),
+                line,
+                col: 1,
+                message: format!(
+                    "malformed manifest line `{l}`: expected `crate/Struct snapshot|state`"
+                ),
+            }),
+        }
+    }
+    (entries, findings)
+}
+
+/// A struct declaration found in a sim crate (non-test code).
+#[derive(Debug)]
+struct StructDecl {
+    crate_dir: String,
+    name: String,
+    file: String,
+    line: u32,
+    col: u32,
+    /// Uppercase-initial identifiers appearing in the field list.
+    field_types: Vec<String>,
+}
+
+/// A type covered by one of the two mechanisms.
+#[derive(Debug)]
+struct Coverage {
+    crate_dir: String,
+    name: String,
+    mechanism: Mechanism,
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+/// D4: cross-file snapshot-coverage check over all sim-crate library files.
+pub fn check_snapshot_coverage(
+    files: &[(&SourceFile, &LexData)],
+    manifest: &[ManifestEntry],
+    manifest_path: &str,
+) -> Vec<Finding> {
+    let mut structs: Vec<StructDecl> = Vec::new();
+    let mut covered: Vec<Coverage> = Vec::new();
+
+    for (file, lexed) in files {
+        if !is_sim_crate(file) || file.kind != FileKind::LibSrc {
+            continue;
+        }
+        let crate_dir = file.crate_dir.clone().unwrap_or_default();
+        collect_structs(file, lexed, &crate_dir, &mut structs);
+        collect_coverage(file, lexed, &crate_dir, &mut covered);
+    }
+
+    let mut out = Vec::new();
+
+    // (a) Every manifest entry must be covered, by the declared mechanism.
+    for e in manifest {
+        match covered
+            .iter()
+            .find(|c| c.crate_dir == e.crate_dir && c.name == e.name)
+        {
+            None => out.push(Finding {
+                rule: "snapshot-coverage",
+                severity: Severity::Deny,
+                file: manifest_path.to_string(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "manifest entry {}/{} has no `impl Snapshot`/`fn save_state` coverage in crate `{}` — \
+                     state struct lost its checkpointing, or the manifest is stale",
+                    e.crate_dir, e.name, e.crate_dir
+                ),
+            }),
+            Some(c) if c.mechanism != e.mechanism => out.push(Finding {
+                rule: "snapshot-coverage",
+                severity: Severity::Deny,
+                file: manifest_path.to_string(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "manifest entry {}/{} declares mechanism `{}` but the code covers it via `{}` — update the manifest",
+                    e.crate_dir,
+                    e.name,
+                    e.mechanism.label(),
+                    c.mechanism.label()
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    // (b) Every covered struct declared in a sim crate must be manifested.
+    for c in &covered {
+        let declared_here = structs
+            .iter()
+            .any(|s| s.crate_dir == c.crate_dir && s.name == c.name);
+        let manifested = manifest
+            .iter()
+            .any(|e| e.crate_dir == c.crate_dir && e.name == c.name);
+        if declared_here && !manifested {
+            out.push(Finding {
+                rule: "snapshot-coverage",
+                severity: Severity::Deny,
+                file: c.file.clone(),
+                line: c.line,
+                col: c.col,
+                message: format!(
+                    "{}/{} implements {} coverage but is missing from {} — add `{}/{} {}` so coverage is tracked",
+                    c.crate_dir,
+                    c.name,
+                    c.mechanism.label(),
+                    manifest_path,
+                    c.crate_dir,
+                    c.name,
+                    c.mechanism.label()
+                ),
+            });
+        }
+    }
+
+    // (c) Heuristic: a struct embedding a manifested state type must itself
+    // be covered (new state must not escape checkpointing by composition).
+    let manifest_names: Vec<&str> = manifest.iter().map(|e| e.name.as_str()).collect();
+    for s in &structs {
+        let embeds: Vec<&str> = s
+            .field_types
+            .iter()
+            .map(|t| t.as_str())
+            .filter(|t| manifest_names.contains(t))
+            .collect();
+        if embeds.is_empty() {
+            continue;
+        }
+        let is_covered = covered
+            .iter()
+            .any(|c| c.crate_dir == s.crate_dir && c.name == s.name);
+        let manifested = manifest
+            .iter()
+            .any(|e| e.crate_dir == s.crate_dir && e.name == s.name);
+        if !is_covered && !manifested {
+            out.push(Finding {
+                rule: "snapshot-coverage",
+                severity: Severity::Warn,
+                file: s.file.clone(),
+                line: s.line,
+                col: s.col,
+                message: format!(
+                    "struct {}/{} embeds checkpointed state ({}) but is not snapshot-covered — \
+                     implement Snapshot (or a save_state override) and add it to the manifest, \
+                     or pragma the declaration if the field is derived/transient",
+                    s.crate_dir,
+                    s.name,
+                    embeds.join(", ")
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+/// Collect non-test struct declarations with their field-type identifiers.
+fn collect_structs(file: &SourceFile, lexed: &LexData, crate_dir: &str, out: &mut Vec<StructDecl>) {
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if lexed.test_mask[i] || toks[i].kind != Tok::Ident("struct".into()) {
+            i += 1;
+            continue;
+        }
+        let Some(Token {
+            kind: Tok::Ident(name),
+            line,
+            col,
+        }) = toks.get(i + 1)
+        else {
+            i += 1;
+            continue;
+        };
+        let mut j = i + 2;
+        // Skip generic parameters.
+        if matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
+            j = skip_angles(toks, j);
+        }
+        // Skip a where clause up to the body.
+        while j < toks.len()
+            && !matches!(
+                toks[j].kind,
+                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct(';')
+            )
+        {
+            j += 1;
+        }
+        let mut field_types = Vec::new();
+        match toks.get(j).map(|t| &t.kind) {
+            Some(Tok::Punct('{')) => {
+                let end = matching(toks, j, '{', '}');
+                for t in &toks[j..end] {
+                    if let Tok::Ident(s) = &t.kind {
+                        if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                            field_types.push(s.clone());
+                        }
+                    }
+                }
+                i = end;
+            }
+            Some(Tok::Punct('(')) => {
+                let end = matching(toks, j, '(', ')');
+                for t in &toks[j..end] {
+                    if let Tok::Ident(s) = &t.kind {
+                        if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                            field_types.push(s.clone());
+                        }
+                    }
+                }
+                i = end;
+            }
+            _ => i = j,
+        }
+        out.push(StructDecl {
+            crate_dir: crate_dir.to_string(),
+            name: name.clone(),
+            file: file.rel_path.clone(),
+            line: *line,
+            col: *col,
+            field_types,
+        });
+    }
+}
+
+/// Collect coverage sites: `impl Snapshot for X` and `fn save_state`
+/// overrides inside `impl ... for X` blocks (non-test code only).
+fn collect_coverage(file: &SourceFile, lexed: &LexData, crate_dir: &str, out: &mut Vec<Coverage>) {
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if lexed.test_mask[i] || toks[i].kind != Tok::Ident("impl".into()) {
+            i += 1;
+            continue;
+        }
+        let impl_tok = &toks[i];
+        let mut j = i + 1;
+        if matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
+            j = skip_angles(toks, j);
+        }
+        // Collect the header: path idents up to `for`, then the target path.
+        let mut trait_last: Option<&str> = None;
+        let mut target_last: Option<&str> = None;
+        let mut past_for = false;
+        while j < toks.len() {
+            match &toks[j].kind {
+                Tok::Ident(s) if s == "for" => past_for = true,
+                Tok::Ident(s) if s == "where" => break,
+                Tok::Punct('{') => break,
+                Tok::Punct('<') => {
+                    j = skip_angles(toks, j);
+                    continue;
+                }
+                Tok::Ident(s) => {
+                    if past_for {
+                        target_last = Some(s);
+                    } else {
+                        trait_last = Some(s);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Punct('{'))) {
+            i = j;
+            continue;
+        }
+        let end = matching(toks, j, '{', '}');
+        if let (true, Some(target)) = (past_for, target_last) {
+            let is_snapshot_impl = trait_last == Some("Snapshot");
+            let has_save_state = (j..end).any(|k| {
+                toks[k].kind == Tok::Ident("fn".into())
+                    && toks.get(k + 1).map(|t| &t.kind) == Some(&Tok::Ident("save_state".into()))
+            });
+            let mechanism = if is_snapshot_impl {
+                Some(Mechanism::Snapshot)
+            } else if has_save_state {
+                Some(Mechanism::State)
+            } else {
+                None
+            };
+            if let Some(mechanism) = mechanism {
+                out.push(Coverage {
+                    crate_dir: crate_dir.to_string(),
+                    name: target.to_string(),
+                    mechanism,
+                    file: file.rel_path.clone(),
+                    line: impl_tok.line,
+                    col: impl_tok.col,
+                });
+            }
+        }
+        i = end;
+    }
+}
+
+/// Index just past the `>` matching the `<` at `open`. `->` arrows and
+/// comparison-like stray `>` are tolerated via the `-` lookbehind.
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].kind {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                let arrow = j > 0 && toks[j - 1].kind == Tok::Punct('-');
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index just past the closer matching the opener at `open`.
+fn matching(toks: &[Token], open: usize, op: char, cl: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].kind == Tok::Punct(op) {
+            depth += 1;
+        } else if toks[j].kind == Tok::Punct(cl) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+// ---------------------------------------------------------------------------
+// D5: paper constants
+// ---------------------------------------------------------------------------
+
+/// Expected Table 2 values (see the rule's `explain` text).
+const CONFIG_EXPECTED: [(&str, u64); 4] = [
+    ("cst_entries", 2048),
+    ("reducer_entries", 16 * 1024),
+    ("history_len", 50),
+    ("pfq_len", 128),
+];
+
+/// D5: verify the paper's structural constants in the four anchor files.
+pub fn check_paper_constants(files: &[(&SourceFile, &LexData)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let find = |suffix: &str| {
+        files
+            .iter()
+            .find(|(f, _)| f.rel_path.ends_with(suffix))
+            .copied()
+    };
+
+    let mut history_len: Option<u64> = None;
+    let mut bell_hi: Option<(u64, String, u32)> = None;
+
+    match find("core/src/config.rs") {
+        None => out.push(missing_anchor("crates/core/src/config.rs")),
+        Some((file, lexed)) => {
+            let mut values: Vec<(u64, u64, u32, u32)> = Vec::new(); // (idx into CONFIG_EXPECTED, value, line, col)
+            for (k, (name, _)) in CONFIG_EXPECTED.iter().enumerate() {
+                for occ in literal_field_values(lexed, name) {
+                    values.push((k as u64, occ.0, occ.1, occ.2));
+                }
+            }
+            for (k, (name, expected)) in CONFIG_EXPECTED.iter().enumerate() {
+                let occs: Vec<_> = values.iter().filter(|v| v.0 == k as u64).collect();
+                if occs.is_empty() {
+                    out.push(Finding {
+                        rule: "paper-constants",
+                        severity: Severity::Deny,
+                        file: file.rel_path.clone(),
+                        line: 1,
+                        col: 1,
+                        message: format!(
+                            "could not find a literal default for `{name}` — the D5 anchor moved; \
+                             update semloc-lint's paper-constant table"
+                        ),
+                    });
+                    continue;
+                }
+                for &&(_, value, line, col) in &occs {
+                    if *name == "history_len" {
+                        history_len = Some(value);
+                    }
+                    let pow2_field = *name == "cst_entries" || *name == "reducer_entries";
+                    if value != *expected {
+                        out.push(Finding {
+                            rule: "paper-constants",
+                            severity: Severity::Deny,
+                            file: file.rel_path.clone(),
+                            line,
+                            col,
+                            message: format!(
+                                "`{name}` defaults to {value}, but Table 2 fixes it at {expected}; \
+                                 pragma the line if this is a deliberate sweep default"
+                            ),
+                        });
+                    } else if pow2_field && !value.is_power_of_two() {
+                        out.push(Finding {
+                            rule: "paper-constants",
+                            severity: Severity::Deny,
+                            file: file.rel_path.clone(),
+                            line,
+                            col,
+                            message: format!("`{name}` = {value} must be a power of two"),
+                        });
+                    }
+                }
+            }
+            // Reducer = 8x CST (Table 2: 16K over 2K).
+            let get = |k: usize| {
+                values
+                    .iter()
+                    .find(|v| v.0 == k as u64)
+                    .map(|&(_, v, l, c)| (v, l, c))
+            };
+            if let (Some((cst, _, _)), Some((red, line, col))) = (get(0), get(1)) {
+                if red != cst * 8 {
+                    out.push(Finding {
+                        rule: "paper-constants",
+                        severity: Severity::Deny,
+                        file: file.rel_path.clone(),
+                        line,
+                        col,
+                        message: format!(
+                            "reducer_entries ({red}) must be 8x cst_entries ({cst}) per Table 2"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    for (suffix, konst) in [
+        ("core/src/cst.rs", "LINKS"),
+        ("spec/src/tables.rs", "SPEC_LINKS"),
+    ] {
+        match find(suffix) {
+            None => out.push(missing_anchor(suffix)),
+            Some((file, lexed)) => match const_value(lexed, konst) {
+                None => out.push(Finding {
+                    rule: "paper-constants",
+                    severity: Severity::Deny,
+                    file: file.rel_path.clone(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "could not find `const {konst}` — the D5 anchor moved; update semloc-lint"
+                    ),
+                }),
+                Some((v, line, col)) if v != 4 => out.push(Finding {
+                    rule: "paper-constants",
+                    severity: Severity::Deny,
+                    file: file.rel_path.clone(),
+                    line,
+                    col,
+                    message: format!(
+                        "`{konst}` = {v}, but the paper's CST stores 4 links per entry"
+                    ),
+                }),
+                Some(_) => {}
+            },
+        }
+    }
+
+    match find("bandit/src/reward.rs") {
+        None => out.push(missing_anchor("crates/bandit/src/reward.rs")),
+        Some((file, lexed)) => {
+            let calls = literal_ctor_args(lexed, "BellReward");
+            if calls.is_empty() {
+                out.push(Finding {
+                    rule: "paper-constants",
+                    severity: Severity::Deny,
+                    file: file.rel_path.clone(),
+                    line: 1,
+                    col: 1,
+                    message: "could not find a literal BellReward::new(lo, hi, ..) — the D5 \
+                              anchor moved; update semloc-lint"
+                        .into(),
+                });
+            }
+            for (args, line, col) in calls {
+                if args.len() >= 2 && (args[0], args[1]) != (18, 50) {
+                    out.push(Finding {
+                        rule: "paper-constants",
+                        severity: Severity::Deny,
+                        file: file.rel_path.clone(),
+                        line,
+                        col,
+                        message: format!(
+                            "bell reward window ({}, {}) departs from the paper's 18-50 accesses \
+                             (Fig 5 / §7.1); pragma if deliberate",
+                            args[0], args[1]
+                        ),
+                    });
+                } else if args.len() >= 2 {
+                    bell_hi = Some((args[1], file.rel_path.clone(), line));
+                }
+            }
+        }
+    }
+
+    if let (Some(hist), Some((hi, file, line))) = (history_len, bell_hi) {
+        if hi > hist {
+            out.push(Finding {
+                rule: "paper-constants",
+                severity: Severity::Deny,
+                file,
+                line,
+                col: 1,
+                message: format!(
+                    "bell window upper edge ({hi}) exceeds the history queue depth ({hist}): \
+                     late hits could never be observed or rewarded"
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+fn missing_anchor(path: &str) -> Finding {
+    Finding {
+        rule: "paper-constants",
+        severity: Severity::Deny,
+        file: path.to_string(),
+        line: 1,
+        col: 1,
+        message: "D5 anchor file missing from the workspace scan".into(),
+    }
+}
+
+/// All `name: <int expr>` occurrences in non-test code, with the evaluated
+/// value (supports `a * b` and `a << b`). Type ascriptions (`name: usize`)
+/// are skipped because they do not evaluate.
+fn literal_field_values(lexed: &LexData, name: &str) -> Vec<(u64, u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if lexed.test_mask[i] || toks[i].kind != Tok::Ident(name.into()) {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| &t.kind) != Some(&Tok::Punct(':')) {
+            continue;
+        }
+        // `::` means a path, not a field init.
+        if toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct(':')) {
+            continue;
+        }
+        if let Some(v) = eval_int_expr(toks, i + 2) {
+            out.push((v, toks[i].line, toks[i].col));
+        }
+    }
+    out
+}
+
+/// Value of `const NAME ... = <int expr>`, if present in non-test code.
+fn const_value(lexed: &LexData, name: &str) -> Option<(u64, u32, u32)> {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if lexed.test_mask[i]
+            || toks[i].kind != Tok::Ident(name.into())
+            || i == 0
+            || !matches!(&toks[i - 1].kind, Tok::Ident(k) if k == "const")
+        {
+            continue;
+        }
+        let mut j = i + 1;
+        while j < toks.len() && toks[j].kind != Tok::Punct('=') && toks[j].kind != Tok::Punct(';') {
+            j += 1;
+        }
+        if toks.get(j).map(|t| &t.kind) == Some(&Tok::Punct('=')) {
+            if let Some(v) = eval_int_expr(toks, j + 1) {
+                return Some((v, toks[i].line, toks[i].col));
+            }
+        }
+    }
+    None
+}
+
+/// All-literal argument lists of `Type::new(...)` calls in non-test code.
+fn literal_ctor_args(lexed: &LexData, ty: &str) -> Vec<(Vec<u64>, u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if lexed.test_mask[i] || toks[i].kind != Tok::Ident(ty.into()) {
+            continue;
+        }
+        let shape = [
+            toks.get(i + 1).map(|t| &t.kind),
+            toks.get(i + 2).map(|t| &t.kind),
+            toks.get(i + 3).map(|t| &t.kind),
+            toks.get(i + 4).map(|t| &t.kind),
+        ];
+        let (a, b, c, d) = (&shape[0], &shape[1], &shape[2], &shape[3]);
+        if *a != Some(&Tok::Punct(':'))
+            || *b != Some(&Tok::Punct(':'))
+            || *c != Some(&Tok::Ident("new".into()))
+            || *d != Some(&Tok::Punct('('))
+        {
+            continue;
+        }
+        // Parse leading literal args; stop at the first non-literal.
+        let mut args = Vec::new();
+        let mut j = i + 5;
+        loop {
+            match toks.get(j).map(|t| &t.kind) {
+                Some(Tok::Punct('-')) => {
+                    // Negative literal: record magnitude 0 placeholder —
+                    // only the first two (unsigned window) args matter.
+                    j += 2;
+                    args.push(u64::MAX);
+                }
+                Some(Tok::Int(Some(v))) => {
+                    args.push(*v);
+                    j += 1;
+                }
+                _ => break,
+            }
+            match toks.get(j).map(|t| &t.kind) {
+                Some(Tok::Punct(',')) => j += 1,
+                _ => break,
+            }
+        }
+        if !args.is_empty() {
+            out.push((args, toks[i].line, toks[i].col));
+        }
+    }
+    out
+}
+
+/// Evaluate `Int (('*' | '<<') Int)*` starting at `start`. Returns `None`
+/// if the expression is anything else (identifiers, calls, floats).
+fn eval_int_expr(toks: &[Token], start: usize) -> Option<u64> {
+    let Tok::Int(Some(mut acc)) = toks.get(start)?.kind else {
+        return None;
+    };
+    let mut j = start + 1;
+    loop {
+        match toks.get(j).map(|t| &t.kind) {
+            Some(Tok::Punct('*')) => {
+                let Some(Token {
+                    kind: Tok::Int(Some(v)),
+                    ..
+                }) = toks.get(j + 1)
+                else {
+                    return None;
+                };
+                acc = acc.checked_mul(*v)?;
+                j += 2;
+            }
+            Some(Tok::Punct('<')) if toks.get(j + 1).map(|t| &t.kind) == Some(&Tok::Punct('<')) => {
+                let Some(Token {
+                    kind: Tok::Int(Some(v)),
+                    ..
+                }) = toks.get(j + 2)
+                else {
+                    return None;
+                };
+                acc = acc.checked_shl(*v as u32)?;
+                j += 3;
+            }
+            // A field init ends at `,` or `}`; a const ends at `;`.
+            Some(Tok::Punct(',')) | Some(Tok::Punct(';')) | Some(Tok::Punct('}')) | None => {
+                return Some(acc)
+            }
+            _ => return None,
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Per-rule fixture tests: every rule fires on a seeded violation with the
+//! right rule id, file and line, stays quiet on conforming code, and honors
+//! `// semloc-lint: allow(...)` pragmas.
+
+use semloc_lint::rules::{check_paper_constants, check_snapshot_coverage, parse_manifest, rule};
+use semloc_lint::{
+    lint, lint_source, to_json, FileKind, Finding, LexData, LintReport, Severity, SourceFile,
+    Workspace,
+};
+use std::path::PathBuf;
+
+fn fixture(crate_dir: &str, kind: FileKind, content: &str) -> SourceFile {
+    let sub = match kind {
+        FileKind::LibSrc => "src/fixture.rs",
+        FileKind::Bin => "src/bin/fixture.rs",
+        FileKind::TestsDir => "tests/fixture.rs",
+        FileKind::Benches => "benches/fixture.rs",
+        FileKind::Examples => "examples/fixture.rs",
+    };
+    SourceFile::fixture(
+        crate_dir,
+        kind,
+        &format!("crates/{crate_dir}/{sub}"),
+        content,
+    )
+}
+
+fn findings_for(crate_dir: &str, kind: FileKind, content: &str) -> Vec<Finding> {
+    lint_source(&fixture(crate_dir, kind, content))
+}
+
+#[track_caller]
+fn assert_fires(findings: &[Finding], rule_id: &str, line: u32) {
+    assert!(
+        findings.iter().any(|f| f.rule == rule_id && f.line == line),
+        "expected {rule_id} at line {line}, got: {findings:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// D1: no-std-hash-collections
+// ---------------------------------------------------------------------------
+
+#[test]
+fn d1_fires_on_hashmap_in_sim_lib() {
+    let f = findings_for(
+        "core",
+        FileKind::LibSrc,
+        "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u64> }\n",
+    );
+    assert_fires(&f, "no-std-hash-collections", 1);
+    assert_fires(&f, "no-std-hash-collections", 2);
+    assert!(f.iter().all(|x| x.severity == Severity::Deny));
+}
+
+#[test]
+fn d1_fires_in_sim_bins_too() {
+    let f = findings_for(
+        "core",
+        FileKind::Bin,
+        "fn main() { let _ = std::collections::HashSet::<u64>::new(); }\n",
+    );
+    assert_fires(&f, "no-std-hash-collections", 1);
+}
+
+#[test]
+fn d1_quiet_on_btree_and_non_sim_crates() {
+    assert!(findings_for(
+        "core",
+        FileKind::LibSrc,
+        "use std::collections::BTreeMap;\nstruct S { m: BTreeMap<u64, u64> }\n",
+    )
+    .is_empty());
+    // The harness crate is not sim state: HashMap is allowed there.
+    assert!(findings_for(
+        "harness",
+        FileKind::LibSrc,
+        "use std::collections::HashMap;\n",
+    )
+    .is_empty());
+}
+
+#[test]
+fn d1_exempts_cfg_test_code() {
+    let src = "pub fn f() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   use std::collections::HashSet;\n\
+               \x20   #[test]\n\
+               \x20   fn t() { let _ = HashSet::<u64>::new(); }\n\
+               }\n";
+    assert!(findings_for("core", FileKind::LibSrc, src).is_empty());
+    // Integration tests are test code wholesale.
+    assert!(findings_for(
+        "core",
+        FileKind::TestsDir,
+        "use std::collections::HashMap;\n",
+    )
+    .is_empty());
+}
+
+#[test]
+fn d1_ident_must_match_exactly_and_strings_are_ignored() {
+    let src = "struct MyHashMapLike;\nconst DOC: &str = \"HashMap\"; // HashMap in comment\n";
+    assert!(findings_for("core", FileKind::LibSrc, src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// D2: no-wall-clock
+// ---------------------------------------------------------------------------
+
+#[test]
+fn d2_fires_on_instant_and_system_time() {
+    let f = findings_for(
+        "core",
+        FileKind::LibSrc,
+        "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\nfn g() { let _ = std::time::SystemTime::now(); }\n",
+    );
+    assert_fires(&f, "no-wall-clock", 1);
+    assert_fires(&f, "no-wall-clock", 2);
+    assert_fires(&f, "no-wall-clock", 3);
+}
+
+#[test]
+fn d2_applies_even_in_test_code() {
+    // A wall-clock assertion in a test is flaky by construction.
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+    let f = findings_for("harness", FileKind::LibSrc, src);
+    assert_fires(&f, "no-wall-clock", 4);
+}
+
+#[test]
+fn d2_exempts_bench_crates_and_bench_targets() {
+    let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+    assert!(findings_for("bench", FileKind::LibSrc, src).is_empty());
+    assert!(findings_for("criterion", FileKind::LibSrc, src).is_empty());
+    assert!(findings_for("core", FileKind::Benches, src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// D3: no-unwrap
+// ---------------------------------------------------------------------------
+
+#[test]
+fn d3_fires_on_unwrap_expect_and_panics() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               fn g(x: Option<u32>) -> u32 { x.expect(\"boom\") }\n\
+               fn h() { panic!(\"no\") }\n\
+               fn i() { unreachable!() }\n\
+               fn j() { todo!() }\n\
+               fn k() { unimplemented!() }\n";
+    let f = findings_for("mem", FileKind::LibSrc, src);
+    for line in 1..=6 {
+        assert_fires(&f, "no-unwrap", line);
+    }
+}
+
+#[test]
+fn d3_scope_is_sim_lib_only() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    // Bins may panic (CLI error handling), tests/examples are exempt, and
+    // non-sim crates are out of scope.
+    assert!(findings_for("core", FileKind::Bin, src).is_empty());
+    assert!(findings_for("core", FileKind::TestsDir, src).is_empty());
+    assert!(findings_for("core", FileKind::Examples, src).is_empty());
+    assert!(findings_for("harness", FileKind::LibSrc, src).is_empty());
+}
+
+#[test]
+fn d3_does_not_flag_lookalikes() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n\
+               fn g(x: Option<u32>) -> u32 { x.unwrap_or(7) }\n\
+               fn h(v: u64) { assert!(v > 0, \"precondition\"); }\n\
+               fn unwrap(x: u32) -> u32 { x }\n";
+    assert!(findings_for("mem", FileKind::LibSrc, src).is_empty());
+}
+
+#[test]
+fn d3_exempts_cfg_test_fns_and_modules() {
+    let src = "pub fn lib() {}\n\
+               #[test]\n\
+               fn t() { None::<u32>.unwrap(); }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   pub fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               }\n";
+    assert!(findings_for("spec", FileKind::LibSrc, src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pragma_suppresses_own_line_and_next_line() {
+    let own = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // semloc-lint: allow(no-unwrap): test\n";
+    assert!(findings_for("core", FileKind::LibSrc, own).is_empty());
+
+    let above = "// semloc-lint: allow(no-unwrap): caller checked\n\
+                 fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(findings_for("core", FileKind::LibSrc, above).is_empty());
+}
+
+#[test]
+fn pragma_does_not_reach_two_lines_down() {
+    let src = "// semloc-lint: allow(no-unwrap): too far away\n\
+               fn pad() {}\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let f = findings_for("core", FileKind::LibSrc, src);
+    assert_fires(&f, "no-unwrap", 3);
+}
+
+#[test]
+fn pragma_is_rule_scoped() {
+    // A D1 pragma does not excuse a D3 violation on the same line.
+    let src = "// semloc-lint: allow(no-std-hash-collections): wrong rule\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let f = findings_for("core", FileKind::LibSrc, src);
+    assert_fires(&f, "no-unwrap", 2);
+}
+
+#[test]
+fn pragma_accepts_aliases_and_all() {
+    let alias = "// semloc-lint: allow(d3): alias form\n\
+                 fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(findings_for("core", FileKind::LibSrc, alias).is_empty());
+
+    let all = "// semloc-lint: allow(all): kitchen sink\n\
+               fn f() { let _ = std::collections::HashMap::<u8, u8>::new(); }\n";
+    assert!(findings_for("core", FileKind::LibSrc, all).is_empty());
+}
+
+#[test]
+fn doc_comments_never_carry_pragmas() {
+    // A doc comment quoting the pragma syntax must not suppress anything.
+    let src = "/// semloc-lint: allow(no-unwrap): just documentation\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let f = findings_for("core", FileKind::LibSrc, src);
+    assert_fires(&f, "no-unwrap", 2);
+}
+
+// ---------------------------------------------------------------------------
+// D4: snapshot-coverage
+// ---------------------------------------------------------------------------
+
+fn d4_run(manifest_text: &str, files: &[SourceFile]) -> Vec<Finding> {
+    let (manifest, mut findings) = parse_manifest(manifest_text, "manifest.txt");
+    let lexed: Vec<LexData> = files.iter().map(|f| LexData::of(&f.content)).collect();
+    let pairs: Vec<(&SourceFile, &LexData)> = files.iter().zip(lexed.iter()).collect();
+    findings.extend(check_snapshot_coverage(&pairs, &manifest, "manifest.txt"));
+    findings
+}
+
+const COVERED: &str = "pub struct Table { v: Vec<u64> }\n\
+                       impl Snapshot for Table {\n\
+                       \x20   fn save(&self, _w: &mut W) {}\n\
+                       }\n";
+
+#[test]
+fn d4_clean_when_manifest_and_coverage_agree() {
+    let files = [fixture("core", FileKind::LibSrc, COVERED)];
+    assert!(d4_run("core/Table snapshot\n", &files).is_empty());
+}
+
+#[test]
+fn d4_fires_when_manifest_entry_loses_coverage() {
+    let files = [fixture(
+        "core",
+        FileKind::LibSrc,
+        "pub struct Table { v: Vec<u64> }\n",
+    )];
+    let f = d4_run("core/Table snapshot\n", &files);
+    assert_fires(&f, "snapshot-coverage", 1);
+    assert!(f[0].file == "manifest.txt", "{f:?}");
+}
+
+#[test]
+fn d4_fires_on_mechanism_mismatch() {
+    let files = [fixture("core", FileKind::LibSrc, COVERED)];
+    let f = d4_run("core/Table state\n", &files);
+    assert_fires(&f, "snapshot-coverage", 1);
+    assert!(f[0].message.contains("mechanism"), "{f:?}");
+}
+
+#[test]
+fn d4_fires_when_coverage_is_unmanifested() {
+    let files = [fixture("core", FileKind::LibSrc, COVERED)];
+    let f = d4_run("", &files);
+    // Reported at the impl site, inside the fixture file.
+    assert_fires(&f, "snapshot-coverage", 2);
+    assert!(f[0].file.ends_with("src/fixture.rs"), "{f:?}");
+}
+
+#[test]
+fn d4_save_state_override_counts_as_state_mechanism() {
+    let src = "pub struct P { n: u64 }\n\
+               impl Prefetcher for P {\n\
+               \x20   fn save_state(&self, _w: &mut W) {}\n\
+               }\n";
+    let files = [fixture("baselines", FileKind::LibSrc, src)];
+    assert!(d4_run("baselines/P state\n", &files).is_empty());
+}
+
+#[test]
+fn d4_composition_heuristic_warns() {
+    let src = "pub struct Table { v: Vec<u64> }\n\
+               impl Snapshot for Table { fn save(&self) {} }\n\
+               pub struct Wrapper { inner: Table }\n";
+    let files = [fixture("core", FileKind::LibSrc, src)];
+    let f = d4_run("core/Table snapshot\n", &files);
+    assert_fires(&f, "snapshot-coverage", 3);
+    let w = f.iter().find(|x| x.line == 3).unwrap();
+    assert_eq!(w.severity, Severity::Warn, "heuristic is warn-level");
+    assert!(w.message.contains("Wrapper"), "{w:?}");
+}
+
+#[test]
+fn d4_malformed_manifest_line_is_a_deny_finding() {
+    let f = d4_run("core/Table teleport\n", &[]);
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "snapshot-coverage" && x.severity == Severity::Deny),
+        "{f:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// D5: paper-constants
+// ---------------------------------------------------------------------------
+
+const GOOD_CONFIG: &str = "impl Default for ContextConfig {\n\
+    \x20   fn default() -> Self {\n\
+    \x20       ContextConfig {\n\
+    \x20           cst_entries: 2048,\n\
+    \x20           reducer_entries: 16 * 1024,\n\
+    \x20           history_len: 50,\n\
+    \x20           pfq_len: 128,\n\
+    \x20       }\n\
+    \x20   }\n\
+    }\n";
+const GOOD_CST: &str = "pub const LINKS: usize = 4;\n";
+const GOOD_SPEC: &str = "pub const SPEC_LINKS: usize = 4;\n";
+const GOOD_REWARD: &str =
+    "pub fn paper_default() -> BellReward { BellReward::new(18, 50, 16, -8, -4) }\n";
+
+fn d5_anchors(config: &str, cst: &str, spec: &str, reward: &str) -> Vec<SourceFile> {
+    vec![
+        SourceFile::fixture(
+            "core",
+            FileKind::LibSrc,
+            "crates/core/src/config.rs",
+            config,
+        ),
+        SourceFile::fixture("core", FileKind::LibSrc, "crates/core/src/cst.rs", cst),
+        SourceFile::fixture("spec", FileKind::LibSrc, "crates/spec/src/tables.rs", spec),
+        SourceFile::fixture(
+            "bandit",
+            FileKind::LibSrc,
+            "crates/bandit/src/reward.rs",
+            reward,
+        ),
+    ]
+}
+
+fn d5_run(files: &[SourceFile]) -> Vec<Finding> {
+    let lexed: Vec<LexData> = files.iter().map(|f| LexData::of(&f.content)).collect();
+    let pairs: Vec<(&SourceFile, &LexData)> = files.iter().zip(lexed.iter()).collect();
+    check_paper_constants(&pairs)
+}
+
+#[test]
+fn d5_clean_on_table2_values() {
+    let files = d5_anchors(GOOD_CONFIG, GOOD_CST, GOOD_SPEC, GOOD_REWARD);
+    assert!(d5_run(&files).is_empty());
+}
+
+#[test]
+fn d5_fires_on_drifted_config_value() {
+    let bad = GOOD_CONFIG.replace("history_len: 50", "history_len: 49");
+    let files = d5_anchors(&bad, GOOD_CST, GOOD_SPEC, GOOD_REWARD);
+    let f = d5_run(&files);
+    // history_len sits on line 6 of the fixture, and 49 also breaks the
+    // bell-window-fits-in-history invariant (hi = 50 > 49).
+    assert_fires(&f, "paper-constants", 6);
+    assert!(f.iter().any(|x| x.message.contains("49")), "{f:?}");
+}
+
+#[test]
+fn d5_fires_on_broken_reducer_ratio() {
+    let bad = GOOD_CONFIG.replace("reducer_entries: 16 * 1024", "reducer_entries: 4096");
+    let files = d5_anchors(&bad, GOOD_CST, GOOD_SPEC, GOOD_REWARD);
+    let f = d5_run(&files);
+    assert!(
+        f.iter().any(|x| x.message.contains("8x")),
+        "expected the 8x-ratio finding, got {f:?}"
+    );
+}
+
+#[test]
+fn d5_fires_on_wrong_link_count() {
+    let files = d5_anchors(
+        GOOD_CONFIG,
+        "pub const LINKS: usize = 8;\n",
+        GOOD_SPEC,
+        GOOD_REWARD,
+    );
+    let f = d5_run(&files);
+    assert_fires(&f, "paper-constants", 1);
+    assert!(f.iter().any(|x| x.file.ends_with("cst.rs")), "{f:?}");
+}
+
+#[test]
+fn d5_fires_on_shifted_bell_window() {
+    let bad = GOOD_REWARD.replace("new(18, 50", "new(10, 60");
+    let files = d5_anchors(GOOD_CONFIG, GOOD_CST, GOOD_SPEC, &bad);
+    let f = d5_run(&files);
+    assert!(
+        f.iter().any(|x| x.message.contains("18-50")),
+        "expected the bell-window finding, got {f:?}"
+    );
+}
+
+#[test]
+fn d5_fires_when_anchor_goes_missing() {
+    let files = d5_anchors(GOOD_CONFIG, GOOD_CST, GOOD_SPEC, GOOD_REWARD);
+    let f = d5_run(&files[..3]);
+    assert!(
+        f.iter().any(|x| x.file.contains("reward.rs")),
+        "missing anchor must be reported, got {f:?}"
+    );
+}
+
+#[test]
+fn d5_understands_const_expressions() {
+    // `16 * 1024` and `1 << 11` must evaluate, not silently skip.
+    let shifted = GOOD_CONFIG.replace("cst_entries: 2048", "cst_entries: 1 << 11");
+    let files = d5_anchors(&shifted, GOOD_CST, GOOD_SPEC, GOOD_REWARD);
+    assert!(d5_run(&files).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: seeded violations through `lint()` + JSON shape
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_workspace_fires_all_five_rules_with_positions() {
+    let mut files = d5_anchors(
+        GOOD_CONFIG,
+        "pub const LINKS: usize = 8;\n", // D5 violation, cst.rs line 1
+        GOOD_SPEC,
+        GOOD_REWARD,
+    );
+    files.push(SourceFile::fixture(
+        "mem",
+        FileKind::LibSrc,
+        "crates/mem/src/bad.rs",
+        "use std::collections::HashMap;\n\
+         fn f() { let _ = std::time::Instant::now(); }\n\
+         fn g(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    ));
+    let (manifest, manifest_findings) = parse_manifest("mem/Ghost snapshot\n", "manifest.txt");
+    let ws = Workspace {
+        root: PathBuf::from("."),
+        files,
+        manifest,
+        manifest_findings,
+        manifest_path: "manifest.txt".into(),
+    };
+    let report = lint(&ws);
+
+    let expect = [
+        ("no-std-hash-collections", "crates/mem/src/bad.rs", 1),
+        ("no-wall-clock", "crates/mem/src/bad.rs", 2),
+        ("no-unwrap", "crates/mem/src/bad.rs", 3),
+        ("snapshot-coverage", "manifest.txt", 1),
+        ("paper-constants", "crates/core/src/cst.rs", 1),
+    ];
+    for (rule_id, file, line) in expect {
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == rule_id && f.file == file && f.line == line),
+            "expected {rule_id} at {file}:{line}, got: {:?}",
+            report.findings
+        );
+    }
+
+    // Findings are sorted by (file, line, col, rule) for stable output.
+    let keys: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.col, f.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+
+    // JSON shape: stable top-level keys, one entry per finding, valid
+    // per-rule counts.
+    let json = to_json(&report);
+    for key in [
+        "\"version\": 1",
+        "\"files_scanned\": 5",
+        "\"rule_count\": 5",
+        "\"pragmas_honored\"",
+        "\"deny_findings\"",
+        "\"warn_findings\"",
+        "\"counts\"",
+        "\"findings\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in JSON:\n{json}");
+    }
+    assert_eq!(
+        json.matches("{\"rule\": ").count(),
+        report.findings.len(),
+        "one JSON object per finding"
+    );
+    for (rule_id, _, _) in expect {
+        assert!(json.contains(&format!("\"rule\": \"{rule_id}\"")));
+    }
+}
+
+#[test]
+fn rule_lookup_resolves_ids_and_aliases() {
+    for (id, alias) in [
+        ("no-std-hash-collections", "d1"),
+        ("no-wall-clock", "d2"),
+        ("no-unwrap", "d3"),
+        ("snapshot-coverage", "d4"),
+        ("paper-constants", "d5"),
+    ] {
+        assert_eq!(rule(id).unwrap().id, id);
+        assert_eq!(rule(alias).unwrap().id, id);
+        assert!(!rule(id).unwrap().explain.is_empty());
+    }
+    assert!(rule("no-such-rule").is_none());
+}
+
+#[test]
+fn empty_report_serializes_cleanly() {
+    let report = LintReport {
+        findings: Vec::new(),
+        files_scanned: 0,
+        pragmas_honored: 0,
+    };
+    let json = to_json(&report);
+    assert!(json.contains("\"deny_findings\": 0"));
+    assert!(json.contains("\"findings\": []"), "{json}");
+}

@@ -1,0 +1,84 @@
+//! Meta-test: semloc-lint, run over this very workspace, must be clean.
+//!
+//! This is the enforcement teeth of the lint crate — a regression here
+//! means someone introduced a determinism hazard (or forgot the pragma +
+//! justification that argues why a site is safe). CI runs the same check
+//! via `cargo run -p semloc-lint -- --deny-all`.
+
+use semloc_lint::{lint, load_workspace};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("lint crate sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let ws = load_workspace(&workspace_root()).expect("workspace loads");
+    let report = lint(&ws);
+    assert!(
+        report.findings.is_empty(),
+        "semloc-lint found {} violation(s) in the workspace:\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_scan_covers_the_tree() {
+    let ws = load_workspace(&workspace_root()).expect("workspace loads");
+    // Sanity-check the walker: all sim crates, the umbrella crate, and the
+    // manifest must actually be in the scan — an empty scan passing the
+    // zero-findings test would be vacuous.
+    assert!(
+        ws.files.len() > 100,
+        "only {} files scanned — walker lost a directory?",
+        ws.files.len()
+    );
+    for needle in [
+        "src/lib.rs",
+        "crates/core/src/pfq.rs",
+        "crates/mem/src/cache.rs",
+        "crates/cpu/src/core.rs",
+        "crates/bandit/src/reward.rs",
+        "crates/baselines/src/sms.rs",
+        "crates/spec/src/tables.rs",
+        "crates/trace/src/snap.rs",
+        "crates/harness/src/engine.rs",
+        "tests/end_to_end.rs",
+    ] {
+        assert!(
+            ws.files.iter().any(|f| f.rel_path == needle),
+            "{needle} missing from the scan"
+        );
+    }
+    assert!(
+        ws.manifest.len() >= 20,
+        "snapshot manifest lost entries: {}",
+        ws.manifest.len()
+    );
+    assert!(ws.manifest_findings.is_empty(), "manifest must parse clean");
+}
+
+#[test]
+fn vendored_stubs_are_not_scanned() {
+    let ws = load_workspace(&workspace_root()).expect("workspace loads");
+    assert!(
+        !ws.files
+            .iter()
+            .any(|f| f.rel_path.starts_with("crates/rand/")
+                || f.rel_path.starts_with("crates/proptest/")
+                || f.rel_path.starts_with("crates/criterion/")),
+        "vendor stubs mirror external APIs and must stay out of the scan"
+    );
+}

@@ -177,6 +177,7 @@ impl Cache {
     /// Insert the line containing `addr`, becoming ready at `ready_at`.
     /// Returns what was evicted.
     #[inline]
+    #[allow(clippy::expect_used)]
     pub fn fill(&mut self, addr: Addr, ready_at: Cycle, prefetched: bool, dirty: bool) -> Eviction {
         self.tick += 1;
         let tick = self.tick;
@@ -204,6 +205,7 @@ impl Cache {
         let victim = ways
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            // semloc-lint: allow(no-unwrap): associativity is validated > 0 at construction
             .expect("cache set has at least one way");
         let ev = Eviction {
             valid: victim.valid,

@@ -22,6 +22,9 @@
 //! behaviour the out-of-order core needs to extract memory-level
 //! parallelism.
 
+// Mirror of semloc-lint rule D3 (no-unwrap); D1/D2 are mirrored via clippy.toml.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod cache;
 pub mod classify;
 pub mod config;

@@ -317,7 +317,7 @@ mod tests {
     fn oneof_draws_every_option() {
         let mut rng = TestRng::for_test("oneof");
         let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..64 {
             seen.insert(s.generate(&mut rng));
         }

@@ -24,6 +24,9 @@
 //! * **Clarity over speed.** Everything is a linear scan; the spec is
 //!   only expected to keep up with test-sized streams.
 
+// Mirror of semloc-lint rule D3 (no-unwrap); D1/D2 are mirrored via clippy.toml.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod prefetcher;
 pub mod tables;
 

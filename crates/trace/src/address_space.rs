@@ -21,7 +21,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::Addr;
 
@@ -63,10 +63,12 @@ pub struct AddressSpace {
     rng: StdRng,
     brk: Addr,
     allocated: u64,
-    /// Free slots per size class (Scatter).
-    bags: HashMap<u64, Vec<Addr>>,
+    /// Free slots per size class (Scatter). Keyed by size class; a BTreeMap
+    /// keeps any future iteration deterministic (rule D1) — the randomized
+    /// part of scatter placement lives in the seeded shuffle, not the map.
+    bags: BTreeMap<u64, Vec<Addr>>,
     /// Bump cursor and slab end per size class (Pools).
-    pools: HashMap<u64, (Addr, Addr)>,
+    pools: BTreeMap<u64, (Addr, Addr)>,
 }
 
 impl AddressSpace {
@@ -77,8 +79,8 @@ impl AddressSpace {
             rng: StdRng::seed_from_u64(seed ^ 0x5ee1_0c8a_11e5_7a11),
             brk: HEAP_BASE,
             allocated: 0,
-            bags: HashMap::new(),
-            pools: HashMap::new(),
+            bags: BTreeMap::new(),
+            pools: BTreeMap::new(),
         }
     }
 
@@ -124,6 +126,7 @@ impl AddressSpace {
         a
     }
 
+    #[allow(clippy::expect_used)]
     fn scatter(&mut self, class: u64) -> Addr {
         let bag = self.bags.entry(class).or_default();
         if bag.is_empty() {
@@ -133,6 +136,7 @@ impl AddressSpace {
             bag.extend((0..slots).map(|i| base + i * class));
             bag.shuffle(&mut self.rng);
         }
+        // semloc-lint: allow(no-unwrap): the refill above banked `slots >= 1` addresses
         bag.pop().expect("slab refill produced at least one slot")
     }
 

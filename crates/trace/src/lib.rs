@@ -32,6 +32,9 @@
 //! assert_eq!(sink.instrs().len(), 1);
 //! ```
 
+// Mirror of semloc-lint rule D3 (no-unwrap); D1/D2 are mirrored via clippy.toml.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod address_space;
 pub mod buffer;
 pub mod context;

@@ -173,9 +173,18 @@ impl<'a> SnapReader<'a> {
         Ok(s)
     }
 
+    /// [`SnapReader::take`] into a fixed-size array: the only failure mode
+    /// is truncation (typed EOF error) — the length match is by
+    /// construction, so no unwrap is needed at the call sites.
+    fn take_array<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N)?);
+        Ok(a)
+    }
+
     /// Validate a section header written by [`SnapWriter::section`].
     pub fn section(&mut self, tag: [u8; 4], version: u32) -> io::Result<()> {
-        let got: [u8; 4] = self.take(4)?.try_into().unwrap();
+        let got: [u8; 4] = self.take_array()?;
         if got != tag {
             return Err(snap_err(format!(
                 "snapshot section mismatch: expected {:?}, found {:?}",
@@ -200,17 +209,17 @@ impl<'a> SnapReader<'a> {
 
     /// Read a `u16`, little-endian.
     pub fn get_u16(&mut self) -> io::Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Read a `u32`, little-endian.
     pub fn get_u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a `u64`, little-endian.
     pub fn get_u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read an `i8`.
@@ -220,12 +229,12 @@ impl<'a> SnapReader<'a> {
 
     /// Read an `i16`, little-endian two's complement.
     pub fn get_i16(&mut self) -> io::Result<i16> {
-        Ok(i16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(i16::from_le_bytes(self.take_array()?))
     }
 
     /// Read an `i64`, little-endian two's complement.
     pub fn get_i64(&mut self) -> io::Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     /// Read a bool; any byte other than 0/1 is malformed.

@@ -111,7 +111,7 @@ mod tests {
             Suite::Hpcs,
             Suite::Micro,
         ];
-        let set: std::collections::HashSet<_> = all.iter().map(|s| s.label()).collect();
+        let set: std::collections::BTreeSet<_> = all.iter().map(|s| s.label()).collect();
         assert_eq!(set.len(), all.len());
     }
 }

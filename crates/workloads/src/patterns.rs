@@ -319,7 +319,7 @@ mod tests {
             assert_eq!(w[0].1, w[1].0, "link value must be the next node address");
         }
         // And the traversal covers every node exactly once per lap.
-        let visited: std::collections::HashSet<u64> = loads.iter().map(|&(a, _)| a).collect();
+        let visited: std::collections::BTreeSet<u64> = loads.iter().map(|&(a, _)| a).collect();
         assert_eq!(visited.len(), chain.len());
     }
 

@@ -109,14 +109,14 @@ mod tests {
     #[test]
     fn registry_has_unique_names() {
         let names: Vec<_> = all_kernels().iter().map(|k| k.name()).collect();
-        let set: std::collections::HashSet<_> = names.iter().collect();
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
         assert_eq!(names.len(), 31);
     }
 
     #[test]
     fn suites_are_all_represented() {
-        let suites: std::collections::HashSet<_> =
+        let suites: std::collections::BTreeSet<_> =
             all_kernels().iter().map(|k| k.suite()).collect();
         assert_eq!(suites.len(), 5);
     }

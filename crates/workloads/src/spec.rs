@@ -358,7 +358,7 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        let set: std::collections::HashSet<_> = names.iter().collect();
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), 16, "duplicate names");
     }
 

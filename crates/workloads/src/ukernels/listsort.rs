@@ -124,7 +124,7 @@ mod tests {
         // Collect the hinted link-load address sequence; the list head is
         // walked on every insertion, so the most frequent addresses repeat
         // many times.
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for i in sink.instrs() {
             if let InstrKind::Load {
                 addr,

@@ -142,7 +142,7 @@ mod tests {
             seed: 1,
         }
         .run(&mut sink);
-        let mut tids = std::collections::HashSet::new();
+        let mut tids = std::collections::BTreeSet::new();
         for i in sink.instrs() {
             if let InstrKind::Load { hints: Some(h), .. } = i.kind {
                 tids.insert(h.type_id);

@@ -97,7 +97,7 @@ fn memory_accesses_stay_in_the_heap_segment() {
 fn code_sites_are_stable_and_kernel_unique() {
     // Each kernel's PCs live in its own 64 KiB code region (PC collisions
     // across kernels would corrupt PC-indexed predictors in shared runs).
-    let mut regions: std::collections::HashMap<u64, &'static str> = Default::default();
+    let mut regions: std::collections::BTreeMap<u64, &'static str> = Default::default();
     for k in all_kernels() {
         let mut sink = RecordingSink::with_limit(4_000);
         k.run(&mut sink);
@@ -127,7 +127,7 @@ fn kernels_respect_custom_scales() {
         };
         let mut sink = RecordingSink::with_limit(30_000);
         k.run(&mut sink);
-        let distinct: std::collections::HashSet<u64> = sink
+        let distinct: std::collections::BTreeSet<u64> = sink
             .instrs()
             .iter()
             .filter_map(|i| match i.kind {

@@ -41,7 +41,7 @@ fn main() {
         / (link_loads.len() - 1) as f64;
     // Semantic recurrence: how often is a (node -> next) transition one we
     // have seen before?
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     let mut recurring = 0usize;
     for w in link_loads.windows(2) {
         if !seen.insert((w[0], w[1])) {

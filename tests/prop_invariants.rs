@@ -14,7 +14,7 @@ proptest! {
     #[test]
     fn cache_coherence(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
         let mut cache = Cache::new(CacheConfig { size_bytes: 4096, ways: 4, line_bytes: 64, latency: 1, mshrs: 4 });
-        let mut filled = std::collections::HashSet::new();
+        let mut filled = std::collections::BTreeSet::new();
         for (i, &a) in addrs.iter().enumerate() {
             let now = i as u64 * 10;
             match cache.lookup_demand(a, now, false) {
@@ -96,7 +96,7 @@ proptest! {
             if let Some((_, best)) = set.best() {
                 prop_assert!(ranked.iter().all(|&(_, s)| s <= best));
             }
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             prop_assert!(ranked.iter().all(|&(a, _)| seen.insert(a)), "duplicate action stored");
         }
     }
@@ -146,7 +146,7 @@ proptest! {
     #[test]
     fn cst_lookup_consistency(keys in proptest::collection::vec(0u32..0x7ffff, 1..150)) {
         let mut cst = ContextStatesTable::new(64, Replacement::LowestScore);
-        let mut last_by_slot: std::collections::HashMap<usize, u32> = Default::default();
+        let mut last_by_slot: std::collections::BTreeMap<usize, u32> = Default::default();
         for raw in keys {
             let key = ContextKey(raw);
             cst.add_candidate(key, 1);
