@@ -1,0 +1,363 @@
+//! 128-bit SSE2 implementations.
+//!
+//! SSE2 is the x86_64 architectural baseline, so this tier is always
+//! executable on this architecture. Pre-AVX2 SSE lacks a few operations the
+//! kernels want — 64-bit equality (synthesized from `pcmpeqd` + a lane
+//! swap), signed byte min/max (synthesized by biasing into unsigned), and
+//! any form of gather (no SIMD form exists, so [`gather_i32`] and
+//! [`victim_way`] defer to the scalar reference) — every synthesis is
+//! bit-identical to the scalar semantics, as pinned by the equivalence
+//! property suite.
+//!
+//! # Safety
+//!
+//! Every `pub fn` here carries `#[target_feature(enable = "sse2")]`, so
+//! calling one from a context without that feature statically enabled is
+//! `unsafe`; the sole obligation is that the CPU supports SSE2 — trivially
+//! true on `x86_64`, where SSE2 is the architectural baseline. The
+//! [`crate::dispatch!`] sites uphold this. That shared contract is
+//! documented here once rather than per function.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+#![allow(clippy::missing_safety_doc)] // the uniform contract is in the module docs above
+
+use std::arch::x86_64::*;
+
+/// Load two `u64` lanes from the head of `p`.
+#[inline]
+#[target_feature(enable = "sse2")]
+fn load_u64x2(p: &[u64]) -> __m128i {
+    debug_assert!(p.len() >= 2);
+    // semloc-lint: allow(unsafe-audit): unaligned 16-byte read from a slice asserted to hold >= 2 u64 lanes
+    unsafe { _mm_loadu_si128(p.as_ptr() as *const __m128i) }
+}
+
+/// Store two `u64` lanes to the head of `p`.
+#[inline]
+#[target_feature(enable = "sse2")]
+fn store_u64x2(p: &mut [u64], v: __m128i) {
+    debug_assert!(p.len() >= 2);
+    // semloc-lint: allow(unsafe-audit): unaligned 16-byte write into a slice asserted to hold >= 2 u64 lanes
+    unsafe { _mm_storeu_si128(p.as_mut_ptr() as *mut __m128i, v) }
+}
+
+/// Load 16 bytes (eight `i16` / sixteen `i8` / four `u32` lanes).
+#[inline]
+#[target_feature(enable = "sse2")]
+fn load_bytes16(p: *const u8, len_ok: bool) -> __m128i {
+    debug_assert!(len_ok);
+    // semloc-lint: allow(unsafe-audit): unaligned 16-byte read; every caller passes a pointer with >= 16 readable bytes (checked by its `len_ok` bound)
+    unsafe { _mm_loadu_si128(p as *const __m128i) }
+}
+
+/// Full 64-bit lane-wise multiply (SSE2 only has 32x32->64):
+/// `lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32)` — exactly the low
+/// 64 bits of the product, i.e. `u64::wrapping_mul` per lane.
+#[inline]
+#[target_feature(enable = "sse2")]
+fn mul64(a: __m128i, b: __m128i) -> __m128i {
+    let a_hi = _mm_srli_epi64(a, 32);
+    let b_hi = _mm_srli_epi64(b, 32);
+    let lolo = _mm_mul_epu32(a, b);
+    let lohi = _mm_mul_epu32(a, b_hi);
+    let hilo = _mm_mul_epu32(a_hi, b);
+    let cross = _mm_add_epi64(lohi, hilo);
+    _mm_add_epi64(lolo, _mm_slli_epi64(cross, 32))
+}
+
+/// Lane-wise 64-bit equality (`pcmpeqq` is SSE4.1): compare 32-bit halves,
+/// then AND each half with its swapped partner so a lane is all-ones iff
+/// both halves matched.
+#[inline]
+#[target_feature(enable = "sse2")]
+fn cmpeq64(a: __m128i, b: __m128i) -> __m128i {
+    let eq32 = _mm_cmpeq_epi32(a, b);
+    let swapped = _mm_shuffle_epi32::<0b10_11_00_01>(eq32);
+    _mm_and_si128(eq32, swapped)
+}
+
+/// SplitMix64 finalizer on both lanes.
+#[inline]
+#[target_feature(enable = "sse2")]
+fn splitmix2(mut x: __m128i) -> __m128i {
+    let k1 = _mm_set1_epi64x(0xbf58_476d_1ce4_e5b9_u64 as i64);
+    let k2 = _mm_set1_epi64x(0x94d0_49bb_1331_11eb_u64 as i64);
+    x = mul64(_mm_xor_si128(x, _mm_srli_epi64(x, 30)), k1);
+    x = mul64(_mm_xor_si128(x, _mm_srli_epi64(x, 27)), k2);
+    _mm_xor_si128(x, _mm_srli_epi64(x, 31))
+}
+
+/// See [`crate::scalar::mix8`].
+#[target_feature(enable = "sse2")]
+pub fn mix8(x: &mut [u64; 8]) {
+    for i in (0..8).step_by(2) {
+        let v = splitmix2(load_u64x2(&x[i..]));
+        store_u64x2(&mut x[i..], v);
+    }
+}
+
+/// See [`crate::scalar::find_i16`].
+#[target_feature(enable = "sse2")]
+pub fn find_i16(hay: &[i16], needle: i16) -> Option<usize> {
+    let splat = _mm_set1_epi16(needle);
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let v = load_bytes16(hay[i..].as_ptr() as *const u8, hay.len() - i >= 8);
+        let m = _mm_movemask_epi8(_mm_cmpeq_epi16(v, splat)) as u32;
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize / 2);
+        }
+        i += 8;
+    }
+    let rem = hay.len() - i;
+    if rem > 0 {
+        // Pad the tail with a value that cannot equal the needle.
+        let mut buf = [needle.wrapping_add(1); 8];
+        buf[..rem].copy_from_slice(&hay[i..]);
+        let v = load_bytes16(buf.as_ptr() as *const u8, true);
+        let m = _mm_movemask_epi8(_mm_cmpeq_epi16(v, splat)) as u32;
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize / 2);
+        }
+    }
+    None
+}
+
+/// See [`crate::scalar::find_u64`].
+#[target_feature(enable = "sse2")]
+pub fn find_u64(hay: &[u64], needle: u64) -> Option<usize> {
+    let splat = _mm_set1_epi64x(needle as i64);
+    let mut i = 0;
+    while i + 2 <= hay.len() {
+        let m = _mm_movemask_epi8(cmpeq64(load_u64x2(&hay[i..]), splat)) as u32;
+        if m & 0xff == 0xff {
+            return Some(i);
+        }
+        if m >> 8 == 0xff {
+            return Some(i + 1);
+        }
+        i += 2;
+    }
+    if i < hay.len() && hay[i] == needle {
+        return Some(i);
+    }
+    None
+}
+
+/// See [`crate::scalar::min_index_i8`]. Signed min via the `x ^ 0x80` bias
+/// into unsigned (`pminsb` is SSE4.1).
+#[target_feature(enable = "sse2")]
+pub fn min_index_i8(v: &[i8]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    let flip = _mm_set1_epi8(i8::MIN);
+    let mut acc = _mm_set1_epi8(-1); // biased i8::MAX
+    let chunk = |base: usize, pad: i8| -> __m128i {
+        if v.len() - base >= 16 {
+            load_bytes16(v[base..].as_ptr() as *const u8, true)
+        } else {
+            let mut buf = [pad; 16];
+            buf[..v.len() - base].copy_from_slice(&v[base..]);
+            load_bytes16(buf.as_ptr() as *const u8, true)
+        }
+    };
+    // Pass 1: global minimum (biased-unsigned domain; padding loses).
+    let mut i = 0;
+    while i < v.len() {
+        acc = _mm_min_epu8(acc, _mm_xor_si128(chunk(i, i8::MAX), flip));
+        i += 16;
+    }
+    acc = _mm_min_epu8(acc, _mm_srli_si128::<8>(acc));
+    acc = _mm_min_epu8(acc, _mm_srli_si128::<4>(acc));
+    acc = _mm_min_epu8(acc, _mm_srli_si128::<2>(acc));
+    acc = _mm_min_epu8(acc, _mm_srli_si128::<1>(acc));
+    let min_raw = ((_mm_cvtsi128_si32(acc) & 0xff) as u8 ^ 0x80) as i8;
+    // Pass 2: first index holding it (mask off padding lanes).
+    let splat = _mm_set1_epi8(min_raw);
+    let mut i = 0;
+    while i < v.len() {
+        let lanes = (v.len() - i).min(16);
+        let m = _mm_movemask_epi8(_mm_cmpeq_epi8(chunk(i, min_raw.wrapping_add(1)), splat)) as u32
+            & ((1u32 << lanes) - 1);
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 16;
+    }
+    unreachable!("the minimum of a non-empty slice is present in it")
+}
+
+/// See [`crate::scalar::max_index_last_i8`]: the **last** maximum.
+#[target_feature(enable = "sse2")]
+pub fn max_index_last_i8(v: &[i8]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    let flip = _mm_set1_epi8(i8::MIN);
+    let mut acc = _mm_setzero_si128(); // biased i8::MIN
+    let chunk = |base: usize, pad: i8| -> __m128i {
+        if v.len() - base >= 16 {
+            load_bytes16(v[base..].as_ptr() as *const u8, true)
+        } else {
+            let mut buf = [pad; 16];
+            buf[..v.len() - base].copy_from_slice(&v[base..]);
+            load_bytes16(buf.as_ptr() as *const u8, true)
+        }
+    };
+    let mut i = 0;
+    while i < v.len() {
+        acc = _mm_max_epu8(acc, _mm_xor_si128(chunk(i, i8::MIN), flip));
+        i += 16;
+    }
+    acc = _mm_max_epu8(acc, _mm_srli_si128::<8>(acc));
+    acc = _mm_max_epu8(acc, _mm_srli_si128::<4>(acc));
+    acc = _mm_max_epu8(acc, _mm_srli_si128::<2>(acc));
+    acc = _mm_max_epu8(acc, _mm_srli_si128::<1>(acc));
+    let max_raw = ((_mm_cvtsi128_si32(acc) & 0xff) as u8 ^ 0x80) as i8;
+    // Scan chunks from the back for the last occurrence.
+    let splat = _mm_set1_epi8(max_raw);
+    let mut base = (v.len() - 1) / 16 * 16;
+    loop {
+        let lanes = (v.len() - base).min(16);
+        let m = _mm_movemask_epi8(_mm_cmpeq_epi8(chunk(base, max_raw.wrapping_add(1)), splat))
+            as u32
+            & ((1u32 << lanes) - 1);
+        if m != 0 {
+            return Some(base + (31 - m.leading_zeros()) as usize);
+        }
+        if base == 0 {
+            unreachable!("the maximum of a non-empty slice is present in it");
+        }
+        base -= 16;
+    }
+}
+
+/// See [`crate::scalar::min_index_u32`]. Unsigned min via the sign-bit bias
+/// and `pcmpgtd` blend (`pminud` is SSE4.1).
+#[target_feature(enable = "sse2")]
+pub fn min_index_u32(v: &[u32]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    let flip = _mm_set1_epi32(i32::MIN);
+    let chunk = |base: usize, pad: u32| -> __m128i {
+        if v.len() - base >= 4 {
+            load_bytes16(v[base..].as_ptr() as *const u8, true)
+        } else {
+            let mut buf = [pad; 4];
+            buf[..v.len() - base].copy_from_slice(&v[base..]);
+            load_bytes16(buf.as_ptr() as *const u8, true)
+        }
+    };
+    let mut acc = _mm_set1_epi32(i32::MAX); // biased u32::MAX
+    let mut i = 0;
+    while i < v.len() {
+        let b = _mm_xor_si128(chunk(i, u32::MAX), flip);
+        let gt = _mm_cmpgt_epi32(acc, b);
+        acc = _mm_or_si128(_mm_and_si128(gt, b), _mm_andnot_si128(gt, acc));
+        i += 4;
+    }
+    let a = _mm_xor_si128(acc, flip); // back to raw domain for the reduce
+    let lanes = [
+        _mm_cvtsi128_si32(a) as u32,
+        _mm_cvtsi128_si32(_mm_srli_si128::<4>(a)) as u32,
+        _mm_cvtsi128_si32(_mm_srli_si128::<8>(a)) as u32,
+        _mm_cvtsi128_si32(_mm_srli_si128::<12>(a)) as u32,
+    ];
+    let min = lanes.iter().copied().min().unwrap_or(u32::MAX);
+    let splat = _mm_set1_epi32(min as i32);
+    let mut i = 0;
+    while i < v.len() {
+        let n = (v.len() - i).min(4);
+        let m = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(
+            chunk(i, min.wrapping_add(1)),
+            splat,
+        ))) as u32
+            & ((1u32 << n) - 1);
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 4;
+    }
+    unreachable!("the minimum of a non-empty slice is present in it")
+}
+
+/// See [`crate::scalar::find_valid_tag`]: first way whose tag matches and
+/// whose valid bit is set. The tag compare runs two ways at a time; the
+/// (rarely consulted) valid bits are checked per matching lane.
+#[target_feature(enable = "sse2")]
+pub fn find_valid_tag(tags: &[u64], valid: &[bool], needle: u64) -> Option<usize> {
+    let splat = _mm_set1_epi64x(needle as i64);
+    let mut i = 0;
+    while i + 2 <= tags.len() {
+        let m = _mm_movemask_epi8(cmpeq64(load_u64x2(&tags[i..]), splat)) as u32;
+        if m != 0 {
+            if m & 0xff == 0xff && valid[i] {
+                return Some(i);
+            }
+            if m >> 8 == 0xff && valid[i + 1] {
+                return Some(i + 1);
+            }
+        }
+        i += 2;
+    }
+    if i < tags.len() && valid[i] && tags[i] == needle {
+        return Some(i);
+    }
+    None
+}
+
+/// See [`crate::scalar::victim_way`]. SSE2 has no 64-bit compare at all
+/// (min, greater-than and equality all arrive with SSE4.x/AVX2), so this
+/// tier uses the scalar reference — bit-identical by construction.
+#[target_feature(enable = "sse2")]
+pub fn victim_way(valid: &[bool], lru: &[u64]) -> Option<usize> {
+    crate::scalar::victim_way(valid, lru)
+}
+
+/// See [`crate::scalar::gather_i32`]. No gather instruction exists before
+/// AVX2; scalar reference.
+#[target_feature(enable = "sse2")]
+pub fn gather_i32(table: &[i32], idxs: &[u32], out: &mut [i32]) {
+    crate::scalar::gather_i32(table, idxs, out)
+}
+
+/// See [`crate::scalar::find_pair_i64`]: two candidate positions per
+/// iteration, comparing `deltas[i..]` against `d1` and the shifted
+/// `deltas[i+1..]` against `d2` in one go.
+#[target_feature(enable = "sse2")]
+pub fn find_pair_i64(deltas: &[i64], d1: i64, d2: i64) -> Option<usize> {
+    if deltas.len() < 3 {
+        return None;
+    }
+    let s1 = _mm_set1_epi64x(d1);
+    let s2 = _mm_set1_epi64x(d2);
+    let mut i = 1;
+    while i + 3 <= deltas.len() {
+        let eq1 = cmpeq64(load_u64x2(bytemuck_i64(&deltas[i..])), s1);
+        let eq2 = cmpeq64(load_u64x2(bytemuck_i64(&deltas[i + 1..])), s2);
+        let m = _mm_movemask_epi8(_mm_and_si128(eq1, eq2)) as u32;
+        if m & 0xff == 0xff {
+            return Some(i);
+        }
+        if m >> 8 == 0xff {
+            return Some(i + 1);
+        }
+        i += 2;
+    }
+    while i + 1 < deltas.len() {
+        if deltas[i] == d1 && deltas[i + 1] == d2 {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Reinterpret an `i64` slice as `u64` (same size, same bit patterns).
+#[inline]
+fn bytemuck_i64(v: &[i64]) -> &[u64] {
+    // semloc-lint: allow(unsafe-audit): i64 and u64 have identical size, alignment and validity; length is preserved
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u64, v.len()) }
+}

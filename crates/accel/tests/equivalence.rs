@@ -1,0 +1,195 @@
+//! Property suite pinning every SIMD tier to the scalar reference
+//! bit-for-bit, over tie-dense and rail-heavy inputs: small alphabets so
+//! duplicate minima/maxima (where tie-break order matters) and matches in
+//! both vector-body and padded-tail positions occur constantly.
+
+use proptest::prelude::*;
+use semloc_accel::{available_tiers, Tier};
+
+/// Every tier the host can execute, asserted against scalar.
+fn tiers() -> Vec<Tier> {
+    let t = available_tiers();
+    assert!(t.contains(&Tier::Scalar));
+    t
+}
+
+fn score_i8() -> impl Strategy<Value = i8> {
+    prop_oneof![Just(i8::MIN), Just(i8::MAX), -2i8..3, any::<i8>(),]
+}
+
+proptest! {
+    #[test]
+    fn mix8_matches_scalar_on_every_tier(vals in collection::vec(any::<u64>(), 8..9)) {
+        let mut reference: [u64; 8] = vals.clone().try_into().unwrap();
+        semloc_accel::mix8_with(Tier::Scalar, &mut reference);
+        for t in tiers() {
+            let mut got: [u64; 8] = vals.clone().try_into().unwrap();
+            semloc_accel::mix8_with(t, &mut got);
+            prop_assert_eq!(got, reference, "tier {:?}", t);
+        }
+    }
+
+    #[test]
+    fn find_i16_matches_scalar_on_every_tier(
+        hay in collection::vec(-3i16..4, 0..40),
+        needle in -3i16..4,
+    ) {
+        let want = semloc_accel::find_i16_with(Tier::Scalar, &hay, needle);
+        for t in tiers() {
+            prop_assert_eq!(semloc_accel::find_i16_with(t, &hay, needle), want, "tier {:?}", t);
+        }
+    }
+
+    #[test]
+    fn find_u64_matches_scalar_on_every_tier(
+        hay in collection::vec(0u64..6, 0..24),
+        needle in 0u64..6,
+    ) {
+        let want = semloc_accel::find_u64_with(Tier::Scalar, &hay, needle);
+        for t in tiers() {
+            prop_assert_eq!(semloc_accel::find_u64_with(t, &hay, needle), want, "tier {:?}", t);
+        }
+    }
+
+    #[test]
+    fn min_index_i8_matches_scalar_on_every_tier(v in collection::vec(score_i8(), 0..72)) {
+        let want = semloc_accel::min_index_i8_with(Tier::Scalar, &v);
+        for t in tiers() {
+            prop_assert_eq!(semloc_accel::min_index_i8_with(t, &v), want, "tier {:?}", t);
+        }
+    }
+
+    #[test]
+    fn max_index_last_i8_matches_scalar_on_every_tier(v in collection::vec(score_i8(), 0..72)) {
+        let want = semloc_accel::max_index_last_i8_with(Tier::Scalar, &v);
+        for t in tiers() {
+            prop_assert_eq!(semloc_accel::max_index_last_i8_with(t, &v), want, "tier {:?}", t);
+        }
+    }
+
+    #[test]
+    fn min_index_u32_matches_scalar_on_every_tier(
+        v in collection::vec(
+            prop_oneof![Just(0u32), Just(u32::MAX), 0u32..4, any::<u32>()],
+            0..40,
+        )
+    ) {
+        let want = semloc_accel::min_index_u32_with(Tier::Scalar, &v);
+        for t in tiers() {
+            prop_assert_eq!(semloc_accel::min_index_u32_with(t, &v), want, "tier {:?}", t);
+        }
+    }
+
+    #[test]
+    fn find_valid_tag_matches_scalar_on_every_tier(
+        ways in collection::vec((0u64..5, any::<bool>()), 0..24),
+        needle in 0u64..5,
+    ) {
+        let tags: Vec<u64> = ways.iter().map(|w| w.0).collect();
+        let valid: Vec<bool> = ways.iter().map(|w| w.1).collect();
+        let want = semloc_accel::find_valid_tag_with(Tier::Scalar, &tags, &valid, needle);
+        for t in tiers() {
+            prop_assert_eq!(
+                semloc_accel::find_valid_tag_with(t, &tags, &valid, needle),
+                want,
+                "tier {:?}", t
+            );
+        }
+    }
+
+    #[test]
+    fn victim_way_matches_scalar_on_every_tier(
+        ways in collection::vec(
+            (any::<bool>(), prop_oneof![0u64..4, Just(u64::MAX), any::<u64>()]),
+            0..24,
+        )
+    ) {
+        let valid: Vec<bool> = ways.iter().map(|w| w.0).collect();
+        let lru: Vec<u64> = ways.iter().map(|w| w.1).collect();
+        let want = semloc_accel::victim_way_with(Tier::Scalar, &valid, &lru);
+        for t in tiers() {
+            prop_assert_eq!(semloc_accel::victim_way_with(t, &valid, &lru), want, "tier {:?}", t);
+        }
+    }
+
+    #[test]
+    fn gather_i32_matches_scalar_on_every_tier(
+        table in collection::vec(any::<i32>(), 1..50),
+        idxs in collection::vec(prop_oneof![0u32..64, Just(u32::MAX)], 0..40),
+    ) {
+        let mut want = vec![0i32; idxs.len()];
+        semloc_accel::gather_i32_with(Tier::Scalar, &table, &idxs, &mut want);
+        for t in tiers() {
+            let mut got = vec![0i32; idxs.len()];
+            semloc_accel::gather_i32_with(t, &table, &idxs, &mut got);
+            prop_assert_eq!(&got, &want, "tier {:?}", t);
+        }
+    }
+
+    #[test]
+    fn find_pair_i64_matches_scalar_on_every_tier(
+        deltas in collection::vec(-2i64..3, 0..40),
+        d1 in -2i64..3,
+        d2 in -2i64..3,
+    ) {
+        let want = semloc_accel::find_pair_i64_with(Tier::Scalar, &deltas, d1, d2);
+        for t in tiers() {
+            prop_assert_eq!(
+                semloc_accel::find_pair_i64_with(t, &deltas, d1, d2),
+                want,
+                "tier {:?}", t
+            );
+        }
+    }
+}
+
+/// The edge lengths the random vectors may under-sample: exactly at, one
+/// below, and one above each vector width used by the tiers.
+#[test]
+fn boundary_lengths_agree_on_every_tier() {
+    for n in [
+        0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+    ] {
+        let i8s: Vec<i8> = (0..n).map(|i| ((i * 37) % 11) as i8 - 5).collect();
+        let u32s: Vec<u32> = (0..n).map(|i| ((i * 29) % 7) as u32).collect();
+        let u64s: Vec<u64> = (0..n).map(|i| ((i * 13) % 5) as u64).collect();
+        let i16s: Vec<i16> = (0..n).map(|i| ((i * 7) % 9) as i16 - 4).collect();
+        let valid: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        for t in available_tiers() {
+            assert_eq!(
+                semloc_accel::min_index_i8_with(t, &i8s),
+                semloc_accel::min_index_i8_with(Tier::Scalar, &i8s),
+                "min_index_i8 len {n} tier {t:?}"
+            );
+            assert_eq!(
+                semloc_accel::max_index_last_i8_with(t, &i8s),
+                semloc_accel::max_index_last_i8_with(Tier::Scalar, &i8s),
+                "max_index_last_i8 len {n} tier {t:?}"
+            );
+            assert_eq!(
+                semloc_accel::min_index_u32_with(t, &u32s),
+                semloc_accel::min_index_u32_with(Tier::Scalar, &u32s),
+                "min_index_u32 len {n} tier {t:?}"
+            );
+            for needle in 0..6 {
+                assert_eq!(
+                    semloc_accel::find_u64_with(t, &u64s, needle),
+                    semloc_accel::find_u64_with(Tier::Scalar, &u64s, needle),
+                    "find_u64 len {n} needle {needle} tier {t:?}"
+                );
+                assert_eq!(
+                    semloc_accel::find_valid_tag_with(t, &u64s, &valid, needle),
+                    semloc_accel::find_valid_tag_with(Tier::Scalar, &u64s, &valid, needle),
+                    "find_valid_tag len {n} needle {needle} tier {t:?}"
+                );
+            }
+            for needle in -4..5 {
+                assert_eq!(
+                    semloc_accel::find_i16_with(t, &i16s, needle),
+                    semloc_accel::find_i16_with(Tier::Scalar, &i16s, needle),
+                    "find_i16 len {n} needle {needle} tier {t:?}"
+                );
+            }
+        }
+    }
+}

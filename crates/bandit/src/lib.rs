@@ -28,5 +28,5 @@ pub mod scored;
 
 pub use mab::MultiArmedBandit;
 pub use policy::{AdaptiveEpsilon, ExplorationPolicy, FixedEpsilon};
-pub use reward::{BellReward, RewardFunction, StepReward};
-pub use scored::ScoredSet;
+pub use reward::{BellReward, RewardFunction, RewardLut, StepReward};
+pub use scored::{Action, ScoredSet};

@@ -19,6 +19,53 @@ pub trait RewardFunction {
 
     /// The window `[lo, hi]` of depths considered timely (positive reward).
     fn window(&self) -> (u32, u32);
+
+    /// The smallest depth `S` with `reward(d) == reward(S)` for every
+    /// `d >= S` — i.e. where the shaping has flattened into its constant
+    /// tail. Lets [`RewardLut`] tabulate the function exactly.
+    fn stable_depth(&self) -> u32;
+}
+
+/// An exact table of a [`RewardFunction`]: `reward(d)` for every depth up
+/// to [`RewardFunction::stable_depth`], with deeper lookups clamped onto
+/// the (constant) tail entry. Bit-identical to evaluating the function —
+/// the bell's two `exp()` calls per prefetch-queue hit become one clamped
+/// load, and batched lookups can go through `semloc_accel::gather_i32` on
+/// the raw [`RewardLut::table`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RewardLut {
+    table: Vec<i32>,
+    expiry: i32,
+}
+
+impl RewardLut {
+    /// Tabulate `f` exactly.
+    pub fn new(f: &dyn RewardFunction) -> Self {
+        let table: Vec<i32> = (0..=f.stable_depth()).map(|d| f.reward(d)).collect();
+        RewardLut {
+            table,
+            expiry: f.expiry(),
+        }
+    }
+
+    /// `f.reward(depth)`, for any depth.
+    #[inline]
+    pub fn reward(&self, depth: u32) -> i32 {
+        self.table[(depth as usize).min(self.table.len() - 1)]
+    }
+
+    /// `f.expiry()`.
+    #[inline]
+    pub fn expiry(&self) -> i32 {
+        self.expiry
+    }
+
+    /// The raw table for batched gathers: `table()[min(d, len-1)]` is the
+    /// reward at depth `d` (exactly `semloc_accel::gather_i32` semantics).
+    #[inline]
+    pub fn table(&self) -> &[i32] {
+        &self.table
+    }
 }
 
 /// The paper's bell-shaped reward (Fig 5).
@@ -127,6 +174,18 @@ impl RewardFunction for BellReward {
     fn window(&self) -> (u32, u32) {
         (self.lo, self.hi)
     }
+
+    fn stable_depth(&self) -> u32 {
+        // Past `hi` the penalty magnitude decays strictly toward zero, so
+        // the first depth whose rounded value is 0 starts the constant
+        // tail. The walk is short: even an extreme penalty needs only
+        // ~16·ln(2·|edge|) extra depths to round to zero.
+        let mut d = self.hi + 1;
+        while self.reward(d) != 0 {
+            d += 1;
+        }
+        d
+    }
 }
 
 /// A flat step reward (ablation A2): full peak anywhere inside the window,
@@ -176,6 +235,11 @@ impl RewardFunction for StepReward {
 
     fn window(&self) -> (u32, u32) {
         (self.lo, self.hi)
+    }
+
+    fn stable_depth(&self) -> u32 {
+        // Constant `penalty` everywhere past the window's upper edge.
+        self.hi + 1
     }
 }
 
@@ -253,5 +317,37 @@ mod tests {
     #[should_panic(expected = "window")]
     fn empty_window_rejected() {
         BellReward::new(10, 10, 1, 0, 0);
+    }
+
+    #[test]
+    fn lut_is_exact_for_every_depth() {
+        for bell in [
+            BellReward::paper_default(),
+            BellReward::for_target_distance(12.0),
+            BellReward::for_target_distance(512.0),
+            BellReward::new(1, 127, 16, 0, -4), // flat-edge ablation shape
+        ] {
+            let lut = RewardLut::new(&bell);
+            for d in 0..4096u32 {
+                assert_eq!(lut.reward(d), bell.reward(d), "bell depth {d}");
+            }
+            assert_eq!(lut.expiry(), bell.expiry());
+        }
+        let step = StepReward::paper_default();
+        let lut = RewardLut::new(&step);
+        for d in 0..4096u32 {
+            assert_eq!(lut.reward(d), step.reward(d), "step depth {d}");
+        }
+        assert_eq!(lut.expiry(), step.expiry());
+    }
+
+    #[test]
+    fn lut_table_tail_is_the_stable_value() {
+        let bell = BellReward::paper_default();
+        let lut = RewardLut::new(&bell);
+        let last = *lut.table().last().unwrap();
+        assert_eq!(last, 0, "bell decays to zero");
+        assert_eq!(lut.table().len() as u32, bell.stable_depth() + 1);
+        assert_eq!(lut.table()[34], 16, "peak preserved");
     }
 }

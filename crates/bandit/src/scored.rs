@@ -19,14 +19,42 @@ pub enum Replacement {
     Fifo,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Slot<A> {
-    action: A,
-    score: i8,
-    inserted_at: u32,
+/// An action storable in a [`ScoredSet`]: the membership scan is routed
+/// through a per-type accelerated kernel (first-match, identical to
+/// `Iterator::position`). `Default` supplies the filler for unused slots —
+/// never observable, since every read is bounded by the live length.
+pub trait Action: Copy + Eq + Default {
+    /// First index of `needle` in `hay`, or `None`.
+    fn find(hay: &[Self], needle: Self) -> Option<usize>;
+}
+
+impl Action for i16 {
+    fn find(hay: &[Self], needle: Self) -> Option<usize> {
+        semloc_accel::find_i16(hay, needle)
+    }
+}
+
+impl Action for u64 {
+    fn find(hay: &[Self], needle: Self) -> Option<usize> {
+        semloc_accel::find_u64(hay, needle)
+    }
+}
+
+impl Action for i8 {
+    // No dedicated SIMD kernel: the simulator's sets key on i16 deltas and
+    // u64 blocks; i8 actions only appear in property tests.
+    fn find(hay: &[Self], needle: Self) -> Option<usize> {
+        hay.iter().position(|&a| a == needle)
+    }
 }
 
 /// Up to `N` scored candidate actions.
+///
+/// Stored structure-of-arrays: the score scan of an eviction or a
+/// best-candidate probe touches one small contiguous array instead of
+/// striding over interleaved slots, and each scan vectorizes through
+/// `semloc_accel` (actions, scores and ages are split exactly so those
+/// kernels see flat lanes).
 ///
 /// ```rust
 /// use semloc_bandit::ScoredSet;
@@ -39,22 +67,28 @@ struct Slot<A> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ScoredSet<A, const N: usize> {
-    slots: Vec<Slot<A>>,
+    actions: [A; N],
+    scores: [i8; N],
+    inserted_at: [u32; N],
+    len: u8,
     policy: Replacement,
     clock: u32,
 }
 
-impl<A: Copy + Eq, const N: usize> Default for ScoredSet<A, N> {
+impl<A: Action, const N: usize> Default for ScoredSet<A, N> {
     fn default() -> Self {
         Self::new(Replacement::default())
     }
 }
 
-impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
+impl<A: Action, const N: usize> ScoredSet<A, N> {
     /// An empty set with the given replacement policy.
     pub fn new(policy: Replacement) -> Self {
         ScoredSet {
-            slots: Vec::with_capacity(N),
+            actions: [A::default(); N],
+            scores: [0; N],
+            inserted_at: [0; N],
+            len: 0,
             policy,
             clock: 0,
         }
@@ -62,12 +96,18 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
 
     /// Number of stored candidates.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.len as usize
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len == 0
+    }
+
+    /// Index of `action` among the live slots, if stored.
+    #[inline]
+    fn position(&self, action: A) -> Option<usize> {
+        A::find(&self.actions[..self.len()], action)
     }
 
     /// Insert `action` with score 0 if not already present. When full, the
@@ -76,38 +116,29 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
     #[allow(clippy::expect_used)]
     pub fn insert(&mut self, action: A) -> Option<(A, i8)> {
         self.clock = self.clock.wrapping_add(1);
-        if self.slots.iter().any(|s| s.action == action) {
+        if self.position(action).is_some() {
             return None;
         }
-        let slot = Slot {
-            action,
-            score: 0,
-            inserted_at: self.clock,
-        };
-        if self.slots.len() < N {
-            self.slots.push(slot);
+        let len = self.len();
+        if len < N {
+            self.actions[len] = action;
+            self.scores[len] = 0;
+            self.inserted_at[len] = self.clock;
+            self.len += 1;
             return None;
         }
         let victim = match self.policy {
-            Replacement::LowestScore => self
-                .slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.score)
-                .map(|(i, _)| i)
+            Replacement::LowestScore => semloc_accel::min_index_i8(&self.scores)
                 // semloc-lint: allow(no-unwrap): eviction path only runs when the set is full
                 .expect("full set is non-empty"),
-            Replacement::Fifo => self
-                .slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.inserted_at)
-                .map(|(i, _)| i)
+            Replacement::Fifo => semloc_accel::min_index_u32(&self.inserted_at)
                 // semloc-lint: allow(no-unwrap): eviction path only runs when the set is full
                 .expect("full set is non-empty"),
         };
-        let evicted = (self.slots[victim].action, self.slots[victim].score);
-        self.slots[victim] = slot;
+        let evicted = (self.actions[victim], self.scores[victim]);
+        self.actions[victim] = action;
+        self.scores[victim] = 0;
+        self.inserted_at[victim] = self.clock;
         Some(evicted)
     }
 
@@ -123,13 +154,14 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
     /// shortened a wait — so such credit saturates early and can never
     /// outrank fully timely candidates.
     pub fn reward_capped(&mut self, action: A, delta: i32, cap: i8) -> bool {
-        match self.slots.iter_mut().find(|s| s.action == action) {
-            Some(s) => {
-                let mut new = (s.score as i32 + delta).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+        match self.position(action) {
+            Some(i) => {
+                let old = self.scores[i];
+                let mut new = (old as i32 + delta).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
                 if delta > 0 {
-                    new = new.min(cap.max(s.score));
+                    new = new.min(cap.max(old));
                 }
-                s.score = new;
+                self.scores[i] = new;
                 true
             }
             None => false,
@@ -138,23 +170,20 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
 
     /// The stored score of `action`, if present.
     pub fn score_of(&self, action: A) -> Option<i8> {
-        self.slots
-            .iter()
-            .find(|s| s.action == action)
-            .map(|s| s.score)
+        self.position(action).map(|i| self.scores[i])
     }
 
     /// The highest-scoring candidate.
     pub fn best(&self) -> Option<(A, i8)> {
-        self.slots
-            .iter()
-            .max_by_key(|s| s.score)
-            .map(|s| (s.action, s.score))
+        semloc_accel::max_index_last_i8(&self.scores[..self.len()])
+            .map(|i| (self.actions[i], self.scores[i]))
     }
 
     /// All candidates, highest score first.
     pub fn ranked(&self) -> Vec<(A, i8)> {
-        let mut v: Vec<(A, i8)> = self.slots.iter().map(|s| (s.action, s.score)).collect();
+        let mut v: Vec<(A, i8)> = (0..self.len())
+            .map(|i| (self.actions[i], self.scores[i]))
+            .collect();
         v.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
         v
     }
@@ -166,17 +195,17 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
     /// stable over the same slot order).
     pub fn ranked_into(&self, out: &mut Vec<(A, i8)>) {
         out.clear();
-        out.extend(self.slots.iter().map(|s| (s.action, s.score)));
+        out.extend((0..self.len()).map(|i| (self.actions[i], self.scores[i])));
     }
 
     /// A uniformly random stored candidate (the ε-greedy exploration draw:
     /// "choosing a random address from the set of previously correlated
     /// ones").
     pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<A> {
-        if self.slots.is_empty() {
+        if self.is_empty() {
             None
         } else {
-            Some(self.slots[rng.random_range(0..self.slots.len())].action)
+            Some(self.actions[rng.random_range(0..self.len())])
         }
     }
 
@@ -190,9 +219,7 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
     /// for checkpointing. Slot order matters: lookup tie-breaks and the
     /// stable ranking walk slots in this order.
     pub fn slots_raw(&self) -> impl Iterator<Item = (A, i8, u32)> + '_ {
-        self.slots
-            .iter()
-            .map(|s| (s.action, s.score, s.inserted_at))
+        (0..self.len()).map(|i| (self.actions[i], self.scores[i], self.inserted_at[i]))
     }
 
     /// Rebuild the set from raw checkpoint state captured by
@@ -208,13 +235,15 @@ impl<A: Copy + Eq, const N: usize> ScoredSet<A, N> {
             )));
         }
         self.clock = clock;
-        self.slots.clear();
-        self.slots
-            .extend(slots.iter().map(|&(action, score, inserted_at)| Slot {
-                action,
-                score,
-                inserted_at,
-            }));
+        self.actions = [A::default(); N];
+        self.scores = [0; N];
+        self.inserted_at = [0; N];
+        self.len = slots.len() as u8;
+        for (i, &(action, score, inserted_at)) in slots.iter().enumerate() {
+            self.actions[i] = action;
+            self.scores[i] = score;
+            self.inserted_at[i] = inserted_at;
+        }
         Ok(())
     }
 }

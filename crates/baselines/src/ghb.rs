@@ -67,6 +67,10 @@ pub struct GhbPrefetcher {
     line_shift: u32,
     max_walk: u32,
     stats: PrefetcherStats,
+    /// Reusable chain-walk scratch (transient; not snapshotted). The DC
+    /// path used to allocate two fresh `Vec`s per access.
+    chain_buf: Vec<u64>,
+    delta_buf: Vec<i64>,
 }
 
 impl GhbPrefetcher {
@@ -87,6 +91,8 @@ impl GhbPrefetcher {
             line_shift: 6,
             max_walk: 64,
             stats: PrefetcherStats::default(),
+            chain_buf: Vec::with_capacity(64),
+            delta_buf: Vec::with_capacity(64),
         }
     }
 
@@ -117,20 +123,19 @@ impl GhbPrefetcher {
         &self.ghb[(pos % self.ghb.len() as u64) as usize]
     }
 
-    /// Collect the blocks of the key chain starting at `head`, newest
-    /// first, up to `max_walk` entries.
-    fn chain(&self, head: u64) -> Vec<u64> {
-        let mut blocks = Vec::with_capacity(self.max_walk as usize);
+    /// Collect the blocks of the key chain starting at `head` into `out`
+    /// (cleared first), newest first, up to `max_walk` entries.
+    fn chain_into(&self, head: u64, out: &mut Vec<u64>) {
+        out.clear();
         let mut pos = head;
-        while self.live(pos) && blocks.len() < self.max_walk as usize {
+        while self.live(pos) && out.len() < self.max_walk as usize {
             let e = self.at(pos);
-            blocks.push(e.block);
+            out.push(e.block);
             if e.prev >= pos {
                 break; // corrupted by wrap-around reuse
             }
             pos = e.prev;
         }
-        blocks
     }
 }
 
@@ -189,26 +194,26 @@ impl Prefetcher for GhbPrefetcher {
         }
 
         // Delta correlation: newest-first blocks -> deltas (d[0] is the
-        // most recent delta).
-        let blocks = self.chain(pos);
+        // most recent delta). Both scratch vectors persist across accesses.
+        let mut blocks = std::mem::take(&mut self.chain_buf);
+        let mut deltas = std::mem::take(&mut self.delta_buf);
+        self.chain_into(pos, &mut blocks);
         if blocks.len() < 4 {
+            self.chain_buf = blocks;
+            self.delta_buf = deltas;
             return;
         }
-        let deltas: Vec<i64> = blocks
-            .windows(2)
-            .map(|w| w[0] as i64 - w[1] as i64)
-            .collect();
+        deltas.clear();
+        deltas.extend(blocks.windows(2).map(|w| w[0] as i64 - w[1] as i64));
         let (d1, d2) = (deltas[0], deltas[1]);
         // Find an earlier occurrence of the pair (d2, d1) in time order,
-        // i.e. positions i (older) where deltas[i] == d1 && deltas[i+1] == d2.
-        let mut found = None;
-        for i in 1..deltas.len() - 1 {
-            if deltas[i] == d1 && deltas[i + 1] == d2 {
-                found = Some(i);
-                break;
-            }
-        }
+        // i.e. the first (older) position i in 1..len-1 where
+        // deltas[i] == d1 && deltas[i+1] == d2 — exactly the accel kernel.
+        let found = semloc_accel::find_pair_i64(&deltas, d1, d2);
+        self.chain_buf = blocks;
+        self.delta_buf = deltas;
         let Some(i) = found else { return };
+        let deltas = &self.delta_buf;
         // Replay the deltas that followed the earlier occurrence: in
         // newest-first indexing those are deltas[i-1], deltas[i-2], ...
         let mut target = block as i64;

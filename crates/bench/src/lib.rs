@@ -30,14 +30,11 @@ pub fn full_lineup() -> Vec<PrefetcherKind> {
     ]
 }
 
-/// Run a matrix in parallel (one worker per available core, capped at 8)
-/// with progress lines on stderr.
+/// Run a matrix on the shard pool (sized by `SEMLOC_POOL_THREADS`, else
+/// one worker per available core) with progress lines on stderr.
 pub fn run_matrix(kernels: &[KernelBox], lineup: &[PrefetcherKind], cfg: &SimConfig) -> Matrix {
     let total = kernels.len() * (lineup.len() + 1);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(8);
+    let threads = semloc_harness::pool_threads();
     let done = std::sync::atomic::AtomicUsize::new(0);
     Matrix::run_parallel(kernels, lineup, cfg, threads, |r| {
         let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;

@@ -18,7 +18,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use semloc_bandit::{ExplorationPolicy, RewardFunction};
+use semloc_bandit::{ExplorationPolicy, RewardFunction, RewardLut};
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
 use semloc_trace::{AccessContext, Addr, SnapReader, SnapWriter, Snapshot};
 
@@ -60,6 +60,12 @@ pub struct ContextPrefetcher {
     hit_buf: Vec<PfqHit>,
     /// Reusable candidate-ranking scratch (hoisted out of `predict`).
     rank_buf: Vec<(i16, i8)>,
+    /// Exact tabulation of `cfg.reward` — derived configuration, rebuilt on
+    /// construction, deliberately absent from snapshots.
+    reward_lut: RewardLut,
+    /// Scratch for the batched depth→reward gather in `feedback`.
+    depth_buf: Vec<u32>,
+    reward_buf: Vec<i32>,
     mem_stats: PrefetcherStats,
 }
 
@@ -71,6 +77,7 @@ impl ContextPrefetcher {
     /// Panics if the configuration fails [`ContextConfig::validate`].
     pub fn new(cfg: ContextConfig) -> Self {
         cfg.validate();
+        let reward_lut = RewardLut::new(&cfg.reward);
         ContextPrefetcher {
             cst: ContextStatesTable::new(cfg.cst_entries, cfg.replacement),
             reducer: Reducer::new(
@@ -86,6 +93,9 @@ impl ContextPrefetcher {
             stats: ContextStats::default(),
             hit_buf: Vec::with_capacity(8),
             rank_buf: Vec::with_capacity(16),
+            reward_lut,
+            depth_buf: Vec::with_capacity(8),
+            reward_buf: Vec::with_capacity(8),
             mem_stats: PrefetcherStats::default(),
             cfg,
         }
@@ -134,8 +144,19 @@ impl ContextPrefetcher {
         hits.clear();
         self.pfq.record_access(block, seq, &mut hits);
         let (lo, hi) = self.cfg.reward.window();
-        for h in &hits {
-            let r = self.cfg.reward.reward(h.depth);
+        // Batched depth→reward translation: one clamped gather over the
+        // tabulated bell (bit-identical to `cfg.reward.reward(depth)`, see
+        // `RewardLut`) instead of two `exp()` calls per hit.
+        self.depth_buf.clear();
+        self.depth_buf.extend(hits.iter().map(|h| h.depth));
+        self.reward_buf.clear();
+        self.reward_buf.resize(hits.len(), 0);
+        semloc_accel::gather_i32(
+            self.reward_lut.table(),
+            &self.depth_buf,
+            &mut self.reward_buf,
+        );
+        for (h, &r) in hits.iter().zip(&self.reward_buf) {
             if h.depth < lo {
                 // Late hits only shortened a wait (the demand merged into
                 // the in-flight fill): partial credit, capped so it can

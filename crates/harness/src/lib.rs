@@ -17,6 +17,7 @@ pub mod config;
 pub mod diff;
 pub mod engine;
 pub mod matrix;
+pub mod pool;
 pub mod prefetchers;
 pub mod report;
 pub mod runner;
@@ -28,6 +29,7 @@ pub use config::SimConfig;
 pub use diff::{diff_kernel, DiffReport, Divergence, TeePrefetcher};
 pub use engine::{Engine, SimCheckpoint, SIM_CKPT_VERSION};
 pub use matrix::Matrix;
+pub use pool::{pool_threads, run_sharded};
 pub use prefetchers::PrefetcherKind;
 pub use report::Table;
 pub use runner::{
@@ -35,5 +37,6 @@ pub use runner::{
 };
 pub use store::TraceStore;
 pub use sweep::{
-    ablation_variants, storage_sweep, storage_sweep_with_store, AblationVariant, SweepPoint,
+    ablation_variants, storage_sweep, storage_sweep_parallel, storage_sweep_parallel_with_store,
+    storage_sweep_with_store, AblationVariant, SweepPoint,
 };

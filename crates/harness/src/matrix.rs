@@ -3,7 +3,6 @@
 //! memory-intensive filters).
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 use semloc_workloads::KernelBox;
 
@@ -118,11 +117,12 @@ impl Matrix {
     }
 
     /// Like [`Matrix::run`], but fans the independent (kernel, prefetcher)
-    /// simulations out over `threads` worker threads. Results are
-    /// bit-identical to the sequential runner (every run is deterministic
-    /// and isolated); only completion order differs. Workers share the
-    /// process-global [`TraceStore`](crate::TraceStore), so each kernel's
-    /// stream is generated once no matter how many columns consume it.
+    /// simulations out over a work-stealing shard pool of `threads`
+    /// workers (see [`crate::pool`]). Results are bit-identical to the
+    /// sequential runner (every run is deterministic and isolated); only
+    /// completion order differs. Workers share the process-global
+    /// [`TraceStore`](crate::TraceStore), so each kernel's stream is
+    /// generated once no matter how many columns consume it.
     pub fn run_parallel(
         kernels: &[KernelBox],
         prefetchers: &[PrefetcherKind],
@@ -154,30 +154,24 @@ impl Matrix {
         let wants_probe = lineup
             .iter()
             .any(|pf| matches!(pf, PrefetcherKind::ContextCalibrated(_)));
-        // Work queue of (kernel index, prefetcher index) pairs.
+        // One job per (kernel, prefetcher) cell, kernel-major so a worker's
+        // own LIFO shard keeps it on one kernel's columns (and one warm
+        // trace) for as long as possible.
         let jobs: Vec<(usize, usize)> = (0..kernels.len())
             .flat_map(|ki| (0..lineup.len()).map(move |pi| (ki, pi)))
             .collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Mutex<Vec<RunResult>> = Mutex::new(Vec::with_capacity(jobs.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..threads.max(1) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(ki, pi)) = jobs.get(i) else { break };
-                    let r = Self::run_cell(
-                        store,
-                        kernels[ki].as_ref(),
-                        &lineup[pi],
-                        wants_probe,
-                        config,
-                    );
-                    progress(&r);
-                    results.lock().expect("no panics hold the lock").push(r);
-                });
-            }
+        let results = crate::pool::run_sharded(threads, jobs, |(ki, pi)| {
+            let r = Self::run_cell(
+                store,
+                kernels[ki].as_ref(),
+                &lineup[pi],
+                wants_probe,
+                config,
+            );
+            progress(&r);
+            r
         });
-        for r in results.into_inner().expect("workers finished") {
+        for r in results {
             m.results
                 .entry(r.kernel)
                 .or_default()

@@ -110,6 +110,115 @@ pub fn storage_sweep_with_store(
     points
 }
 
+/// [`storage_sweep`] fanned out over the work-stealing shard pool
+/// (see [`crate::pool`]): every independent cell — per-kernel baseline +
+/// default-context pair, then every (size, kernel) context run — becomes a
+/// pool job. Bit-identical to the sequential sweep: cells are
+/// deterministic and the aggregation below walks them in the same order.
+pub fn storage_sweep_parallel(
+    kernels: &[KernelBox],
+    sizes: &[usize],
+    config: &SimConfig,
+    threads: usize,
+    progress: impl Fn(usize) + Sync,
+) -> Vec<SweepPoint> {
+    storage_sweep_parallel_with_store(
+        TraceStore::global(),
+        kernels,
+        sizes,
+        config,
+        threads,
+        progress,
+    )
+}
+
+/// [`storage_sweep_parallel`] against an explicit [`TraceStore`]; see
+/// [`storage_sweep_with_store`] for the memoization contract (shared with
+/// matrix runs over the same store).
+pub fn storage_sweep_parallel_with_store(
+    store: &TraceStore,
+    kernels: &[KernelBox],
+    sizes: &[usize],
+    config: &SimConfig,
+    threads: usize,
+    progress: impl Fn(usize) + Sync,
+) -> Vec<SweepPoint> {
+    // Phase 1: per-kernel (baseline, default-context) pairs for the Top-10
+    // selection. One job per kernel keeps the pair on one warm trace.
+    let default_cfg = ContextConfig::default();
+    let pairs = crate::pool::run_sharded(threads, (0..kernels.len()).collect(), |ki| {
+        let k = kernels[ki].as_ref();
+        let base = run_kernel_with_store(store, k, &PrefetcherKind::None, config);
+        let ctx = run_kernel_with_store(
+            store,
+            k,
+            &PrefetcherKind::Context(default_cfg.clone()),
+            config,
+        );
+        (base, ctx)
+    });
+    let mut bases = Vec::new();
+    let mut ranked = Vec::new();
+    for (k, (base, ctx)) in kernels.iter().zip(pairs) {
+        if let Ok(s) = ctx.speedup_over(&base) {
+            ranked.push((k.name(), s));
+        }
+        bases.push(base);
+    }
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let top10: Vec<&str> = ranked.iter().take(10).map(|&(n, _)| n).collect();
+
+    // Phase 2: the full (size, kernel) grid, size-major so the aggregation
+    // below can consume whole rows in job order.
+    let grid: Vec<(usize, usize)> = (0..sizes.len())
+        .flat_map(|si| (0..kernels.len()).map(move |ki| (si, ki)))
+        .collect();
+    let cells = crate::pool::run_sharded(threads, grid, |(si, ki)| {
+        let cfg = ContextConfig::default().with_cst_entries(sizes[si]);
+        run_kernel_with_store(
+            store,
+            kernels[ki].as_ref(),
+            &PrefetcherKind::Context(cfg),
+            config,
+        )
+    });
+
+    let geomean = |vals: &[f64]| -> f64 {
+        let n = vals.len();
+        if n == 0 {
+            return 0.0;
+        }
+        (vals.iter().map(|v| v.ln()).sum::<f64>() / n as f64).exp()
+    };
+
+    let mut points = Vec::new();
+    for (si, &size) in sizes.iter().enumerate() {
+        let storage = ContextConfig::default()
+            .with_cst_entries(size)
+            .storage_bytes();
+        let mut all = Vec::new();
+        let mut top = Vec::new();
+        for (ki, k) in kernels.iter().enumerate() {
+            let ctx = &cells[si * kernels.len() + ki];
+            let Ok(s) = ctx.speedup_over(&bases[ki]) else {
+                continue;
+            };
+            all.push(s);
+            if top10.contains(&k.name()) {
+                top.push(s);
+            }
+        }
+        points.push(SweepPoint {
+            cst_entries: size,
+            storage_bytes: storage,
+            top10: geomean(&top),
+            all: geomean(&all),
+        });
+        progress(size);
+    }
+    points
+}
+
 /// A named ablation of the context prefetcher (the design decisions
 /// DESIGN.md §6 calls out).
 #[derive(Clone, Debug)]
@@ -237,6 +346,39 @@ mod tests {
             "second sweep must be memo-only"
         );
         assert!(hits >= 4, "baseline + context runs must hit the memo");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_bitwise() {
+        let kernels = vec![
+            kernel_by_name("array").unwrap(),
+            kernel_by_name("list").unwrap(),
+        ];
+        let cfg = SimConfig::quick();
+        let seq_store = TraceStore::new();
+        let seq = storage_sweep_with_store(&seq_store, &kernels, &[256, 1024], &cfg, |_| {});
+        for threads in [1, 4] {
+            let par_store = TraceStore::new();
+            let par = storage_sweep_parallel_with_store(
+                &par_store,
+                &kernels,
+                &[256, 1024],
+                &cfg,
+                threads,
+                |_| {},
+            );
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.cst_entries, b.cst_entries);
+                assert_eq!(a.storage_bytes, b.storage_bytes);
+                assert_eq!(
+                    a.all.to_bits(),
+                    b.all.to_bits(),
+                    "shard pool changed the sweep ({threads} threads)"
+                );
+                assert_eq!(a.top10.to_bits(), b.top10.to_bits());
+            }
+        }
     }
 
     #[test]

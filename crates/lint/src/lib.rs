@@ -11,6 +11,7 @@
 //! | `no-unwrap`               | d3 | `unwrap`/`expect`/`panic!` in sim-crate library code |
 //! | `snapshot-coverage`       | d4 | run-state structs missing from checkpointing |
 //! | `paper-constants`         | d5 | drift from the paper's Table 2 structural constants |
+//! | `unsafe-audit`            | d7 | `unsafe` blocks lacking an adjacent safety-argument pragma |
 //!
 //! Suppression is per-site via `// semloc-lint: allow(<rule>): reason`
 //! pragmas (same line or the line above); `--explain <rule>` prints the

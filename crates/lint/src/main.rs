@@ -25,7 +25,7 @@ OPTIONS:
     --deny-all              Promote warn-level findings to deny (CI mode)
     --json                  Emit the machine-readable JSON report on stdout
     --write-summary <path>  Also write the JSON report to <path>
-    --explain <rule>        Print a rule's full rationale (id or d1..d5)
+    --explain <rule>        Print a rule's full rationale (id or an alias d1..d7)
     --list-rules            List the rule catalog
     -h, --help              This help
 "

@@ -1,4 +1,5 @@
-//! The launch rule set: D1–D5.
+//! The rule set: D1–D5 from launch, plus D7 (unsafe-audit) from the
+//! acceleration layer.
 //!
 //! Each rule documents *why* it exists in its `explain` text (shown by
 //! `semloc-lint --explain <rule>`): the project's correctness story rests
@@ -20,15 +21,15 @@ pub const WALL_CLOCK_CRATES: &[&str] = &["bench", "criterion"];
 pub struct RuleInfo {
     /// Stable rule id, used in findings, pragmas and JSON output.
     pub id: &'static str,
-    /// Short alias accepted in pragmas (`d1`..`d5`).
+    /// Short alias accepted in pragmas (`d1`..`d7`).
     pub alias: &'static str,
     pub severity: Severity,
     pub summary: &'static str,
     pub explain: &'static str,
 }
 
-/// The launch rule catalog.
-pub const RULES: [RuleInfo; 5] = [
+/// The rule catalog.
+pub const RULES: [RuleInfo; 6] = [
     RuleInfo {
         id: "no-std-hash-collections",
         alias: "d1",
@@ -115,6 +116,26 @@ ratio, and that the bell window fits inside the history queue. A
 deliberate sweep default may be annotated:
   // semloc-lint: allow(paper-constants): <why the default departs>",
     },
+    RuleInfo {
+        id: "unsafe-audit",
+        alias: "d7",
+        severity: Severity::Deny,
+        summary: "every unsafe block needs an adjacent safety-argument pragma",
+        explain: "\
+The acceleration layer (crates/accel) is the only place the workspace
+uses `unsafe` — SIMD pointer intrinsics and `#[target_feature]` dispatch.
+Each such block is trusted code on the bit-identical hot path: a missed
+bounds argument corrupts simulation state silently instead of panicking,
+which the golden digest would only catch after the fact. Every `unsafe {`
+block in non-test code must therefore carry its safety argument right
+next to it, machine-checkably, as a pragma on the same line or the line
+above:
+  // semloc-lint: allow(unsafe-audit): <why the operation is sound>
+The argument should name the invariant that makes the operation in the
+block sound (e.g. which bounds check covers a raw load, or why a CPU
+feature is known present at a call site). Test code is exempt; vendor
+stubs are not scanned.",
+    },
 ];
 
 /// Look up a rule by id or alias.
@@ -141,6 +162,7 @@ pub fn check_file(file: &SourceFile, lexed: &LexData) -> Vec<Finding> {
         .is_some_and(|c| WALL_CLOCK_CRATES.contains(&c))
         && file.kind != FileKind::Benches;
     let d3_applies = is_sim_crate(file) && file.kind == FileKind::LibSrc;
+    let d7_applies = file.kind != FileKind::TestsDir;
 
     for (i, t) in toks.iter().enumerate() {
         let Tok::Ident(name) = &t.kind else { continue };
@@ -158,6 +180,29 @@ pub fn check_file(file: &SourceFile, lexed: &LexData) -> Vec<Finding> {
                      provably keyed-access-only fixed-seed map",
                     file.crate_dir.as_deref().unwrap_or("?")
                 ),
+            ));
+        }
+
+        // D7: every `unsafe {` block in non-test code must carry an
+        // adjacent safety-argument pragma. The pragma *is* the audit
+        // record: a justified block suppresses this finding via the
+        // normal pragma machinery, an unjustified one survives to deny.
+        // `unsafe fn`/`unsafe impl` headers are declarations, not trusted
+        // operations, and are not flagged.
+        if d7_applies
+            && !in_test
+            && name == "unsafe"
+            && toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('{'))
+        {
+            out.push(Finding::new(
+                "unsafe-audit",
+                Severity::Deny,
+                file,
+                t,
+                "`unsafe` block without a safety argument: add \
+                 `// semloc-lint: allow(unsafe-audit): <why the operation is sound>` \
+                 on this line or the line above"
+                    .to_string(),
             ));
         }
 
@@ -426,8 +471,52 @@ pub fn check_snapshot_coverage(
     out
 }
 
+/// `use path::X as Y;` renames in a file: `(alias, original)` pairs.
+/// Grouped imports (`use m::{A as B, C as D}`) yield one pair per rename.
+/// The composition heuristic resolves embedded field types through these
+/// so a rename cannot hide a manifested state type.
+fn use_aliases(lexed: &LexData) -> Vec<(String, String)> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if lexed.test_mask[i] || toks[i].kind != Tok::Ident("use".into()) {
+            i += 1;
+            continue;
+        }
+        // Scan the statement up to its `;`, picking up `X as Y` pairs.
+        // `as` only appears in use statements as a rename, so the idents
+        // on either side are exactly (original, alias).
+        let mut j = i + 1;
+        while j < toks.len() && toks[j].kind != Tok::Punct(';') {
+            if toks[j].kind == Tok::Ident("as".into()) {
+                if let (
+                    Some(Token {
+                        kind: Tok::Ident(orig),
+                        ..
+                    }),
+                    Some(Token {
+                        kind: Tok::Ident(alias),
+                        ..
+                    }),
+                ) = (toks.get(j - 1), toks.get(j + 1))
+                {
+                    out.push((alias.clone(), orig.clone()));
+                }
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
 /// Collect non-test struct declarations with their field-type identifiers.
+/// Field types are recorded both as written and resolved through the
+/// file's `use ... as ...` renames, so `use cst::Table as Tbl` followed by
+/// a `Tbl` field still matches a manifested `Table`.
 fn collect_structs(file: &SourceFile, lexed: &LexData, crate_dir: &str, out: &mut Vec<StructDecl>) {
+    let aliases = use_aliases(lexed);
     let toks = &lexed.tokens;
     let mut i = 0;
     while i < toks.len() {
@@ -484,6 +573,17 @@ fn collect_structs(file: &SourceFile, lexed: &LexData, crate_dir: &str, out: &mu
             }
             _ => i = j,
         }
+        // Append alias-resolved names so renamed embeddings still match.
+        let resolved: Vec<String> = field_types
+            .iter()
+            .filter_map(|t| {
+                aliases
+                    .iter()
+                    .find(|(alias, _)| alias == t)
+                    .map(|(_, orig)| orig.clone())
+            })
+            .collect();
+        field_types.extend(resolved);
         out.push(StructDecl {
             crate_dir: crate_dir.to_string(),
             name: name.clone(),

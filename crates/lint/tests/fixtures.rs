@@ -315,6 +315,43 @@ fn d4_composition_heuristic_warns() {
 }
 
 #[test]
+fn d4_composition_heuristic_sees_through_use_renames() {
+    // `use X as Y` must not let an embedded state type escape the
+    // heuristic: the field is written with the alias, the manifest names
+    // the original.
+    let table = fixture("core", FileKind::LibSrc, COVERED);
+    let wrapper = SourceFile::fixture(
+        "core",
+        FileKind::LibSrc,
+        "crates/core/src/wrap.rs",
+        "use crate::fixture::Table as Tbl;\npub struct Wrapper { inner: Tbl }\n",
+    );
+    let f = d4_run("core/Table snapshot\n", &[table, wrapper]);
+    let w = f
+        .iter()
+        .find(|x| x.file == "crates/core/src/wrap.rs")
+        .expect("renamed embedding must still warn");
+    assert_eq!(w.rule, "snapshot-coverage");
+    assert_eq!(w.line, 2);
+    assert_eq!(w.severity, Severity::Warn);
+    assert!(w.message.contains("Wrapper"), "{w:?}");
+
+    // Grouped renames resolve too.
+    let grouped = SourceFile::fixture(
+        "core",
+        FileKind::LibSrc,
+        "crates/core/src/wrap.rs",
+        "use crate::fixture::{Table as Tbl, Other as O};\npub struct Wrapper { inner: Tbl }\n",
+    );
+    let table = fixture("core", FileKind::LibSrc, COVERED);
+    let f = d4_run("core/Table snapshot\n", &[table, grouped]);
+    assert!(
+        f.iter().any(|x| x.file == "crates/core/src/wrap.rs"),
+        "grouped rename escaped the heuristic: {f:?}"
+    );
+}
+
+#[test]
 fn d4_malformed_manifest_line_is_a_deny_finding() {
     let f = d4_run("core/Table teleport\n", &[]);
     assert!(
@@ -439,11 +476,68 @@ fn d5_understands_const_expressions() {
 }
 
 // ---------------------------------------------------------------------------
+// D7: unsafe-audit
+// ---------------------------------------------------------------------------
+
+#[test]
+fn d7_fires_on_unjustified_unsafe_block() {
+    let f = findings_for(
+        "accel",
+        FileKind::LibSrc,
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    );
+    assert_fires(&f, "unsafe-audit", 1);
+    assert!(f.iter().all(|x| x.severity == Severity::Deny));
+}
+
+#[test]
+fn d7_applies_to_every_crate_and_bins() {
+    let src = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert_fires(
+        &findings_for("harness", FileKind::LibSrc, src),
+        "unsafe-audit",
+        1,
+    );
+    assert_fires(&findings_for("core", FileKind::Bin, src), "unsafe-audit", 1);
+}
+
+#[test]
+fn d7_honors_safety_argument_pragmas() {
+    let above = "// semloc-lint: allow(unsafe-audit): caller checked the pointer is in bounds\n\
+                 pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert!(findings_for("accel", FileKind::LibSrc, above).is_empty());
+
+    let own = "pub fn f(p: *const u8) -> u8 { unsafe { *p } } // semloc-lint: allow(unsafe-audit): bounds-checked above\n";
+    assert!(findings_for("accel", FileKind::LibSrc, own).is_empty());
+
+    let alias = "// semloc-lint: allow(d7): alias form works too\n\
+                 pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert!(findings_for("accel", FileKind::LibSrc, alias).is_empty());
+}
+
+#[test]
+fn d7_exempts_test_code_and_declarations() {
+    // Test code is exempt.
+    let test = "#[cfg(test)]\nmod tests {\n    fn t(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
+    assert!(findings_for("accel", FileKind::LibSrc, test).is_empty());
+    assert!(findings_for(
+        "accel",
+        FileKind::TestsDir,
+        "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    )
+    .is_empty());
+    // `unsafe fn` / `unsafe impl` headers declare contracts rather than
+    // trusting an operation; their *call sites'* blocks get audited.
+    let decls = "pub unsafe fn raw() {}\nunsafe impl Send for W {}\nstruct W;\n";
+    assert!(findings_for("accel", FileKind::LibSrc, decls).is_empty());
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: seeded violations through `lint()` + JSON shape
 // ---------------------------------------------------------------------------
 
 #[test]
-fn seeded_workspace_fires_all_five_rules_with_positions() {
+fn seeded_workspace_fires_every_rule_with_positions() {
     let mut files = d5_anchors(
         GOOD_CONFIG,
         "pub const LINKS: usize = 8;\n", // D5 violation, cst.rs line 1
@@ -456,7 +550,8 @@ fn seeded_workspace_fires_all_five_rules_with_positions() {
         "crates/mem/src/bad.rs",
         "use std::collections::HashMap;\n\
          fn f() { let _ = std::time::Instant::now(); }\n\
-         fn g(x: Option<u32>) -> u32 { x.unwrap() }\n",
+         fn g(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         fn h(p: *const u8) -> u8 { unsafe { *p } }\n",
     ));
     let (manifest, manifest_findings) = parse_manifest("mem/Ghost snapshot\n", "manifest.txt");
     let ws = Workspace {
@@ -472,6 +567,7 @@ fn seeded_workspace_fires_all_five_rules_with_positions() {
         ("no-std-hash-collections", "crates/mem/src/bad.rs", 1),
         ("no-wall-clock", "crates/mem/src/bad.rs", 2),
         ("no-unwrap", "crates/mem/src/bad.rs", 3),
+        ("unsafe-audit", "crates/mem/src/bad.rs", 4),
         ("snapshot-coverage", "manifest.txt", 1),
         ("paper-constants", "crates/core/src/cst.rs", 1),
     ];
@@ -502,7 +598,7 @@ fn seeded_workspace_fires_all_five_rules_with_positions() {
     for key in [
         "\"version\": 1",
         "\"files_scanned\": 5",
-        "\"rule_count\": 5",
+        "\"rule_count\": 6",
         "\"pragmas_honored\"",
         "\"deny_findings\"",
         "\"warn_findings\"",
@@ -529,6 +625,7 @@ fn rule_lookup_resolves_ids_and_aliases() {
         ("no-unwrap", "d3"),
         ("snapshot-coverage", "d4"),
         ("paper-constants", "d5"),
+        ("unsafe-audit", "d7"),
     ] {
         assert_eq!(rule(id).unwrap().id, id);
         assert_eq!(rule(alias).unwrap().id, id);

@@ -9,21 +9,8 @@
 use crate::config::CacheConfig;
 use semloc_trace::{snap_err, Addr, Cycle, SnapReader, SnapWriter, Snapshot};
 
-/// One cache line's metadata.
-#[derive(Clone, Copy, Debug, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Brought in by a prefetch (cleared once a demand access touches it).
-    prefetched: bool,
-    /// A demand access has touched the line since the fill.
-    touched: bool,
-    /// LRU timestamp (larger = more recent).
-    lru: u64,
-    /// Cycle at which the fill completes; before this the line is in flight.
-    ready_at: Cycle,
-}
+// (Line metadata is stored structure-of-arrays directly in `Cache`; see
+// the field docs there.)
 
 /// Outcome of a cache lookup-and-update.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,10 +57,23 @@ pub struct Eviction {
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// All lines in one flat slice, set-major: set `s`, way `w` lives at
-    /// `s * ways + w`. One allocation and one indirection per access
-    /// instead of a `Vec<Vec<Line>>` pointer chase.
-    lines: Box<[Line]>,
+    /// Line metadata in parallel arrays, set-major: set `s`, way `w` lives
+    /// at index `s * ways + w` of each array. Splitting by field keeps the
+    /// tags of a whole set inside one hardware cache line (an 8-way probe
+    /// touches 64 contiguous tag bytes instead of striding over ~400 bytes
+    /// of interleaved metadata) and exposes flat lanes to the
+    /// `semloc_accel` tag-probe and victim-scan kernels.
+    tags: Box<[u64]>,
+    valid: Box<[bool]>,
+    dirty: Box<[bool]>,
+    /// Brought in by a prefetch (cleared once a demand access touches it).
+    prefetched: Box<[bool]>,
+    /// A demand access has touched the line since the fill.
+    touched: Box<[bool]>,
+    /// LRU timestamps (larger = more recent).
+    lru: Box<[u64]>,
+    /// Cycle at which each fill completes; before it the line is in flight.
+    ready_at: Box<[Cycle]>,
     ways: usize,
     set_mask: u64,
     line_shift: u32,
@@ -86,8 +86,15 @@ impl Cache {
         let sets = cfg.sets();
         let ways = cfg.ways as usize;
         let line_shift = cfg.line_bytes.trailing_zeros();
+        let n = sets as usize * ways;
         Cache {
-            lines: vec![Line::default(); sets as usize * ways].into_boxed_slice(),
+            tags: vec![0; n].into_boxed_slice(),
+            valid: vec![false; n].into_boxed_slice(),
+            dirty: vec![false; n].into_boxed_slice(),
+            prefetched: vec![false; n].into_boxed_slice(),
+            touched: vec![false; n].into_boxed_slice(),
+            lru: vec![0; n].into_boxed_slice(),
+            ready_at: vec![0; n].into_boxed_slice(),
             ways,
             set_mask: sets - 1,
             line_shift,
@@ -110,17 +117,13 @@ impl Cache {
         )
     }
 
-    /// The ways of `set`, in way order.
+    /// First way of `set` holding a valid line tagged `tag` (the same
+    /// first-match the interleaved scan produced), as a flat line index.
     #[inline]
-    fn set(&self, set: usize) -> &[Line] {
-        &self.lines[set * self.ways..(set + 1) * self.ways]
-    }
-
-    /// The ways of `set`, mutably.
-    #[inline]
-    fn set_mut(&mut self, set: usize) -> &mut [Line] {
-        let ways = self.ways;
-        &mut self.lines[set * ways..(set + 1) * ways]
+    fn find_line(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let r = base..base + self.ways;
+        semloc_accel::find_valid_tag(&self.tags[r.clone()], &self.valid[r], tag).map(|w| base + w)
     }
 
     /// Look up `addr` at cycle `now` as a demand access, updating LRU and
@@ -130,25 +133,23 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        for line in self.set_mut(set) {
-            if line.valid && line.tag == tag {
-                line.lru = tick;
-                if is_write {
-                    line.dirty = true;
-                }
-                if line.ready_at > now {
-                    return LookupResult::InFlight {
-                        ready_at: line.ready_at,
-                        prefetch: line.prefetched,
-                    };
-                }
-                let first = line.prefetched && !line.touched;
-                line.touched = true;
-                line.prefetched = false;
-                return LookupResult::Hit {
-                    first_touch_of_prefetch: first,
+        if let Some(i) = self.find_line(set, tag) {
+            self.lru[i] = tick;
+            if is_write {
+                self.dirty[i] = true;
+            }
+            if self.ready_at[i] > now {
+                return LookupResult::InFlight {
+                    ready_at: self.ready_at[i],
+                    prefetch: self.prefetched[i],
                 };
             }
+            let first = self.prefetched[i] && !self.touched[i];
+            self.touched[i] = true;
+            self.prefetched[i] = false;
+            return LookupResult::Hit {
+                first_touch_of_prefetch: first,
+            };
         }
         LookupResult::Miss
     }
@@ -158,18 +159,16 @@ impl Cache {
     #[inline]
     pub fn probe(&self, addr: Addr, now: Cycle) -> LookupResult {
         let (set, tag) = self.index(addr);
-        for line in self.set(set) {
-            if line.valid && line.tag == tag {
-                if line.ready_at > now {
-                    return LookupResult::InFlight {
-                        ready_at: line.ready_at,
-                        prefetch: line.prefetched,
-                    };
-                }
-                return LookupResult::Hit {
-                    first_touch_of_prefetch: line.prefetched && !line.touched,
+        if let Some(i) = self.find_line(set, tag) {
+            if self.ready_at[i] > now {
+                return LookupResult::InFlight {
+                    ready_at: self.ready_at[i],
+                    prefetch: self.prefetched[i],
                 };
             }
+            return LookupResult::Hit {
+                first_touch_of_prefetch: self.prefetched[i] && !self.touched[i],
+            };
         }
         LookupResult::Miss
     }
@@ -182,19 +181,18 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        let ways = self.set_mut(set);
         // Refill of a line already present (e.g. prefetch raced a demand):
         // just refresh, never duplicate tags within a set.
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = tick;
-            line.dirty |= dirty;
-            line.ready_at = line.ready_at.min(ready_at);
+        if let Some(i) = self.find_line(set, tag) {
+            self.lru[i] = tick;
+            self.dirty[i] |= dirty;
+            self.ready_at[i] = self.ready_at[i].min(ready_at);
             if !prefetched {
                 // A demand fill claims the line: it must no longer count as
                 // an untouched prefetch (Fig 9 classes / `useless_prefetch`),
                 // even if a prefetched fill for it is still in flight.
-                line.prefetched = false;
-                line.touched = true;
+                self.prefetched[i] = false;
+                self.touched[i] = true;
             }
             return Eviction {
                 valid: false,
@@ -202,57 +200,61 @@ impl Cache {
                 useless_prefetch: false,
             };
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
-            // semloc-lint: allow(no-unwrap): associativity is validated > 0 at construction
-            .expect("cache set has at least one way");
+        let base = set * self.ways;
+        let r = base..base + self.ways;
+        // First-minimum of `if valid { lru + 1 } else { 0 }`, exactly the
+        // `min_by_key` the interleaved scan used.
+        let victim = base
+            + semloc_accel::victim_way(&self.valid[r.clone()], &self.lru[r])
+                // semloc-lint: allow(no-unwrap): associativity is validated > 0 at construction
+                .expect("cache set has at least one way");
         let ev = Eviction {
-            valid: victim.valid,
-            dirty: victim.valid && victim.dirty,
-            useless_prefetch: victim.valid && victim.prefetched && !victim.touched,
+            valid: self.valid[victim],
+            dirty: self.valid[victim] && self.dirty[victim],
+            useless_prefetch: self.valid[victim]
+                && self.prefetched[victim]
+                && !self.touched[victim],
         };
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty,
-            prefetched,
-            touched: false,
-            lru: tick,
-            ready_at,
-        };
+        self.tags[victim] = tag;
+        self.valid[victim] = true;
+        self.dirty[victim] = dirty;
+        self.prefetched[victim] = prefetched;
+        self.touched[victim] = false;
+        self.lru[victim] = tick;
+        self.ready_at[victim] = ready_at;
         ev
     }
 
     /// Count valid lines that were prefetched and never demand-touched
     /// (the residual "prefetch never hit" population at end of run).
     pub fn count_untouched_prefetches(&self) -> u64 {
-        self.lines
-            .iter()
-            .filter(|l| l.valid && l.prefetched && !l.touched)
+        (0..self.tags.len())
+            .filter(|&i| self.valid[i] && self.prefetched[i] && !self.touched[i])
             .count() as u64
     }
 
     /// Number of valid lines (occupancy), for tests.
     pub fn valid_lines(&self) -> u64 {
-        self.lines.iter().filter(|l| l.valid).count() as u64
+        self.valid.iter().filter(|&&v| v).count() as u64
     }
 }
 
 impl Snapshot for Cache {
     fn save(&self, w: &mut SnapWriter) {
+        // Byte-identical to the interleaved-line format: per line index,
+        // tag / flags / lru / ready_at, in set-major order.
         w.section(*b"CACH", 1);
         w.put_u64(self.tick);
-        w.put_len(self.lines.len());
-        for l in self.lines.iter() {
-            w.put_u64(l.tag);
-            let flags = l.valid as u8
-                | (l.dirty as u8) << 1
-                | (l.prefetched as u8) << 2
-                | (l.touched as u8) << 3;
+        w.put_len(self.tags.len());
+        for i in 0..self.tags.len() {
+            w.put_u64(self.tags[i]);
+            let flags = self.valid[i] as u8
+                | (self.dirty[i] as u8) << 1
+                | (self.prefetched[i] as u8) << 2
+                | (self.touched[i] as u8) << 3;
             w.put_u8(flags);
-            w.put_u64(l.lru);
-            w.put_u64(l.ready_at);
+            w.put_u64(self.lru[i]);
+            w.put_u64(self.ready_at[i]);
         }
     }
 
@@ -260,28 +262,38 @@ impl Snapshot for Cache {
         r.section(*b"CACH", 1)?;
         let tick = r.get_u64()?;
         let n = r.get_len()?;
-        if n != self.lines.len() {
+        if n != self.tags.len() {
             return Err(snap_err(format!(
                 "cache snapshot has {n} lines, geometry expects {}",
-                self.lines.len()
+                self.tags.len()
             )));
         }
-        let mut lines = vec![Line::default(); n];
-        for l in &mut lines {
-            l.tag = r.get_u64()?;
+        // Parse into scratch first so a malformed snapshot leaves the
+        // cache untouched.
+        let mut tags = vec![0u64; n];
+        let mut packed_flags = vec![0u8; n];
+        let mut lru = vec![0u64; n];
+        let mut ready_at = vec![0u64; n];
+        for i in 0..n {
+            tags[i] = r.get_u64()?;
             let flags = r.get_u8()?;
             if flags & !0x0F != 0 {
                 return Err(snap_err(format!("cache line flags {flags:#04x} invalid")));
             }
-            l.valid = flags & 1 != 0;
-            l.dirty = flags & 2 != 0;
-            l.prefetched = flags & 4 != 0;
-            l.touched = flags & 8 != 0;
-            l.lru = r.get_u64()?;
-            l.ready_at = r.get_u64()?;
+            packed_flags[i] = flags;
+            lru[i] = r.get_u64()?;
+            ready_at[i] = r.get_u64()?;
         }
         self.tick = tick;
-        self.lines.copy_from_slice(&lines);
+        for i in 0..n {
+            self.tags[i] = tags[i];
+            self.valid[i] = packed_flags[i] & 1 != 0;
+            self.dirty[i] = packed_flags[i] & 2 != 0;
+            self.prefetched[i] = packed_flags[i] & 4 != 0;
+            self.touched[i] = packed_flags[i] & 8 != 0;
+            self.lru[i] = lru[i];
+            self.ready_at[i] = ready_at[i];
+        }
         Ok(())
     }
 }
