@@ -1,0 +1,365 @@
+//! 512-bit AVX-512 implementations.
+//!
+//! Three things make this tier more than "AVX2 but wider". First, the
+//! 64-lane scans the scored-set structures actually issue (`min_index_i8`
+//! / `max_index_last_i8` over up to 64 scores) fit in a *single* 512-bit
+//! vector. Second, per-lane mask registers replace the pad-buffer tail
+//! handling of the narrower tiers: every kernel here loads its tail with
+//! `maskz`/`mask` loads and compares under the same mask, so there are no
+//! copy-to-stack padding loops at all. Third, AVX512DQ provides a native
+//! packed 64-bit multiply (`vpmullq`), so the SplitMix64 finalizer no
+//! longer needs the three-`vpmuludq` synthesis the AVX2 tier pays for.
+//!
+//! Every kernel is pinned bit-identical to [`crate::scalar`] by the
+//! equivalence property suite (which iterates [`crate::available_tiers`],
+//! so this tier joins automatically on hosts that support it).
+//!
+//! # Safety
+//!
+//! Every `pub fn` here carries `#[target_feature]` for the AVX-512 subset
+//! it needs (F+BW+DQ+VL, the set [`crate::supported`] detects as a bundle),
+//! so calling one from a context without those features statically enabled
+//! is `unsafe`; the sole obligation is that the CPU actually supports them,
+//! which [`crate::supported`] checks via `is_x86_feature_detected!` before
+//! the dispatcher ever selects this tier. That shared contract is
+//! documented here once rather than per function.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+#![allow(clippy::missing_safety_doc)] // the uniform contract is in the module docs above
+
+use std::arch::x86_64::*;
+
+/// Mask with the low `lanes` bits set (`lanes` ≤ 64).
+#[inline]
+fn low_mask(lanes: usize) -> u64 {
+    if lanes >= 64 {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Load up to eight `u64` lanes under `k`; masked-out lanes are zero.
+#[inline]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn maskz_u64(k: __mmask8, p: *const u64) -> __m512i {
+    // semloc-lint: allow(unsafe-audit): masked load touches only the lanes set in k, which callers derive from the slice's remaining length
+    unsafe { _mm512_maskz_loadu_epi64(k, p as *const i64) }
+}
+
+/// SplitMix64 finalizer on all eight lanes (native `vpmullq`).
+#[inline]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn splitmix8(mut x: __m512i) -> __m512i {
+    let k1 = _mm512_set1_epi64(0xbf58_476d_1ce4_e5b9_u64 as i64);
+    let k2 = _mm512_set1_epi64(0x94d0_49bb_1331_11eb_u64 as i64);
+    x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 30)), k1);
+    x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 27)), k2);
+    _mm512_xor_si512(x, _mm512_srli_epi64(x, 31))
+}
+
+/// See [`crate::scalar::mix8`]: all eight lanes in one vector.
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn mix8(x: &mut [u64; 8]) {
+    // semloc-lint: allow(unsafe-audit): unaligned 64-byte read/write over exactly the 8-lane array
+    unsafe {
+        let v = splitmix8(_mm512_loadu_si512(x.as_ptr() as *const __m512i));
+        _mm512_storeu_si512(x.as_mut_ptr() as *mut __m512i, v);
+    }
+}
+
+/// See [`crate::scalar::find_i16`]: 32 lanes per compare, tails by mask.
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn find_i16(hay: &[i16], needle: i16) -> Option<usize> {
+    let splat = _mm512_set1_epi16(needle);
+    let mut i = 0;
+    while i < hay.len() {
+        let lanes = (hay.len() - i).min(32);
+        let k = low_mask(lanes) as __mmask32;
+        // semloc-lint: allow(unsafe-audit): masked load touches only the `lanes` in-bounds elements selected by k
+        let v = unsafe { _mm512_maskz_loadu_epi16(k, hay.as_ptr().add(i)) };
+        let m = _mm512_mask_cmpeq_epi16_mask(k, v, splat);
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 32;
+    }
+    None
+}
+
+/// See [`crate::scalar::find_u64`]: 8 lanes per compare.
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn find_u64(hay: &[u64], needle: u64) -> Option<usize> {
+    let splat = _mm512_set1_epi64(needle as i64);
+    let mut i = 0;
+    while i < hay.len() {
+        let lanes = (hay.len() - i).min(8);
+        let k = low_mask(lanes) as __mmask8;
+        let m = _mm512_mask_cmpeq_epi64_mask(k, maskz_u64(k, hay.as_ptr().wrapping_add(i)), splat);
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 8;
+    }
+    None
+}
+
+/// Horizontal minimum of all 64 `i8` lanes.
+#[inline]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn hmin_i8(acc: __m512i) -> i8 {
+    let mut lane = _mm_min_epi8(
+        _mm256_castsi256_si128(_mm256_min_epi8(
+            _mm512_extracti64x4_epi64::<0>(acc),
+            _mm512_extracti64x4_epi64::<1>(acc),
+        )),
+        _mm256_extracti128_si256::<1>(_mm256_min_epi8(
+            _mm512_extracti64x4_epi64::<0>(acc),
+            _mm512_extracti64x4_epi64::<1>(acc),
+        )),
+    );
+    lane = _mm_min_epi8(lane, _mm_srli_si128::<8>(lane));
+    lane = _mm_min_epi8(lane, _mm_srli_si128::<4>(lane));
+    lane = _mm_min_epi8(lane, _mm_srli_si128::<2>(lane));
+    lane = _mm_min_epi8(lane, _mm_srli_si128::<1>(lane));
+    (_mm_cvtsi128_si32(lane) & 0xff) as u8 as i8
+}
+
+/// Horizontal maximum of all 64 `i8` lanes.
+#[inline]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn hmax_i8(acc: __m512i) -> i8 {
+    let half = _mm256_max_epi8(
+        _mm512_extracti64x4_epi64::<0>(acc),
+        _mm512_extracti64x4_epi64::<1>(acc),
+    );
+    let mut lane = _mm_max_epi8(
+        _mm256_castsi256_si128(half),
+        _mm256_extracti128_si256::<1>(half),
+    );
+    lane = _mm_max_epi8(lane, _mm_srli_si128::<8>(lane));
+    lane = _mm_max_epi8(lane, _mm_srli_si128::<4>(lane));
+    lane = _mm_max_epi8(lane, _mm_srli_si128::<2>(lane));
+    lane = _mm_max_epi8(lane, _mm_srli_si128::<1>(lane));
+    (_mm_cvtsi128_si32(lane) & 0xff) as u8 as i8
+}
+
+/// See [`crate::scalar::min_index_i8`]: one 64-lane vector covers the
+/// whole scored set in the common case; min-reduce, then first-index
+/// rescan of the winning value.
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn min_index_i8(v: &[i8]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    let pad = _mm512_set1_epi8(i8::MAX);
+    let mut acc = pad;
+    let mut i = 0;
+    while i < v.len() {
+        let k = low_mask((v.len() - i).min(64));
+        // semloc-lint: allow(unsafe-audit): masked load touches only the in-bounds lanes selected by k; masked-out lanes take the pad value
+        let c = unsafe { _mm512_mask_loadu_epi8(pad, k, v.as_ptr().add(i)) };
+        acc = _mm512_min_epi8(acc, c);
+        i += 64;
+    }
+    let splat = _mm512_set1_epi8(hmin_i8(acc));
+    let mut i = 0;
+    while i < v.len() {
+        let k = low_mask((v.len() - i).min(64));
+        // semloc-lint: allow(unsafe-audit): masked load touches only the in-bounds lanes selected by k
+        let c = unsafe { _mm512_maskz_loadu_epi8(k, v.as_ptr().add(i)) };
+        let m = _mm512_mask_cmpeq_epi8_mask(k, c, splat);
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 64;
+    }
+    unreachable!("the minimum of a non-empty slice is present in it")
+}
+
+/// See [`crate::scalar::max_index_last_i8`]: the **last** maximum, found
+/// by scanning chunks from the tail and taking the highest set mask bit.
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn max_index_last_i8(v: &[i8]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    let pad = _mm512_set1_epi8(i8::MIN);
+    let mut acc = pad;
+    let mut i = 0;
+    while i < v.len() {
+        let k = low_mask((v.len() - i).min(64));
+        // semloc-lint: allow(unsafe-audit): masked load touches only the in-bounds lanes selected by k; masked-out lanes take the pad value
+        let c = unsafe { _mm512_mask_loadu_epi8(pad, k, v.as_ptr().add(i)) };
+        acc = _mm512_max_epi8(acc, c);
+        i += 64;
+    }
+    let splat = _mm512_set1_epi8(hmax_i8(acc));
+    let mut base = (v.len() - 1) / 64 * 64;
+    loop {
+        let k = low_mask((v.len() - base).min(64));
+        // semloc-lint: allow(unsafe-audit): masked load touches only the in-bounds lanes selected by k
+        let c = unsafe { _mm512_maskz_loadu_epi8(k, v.as_ptr().add(base)) };
+        let m = _mm512_mask_cmpeq_epi8_mask(k, c, splat);
+        if m != 0 {
+            return Some(base + (63 - m.leading_zeros()) as usize);
+        }
+        if base == 0 {
+            unreachable!("the maximum of a non-empty slice is present in it");
+        }
+        base -= 64;
+    }
+}
+
+/// See [`crate::scalar::min_index_u32`]: 16-lane `vpminud` reduce +
+/// first-index rescan.
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn min_index_u32(v: &[u32]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    let pad = _mm512_set1_epi32(u32::MAX as i32);
+    let mut acc = pad;
+    let mut i = 0;
+    while i < v.len() {
+        let k = low_mask((v.len() - i).min(16)) as __mmask16;
+        // semloc-lint: allow(unsafe-audit): masked load touches only the in-bounds lanes selected by k; masked-out lanes take the pad value
+        let c = unsafe { _mm512_mask_loadu_epi32(pad, k, v.as_ptr().add(i) as *const i32) };
+        acc = _mm512_min_epu32(acc, c);
+        i += 16;
+    }
+    let half = _mm256_min_epu32(
+        _mm512_extracti64x4_epi64::<0>(acc),
+        _mm512_extracti64x4_epi64::<1>(acc),
+    );
+    let mut lane = _mm_min_epu32(
+        _mm256_castsi256_si128(half),
+        _mm256_extracti128_si256::<1>(half),
+    );
+    lane = _mm_min_epu32(lane, _mm_srli_si128::<8>(lane));
+    lane = _mm_min_epu32(lane, _mm_srli_si128::<4>(lane));
+    let splat = _mm512_set1_epi32(_mm_cvtsi128_si32(lane));
+    let mut i = 0;
+    while i < v.len() {
+        let k = low_mask((v.len() - i).min(16)) as __mmask16;
+        // semloc-lint: allow(unsafe-audit): masked load touches only the in-bounds lanes selected by k
+        let c = unsafe { _mm512_maskz_loadu_epi32(k, v.as_ptr().add(i) as *const i32) };
+        let m = _mm512_mask_cmpeq_epi32_mask(k, c, splat);
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 16;
+    }
+    unreachable!("the minimum of a non-empty slice is present in it")
+}
+
+/// See [`crate::scalar::find_valid_tag`]: per-lane mask bits make the
+/// valid check a bit-clear loop instead of byte arithmetic.
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn find_valid_tag(tags: &[u64], valid: &[bool], needle: u64) -> Option<usize> {
+    let splat = _mm512_set1_epi64(needle as i64);
+    let mut i = 0;
+    while i < tags.len() {
+        let lanes = (tags.len() - i).min(8);
+        let k = low_mask(lanes) as __mmask8;
+        let mut m =
+            _mm512_mask_cmpeq_epi64_mask(k, maskz_u64(k, tags.as_ptr().wrapping_add(i)), splat);
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            if valid[i + lane] {
+                return Some(i + lane);
+            }
+            m &= m - 1; // clear the lowest set lane
+        }
+        i += 8;
+    }
+    None
+}
+
+/// See [`crate::scalar::victim_way`]. The valid bits become a lane mask
+/// directly: `maskz_add` computes `lru + 1` in valid lanes and `0` in
+/// invalid ones — no widening, no scratch compare. The final first-min
+/// scan over at most `ways` keys runs scalar.
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn victim_way(valid: &[bool], lru: &[u64]) -> Option<usize> {
+    const MAX_WAYS: usize = 64;
+    let n = valid.len();
+    if n == 0 {
+        return None;
+    }
+    if n > MAX_WAYS {
+        return crate::scalar::victim_way(valid, lru);
+    }
+    let one = _mm512_set1_epi64(1);
+    let mut keys = [u64::MAX; MAX_WAYS];
+    let mut i = 0;
+    while i < n {
+        let lanes = (n - i).min(8);
+        let k = low_mask(lanes) as __mmask8;
+        let mut vm: __mmask8 = 0;
+        for (j, &ok) in valid[i..i + lanes].iter().enumerate() {
+            vm |= (ok as u8) << j;
+        }
+        let lruv = maskz_u64(k, lru.as_ptr().wrapping_add(i));
+        let keysv = _mm512_maskz_add_epi64(vm, lruv, one);
+        // semloc-lint: allow(unsafe-audit): masked store writes only the `lanes` in-bounds slots of the fixed-size keys array selected by k
+        unsafe { _mm512_mask_storeu_epi64(keys.as_mut_ptr().add(i) as *mut i64, k, keysv) };
+        i += 8;
+    }
+    let mut best = 0usize;
+    for (j, &key) in keys[..n].iter().enumerate() {
+        if key < keys[best] {
+            best = j;
+        }
+    }
+    Some(best)
+}
+
+/// See [`crate::scalar::gather_i32`]: clamp sixteen indices with
+/// `vpminud`, then one masked `vpgatherdd` per chunk (the mask keeps
+/// tail lanes from touching memory at all).
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn gather_i32(table: &[i32], idxs: &[u32], out: &mut [i32]) {
+    assert!(!table.is_empty());
+    assert!(out.len() >= idxs.len());
+    let last = _mm512_set1_epi32((table.len() - 1) as i32);
+    let zero = _mm512_setzero_si512();
+    let mut i = 0;
+    while i < idxs.len() {
+        let lanes = (idxs.len() - i).min(16);
+        let k = low_mask(lanes) as __mmask16;
+        // semloc-lint: allow(unsafe-audit): masked load touches only the `lanes` in-bounds elements selected by k
+        let raw = unsafe { _mm512_maskz_loadu_epi32(k, idxs.as_ptr().add(i) as *const i32) };
+        let clamped = _mm512_min_epu32(raw, last);
+        // semloc-lint: allow(unsafe-audit): every active index lane was clamped to table.len()-1, and masked-out lanes perform no memory access
+        let got = unsafe { _mm512_mask_i32gather_epi32::<4>(zero, k, clamped, table.as_ptr()) };
+        // semloc-lint: allow(unsafe-audit): masked store writes only the `lanes` in-bounds slots of `out` selected by k (out.len() >= idxs.len() is asserted)
+        unsafe { _mm512_mask_storeu_epi32(out.as_mut_ptr().add(i), k, got) };
+        i += 16;
+    }
+}
+
+/// See [`crate::scalar::find_pair_i64`]: eight candidate positions per
+/// iteration via two shifted 64-bit equality mask-compares.
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+pub fn find_pair_i64(deltas: &[i64], d1: i64, d2: i64) -> Option<usize> {
+    if deltas.len() < 3 {
+        return None;
+    }
+    let s1 = _mm512_set1_epi64(d1);
+    let s2 = _mm512_set1_epi64(d2);
+    let cast = |v: &[i64]| -> *const u64 { v.as_ptr() as *const u64 };
+    let mut i = 1;
+    while i + 1 < deltas.len() {
+        let lanes = (deltas.len() - 1 - i).min(8);
+        let k = low_mask(lanes) as __mmask8;
+        let a = _mm512_mask_cmpeq_epi64_mask(k, maskz_u64(k, cast(&deltas[i..])), s1);
+        let b = _mm512_mask_cmpeq_epi64_mask(k, maskz_u64(k, cast(&deltas[i + 1..])), s2);
+        let m = a & b;
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 8;
+    }
+    None
+}

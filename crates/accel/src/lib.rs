@@ -13,12 +13,12 @@
 //!   precomputed bell-reward table, plus [`find_pair_i64`], the GHB
 //!   delta-correlation pair scan.
 //!
-//! Every kernel has three implementations — portable scalar, SSE2 and
-//! AVX2 — selected once per process by [`tier`]: the `SEMLOC_ACCEL`
-//! environment variable (`scalar`, `sse2`, `avx2` or `auto`, the default)
-//! names the *requested* tier, which is then capped at what
+//! Every kernel has four implementations — portable scalar, SSE2, AVX2
+//! and AVX-512 — selected once per process by [`tier`]: the `SEMLOC_ACCEL`
+//! environment variable (`scalar`, `sse2`, `avx2`, `avx512` or `auto`, the
+//! default) names the *requested* tier, which is then capped at what
 //! `is_x86_feature_detected!` reports, so a binary built on one machine
-//! never faults on another. All three paths are **bit-identical** for every
+//! never faults on another. All four paths are **bit-identical** for every
 //! input (tie-breaks included: first-minimum, last-maximum, first-match —
 //! matching the `Iterator::min_by_key`/`max_by_key` conventions of the
 //! structures they replace); the equivalence property suites in
@@ -40,6 +40,8 @@ pub mod scalar;
 #[cfg(target_arch = "x86_64")]
 pub mod avx2;
 #[cfg(target_arch = "x86_64")]
+pub mod avx512;
+#[cfg(target_arch = "x86_64")]
 pub mod sse2;
 
 /// One implementation tier. Ordered: later tiers require strictly more CPU
@@ -52,6 +54,8 @@ pub enum Tier {
     Sse2,
     /// 256-bit AVX2.
     Avx2,
+    /// 512-bit AVX-512 (requires the F+BW+DQ+VL subset).
+    Avx512,
 }
 
 impl Tier {
@@ -62,6 +66,7 @@ impl Tier {
             "scalar" => Some(Tier::Scalar),
             "sse2" => Some(Tier::Sse2),
             "avx2" => Some(Tier::Avx2),
+            "avx512" => Some(Tier::Avx512),
             _ => None,
         }
     }
@@ -75,6 +80,13 @@ pub fn supported(t: Tier) -> bool {
         Tier::Sse2 => true, // SSE2 is architectural baseline on x86_64
         #[cfg(target_arch = "x86_64")]
         Tier::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx512 => {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+        }
         #[cfg(not(target_arch = "x86_64"))]
         _ => false,
     }
@@ -82,7 +94,9 @@ pub fn supported(t: Tier) -> bool {
 
 /// The best tier this host supports.
 pub fn best_supported() -> Tier {
-    if supported(Tier::Avx2) {
+    if supported(Tier::Avx512) {
+        Tier::Avx512
+    } else if supported(Tier::Avx2) {
         Tier::Avx2
     } else if supported(Tier::Sse2) {
         Tier::Sse2
@@ -96,7 +110,7 @@ fn resolve_tier() -> Tier {
         Ok(v) if !v.is_empty() => match Tier::from_env(&v) {
             Some(t) => t,
             None if v == "auto" => best_supported(),
-            None => panic!("SEMLOC_ACCEL={v:?}: expected scalar|sse2|avx2|auto"),
+            None => panic!("SEMLOC_ACCEL={v:?}: expected scalar|sse2|avx2|avx512|auto"),
         },
         _ => best_supported(),
     };
@@ -117,8 +131,8 @@ pub fn tier() -> Tier {
     *TIER.get_or_init(resolve_tier)
 }
 
-/// Minimum input length (lanes) at which the auto-dispatched wrappers hand
-/// a scan to the SIMD tiers.
+/// Default minimum input length (lanes) at which an auto-dispatched
+/// wrapper hands a scan to the SIMD tiers.
 ///
 /// `#[target_feature]` functions cannot be inlined into callers compiled
 /// without that feature, so every SIMD call pays an outlined call plus
@@ -126,17 +140,68 @@ pub fn tier() -> Tier {
 /// elements beats that by a wide margin — measured on the simulator's own
 /// structures, routing an 8-way cache probe or a 4-link CST scan through
 /// the dispatcher *doubled* the end-to-end cost of a no-prefetch run.
-/// Below this many lanes the wrappers therefore run the (inlinable)
-/// scalar kernel directly; at or above it, the resolved [`tier`] takes
-/// over. The explicit `*_with` entry points bypass the crossover — the
-/// equivalence suites use them to pin every tier bit-identical at every
-/// length, so the cutover is a pure performance choice, never a
-/// correctness one.
+/// Below the crossover the wrappers therefore run the (inlinable) scalar
+/// kernel directly; at or above it, the resolved [`tier`] takes over. The
+/// explicit `*_with` entry points bypass the crossover — the equivalence
+/// suites use them to pin every tier bit-identical at every length, so
+/// the cutover is a pure performance choice, never a correctness one.
+///
+/// Where the trade flips differs per kernel, so each wrapper reads its
+/// own constant from [`crossover`]; this shared value is the default for
+/// kernels whose measured crossover matches the historical shared cut.
 pub const SIMD_CROSSOVER_LANES: usize = 16;
+
+/// Per-kernel scalar→SIMD crossover lane counts.
+///
+/// Measured by the `calibrate_crossover` bench binary (semloc-bench):
+/// for each kernel it sweeps input lengths over needle-absent full scans
+/// and reports the smallest length from which the best supported tier
+/// never loses to the inlined scalar loop again. The committed values are
+/// that measurement rounded *up* to the next production shape (4/8-way
+/// probes, 16-entry queues, 48–64-lane tables), so hosts slightly slower
+/// at vector setup than the calibration box still never regress. Re-run
+/// the bench and compare its table against these when bringing up a new
+/// host class.
+pub mod crossover {
+    use super::SIMD_CROSSOVER_LANES;
+
+    /// [`crate::find_i16`] — CST link search. Measured stable at 8: the
+    /// 32-lane masked compare amortizes its setup over a single vector,
+    /// so only the paper-default 4-link scans stay scalar.
+    pub const FIND_I16: usize = 8;
+    /// [`crate::find_u64`] — scored-set tag scan. Measured stable at 6,
+    /// committed at the 8-lane production shape.
+    pub const FIND_U64: usize = 8;
+    /// [`crate::min_index_i8`] — victim-select reduction. Measured stable
+    /// at 16 (two passes — reduce then rescan — need more lanes to pay
+    /// off than a single-pass scan).
+    pub const MIN_INDEX_I8: usize = SIMD_CROSSOVER_LANES;
+    /// [`crate::max_index_last_i8`] — best-candidate reduction. Measured
+    /// stable at 6, committed at the 8-lane production shape.
+    pub const MAX_INDEX_LAST_I8: usize = 8;
+    /// [`crate::min_index_u32`] — LRU-style minimum scan. Measured stable
+    /// at 12, committed at 16 (also two-pass).
+    pub const MIN_INDEX_U32: usize = SIMD_CROSSOVER_LANES;
+    /// [`crate::find_valid_tag`] — cache tag probe. Measured stable at
+    /// 12, committed at 16 so paper-default 8-way probes keep the inlined
+    /// scalar loop.
+    pub const FIND_VALID_TAG: usize = SIMD_CROSSOVER_LANES;
+    /// [`crate::gather_i32`] — reward-table batch gather. Measured stable
+    /// at 16 (`vpgatherdd` issues one load µop per lane, so small batches
+    /// gain nothing over the scalar loop).
+    pub const GATHER_I32: usize = SIMD_CROSSOVER_LANES;
+    /// [`crate::find_pair_i64`] — GHB delta-correlation pair scan.
+    /// Measured stable at 12, committed at 16: chains at the paper's
+    /// 8-deep history stay scalar, sweep-widened chains vectorize.
+    pub const FIND_PAIR_I64: usize = SIMD_CROSSOVER_LANES;
+}
 
 macro_rules! dispatch {
     ($t:expr, $f:ident ( $($arg:expr),* )) => {{
         match $t {
+            #[cfg(target_arch = "x86_64")]
+            // semloc-lint: allow(unsafe-audit): tier() / `supported` guarantee the AVX-512 F+BW+DQ+VL bundle was detected before this path is taken
+            Tier::Avx512 => unsafe { avx512::$f($($arg),*) },
             #[cfg(target_arch = "x86_64")]
             // semloc-lint: allow(unsafe-audit): tier() / `supported` guarantee AVX2 was detected before this path is taken
             Tier::Avx2 => unsafe { avx2::$f($($arg),*) },
@@ -170,7 +235,7 @@ pub fn mix8_with(t: Tier, x: &mut [u64; 8]) {
 /// Index of the first element equal to `needle`.
 #[inline]
 pub fn find_i16(hay: &[i16], needle: i16) -> Option<usize> {
-    if hay.len() < SIMD_CROSSOVER_LANES {
+    if hay.len() < crossover::FIND_I16 {
         return scalar::find_i16(hay, needle);
     }
     find_i16_with(tier(), hay, needle)
@@ -185,7 +250,7 @@ pub fn find_i16_with(t: Tier, hay: &[i16], needle: i16) -> Option<usize> {
 /// Index of the first element equal to `needle`.
 #[inline]
 pub fn find_u64(hay: &[u64], needle: u64) -> Option<usize> {
-    if hay.len() < SIMD_CROSSOVER_LANES {
+    if hay.len() < crossover::FIND_U64 {
         return scalar::find_u64(hay, needle);
     }
     find_u64_with(tier(), hay, needle)
@@ -200,7 +265,7 @@ pub fn find_u64_with(t: Tier, hay: &[u64], needle: u64) -> Option<usize> {
 /// Index of the first minimum (the `min_by_key` tie-break).
 #[inline]
 pub fn min_index_i8(v: &[i8]) -> Option<usize> {
-    if v.len() < SIMD_CROSSOVER_LANES {
+    if v.len() < crossover::MIN_INDEX_I8 {
         return scalar::min_index_i8(v);
     }
     min_index_i8_with(tier(), v)
@@ -215,7 +280,7 @@ pub fn min_index_i8_with(t: Tier, v: &[i8]) -> Option<usize> {
 /// Index of the **last** maximum (the `max_by_key` tie-break).
 #[inline]
 pub fn max_index_last_i8(v: &[i8]) -> Option<usize> {
-    if v.len() < SIMD_CROSSOVER_LANES {
+    if v.len() < crossover::MAX_INDEX_LAST_I8 {
         return scalar::max_index_last_i8(v);
     }
     max_index_last_i8_with(tier(), v)
@@ -230,7 +295,7 @@ pub fn max_index_last_i8_with(t: Tier, v: &[i8]) -> Option<usize> {
 /// Index of the first minimum (the `min_by_key` tie-break).
 #[inline]
 pub fn min_index_u32(v: &[u32]) -> Option<usize> {
-    if v.len() < SIMD_CROSSOVER_LANES {
+    if v.len() < crossover::MIN_INDEX_U32 {
         return scalar::min_index_u32(v);
     }
     min_index_u32_with(tier(), v)
@@ -246,7 +311,7 @@ pub fn min_index_u32_with(t: Tier, v: &[u32]) -> Option<usize> {
 /// `tags` and `valid` must have equal lengths.
 #[inline]
 pub fn find_valid_tag(tags: &[u64], valid: &[bool], needle: u64) -> Option<usize> {
-    if tags.len() < SIMD_CROSSOVER_LANES {
+    if tags.len() < crossover::FIND_VALID_TAG {
         assert_eq!(tags.len(), valid.len(), "tag/valid arrays must pair up");
         return scalar::find_valid_tag(tags, valid, needle);
     }
@@ -288,7 +353,7 @@ pub fn victim_way_with(t: Tier, valid: &[bool], lru: &[u64]) -> Option<usize> {
 /// as `idxs`.
 #[inline]
 pub fn gather_i32(table: &[i32], idxs: &[u32], out: &mut [i32]) {
-    if idxs.len() < SIMD_CROSSOVER_LANES {
+    if idxs.len() < crossover::GATHER_I32 {
         assert!(!table.is_empty(), "gather table must be non-empty");
         assert!(out.len() >= idxs.len(), "gather output too short");
         return scalar::gather_i32(table, idxs, out);
@@ -309,7 +374,7 @@ pub fn gather_i32_with(t: Tier, table: &[i32], idxs: &[u32], out: &mut [i32]) {
 /// at 1 because index 0 is the pair being correlated).
 #[inline]
 pub fn find_pair_i64(deltas: &[i64], d1: i64, d2: i64) -> Option<usize> {
-    if deltas.len() < SIMD_CROSSOVER_LANES {
+    if deltas.len() < crossover::FIND_PAIR_I64 {
         return scalar::find_pair_i64(deltas, d1, d2);
     }
     find_pair_i64_with(tier(), deltas, d1, d2)
@@ -324,7 +389,7 @@ pub fn find_pair_i64_with(t: Tier, deltas: &[i64], d1: i64, d2: i64) -> Option<u
 /// Every tier this host can run, scalar first (test helper: equivalence
 /// suites iterate it).
 pub fn available_tiers() -> Vec<Tier> {
-    [Tier::Scalar, Tier::Sse2, Tier::Avx2]
+    [Tier::Scalar, Tier::Sse2, Tier::Avx2, Tier::Avx512]
         .into_iter()
         .filter(|&t| supported(t))
         .collect()
@@ -351,6 +416,7 @@ mod tests {
         assert_eq!(Tier::from_env("scalar"), Some(Tier::Scalar));
         assert_eq!(Tier::from_env("sse2"), Some(Tier::Sse2));
         assert_eq!(Tier::from_env("avx2"), Some(Tier::Avx2));
+        assert_eq!(Tier::from_env("avx512"), Some(Tier::Avx512));
         assert_eq!(Tier::from_env("auto"), None);
         assert_eq!(Tier::from_env("neon"), None);
     }

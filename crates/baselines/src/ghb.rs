@@ -11,6 +11,8 @@
 //! followed it (prefetch degree 3). Table 2: GHB size 2K, history length 3,
 //! degree 3, ~32 kB.
 
+use std::collections::VecDeque;
+
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
 #[cfg(test)]
 use semloc_trace::Addr;
@@ -67,9 +69,16 @@ pub struct GhbPrefetcher {
     line_shift: u32,
     max_walk: u32,
     stats: PrefetcherStats,
-    /// Reusable chain-walk scratch (transient; not snapshotted). The DC
-    /// path used to allocate two fresh `Vec`s per access.
-    chain_buf: Vec<u64>,
+    /// Per-index-table-slot memo of the key chain, newest first, as
+    /// `(absolute position, block)` pairs — exactly what walking the ring
+    /// through `prev` links from the slot's head would visit. The walk is
+    /// up to `max_walk` *dependent* loads per access; the memo makes chain
+    /// maintenance O(1) per push. Derived state: rebuilt from the ring on
+    /// restore, never snapshotted, and provably equal to the walk (the
+    /// chain and the index-table slot only ever change together, and
+    /// liveness is re-checked positionally at use).
+    chains: Vec<VecDeque<(u64, u64)>>,
+    /// Reusable delta scratch (transient; not snapshotted).
     delta_buf: Vec<i64>,
 }
 
@@ -91,7 +100,7 @@ impl GhbPrefetcher {
             line_shift: 6,
             max_walk: 64,
             stats: PrefetcherStats::default(),
-            chain_buf: Vec::with_capacity(64),
+            chains: vec![VecDeque::new(); it_entries],
             delta_buf: Vec::with_capacity(64),
         }
     }
@@ -123,19 +132,27 @@ impl GhbPrefetcher {
         &self.ghb[(pos % self.ghb.len() as u64) as usize]
     }
 
-    /// Collect the blocks of the key chain starting at `head` into `out`
-    /// (cleared first), newest first, up to `max_walk` entries.
-    fn chain_into(&self, head: u64, out: &mut Vec<u64>) {
-        out.clear();
-        let mut pos = head;
-        while self.live(pos) && out.len() < self.max_walk as usize {
-            let e = self.at(pos);
-            out.push(e.block);
-            if e.prev >= pos {
-                break; // corrupted by wrap-around reuse
+    /// Rebuild every per-slot chain memo by walking the ring through
+    /// `prev` links — the slow path the memos exist to avoid, run once
+    /// after a snapshot restore.
+    fn rebuild_chains(&mut self) {
+        let mut chains = std::mem::take(&mut self.chains);
+        for (slot, memo) in self.it.iter().zip(chains.iter_mut()) {
+            memo.clear();
+            if !slot.valid || self.flavor == GhbFlavor::GlobalAc {
+                continue;
             }
-            pos = e.prev;
+            let mut pos = slot.head;
+            while self.live(pos) && memo.len() < self.max_walk as usize {
+                let e = self.at(pos);
+                memo.push_back((pos, e.block));
+                if e.prev >= pos {
+                    break; // end of chain (or wrap-around reuse)
+                }
+                pos = e.prev;
+            }
         }
+        self.chains = chains;
     }
 }
 
@@ -193,24 +210,44 @@ impl Prefetcher for GhbPrefetcher {
             return;
         }
 
-        // Delta correlation: newest-first blocks -> deltas (d[0] is the
-        // most recent delta). Both scratch vectors persist across accesses.
-        let mut blocks = std::mem::take(&mut self.chain_buf);
+        // Delta correlation. Maintain the memoized chain for this slot:
+        // a reset push (no live same-tag head) starts a fresh chain, any
+        // other push extends the front, and the walk's `max_walk` cap
+        // bounds the depth. Entries the ring has since overwritten are
+        // cut positionally at use below, so the live prefix of the memo
+        // is exactly what walking the ring from the new head would visit.
+        let ring = self.ghb.len() as u64;
+        let pushes = self.pushes;
+        let chain = &mut self.chains[it_idx];
+        if prev == u64::MAX {
+            chain.clear();
+        }
+        chain.push_front((pos, block));
+        chain.truncate(self.max_walk as usize);
+
+        // Newest-first blocks -> deltas (d[0] is the most recent delta).
+        // The scratch vector persists across accesses.
         let mut deltas = std::mem::take(&mut self.delta_buf);
-        self.chain_into(pos, &mut blocks);
-        if blocks.len() < 4 {
-            self.chain_buf = blocks;
+        deltas.clear();
+        let mut newer: Option<u64> = None;
+        for &(p, b) in chain.iter() {
+            if pushes - p > ring {
+                break; // overwritten; everything older is gone too
+            }
+            if let Some(nb) = newer {
+                deltas.push(nb as i64 - b as i64);
+            }
+            newer = Some(b);
+        }
+        if deltas.len() < 3 {
             self.delta_buf = deltas;
             return;
         }
-        deltas.clear();
-        deltas.extend(blocks.windows(2).map(|w| w[0] as i64 - w[1] as i64));
         let (d1, d2) = (deltas[0], deltas[1]);
         // Find an earlier occurrence of the pair (d2, d1) in time order,
         // i.e. the first (older) position i in 1..len-1 where
         // deltas[i] == d1 && deltas[i+1] == d2 — exactly the accel kernel.
         let found = semloc_accel::find_pair_i64(&deltas, d1, d2);
-        self.chain_buf = blocks;
         self.delta_buf = deltas;
         let Some(i) = found else { return };
         let deltas = &self.delta_buf;
@@ -296,6 +333,7 @@ impl Prefetcher for GhbPrefetcher {
         self.pushes = pushes;
         self.ghb = ghb;
         self.it = it;
+        self.rebuild_chains();
         Ok(())
     }
 }
@@ -429,6 +467,85 @@ mod tests {
             out.clear();
             p.on_access(&ctx(0x400, 0x10_0000 + i * 4096), pressure(), &mut out);
             assert!(out.is_empty(), "no recurrence, no prediction");
+        }
+    }
+
+    /// The chain memos must stay bit-equal to walking the ring through
+    /// `prev` links — the definitionally correct (pre-memo) formulation —
+    /// on every slot after every access, including once the small ring
+    /// has wrapped and expired entries mid-chain.
+    #[test]
+    fn chain_memo_matches_ring_walk_under_wraparound() {
+        for flavor in [GhbFlavor::GlobalDc, GhbFlavor::PcDc] {
+            let mut p = GhbPrefetcher::new(flavor, 32, 8, 3);
+            let mut out = Vec::new();
+            let mut state = 0x1234_5678_9abc_def0u64;
+            for i in 0..2000u64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let pc = 0x400 + (state >> 60) * 8; // 16 distinct PCs
+                let addr = 0x10_0000 + ((state >> 40) & 0xFFF) * 64 + i * 64;
+                out.clear();
+                p.on_access(&ctx(pc, addr), pressure(), &mut out);
+                for (idx, slot) in p.it.iter().enumerate() {
+                    let mut walk = Vec::new();
+                    if slot.valid {
+                        let mut pos = slot.head;
+                        while p.live(pos) && walk.len() < p.max_walk as usize {
+                            let e = p.at(pos);
+                            walk.push(e.block);
+                            if e.prev >= pos {
+                                break;
+                            }
+                            pos = e.prev;
+                        }
+                    }
+                    let memo: Vec<u64> = p.chains[idx]
+                        .iter()
+                        .take_while(|&&(q, _)| p.live(q))
+                        .map(|&(_, b)| b)
+                        .collect();
+                    assert_eq!(memo, walk, "{flavor:?} slot {idx} diverged at access {i}");
+                }
+            }
+        }
+    }
+
+    /// A restored prefetcher must predict identically to the original:
+    /// `rebuild_chains` has to reconstruct the memos the live instance
+    /// accumulated incrementally.
+    #[test]
+    fn restore_rebuilds_chain_memos() {
+        let mut p = GhbPrefetcher::new(GhbFlavor::PcDc, 32, 8, 3);
+        let mut out = Vec::new();
+        for i in 0..300u64 {
+            out.clear();
+            let pc = 0x400 + (i % 5) * 8;
+            p.on_access(&ctx(pc, 0x10_0000 + i * 64), pressure(), &mut out);
+        }
+        let mut w = SnapWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut q = GhbPrefetcher::new(GhbFlavor::PcDc, 32, 8, 3);
+        let mut r = SnapReader::new(&bytes);
+        q.restore_state(&mut r).expect("restore");
+        for (idx, (a, b)) in p.chains.iter().zip(q.chains.iter()).enumerate() {
+            let live_a: Vec<_> = a.iter().take_while(|&&(x, _)| p.live(x)).collect();
+            let live_b: Vec<_> = b.iter().take_while(|&&(x, _)| q.live(x)).collect();
+            assert_eq!(live_a, live_b, "slot {idx}");
+        }
+        // And the two must keep predicting identically afterwards.
+        let mut oa = Vec::new();
+        let mut ob = Vec::new();
+        for i in 300..600u64 {
+            let pc = 0x400 + (i % 5) * 8;
+            let c = ctx(pc, 0x10_0000 + i * 64);
+            oa.clear();
+            ob.clear();
+            p.on_access(&c, pressure(), &mut oa);
+            q.on_access(&c, pressure(), &mut ob);
+            assert_eq!(oa, ob, "post-restore divergence at access {i}");
         }
     }
 

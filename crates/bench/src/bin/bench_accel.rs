@@ -61,6 +61,7 @@ fn tier_name(t: Tier) -> &'static str {
         Tier::Scalar => "scalar",
         Tier::Sse2 => "sse2",
         Tier::Avx2 => "avx2",
+        Tier::Avx512 => "avx512",
     }
 }
 

@@ -227,8 +227,35 @@ impl<P: Prefetcher> Cpu<P> {
         r
     }
 
-    #[allow(clippy::expect_used)]
     fn step(&mut self, instr: Instr) {
+        // Route the single-step path through the same body as
+        // `step_block`, with the stats briefly moved out so both paths
+        // accumulate through the same `&mut CpuStats` and stay
+        // bit-identical (CpuStats is a handful of words; the move is
+        // register traffic).
+        let mut stats = std::mem::take(&mut self.stats);
+        self.step_with(instr, &mut stats);
+        self.stats = stats;
+    }
+
+    /// Step every instruction of a decoded block through the core.
+    ///
+    /// This is the batched twin of the [`TraceSink`] path: stats
+    /// accumulate in a block-local [`CpuStats`] folded back once per
+    /// block, and there is no per-instruction budget gate — callers slice
+    /// the block so it never crosses the instruction budget (the engine
+    /// does this at block granularity). Semantically identical to feeding
+    /// the same instructions through [`TraceSink::instr`] one at a time.
+    pub fn step_block(&mut self, block: &semloc_trace::InstrBlock<'_>) {
+        let mut stats = std::mem::take(&mut self.stats);
+        for i in 0..block.len() {
+            self.step_with(block.instr(i), &mut stats);
+        }
+        self.stats = stats;
+    }
+
+    #[allow(clippy::expect_used)]
+    fn step_with(&mut self, instr: Instr, stats: &mut CpuStats) {
         // Structural lower bound: the ROB must have room.
         let mut floor = 0;
         if self.rob.len() >= self.cfg.rob_size {
@@ -257,10 +284,10 @@ impl<P: Prefetcher> Cpu<P> {
             InstrKind::Alu { latency } => issue + latency.max(1) as Cycle,
             InstrKind::Nop => issue,
             InstrKind::Branch { taken, target } => {
-                self.stats.branches += 1;
+                stats.branches += 1;
                 let comp = issue + 1;
                 if !self.bpred.predict_and_update(instr.pc, taken) {
-                    self.stats.mispredicts += 1;
+                    stats.mispredicts += 1;
                     self.fetch_resume = self.fetch_resume.max(comp + self.cfg.mispredict_penalty);
                 }
                 let _ = target;
@@ -271,7 +298,7 @@ impl<P: Prefetcher> Cpu<P> {
                 size: _,
                 hints,
             } => {
-                self.stats.loads += 1;
+                stats.loads += 1;
                 let ctx = self.access_context(instr.pc, addr, false, &instr, hints);
                 let res = self.mem.demand_access(&ctx, issue);
                 self.note_access(addr, instr.result);
@@ -279,7 +306,7 @@ impl<P: Prefetcher> Cpu<P> {
                 res.ready_at
             }
             InstrKind::Store { addr, size: _ } => {
-                self.stats.stores += 1;
+                stats.stores += 1;
                 let ctx = self.access_context(instr.pc, addr, true, &instr, None);
                 let res = self.mem.demand_access(&ctx, issue);
                 self.note_access(addr, self.last_loaded);
@@ -297,8 +324,8 @@ impl<P: Prefetcher> Cpu<P> {
 
         let retire = self.retire_slot(comp);
         self.rob.push_back(retire);
-        self.stats.instructions += 1;
-        self.stats.cycles = self.stats.cycles.max(retire);
+        stats.instructions += 1;
+        stats.cycles = stats.cycles.max(retire);
     }
 
     fn access_context(
@@ -689,6 +716,41 @@ mod tests {
                 state,
             ),
         }
+    }
+
+    #[test]
+    fn step_block_matches_single_stepping() {
+        use semloc_trace::{DecodedTrace, TraceBuffer, BLOCK_LEN};
+        let n = 3 * BLOCK_LEN as u64 + 41; // exercise a partial tail block
+        let mut buf = TraceBuffer::new();
+        for i in 0..n {
+            buf.push(&mixed_instr(i));
+        }
+        let decoded = DecodedTrace::decode(&buf);
+
+        let mut single = cpu();
+        for i in buf.iter() {
+            single.instr(i);
+        }
+        let mut blocked = cpu();
+        let mut at = 0usize;
+        while at < decoded.len() {
+            let end = (at + BLOCK_LEN).min(decoded.len());
+            decoded.prefetch_block(end);
+            blocked.step_block(&decoded.block(at, end));
+            at = end;
+        }
+        assert_eq!(single.stats(), blocked.stats());
+        assert_eq!(single.mem().stats(), blocked.mem().stats());
+        assert_eq!(single.mem_accesses(), blocked.mem_accesses());
+
+        // The full micro-architectural state must match too, not just the
+        // counters: compare snapshots bit for bit.
+        let mut w1 = SnapWriter::new();
+        single.save(&mut w1);
+        let mut w2 = SnapWriter::new();
+        blocked.save(&mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
     }
 
     #[test]

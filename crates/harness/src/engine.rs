@@ -165,6 +165,18 @@ impl Engine {
     /// several `run_to` slices is bit-identical to one uninterrupted run:
     /// the stream position is exactly the instruction count, so each call
     /// resumes where the previous one stopped.
+    ///
+    /// When the replay carries pre-decoded lanes (the trace store's decode
+    /// cache admitted it), the engine consumes whole
+    /// [`BLOCK_LEN`](semloc_trace::BLOCK_LEN)-instruction blocks through
+    /// [`Cpu::step_block`]: the budget/target bounds are resolved here once
+    /// per slice instead of per instruction, stats fold once per block, and
+    /// the next block's lanes are prefetched while the current one
+    /// executes. Without decoded lanes it streams the varint decode one
+    /// instruction at a time (seeking to the resume point via block marks)
+    /// — the path the diff oracle's lockstep tee always uses, and the
+    /// fallback when the decode cache evicted this trace. Both paths are
+    /// bit-identical by construction and pinned by proptests.
     pub fn run_to(&mut self, target: u64) -> u64 {
         let budget = self.config.instr_budget;
         let target = if budget == 0 {
@@ -172,8 +184,21 @@ impl Engine {
         } else {
             target.min(budget)
         };
+        if let Some(decoded) = self.replay.decoded().cloned() {
+            const BLOCK: u64 = semloc_trace::BLOCK_LEN as u64;
+            let end = target.min(decoded.len() as u64);
+            let mut cur = self.cursor();
+            while cur < end {
+                let block_end = ((cur / BLOCK + 1) * BLOCK).min(end);
+                decoded.prefetch_block(block_end as usize);
+                self.cpu
+                    .step_block(&decoded.block(cur as usize, block_end as usize));
+                cur = block_end;
+            }
+            return self.cursor();
+        }
         let start = self.cursor() as usize;
-        for i in self.replay.trace().buf.iter().skip(start) {
+        for i in self.replay.trace().buf.iter_from(start) {
             if self.cpu.stats().instructions >= target {
                 break;
             }

@@ -35,7 +35,7 @@ pub use report::Table;
 pub use runner::{
     run_kernel, run_kernel_uncached, run_kernel_with_store, run_resumable, RunResult, SpeedupError,
 };
-pub use store::TraceStore;
+pub use store::{DecodeCacheStats, TraceStore};
 pub use sweep::{
     ablation_variants, storage_sweep, storage_sweep_parallel, storage_sweep_parallel_with_store,
     storage_sweep_with_store, AblationVariant, SweepPoint,

@@ -11,6 +11,7 @@
 //! | `no-unwrap`               | d3 | `unwrap`/`expect`/`panic!` in sim-crate library code |
 //! | `snapshot-coverage`       | d4 | run-state structs missing from checkpointing |
 //! | `paper-constants`         | d5 | drift from the paper's Table 2 structural constants |
+//! | `no-float-in-stats-accumulation` | d6 | `f32`/`f64` `+=` folds on sim-crate stats fields |
 //! | `unsafe-audit`            | d7 | `unsafe` blocks lacking an adjacent safety-argument pragma |
 //!
 //! Suppression is per-site via `// semloc-lint: allow(<rule>): reason`
@@ -326,6 +327,7 @@ pub fn lint(ws: &Workspace) -> LintReport {
         &ws.manifest_path,
     ));
     raw.extend(rules::check_paper_constants(&pairs));
+    raw.extend(rules::check_float_stats(&pairs));
 
     let mut findings = Vec::new();
     let mut pragmas_honored = 0usize;

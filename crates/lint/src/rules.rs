@@ -1,4 +1,5 @@
-//! The rule set: D1–D5 from launch, plus D7 (unsafe-audit) from the
+//! The rule set: D1–D5 from launch, D6 (no-float-in-stats-accumulation)
+//! from the block-replay work, plus D7 (unsafe-audit) from the
 //! acceleration layer.
 //!
 //! Each rule documents *why* it exists in its `explain` text (shown by
@@ -29,7 +30,7 @@ pub struct RuleInfo {
 }
 
 /// The rule catalog.
-pub const RULES: [RuleInfo; 6] = [
+pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         id: "no-std-hash-collections",
         alias: "d1",
@@ -115,6 +116,27 @@ and checks the values, power-of-two table sizes, the reducer = 8x CST
 ratio, and that the bell window fits inside the history queue. A
 deliberate sweep default may be annotated:
   // semloc-lint: allow(paper-constants): <why the default departs>",
+    },
+    RuleInfo {
+        id: "no-float-in-stats-accumulation",
+        alias: "d6",
+        severity: Severity::Deny,
+        summary: "no f32/f64 `+=` folds on stats-struct fields",
+        explain: "\
+Floating-point addition is not associative, so a float accumulator's
+value depends on fold order — and the harness folds statistics in
+several orders that must all agree bit-for-bit: per-instruction
+streaming, per-block batched stepping (block-local fold + one merge),
+shard-pool parallel cells, and checkpoint/restore replays. An f32/f64
+`+=` on a stats field silently ties the golden digest to whichever
+order ran. Stats structs (any sim-crate struct named *Stats) must
+accumulate in integers (counts, cycle sums, fixed-point) and derive
+rates as f64 *methods* at read time — IPC, MPKI and hit-rate getters
+are fine; accumulating them is not. The check infers field types from
+the struct declarations (light inference: direct f32/f64 fields) and
+flags every `.field +=` fold on such a field. A field that provably
+never reaches a digest or report may be kept with a pragma:
+  // semloc-lint: allow(no-float-in-stats-accumulation): <why order never leaks>",
     },
     RuleInfo {
         id: "unsafe-audit",
@@ -897,6 +919,132 @@ pub fn check_paper_constants(files: &[(&SourceFile, &LexData)]) -> Vec<Finding> 
         }
     }
 
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D6: no float accumulation in stats structs
+// ---------------------------------------------------------------------------
+
+/// A float-typed field declared in a sim-crate `*Stats` struct.
+#[derive(Debug)]
+struct FloatStatsField {
+    /// Owning struct, for the finding message.
+    owner: String,
+    field: String,
+}
+
+/// Collect `name: f32|f64` fields of non-test `*Stats` struct declarations.
+fn collect_float_stats_fields(lexed: &LexData, out: &mut Vec<FloatStatsField>) {
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if lexed.test_mask[i] || toks[i].kind != Tok::Ident("struct".into()) {
+            i += 1;
+            continue;
+        }
+        let Some(Token {
+            kind: Tok::Ident(name),
+            ..
+        }) = toks.get(i + 1)
+        else {
+            i += 1;
+            continue;
+        };
+        if !name.ends_with("Stats") {
+            i += 2;
+            continue;
+        }
+        let mut j = i + 2;
+        if matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
+            j = skip_angles(toks, j);
+        }
+        while j < toks.len()
+            && !matches!(
+                toks[j].kind,
+                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct(';')
+            )
+        {
+            j += 1;
+        }
+        if toks.get(j).map(|t| &t.kind) != Some(&Tok::Punct('{')) {
+            i = j;
+            continue;
+        }
+        let end = matching(toks, j, '{', '}');
+        // Field pattern inside the body: Ident ':' Ident("f32"|"f64").
+        // (`Vec<f64>` and friends don't match — the light inference only
+        // covers direct float fields, which is what a `+=` fold targets.)
+        for k in j..end.saturating_sub(2) {
+            let (Tok::Ident(field), Tok::Punct(':'), Tok::Ident(ty)) =
+                (&toks[k].kind, &toks[k + 1].kind, &toks[k + 2].kind)
+            else {
+                continue;
+            };
+            if (ty == "f32" || ty == "f64")
+                // `::` is a path, not a field type ascription.
+                && toks.get(k + 3).map(|t| &t.kind) != Some(&Tok::Punct(':'))
+            {
+                out.push(FloatStatsField {
+                    owner: name.clone(),
+                    field: field.clone(),
+                });
+            }
+        }
+        i = end;
+    }
+}
+
+/// D6: flag `.field +=` folds on float-typed `*Stats` fields across all
+/// sim-crate non-test code.
+pub fn check_float_stats(files: &[(&SourceFile, &LexData)]) -> Vec<Finding> {
+    // Phase A: field-type inference over every sim-crate declaration.
+    let mut float_fields: Vec<FloatStatsField> = Vec::new();
+    for (file, lexed) in files {
+        if is_sim_crate(file) && file.kind == FileKind::LibSrc {
+            collect_float_stats_fields(lexed, &mut float_fields);
+        }
+    }
+    if float_fields.is_empty() {
+        return Vec::new();
+    }
+
+    // Phase B: find `.field +=` accumulation sites on those fields.
+    let mut out = Vec::new();
+    for (file, lexed) in files {
+        if !is_sim_crate(file) || file.kind == FileKind::TestsDir {
+            continue;
+        }
+        let toks = &lexed.tokens;
+        for i in 0..toks.len().saturating_sub(3) {
+            if lexed.test_mask[i] {
+                continue;
+            }
+            let (Tok::Punct('.'), Tok::Ident(field), Tok::Punct('+'), Tok::Punct('=')) = (
+                &toks[i].kind,
+                &toks[i + 1].kind,
+                &toks[i + 2].kind,
+                &toks[i + 3].kind,
+            ) else {
+                continue;
+            };
+            let Some(ff) = float_fields.iter().find(|f| &f.field == field) else {
+                continue;
+            };
+            out.push(Finding::new(
+                "no-float-in-stats-accumulation",
+                Severity::Deny,
+                file,
+                &toks[i + 1],
+                format!(
+                    "float `+=` fold on stats field `{}` (declared f32/f64 in `{}`): \
+                     accumulation order would leak into the golden digest; accumulate \
+                     in integers and derive the rate in a getter instead",
+                    ff.field, ff.owner
+                ),
+            ));
+        }
+    }
     out
 }
 

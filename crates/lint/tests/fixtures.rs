@@ -553,6 +553,13 @@ fn seeded_workspace_fires_every_rule_with_positions() {
          fn g(x: Option<u32>) -> u32 { x.unwrap() }\n\
          fn h(p: *const u8) -> u8 { unsafe { *p } }\n",
     ));
+    files.push(SourceFile::fixture(
+        "cpu",
+        FileKind::LibSrc,
+        "crates/cpu/src/badstats.rs",
+        "pub struct LatStats { pub sum: f64 }\n\
+         fn fold(s: &mut LatStats, l: f64) { s.sum += l; }\n",
+    ));
     let (manifest, manifest_findings) = parse_manifest("mem/Ghost snapshot\n", "manifest.txt");
     let ws = Workspace {
         root: PathBuf::from("."),
@@ -570,6 +577,11 @@ fn seeded_workspace_fires_every_rule_with_positions() {
         ("unsafe-audit", "crates/mem/src/bad.rs", 4),
         ("snapshot-coverage", "manifest.txt", 1),
         ("paper-constants", "crates/core/src/cst.rs", 1),
+        (
+            "no-float-in-stats-accumulation",
+            "crates/cpu/src/badstats.rs",
+            2,
+        ),
     ];
     for (rule_id, file, line) in expect {
         assert!(
@@ -597,8 +609,8 @@ fn seeded_workspace_fires_every_rule_with_positions() {
     let json = to_json(&report);
     for key in [
         "\"version\": 1",
-        "\"files_scanned\": 5",
-        "\"rule_count\": 6",
+        "\"files_scanned\": 6",
+        "\"rule_count\": 7",
         "\"pragmas_honored\"",
         "\"deny_findings\"",
         "\"warn_findings\"",
@@ -625,6 +637,7 @@ fn rule_lookup_resolves_ids_and_aliases() {
         ("no-unwrap", "d3"),
         ("snapshot-coverage", "d4"),
         ("paper-constants", "d5"),
+        ("no-float-in-stats-accumulation", "d6"),
         ("unsafe-audit", "d7"),
     ] {
         assert_eq!(rule(id).unwrap().id, id);
@@ -644,4 +657,124 @@ fn empty_report_serializes_cleanly() {
     let json = to_json(&report);
     assert!(json.contains("\"deny_findings\": 0"));
     assert!(json.contains("\"findings\": []"), "{json}");
+}
+
+// ---------------------------------------------------------------------------
+// D6: no-float-in-stats-accumulation
+// ---------------------------------------------------------------------------
+
+fn d6_run(files: &[SourceFile]) -> Vec<Finding> {
+    let lexed: Vec<LexData> = files.iter().map(|f| LexData::of(&f.content)).collect();
+    let pairs: Vec<(&SourceFile, &LexData)> = files.iter().zip(lexed.iter()).collect();
+    semloc_lint::rules::check_float_stats(&pairs)
+}
+
+#[test]
+fn d6_fires_on_float_fold_in_stats_struct() {
+    let decl = fixture(
+        "cpu",
+        FileKind::LibSrc,
+        "pub struct CoreStats { pub cycles: u64, pub avg_lat: f64 }\n",
+    );
+    let fold = fixture(
+        "cpu",
+        FileKind::LibSrc,
+        "fn fold(s: &mut super::CoreStats, l: f64) {\n    s.avg_lat += l;\n}\n",
+    );
+    let f = d6_run(&[decl, fold]);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "no-float-in-stats-accumulation");
+    assert_eq!(f[0].line, 2);
+    assert!(f[0].message.contains("avg_lat"), "{}", f[0].message);
+    assert!(f[0].message.contains("CoreStats"), "{}", f[0].message);
+}
+
+#[test]
+fn d6_infers_types_across_files_and_ignores_integer_folds() {
+    let decl = fixture(
+        "mem",
+        FileKind::LibSrc,
+        "pub struct CacheStats { pub hits: u64, pub miss_rate: f32 }\n",
+    );
+    // Integer fold on the same struct: fine. Float fold in a *different*
+    // sim crate still resolves against the declaration.
+    let ok = fixture(
+        "mem",
+        FileKind::LibSrc,
+        "fn tally(s: &mut CacheStats) { s.hits += 1; }\n",
+    );
+    let bad = fixture(
+        "cpu",
+        FileKind::LibSrc,
+        "fn merge(s: &mut CacheStats, r: f32) { s.miss_rate += r; }\n",
+    );
+    let f = d6_run(&[decl, ok, bad]);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].file.contains("cpu"), "{f:?}");
+}
+
+#[test]
+fn d6_quiet_on_derived_rate_methods_and_non_stats_structs() {
+    // Rate getters compute floats at read time — no fold, no finding; and
+    // float accumulation on a non-Stats struct is out of scope.
+    let stats = fixture(
+        "cpu",
+        FileKind::LibSrc,
+        "pub struct CpuStats { pub instructions: u64, pub cycles: u64 }\n\
+         impl CpuStats {\n\
+         \x20   pub fn ipc(&self) -> f64 { self.instructions as f64 / self.cycles as f64 }\n\
+         }\n",
+    );
+    let other = fixture(
+        "bandit",
+        FileKind::LibSrc,
+        "pub struct Ema { pub value: f64 }\n\
+         fn update(e: &mut Ema, x: f64) { e.value += x; }\n",
+    );
+    assert!(d6_run(&[stats, other]).is_empty());
+}
+
+#[test]
+fn d6_exempts_test_code_and_non_sim_crates() {
+    let decl = fixture(
+        "cpu",
+        FileKind::LibSrc,
+        "pub struct RunStats { pub score: f64 }\n",
+    );
+    let test_fold = fixture(
+        "cpu",
+        FileKind::TestsDir,
+        "fn t(s: &mut RunStats) { s.score += 1.0; }\n",
+    );
+    // The harness crate is not sim state; its folds are out of D6 scope.
+    let harness_fold = fixture(
+        "harness",
+        FileKind::LibSrc,
+        "fn f(s: &mut RunStats) { s.score += 1.0; }\n",
+    );
+    assert!(d6_run(&[decl, test_fold, harness_fold]).is_empty());
+}
+
+#[test]
+fn d6_pragma_suppresses_a_justified_fold() {
+    let decl = fixture(
+        "cpu",
+        FileKind::LibSrc,
+        "pub struct DbgStats { pub drift: f64 }\n",
+    );
+    let fold_src = "fn f(s: &mut DbgStats, d: f64) {\n\
+                    \x20   // semloc-lint: allow(no-float-in-stats-accumulation): debug-only, never digested\n\
+                    \x20   s.drift += d;\n\
+                    }\n";
+    let fold = fixture("cpu", FileKind::LibSrc, fold_src);
+    let lexed: Vec<LexData> = [&decl, &fold]
+        .iter()
+        .map(|f| LexData::of(&f.content))
+        .collect();
+    let pairs: Vec<(&SourceFile, &LexData)> =
+        [&decl, &fold].into_iter().zip(lexed.iter()).collect();
+    let raw = semloc_lint::rules::check_float_stats(&pairs);
+    assert_eq!(raw.len(), 1, "finding must exist before suppression");
+    let survived = semloc_lint::suppress(raw, &lexed[1]);
+    assert!(survived.is_empty(), "{survived:?}");
 }

@@ -28,20 +28,38 @@ use crate::sink::TraceSink;
 use std::io::{self, Read, Write};
 
 /// Kind tag in the low three bits of the op byte.
-const KIND_MASK: u8 = 0b0000_0111;
-const K_ALU: u8 = 0;
-const K_LOAD: u8 = 1;
-const K_STORE: u8 = 2;
-const K_BRANCH: u8 = 3;
-const K_NOP: u8 = 4;
+pub(crate) const KIND_MASK: u8 = 0b0000_0111;
+pub(crate) const K_ALU: u8 = 0;
+pub(crate) const K_LOAD: u8 = 1;
+pub(crate) const K_STORE: u8 = 2;
+pub(crate) const K_BRANCH: u8 = 3;
+pub(crate) const K_NOP: u8 = 4;
 
 /// Presence flags in the high five bits of the op byte.
-const F_SRC1: u8 = 0x08;
-const F_SRC2: u8 = 0x10;
-const F_DST: u8 = 0x20;
+pub(crate) const F_SRC1: u8 = 0x08;
+pub(crate) const F_SRC2: u8 = 0x10;
+pub(crate) const F_DST: u8 = 0x20;
 /// Branch: taken. Load: carries semantic hints.
-const F_AUX: u8 = 0x40;
-const F_RESULT: u8 = 0x80;
+pub(crate) const F_AUX: u8 = 0x40;
+pub(crate) const F_RESULT: u8 = 0x80;
+
+/// Instructions per block: the granularity of [`TraceBuffer`] seek marks
+/// and of [`DecodedTrace`](crate::decoded::DecodedTrace) batched stepping.
+pub const BLOCK_LEN: usize = 256;
+
+/// Decoder state at a block boundary: column positions plus the delta
+/// baselines, captured every [`BLOCK_LEN`] pushes. 32 bytes per 256
+/// instructions (~0.1 B/instr) buys O(1) mid-trace seeks and
+/// chunk-parallel decoding.
+#[derive(Clone, Copy, Debug, Default)]
+struct Mark {
+    p_pcs: u32,
+    p_addrs: u32,
+    p_regs: u32,
+    p_aux: u32,
+    prev_pc: u64,
+    prev_addr: u64,
+}
 
 #[inline]
 fn zigzag(v: i64) -> u64 {
@@ -100,6 +118,9 @@ pub struct TraceBuffer {
     addrs: Vec<u8>,
     regs: Vec<u8>,
     aux: Vec<u8>,
+    // Decoder state at each block boundary; marks[k] describes the state
+    // right before instruction (k+1)*BLOCK_LEN (block 0 starts from zero).
+    marks: Vec<Mark>,
     // Encoder state (the decoder keeps its own copy in the cursor).
     prev_pc: u64,
     prev_addr: u64,
@@ -128,6 +149,16 @@ impl TraceBuffer {
 
     /// Append one instruction.
     pub fn push(&mut self, i: &Instr) {
+        if self.ops.len().is_multiple_of(BLOCK_LEN) && !self.ops.is_empty() {
+            self.marks.push(Mark {
+                p_pcs: self.pcs.len() as u32,
+                p_addrs: self.addrs.len() as u32,
+                p_regs: self.regs.len() as u32,
+                p_aux: self.aux.len() as u32,
+                prev_pc: self.prev_pc,
+                prev_addr: self.prev_addr,
+            });
+        }
         let mut op = match i.kind {
             InstrKind::Alu { .. } => K_ALU,
             InstrKind::Load { .. } => K_LOAD,
@@ -208,6 +239,39 @@ impl TraceBuffer {
             prev_pc: 0,
             prev_addr: 0,
         }
+    }
+
+    /// Iterate the stored instructions starting at index `start`, seeking
+    /// via the block marks: O(1) to the enclosing block boundary plus at
+    /// most [`BLOCK_LEN`]`-1` decode-skips, instead of decoding the whole
+    /// prefix. Starting at or past the end yields an exhausted iterator.
+    pub fn iter_from(&self, start: usize) -> TraceIter<'_> {
+        let start = start.min(self.ops.len());
+        if start == self.ops.len() {
+            let mut it = self.iter();
+            it.i = self.ops.len();
+            return it;
+        }
+        let block = start / BLOCK_LEN;
+        let mut it = if block == 0 {
+            self.iter()
+        } else {
+            let m = self.marks[block - 1];
+            TraceIter {
+                buf: self,
+                i: block * BLOCK_LEN,
+                p_pcs: m.p_pcs as usize,
+                p_addrs: m.p_addrs as usize,
+                p_regs: m.p_regs as usize,
+                p_aux: m.p_aux as usize,
+                prev_pc: m.prev_pc,
+                prev_addr: m.prev_addr,
+            }
+        };
+        for _ in it.i..start {
+            it.next();
+        }
+        it
     }
 
     /// Serialize to the `SEMLOC02` on-disk format.
@@ -560,6 +624,31 @@ mod tests {
         }
         assert!(!s.done());
         assert_eq!(s.len(), sample().len());
+    }
+
+    #[test]
+    fn iter_from_matches_skip_everywhere() {
+        let mut state = 0x5eed_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        let mut buf = TraceBuffer::new();
+        let n = 3 * BLOCK_LEN + 17;
+        for i in 0..n as u64 {
+            let r = next();
+            buf.push(&match r % 3 {
+                0 => Instr::load(i * 8, next(), 8, Reg((r % 32) as u8), None, None, next()),
+                1 => Instr::branch(next(), r & 8 != 0, next(), None),
+                _ => Instr::alu(next(), Some(Reg(1)), None, None, next()),
+            });
+        }
+        let all: Vec<Instr> = buf.iter().collect();
+        // Boundaries, mid-block, the very end, and past the end.
+        for start in [0, 1, 255, 256, 257, 511, 512, 700, n - 1, n, n + 5] {
+            let got: Vec<Instr> = buf.iter_from(start).collect();
+            assert_eq!(got, all[start.min(n)..], "start {start}");
+        }
     }
 
     #[test]

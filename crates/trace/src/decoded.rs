@@ -1,0 +1,448 @@
+//! Fully-decoded trace lanes for zero-decode block replay.
+//!
+//! [`DecodedTrace`] is the flat struct-of-arrays twin of
+//! [`TraceBuffer`](crate::TraceBuffer): every varint is expanded once into
+//! fixed-width parallel lanes (op byte, absolute PC, a kind-dependent
+//! 64-bit auxiliary word, access size, packed hints, the three register
+//! operands, and the architectural result), so replay becomes pure
+//! sequential lane reads with no per-instruction decode work. The layout
+//! costs ~33 B/instr — a deliberate space-for-time trade against the
+//! ~6-10 B/instr varint encoding — which is why callers cache these behind
+//! a byte-budgeted LRU rather than keeping one per capture forever.
+//!
+//! Decoding is chunk-parallel friendly: [`DecodedChunk::decode`] decodes
+//! any `[start, start+len)` instruction range independently (seeking via
+//! the buffer's block marks), and [`DecodedTrace::assemble`] stitches the
+//! chunks back together. [`DecodedTrace::decode`] is the serial
+//! convenience form. Both produce bit-identical [`Instr`] streams to
+//! [`TraceBuffer::iter`](crate::TraceBuffer::iter) — pinned by proptests
+//! in the workloads crate.
+//!
+//! Replay consumers step whole [`BLOCK_LEN`]-instruction blocks at a time
+//! through [`InstrBlock`] views (see `Cpu::step_block` in the cpu crate),
+//! which keeps the engine loop free of per-instruction bounds/budget
+//! checks and lets it prefetch the next block's lanes while the current
+//! one executes.
+
+use crate::buffer::{
+    TraceBuffer, F_AUX, F_DST, F_RESULT, F_SRC1, F_SRC2, KIND_MASK, K_ALU, K_BRANCH, K_LOAD,
+    K_STORE,
+};
+use crate::hints::SemanticHints;
+use crate::instr::{Instr, InstrKind, Reg};
+
+/// One independently-decoded instruction range, produced by
+/// [`DecodedChunk::decode`] (typically fanned out across a worker pool)
+/// and consumed by [`DecodedTrace::assemble`].
+#[derive(Debug)]
+pub struct DecodedChunk {
+    start: usize,
+    ops: Vec<u8>,
+    pcs: Vec<u64>,
+    aux: Vec<u64>,
+    sizes: Vec<u8>,
+    hints: Vec<u32>,
+    src1: Vec<u8>,
+    src2: Vec<u8>,
+    dst: Vec<u8>,
+    results: Vec<u64>,
+}
+
+impl DecodedChunk {
+    /// Decode `len` instructions starting at index `start` of `buf`.
+    /// Ranges past the end are clamped; chunks may be decoded in any
+    /// order and on any thread (the buffer is only read).
+    pub fn decode(buf: &TraceBuffer, start: usize, len: usize) -> Self {
+        let start = start.min(buf.len());
+        let len = len.min(buf.len() - start);
+        let mut c = DecodedChunk {
+            start,
+            ops: Vec::with_capacity(len),
+            pcs: Vec::with_capacity(len),
+            aux: Vec::with_capacity(len),
+            sizes: Vec::with_capacity(len),
+            hints: Vec::with_capacity(len),
+            src1: Vec::with_capacity(len),
+            src2: Vec::with_capacity(len),
+            dst: Vec::with_capacity(len),
+            results: Vec::with_capacity(len),
+        };
+        for i in buf.iter_from(start).take(len) {
+            let mut op = match i.kind {
+                InstrKind::Alu { .. } => K_ALU,
+                InstrKind::Load { .. } => K_LOAD,
+                InstrKind::Store { .. } => K_STORE,
+                InstrKind::Branch { .. } => K_BRANCH,
+                InstrKind::Nop => crate::buffer::K_NOP,
+            };
+            if i.src1.is_some() {
+                op |= F_SRC1;
+            }
+            if i.src2.is_some() {
+                op |= F_SRC2;
+            }
+            if i.dst.is_some() {
+                op |= F_DST;
+            }
+            if i.result != 0 {
+                op |= F_RESULT;
+            }
+            let (aux, size, hint) = match i.kind {
+                InstrKind::Alu { latency } => (latency as u64, 0u8, 0u32),
+                InstrKind::Load { addr, size, hints } => {
+                    if hints.is_some() {
+                        op |= F_AUX;
+                    }
+                    (addr, size, hints.map_or(0, |h| h.pack()))
+                }
+                InstrKind::Store { addr, size } => (addr, size, 0),
+                InstrKind::Branch { taken, target } => {
+                    if taken {
+                        op |= F_AUX;
+                    }
+                    (target, 0, 0)
+                }
+                InstrKind::Nop => (0, 0, 0),
+            };
+            c.ops.push(op);
+            c.pcs.push(i.pc);
+            c.aux.push(aux);
+            c.sizes.push(size);
+            c.hints.push(hint);
+            c.src1.push(i.src1.map_or(0, |r| r.0));
+            c.src2.push(i.src2.map_or(0, |r| r.0));
+            c.dst.push(i.dst.map_or(0, |r| r.0));
+            c.results.push(i.result);
+        }
+        c
+    }
+
+    /// Number of instructions in this chunk.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the chunk decoded no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A fully-decoded trace: fixed-width parallel lanes over the whole
+/// captured stream, replayable in [`BLOCK_LEN`]-instruction blocks with
+/// zero per-instruction decode work.
+pub struct DecodedTrace {
+    ops: Box<[u8]>,
+    pcs: Box<[u64]>,
+    aux: Box<[u64]>,
+    sizes: Box<[u8]>,
+    hints: Box<[u32]>,
+    src1: Box<[u8]>,
+    src2: Box<[u8]>,
+    dst: Box<[u8]>,
+    results: Box<[u64]>,
+}
+
+impl DecodedTrace {
+    /// Serially decode an entire buffer (the single-chunk case of
+    /// [`DecodedTrace::assemble`]).
+    pub fn decode(buf: &TraceBuffer) -> Self {
+        Self::assemble(buf.len(), vec![DecodedChunk::decode(buf, 0, buf.len())])
+    }
+
+    /// Stitch independently-decoded chunks into one trace. The chunks
+    /// must tile `[0, total)` exactly (any order, no gaps or overlaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunks do not tile the range — that is a caller bug,
+    /// not a recoverable condition.
+    pub fn assemble(total: usize, mut chunks: Vec<DecodedChunk>) -> Self {
+        chunks.sort_by_key(|c| c.start);
+        let mut t = DecodedTrace {
+            ops: vec![0; total].into_boxed_slice(),
+            pcs: vec![0; total].into_boxed_slice(),
+            aux: vec![0; total].into_boxed_slice(),
+            sizes: vec![0; total].into_boxed_slice(),
+            hints: vec![0; total].into_boxed_slice(),
+            src1: vec![0; total].into_boxed_slice(),
+            src2: vec![0; total].into_boxed_slice(),
+            dst: vec![0; total].into_boxed_slice(),
+            results: vec![0; total].into_boxed_slice(),
+        };
+        let mut at = 0usize;
+        for c in &chunks {
+            assert_eq!(c.start, at, "decoded chunks must tile the trace");
+            let end = at + c.len();
+            t.ops[at..end].copy_from_slice(&c.ops);
+            t.pcs[at..end].copy_from_slice(&c.pcs);
+            t.aux[at..end].copy_from_slice(&c.aux);
+            t.sizes[at..end].copy_from_slice(&c.sizes);
+            t.hints[at..end].copy_from_slice(&c.hints);
+            t.src1[at..end].copy_from_slice(&c.src1);
+            t.src2[at..end].copy_from_slice(&c.src2);
+            t.dst[at..end].copy_from_slice(&c.dst);
+            t.results[at..end].copy_from_slice(&c.results);
+            at = end;
+        }
+        assert_eq!(at, total, "decoded chunks must cover the whole trace");
+        t
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Resident lane bytes (the quantity the decode-cache byte budget
+    /// accounts).
+    pub fn bytes(&self) -> usize {
+        Self::bytes_for(self.len())
+    }
+
+    /// Decoded footprint of a trace with `len` instructions — a pure
+    /// function of the length, so cache admission can be decided before
+    /// paying for the decode.
+    pub fn bytes_for(len: usize) -> usize {
+        // u8 ops + sizes + 3 reg lanes, u32 hints, u64 pcs + aux + results.
+        len * (1 + 1 + 3 + 4 + 8 + 8 + 8)
+    }
+
+    /// Borrow the instruction range `[start, end)` as lane slices for
+    /// batched stepping. Callers walk block boundaries ([`BLOCK_LEN`]);
+    /// partial first/last blocks are fine.
+    pub fn block(&self, start: usize, end: usize) -> InstrBlock<'_> {
+        InstrBlock {
+            ops: &self.ops[start..end],
+            pcs: &self.pcs[start..end],
+            aux: &self.aux[start..end],
+            sizes: &self.sizes[start..end],
+            hints: &self.hints[start..end],
+            src1: &self.src1[start..end],
+            src2: &self.src2[start..end],
+            dst: &self.dst[start..end],
+            results: &self.results[start..end],
+        }
+    }
+
+    /// Reconstruct the full [`Instr`] at index `i` (bit-identical to the
+    /// streaming decoder's output).
+    pub fn instr(&self, i: usize) -> Instr {
+        self.block(i, i + 1).instr(0)
+    }
+
+    /// Hint the hardware prefetcher at the lanes for the block starting at
+    /// `start`, so the next block's lanes are warming while the current one
+    /// executes. A no-op off x86_64 or past the end of the trace.
+    #[inline]
+    pub fn prefetch_block(&self, start: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if start < self.ops.len() {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            // semloc-lint: allow(unsafe-audit): _mm_prefetch is a pure cache hint with no memory-safety obligations; the pointers derive from in-bounds indices into live slices
+            unsafe {
+                _mm_prefetch(self.ops.as_ptr().add(start) as *const i8, _MM_HINT_T0);
+                _mm_prefetch(self.pcs.as_ptr().add(start) as *const i8, _MM_HINT_T0);
+                _mm_prefetch(self.aux.as_ptr().add(start) as *const i8, _MM_HINT_T0);
+                _mm_prefetch(self.results.as_ptr().add(start) as *const i8, _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = start;
+    }
+}
+
+impl std::fmt::Debug for DecodedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodedTrace")
+            .field("instrs", &self.len())
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+/// A borrowed lane view over a contiguous instruction range of a
+/// [`DecodedTrace`], the unit consumed by `Cpu::step_block`.
+#[derive(Clone, Copy, Debug)]
+pub struct InstrBlock<'a> {
+    /// Op bytes (kind tag + presence flags), as in the varint encoding.
+    pub ops: &'a [u8],
+    /// Absolute program counters.
+    pub pcs: &'a [u64],
+    /// Kind-dependent word: ALU latency, load/store address, branch target.
+    pub aux: &'a [u64],
+    /// Memory access sizes (zero for non-memory ops).
+    pub sizes: &'a [u8],
+    /// Packed semantic hints (valid only for loads flagged `F_AUX`).
+    pub hints: &'a [u32],
+    /// First source register (valid iff flagged).
+    pub src1: &'a [u8],
+    /// Second source register (valid iff flagged).
+    pub src2: &'a [u8],
+    /// Destination register (valid iff flagged).
+    pub dst: &'a [u8],
+    /// Architectural results.
+    pub results: &'a [u64],
+}
+
+impl InstrBlock<'_> {
+    /// Instructions in the block.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Reconstruct the full [`Instr`] at block-relative index `i`.
+    #[inline]
+    pub fn instr(&self, i: usize) -> Instr {
+        let op = self.ops[i];
+        let kind = match op & KIND_MASK {
+            K_ALU => InstrKind::Alu {
+                latency: self.aux[i] as u32,
+            },
+            K_LOAD => InstrKind::Load {
+                addr: self.aux[i],
+                size: self.sizes[i],
+                hints: (op & F_AUX != 0).then(|| SemanticHints::unpack(self.hints[i])),
+            },
+            K_STORE => InstrKind::Store {
+                addr: self.aux[i],
+                size: self.sizes[i],
+            },
+            K_BRANCH => InstrKind::Branch {
+                taken: op & F_AUX != 0,
+                target: self.aux[i],
+            },
+            _ => InstrKind::Nop,
+        };
+        Instr {
+            pc: self.pcs[i],
+            kind,
+            src1: (op & F_SRC1 != 0).then(|| Reg(self.src1[i])),
+            src2: (op & F_SRC2 != 0).then(|| Reg(self.src2[i])),
+            dst: (op & F_DST != 0).then(|| Reg(self.dst[i])),
+            result: if op & F_RESULT != 0 {
+                self.results[i]
+            } else {
+                0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BLOCK_LEN;
+    use crate::instr::Reg;
+
+    fn random_stream(n: u64) -> Vec<Instr> {
+        let mut state = 0xdec0de_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        (0..n)
+            .map(|i| {
+                let r = next();
+                match r % 5 {
+                    0 => Instr::load(
+                        i * 8,
+                        next(),
+                        (1 << (r % 4)) as u8,
+                        Reg((r % 32) as u8),
+                        (r & 32 != 0).then(|| Reg((next() % 32) as u8)),
+                        (r & 64 != 0)
+                            .then(|| SemanticHints::link((r >> 8) as u16, (r % 0x4000) as u16)),
+                        next(),
+                    ),
+                    1 => Instr::alu(
+                        next(),
+                        Some(Reg((r % 32) as u8)),
+                        None,
+                        Some(Reg((next() % 32) as u8)),
+                        next(),
+                    ),
+                    2 => Instr::store(i * 8, next(), 8, Some(Reg((r % 32) as u8)), None),
+                    3 => Instr::branch(next(), r & 8 != 0, next(), None),
+                    _ => Instr::nop(next()),
+                }
+            })
+            .collect()
+    }
+
+    fn buffer_of(instrs: &[Instr]) -> TraceBuffer {
+        let mut buf = TraceBuffer::new();
+        for i in instrs {
+            buf.push(i);
+        }
+        buf
+    }
+
+    #[test]
+    fn serial_decode_matches_streaming() {
+        // 5 full blocks plus a partial tail.
+        let instrs = random_stream(5 * BLOCK_LEN as u64 + 37);
+        let buf = buffer_of(&instrs);
+        let d = DecodedTrace::decode(&buf);
+        assert_eq!(d.len(), instrs.len());
+        for (i, want) in instrs.iter().enumerate() {
+            assert_eq!(&d.instr(i), want, "instr {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_assembly_matches_serial() {
+        let instrs = random_stream(4 * BLOCK_LEN as u64 + 100);
+        let buf = buffer_of(&instrs);
+        // Deliberately unaligned, out-of-order chunk tiling.
+        let cuts = [0usize, 300, 301, 512, 1000, buf.len()];
+        let mut chunks: Vec<DecodedChunk> = cuts
+            .windows(2)
+            .map(|w| DecodedChunk::decode(&buf, w[0], w[1] - w[0]))
+            .collect();
+        chunks.reverse();
+        let d = DecodedTrace::assemble(buf.len(), chunks);
+        for (i, want) in instrs.iter().enumerate() {
+            assert_eq!(&d.instr(i), want, "instr {i}");
+        }
+    }
+
+    #[test]
+    fn block_views_cover_partial_tails() {
+        let instrs = random_stream(BLOCK_LEN as u64 + 3);
+        let buf = buffer_of(&instrs);
+        let d = DecodedTrace::decode(&buf);
+        let tail = d.block(BLOCK_LEN, d.len());
+        assert_eq!(tail.len(), 3);
+        for i in 0..tail.len() {
+            assert_eq!(tail.instr(i), instrs[BLOCK_LEN + i]);
+        }
+        d.prefetch_block(0);
+        d.prefetch_block(d.len()); // past-the-end is a no-op
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn assemble_rejects_gaps() {
+        let buf = buffer_of(&random_stream(100));
+        let c = DecodedChunk::decode(&buf, 10, 90);
+        let _ = DecodedTrace::assemble(100, vec![c]);
+    }
+
+    #[test]
+    fn empty_trace_decodes_empty() {
+        let d = DecodedTrace::decode(&TraceBuffer::new());
+        assert!(d.is_empty());
+        assert_eq!(d.bytes(), 0);
+    }
+}

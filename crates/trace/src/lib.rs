@@ -38,6 +38,7 @@
 pub mod address_space;
 pub mod buffer;
 pub mod context;
+pub mod decoded;
 pub mod emit;
 pub mod fault;
 pub mod hints;
@@ -47,8 +48,9 @@ pub mod sink;
 pub mod snap;
 
 pub use address_space::{AddressSpace, Placement};
-pub use buffer::{BufferSink, TraceBuffer};
+pub use buffer::{BufferSink, TraceBuffer, BLOCK_LEN};
 pub use context::{AccessContext, RECENT_ADDRS};
+pub use decoded::{DecodedChunk, DecodedTrace, InstrBlock};
 pub use emit::{Emitter, PcAlloc};
 pub use fault::{Fault, FaultPlan, ShortWriter};
 pub use hints::{RefForm, SemanticHints};

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use semloc_trace::{BufferSink, TraceBuffer, TraceSink};
+use semloc_trace::{BufferSink, DecodedTrace, TraceBuffer, TraceSink};
 
 use crate::{Kernel, Suite};
 
@@ -69,12 +69,34 @@ pub fn capture_kernel(kernel: &dyn Kernel, budget: u64) -> CapturedTrace {
 #[derive(Debug, Clone)]
 pub struct ReplayKernel {
     trace: Arc<CapturedTrace>,
+    /// Pre-decoded lanes for zero-decode block replay, when the trace
+    /// store's decode cache admitted this capture. `None` falls back to
+    /// streaming varint decode — bit-identical either way.
+    decoded: Option<Arc<DecodedTrace>>,
 }
 
 impl ReplayKernel {
     /// Wrap a captured trace.
     pub fn new(trace: Arc<CapturedTrace>) -> Self {
-        ReplayKernel { trace }
+        ReplayKernel {
+            trace,
+            decoded: None,
+        }
+    }
+
+    /// Attach pre-decoded lanes (must be a decode of exactly this
+    /// capture's buffer; debug-asserted by length).
+    pub fn with_decoded(mut self, decoded: Option<Arc<DecodedTrace>>) -> Self {
+        if let Some(d) = decoded.as_ref() {
+            debug_assert_eq!(d.len(), self.trace.buf.len());
+        }
+        self.decoded = decoded;
+        self
+    }
+
+    /// The pre-decoded lanes, if attached.
+    pub fn decoded(&self) -> Option<&Arc<DecodedTrace>> {
+        self.decoded.as_ref()
     }
 
     /// The underlying capture.

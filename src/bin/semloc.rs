@@ -5,6 +5,7 @@
 //! semloc list                         workloads and prefetchers
 //! semloc run <kernel> [pf] [budget]   one simulation, full statistics
 //! semloc compare <kernel> [budget]    every prefetcher on one workload
+//! (run/compare take --json: machine-readable report incl. decode-cache counters)
 //! semloc record <kernel> <file> [n]   write a binary trace
 //! semloc replay <file> [pf]           simulate from a recorded trace
 //! semloc inspect <kernel> [budget]    dump the trained prefetcher state
@@ -17,14 +18,14 @@ use std::process::ExitCode;
 
 use semloc::context::{Attr, ContextConfig, ContextPrefetcher};
 use semloc::cpu::{Cpu, CpuConfig};
-use semloc::harness::{run_kernel, PrefetcherKind, RunResult, SimConfig};
+use semloc::harness::{report, run_kernel, PrefetcherKind, RunResult, SimConfig, TraceStore};
 use semloc::mem::{AccessClass, Hierarchy, MemConfig};
 use semloc::trace::{TraceReader, TraceWriter};
 use semloc::workloads::{all_kernels, kernel_by_name};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  semloc list\n  semloc run <kernel> [prefetcher] [budget]\n  semloc compare <kernel> [budget]\n  semloc record <kernel> <file> [instructions]\n  semloc replay <file> [prefetcher]\n  semloc inspect <kernel> [budget]\n  semloc table2"
+        "usage:\n  semloc list\n  semloc run <kernel> [prefetcher] [budget] [--json]\n  semloc compare <kernel> [budget] [--json]\n  semloc record <kernel> <file> [instructions]\n  semloc replay <file> [prefetcher]\n  semloc inspect <kernel> [budget]\n  semloc table2"
     );
     ExitCode::from(2)
 }
@@ -121,7 +122,35 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_run(kernel: &str, pf: &str, budget: u64) -> ExitCode {
+/// The `--json` report for one run: flat metrics plus the decoded-trace
+/// cache counters of the global [`TraceStore`]. Keys are stable — CI and
+/// downstream tooling parse this shape.
+fn run_json(r: &RunResult, baseline: &RunResult) -> String {
+    let speedup = match r.speedup_over(baseline) {
+        Ok(s) => format!("{s:.6}"),
+        Err(_) => "null".to_string(),
+    };
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"prefetcher\":\"{}\",",
+            "\"instructions\":{},\"cycles\":{},\"ipc\":{:.6},",
+            "\"speedup\":{},\"l1_mpki\":{:.6},\"l2_mpki\":{:.6},",
+            "\"storage_bytes\":{},\"decode_cache\":{}}}"
+        ),
+        r.kernel,
+        r.prefetcher,
+        r.cpu.instructions,
+        r.cpu.cycles,
+        r.cpu.ipc(),
+        speedup,
+        r.l1_mpki(),
+        r.l2_mpki(),
+        r.storage_bytes,
+        report::decode_cache_json(&TraceStore::global().decode_stats()),
+    )
+}
+
+fn cmd_run(kernel: &str, pf: &str, budget: u64, json: bool) -> ExitCode {
     let Some(k) = kernel_by_name(kernel) else {
         eprintln!("unknown workload `{kernel}` (see `semloc list`)");
         return ExitCode::FAILURE;
@@ -137,17 +166,46 @@ fn cmd_run(kernel: &str, pf: &str, budget: u64) -> ExitCode {
     } else {
         run_kernel(k.as_ref(), &pf, &cfg)
     };
-    print_result(&r, Some(&base));
+    if json {
+        println!("{}", run_json(&r, &base));
+    } else {
+        print_result(&r, Some(&base));
+        println!(
+            "decode cache:    {}",
+            report::decode_cache_line(&TraceStore::global().decode_stats())
+        );
+    }
     ExitCode::SUCCESS
 }
 
-fn cmd_compare(kernel: &str, budget: u64) -> ExitCode {
+fn cmd_compare(kernel: &str, budget: u64, json: bool) -> ExitCode {
     let Some(k) = kernel_by_name(kernel) else {
         eprintln!("unknown workload `{kernel}`");
         return ExitCode::FAILURE;
     };
     let cfg = SimConfig::default().with_budget(budget);
     let base = run_kernel(k.as_ref(), &PrefetcherKind::None, &cfg);
+    if json {
+        let rows: Vec<String> = PREFETCHERS
+            .iter()
+            .map(|name| {
+                let pf = prefetcher_by_name(name).expect("listed prefetchers exist");
+                let r = if *name == "none" {
+                    base.clone()
+                } else {
+                    run_kernel(k.as_ref(), &pf, &cfg)
+                };
+                run_json(&r, &base)
+            })
+            .collect();
+        println!(
+            "{{\"workload\":\"{}\",\"rows\":[{}],\"decode_cache\":{}}}",
+            kernel,
+            rows.join(","),
+            report::decode_cache_json(&TraceStore::global().decode_stats()),
+        );
+        return ExitCode::SUCCESS;
+    }
     println!(
         "{:<20} {:>8} {:>9} {:>9} {:>9}",
         "prefetcher", "IPC", "speedup", "L1 MPKI", "L2 MPKI"
@@ -168,6 +226,10 @@ fn cmd_compare(kernel: &str, budget: u64) -> ExitCode {
             r.l2_mpki()
         );
     }
+    println!(
+        "\ndecode cache: {}",
+        report::decode_cache_line(&TraceStore::global().decode_stats())
+    );
     ExitCode::SUCCESS
 }
 
@@ -281,17 +343,19 @@ fn cmd_inspect(kernel: &str, budget: u64) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let arg = |i: usize| args.get(i).map(String::as_str);
     let budget = |i: usize, default: u64| arg(i).and_then(|s| s.parse().ok()).unwrap_or(default);
     match arg(0) {
         Some("list") => cmd_list(),
         Some("run") => match arg(1) {
-            Some(k) => cmd_run(k, arg(2).unwrap_or("context"), budget(3, 400_000)),
+            Some(k) => cmd_run(k, arg(2).unwrap_or("context"), budget(3, 400_000), json),
             None => usage(),
         },
         Some("compare") => match arg(1) {
-            Some(k) => cmd_compare(k, budget(2, 400_000)),
+            Some(k) => cmd_compare(k, budget(2, 400_000), json),
             None => usage(),
         },
         Some("record") => match (arg(1), arg(2)) {
