@@ -271,6 +271,47 @@ impl Engine {
         e
     }
 
+    /// Fork this engine's warm state **onto a different replayed stream**
+    /// whose instructions agree with the current stream up to the cursor.
+    ///
+    /// This is the primitive behind the adversarial search's
+    /// warm-prefix-shared evaluation: warm one engine over a common prefix
+    /// once, then fork the trained state onto many composed continuations
+    /// (same prefix, different tails) without re-simulating the warmup. The
+    /// prefix equality is *verified instruction by instruction* before any
+    /// state moves — a diverging stream is rejected with
+    /// [`io::ErrorKind::InvalidData`], because restoring warm state into a
+    /// stream that disagrees about the past would silently break the
+    /// checkpoint contract.
+    pub fn fork_onto(&self, replay: ReplayKernel) -> io::Result<Engine> {
+        let cursor = self.cursor();
+        if (replay.trace().buf.len() as u64) < cursor {
+            return Err(snap_err(format!(
+                "fork_onto target '{}' holds {} instrs, engine cursor is {cursor}",
+                replay.name(),
+                replay.trace().buf.len()
+            )));
+        }
+        let ours = self.replay.trace().buf.iter().take(cursor as usize);
+        let theirs = replay.trace().buf.iter().take(cursor as usize);
+        for (n, (a, b)) in ours.zip(theirs).enumerate() {
+            if a != b {
+                return Err(snap_err(format!(
+                    "fork_onto target '{}' diverges from '{}' at instr {n} (cursor {cursor})",
+                    replay.name(),
+                    self.replay.name()
+                )));
+            }
+        }
+        let mut e = Engine::new(replay, &self.kind, &self.config);
+        // Same warm state, new stream identity: re-stamp the fingerprint so
+        // the (verified-prefix) restore is accepted.
+        let mut ckpt = self.checkpoint();
+        ckpt.fingerprint = e.fingerprint();
+        e.restore(&ckpt)?;
+        Ok(e)
+    }
+
     /// Finish the run (end-of-run accounting flush) and collect every
     /// statistic, exactly as an uninterrupted [`crate::run_kernel`] would.
     pub fn finish(self) -> RunResult {
@@ -362,6 +403,52 @@ mod tests {
         assert_eq!(e.cursor(), 20_000);
         e.run_to_end();
         assert_eq!(e.finish().stats_digest(), forked.stats_digest());
+    }
+
+    #[test]
+    fn fork_onto_extends_a_shared_prefix() {
+        // Warm over a short capture, fork the trained state onto a longer
+        // capture of the same kernel (the prefix property guarantees the
+        // streams agree up to the short capture's length), and check the
+        // continuation matches an uninterrupted run over the long capture.
+        let kind = PrefetcherKind::context();
+        let cfg = quick();
+        let long = replay_of("list", cfg.instr_budget);
+        let uninterrupted = {
+            let mut e = Engine::new(long.clone(), &kind, &cfg);
+            e.run_to_end();
+            e.finish()
+        };
+        let mut warm = Engine::new(replay_of("list", 20_000), &kind, &cfg);
+        warm.run_to(20_000);
+        let mut forked = warm.fork_onto(long).unwrap();
+        assert_eq!(forked.cursor(), 20_000);
+        forked.run_to_end();
+        assert_eq!(
+            forked.finish().stats_digest(),
+            uninterrupted.stats_digest(),
+            "fork_onto continuation must match an uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn fork_onto_rejects_diverging_streams() {
+        let kind = PrefetcherKind::Stride;
+        let cfg = quick();
+        let mut warm = Engine::new(replay_of("list", 20_000), &kind, &cfg);
+        warm.run_to(20_000);
+        // A different kernel's stream disagrees in the prefix.
+        assert_eq!(
+            warm.fork_onto(replay_of("mcf", cfg.instr_budget))
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidData
+        );
+        // A stream shorter than the cursor cannot host the warm state.
+        assert_eq!(
+            warm.fork_onto(replay_of("list", 5_000)).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub mod ckpt;
 pub mod config;
 pub mod diff;
 pub mod engine;
+pub mod interfere;
 pub mod matrix;
+pub mod mc;
 pub mod pool;
 pub mod prefetchers;
 pub mod report;
@@ -28,7 +30,12 @@ pub use ckpt::{decode_ckpt, encode_ckpt, CkptPayload, CkptStore, CKPT_MAGIC, CKP
 pub use config::SimConfig;
 pub use diff::{diff_kernel, DiffReport, Divergence, TeePrefetcher};
 pub use engine::{Engine, SimCheckpoint, SIM_CKPT_VERSION};
+pub use interfere::{
+    adversarial_search, coverage, AdvBench, AdvFinding, AdvParams, AdvScore, SearchConfig,
+    BASELINES,
+};
 pub use matrix::Matrix;
+pub use mc::{mc_digest, McCheckpoint, McConfig, McCore, McEngine, MC_CKPT_VERSION};
 pub use pool::{pool_threads, run_sharded};
 pub use prefetchers::PrefetcherKind;
 pub use report::Table;

@@ -1,0 +1,596 @@
+//! `semloc-interfere`: the shared-L2 multi-core simulation mode.
+//!
+//! An [`McEngine`] steps N cores — each a private-L1 [`Cpu`] with its own
+//! prefetcher instance over its own replayed schedule — against one
+//! [`SharedL2`] (finite MSHRs + a DRAM bandwidth model), so co-running
+//! workloads interfere through capacity, MSHR occupancy, and DRAM queueing.
+//!
+//! Determinism: cores are stepped **round-robin over a fixed cycle
+//! quantum** — the horizon advances by [`McConfig::quantum`], then core 0,
+//! 1, …, N−1 each run until their own clock reaches the horizon. The
+//! interleaving of shared-L2 requests is therefore a pure function of the
+//! schedules and configuration (never of wall-clock or thread timing), the
+//! per-core clock skew is bounded by one quantum, and the golden-digest
+//! discipline extends to multi-core runs: the same composed scenario pins
+//! the same digest across `SEMLOC_POOL_THREADS` and every `SEMLOC_ACCEL`
+//! tier. To keep that invariance trivial the multi-core engine always
+//! streams the varint decode (the single-core decoded-block fast path is
+//! quantum-oblivious, so it is not used here).
+//!
+//! Checkpointing follows the single-core engine's contract: an
+//! [`McCheckpoint`] snapshots the shared level once plus every core, is
+//! fingerprinted against the full engine identity, and restore/fork
+//! round-trip bit-identically mid-schedule (pinned by `mc_snapshot.rs`).
+
+use std::io;
+
+use semloc_cpu::Cpu;
+use semloc_mem::{DramConfig, Hierarchy, Prefetcher, SharedL2, SharedL2Handle, SharedL2Stats};
+use semloc_trace::{snap_err, Cycle, SnapReader, SnapWriter, Snapshot, TraceSink};
+use semloc_workloads::{Kernel, ReplayKernel};
+
+use crate::config::SimConfig;
+use crate::prefetchers::PrefetcherKind;
+use crate::runner::{collect_result, Digest, RunResult};
+
+/// Version of the [`McCheckpoint`] encoding (the `MCCK` section version).
+pub const MC_CKPT_VERSION: u32 = 1;
+
+/// Interference-mode parameters on top of a [`SimConfig`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct McConfig {
+    /// Round-robin cycle quantum: the bound on inter-core clock skew.
+    pub quantum: Cycle,
+    /// The shared level's DRAM bandwidth model.
+    pub dram: DramConfig,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            quantum: 2_000,
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+impl McConfig {
+    /// Defaults overridden by `SEMLOC_MC_QUANTUM`, `SEMLOC_MC_DRAM_CHANNELS`
+    /// and `SEMLOC_MC_DRAM_INTERVAL`.
+    pub fn from_env() -> Self {
+        let var = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&v| v > 0)
+        };
+        let mut mc = McConfig::default();
+        if let Some(q) = var("SEMLOC_MC_QUANTUM") {
+            mc.quantum = q;
+        }
+        if let Some(c) = var("SEMLOC_MC_DRAM_CHANNELS") {
+            mc.dram.channels = c as u32;
+        }
+        if let Some(i) = var("SEMLOC_MC_DRAM_INTERVAL") {
+            mc.dram.service_interval = i;
+        }
+        mc
+    }
+}
+
+/// One core of a multi-core engine: its schedule, prefetcher kind, and the
+/// private-L1 [`Cpu`] wired to the shared level.
+pub struct McCore {
+    replay: ReplayKernel,
+    kind: PrefetcherKind,
+    cpu: Cpu<Box<dyn Prefetcher>>,
+}
+
+impl McCore {
+    /// Instructions this core has consumed.
+    pub fn cursor(&self) -> u64 {
+        self.cpu.stats().instructions
+    }
+
+    /// This core's current clock (max retire cycle).
+    pub fn cycles(&self) -> Cycle {
+        self.cpu.stats().cycles
+    }
+
+    /// The schedule this core replays.
+    pub fn replay(&self) -> &ReplayKernel {
+        &self.replay
+    }
+
+    /// The prefetcher kind this core runs.
+    pub fn kind(&self) -> &PrefetcherKind {
+        &self.kind
+    }
+
+    fn done(&self, budget: u64) -> bool {
+        let c = self.cursor();
+        (budget != 0 && c >= budget) || c >= self.replay.trace().buf.len() as u64
+    }
+}
+
+impl Snapshot for McCore {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"MCOR", 1);
+        self.cpu.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> io::Result<()> {
+        r.section(*b"MCOR", 1)?;
+        self.cpu.restore(r)
+    }
+}
+
+impl std::fmt::Debug for McCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McCore")
+            .field("kernel", &self.replay.name())
+            .field("kind", &self.kind)
+            .field("cursor", &self.cursor())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A complete, restorable snapshot of a paused [`McEngine`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct McCheckpoint {
+    /// Encoding version ([`MC_CKPT_VERSION`] when produced by this build).
+    pub version: u32,
+    /// Fingerprint of the engine identity: core count, every core's trace
+    /// key + prefetcher kind, [`SimConfig`] and [`McConfig`].
+    pub fingerprint: u64,
+    /// The stepping horizon when the checkpoint was taken.
+    pub horizon: Cycle,
+    /// Per-core instruction cursors (resume positions).
+    pub cursors: Vec<u64>,
+    /// Serialized shared level + every core.
+    pub payload: Vec<u8>,
+}
+
+impl McCheckpoint {
+    /// Serialize to the flat `MCCK` byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.section(*b"MCCK", self.version);
+        w.put_u64(self.fingerprint);
+        w.put_u64(self.horizon);
+        w.put_len(self.cursors.len());
+        for &c in &self.cursors {
+            w.put_u64(c);
+        }
+        w.put_len(self.payload.len());
+        w.put_bytes(&self.payload);
+        w.into_bytes()
+    }
+
+    /// Parse bytes produced by [`McCheckpoint::to_bytes`], rejecting foreign
+    /// tags, versions, truncation and trailing garbage.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<McCheckpoint> {
+        let mut r = SnapReader::new(bytes);
+        r.section(*b"MCCK", MC_CKPT_VERSION)?;
+        let fingerprint = r.get_u64()?;
+        let horizon = r.get_u64()?;
+        let n = r.get_len()?;
+        let mut cursors = Vec::with_capacity(n);
+        for _ in 0..n {
+            cursors.push(r.get_u64()?);
+        }
+        let n = r.get_len()?;
+        let payload = r.get_bytes(n)?.to_vec();
+        r.expect_end()?;
+        Ok(McCheckpoint {
+            version: MC_CKPT_VERSION,
+            fingerprint,
+            horizon,
+            cursors,
+            payload,
+        })
+    }
+}
+
+/// The multi-core engine: N cores round-robin over a shared L2.
+pub struct McEngine {
+    shared: SharedL2Handle,
+    cores: Vec<McCore>,
+    config: SimConfig,
+    mc: McConfig,
+    horizon: Cycle,
+}
+
+impl McEngine {
+    /// A fresh engine: one core per `(schedule, prefetcher)` spec, all
+    /// contending for one shared L2 built from `config.mem.l2` + `mc.dram`.
+    /// Kinds must be fully resolved (no [`PrefetcherKind::ContextCalibrated`]
+    /// recipes), as with [`crate::Engine::new`].
+    pub fn new(
+        specs: Vec<(ReplayKernel, PrefetcherKind)>,
+        config: &SimConfig,
+        mc: &McConfig,
+    ) -> McEngine {
+        assert!(!specs.is_empty(), "a multi-core engine needs >= 1 core");
+        let shared = SharedL2::handle(config.mem.l2.clone(), mc.dram.clone());
+        let cores = specs
+            .into_iter()
+            .map(|(replay, kind)| {
+                let hierarchy =
+                    Hierarchy::new_shared(config.mem.clone(), kind.build(), shared.clone());
+                let cpu = Cpu::new(config.cpu.clone(), hierarchy, config.instr_budget);
+                McCore { replay, kind, cpu }
+            })
+            .collect();
+        McEngine {
+            shared,
+            cores,
+            config: config.clone(),
+            mc: mc.clone(),
+            horizon: 0,
+        }
+    }
+
+    /// The cores, in stepping order.
+    pub fn cores(&self) -> &[McCore] {
+        &self.cores
+    }
+
+    /// The shared level's aggregate statistics so far.
+    pub fn shared_stats(&self) -> SharedL2Stats {
+        *self.shared.borrow().stats()
+    }
+
+    /// Identity fingerprint over core count, every core's trace key and
+    /// prefetcher kind (in order), and both configurations.
+    pub fn fingerprint(&self) -> u64 {
+        let mut d = Digest::new();
+        d.u64(self.cores.len() as u64);
+        for core in &self.cores {
+            d.str(&core.replay.trace_key());
+            d.str(&format!("{:?}", core.kind));
+        }
+        d.str(&format!("{:?}", self.config));
+        d.str(&format!("{:?}", self.mc));
+        d.finish()
+    }
+
+    /// Whether every core has exhausted its budget or schedule.
+    pub fn done(&self) -> bool {
+        let budget = self.config.instr_budget;
+        self.cores.iter().all(|c| c.done(budget))
+    }
+
+    /// Advance the horizon by one quantum and run each core (in index
+    /// order) until its clock reaches the horizon. Streams the varint
+    /// decode one instruction at a time — see the module docs for why the
+    /// decoded-block path is deliberately not used here.
+    pub fn step_quantum(&mut self) {
+        self.horizon += self.mc.quantum;
+        let budget = self.config.instr_budget;
+        for core in &mut self.cores {
+            if core.done(budget) {
+                continue;
+            }
+            let start = core.cursor() as usize;
+            for i in core.replay.trace().buf.iter_from(start) {
+                let stats = core.cpu.stats();
+                if stats.cycles >= self.horizon || (budget != 0 && stats.instructions >= budget) {
+                    break;
+                }
+                core.cpu.instr(i);
+            }
+        }
+    }
+
+    /// Run to completion (every core's budget or schedule exhausted).
+    pub fn run_to_end(&mut self) {
+        while !self.done() {
+            self.step_quantum();
+        }
+    }
+
+    /// Snapshot the complete multi-core state (shared level once, then
+    /// every core) at the current horizon.
+    pub fn checkpoint(&self) -> McCheckpoint {
+        let mut w = SnapWriter::new();
+        self.shared.borrow().save(&mut w);
+        for core in &self.cores {
+            core.save(&mut w);
+        }
+        McCheckpoint {
+            version: MC_CKPT_VERSION,
+            fingerprint: self.fingerprint(),
+            horizon: self.horizon,
+            cursors: self.cores.iter().map(|c| c.cursor()).collect(),
+            payload: w.into_bytes(),
+        }
+    }
+
+    /// Restore to a previously captured checkpoint. The checkpoint must
+    /// carry this engine's own fingerprint and a supported version; a
+    /// payload whose restored per-core cursors disagree with the recorded
+    /// ones is rejected too. On error the engine must be discarded.
+    pub fn restore(&mut self, ckpt: &McCheckpoint) -> io::Result<()> {
+        if ckpt.version != MC_CKPT_VERSION {
+            return Err(snap_err(format!(
+                "mc checkpoint version {} unsupported (engine speaks {MC_CKPT_VERSION})",
+                ckpt.version
+            )));
+        }
+        let own = self.fingerprint();
+        if ckpt.fingerprint != own {
+            return Err(snap_err(format!(
+                "mc checkpoint fingerprint {:#018x} does not match engine {own:#018x}",
+                ckpt.fingerprint
+            )));
+        }
+        if ckpt.cursors.len() != self.cores.len() {
+            return Err(snap_err(format!(
+                "mc checkpoint has {} cores, engine has {}",
+                ckpt.cursors.len(),
+                self.cores.len()
+            )));
+        }
+        let mut r = SnapReader::new(&ckpt.payload);
+        self.shared.borrow_mut().restore(&mut r)?;
+        for core in &mut self.cores {
+            core.restore(&mut r)?;
+        }
+        r.expect_end()?;
+        for (core, &cursor) in self.cores.iter().zip(&ckpt.cursors) {
+            if core.cursor() != cursor {
+                return Err(snap_err(format!(
+                    "mc checkpoint cursor {} disagrees with restored count {}",
+                    cursor,
+                    core.cursor()
+                )));
+            }
+        }
+        self.horizon = ckpt.horizon;
+        Ok(())
+    }
+
+    /// Fork: a new engine at exactly this warm state, free to run ahead
+    /// independently. Goes through checkpoint/restore, so every fork is a
+    /// standing round-trip test.
+    pub fn fork(&self) -> McEngine {
+        let specs = self
+            .cores
+            .iter()
+            .map(|c| (c.replay.clone(), c.kind.clone()))
+            .collect();
+        let mut e = McEngine::new(specs, &self.config, &self.mc);
+        #[allow(clippy::expect_used)]
+        e.restore(&self.checkpoint())
+            .expect("a fresh mc engine restores its own checkpoint");
+        e
+    }
+
+    /// Finish the run: per-core end-of-run accounting (exactly as a
+    /// single-core [`crate::Engine::finish`] would produce), plus the
+    /// shared level's aggregate counters.
+    pub fn finish(self) -> (Vec<RunResult>, SharedL2Stats) {
+        let results = self
+            .cores
+            .into_iter()
+            .map(|c| collect_result(c.replay.name(), c.kind.label(), c.cpu))
+            .collect();
+        let shared = *self.shared.borrow().stats();
+        (results, shared)
+    }
+}
+
+impl std::fmt::Debug for McEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McEngine")
+            .field("cores", &self.cores)
+            .field("horizon", &self.horizon)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Digest of one finished multi-core run: every core's
+/// [`RunResult::stats_digest`] (in core order) folded with every shared
+/// counter. This is what the multi-core golden-digest leg pins.
+pub fn mc_digest(results: &[RunResult], shared: &SharedL2Stats) -> u64 {
+    let mut d = Digest::new();
+    for r in results {
+        d.u64(r.stats_digest());
+    }
+    for v in [
+        shared.demand_lookups,
+        shared.demand_hits,
+        shared.demand_misses,
+        shared.prefetch_fills,
+        shared.writebacks,
+        shared.dram_queue_cycles,
+    ] {
+        d.u64(v);
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semloc_workloads::{capture_kernel, kernel_by_name};
+    use std::sync::Arc;
+
+    fn replay_of(name: &str, budget: u64) -> ReplayKernel {
+        let k = kernel_by_name(name).expect("registry kernel");
+        ReplayKernel::new(Arc::new(capture_kernel(k.as_ref(), budget)))
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::default().with_budget(30_000)
+    }
+
+    #[test]
+    fn two_core_run_is_deterministic() {
+        let run = || {
+            let mut e = McEngine::new(
+                vec![
+                    (replay_of("list", 30_000), PrefetcherKind::context()),
+                    (replay_of("array", 30_000), PrefetcherKind::Stride),
+                ],
+                &cfg(),
+                &McConfig::default(),
+            );
+            e.run_to_end();
+            let (results, shared) = e.finish();
+            mc_digest(&results, &shared)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cores_interfere_through_the_shared_level() {
+        // A streaming antagonist must visibly interfere with a pointer
+        // chaser: the shared level sees both cores' traffic, DRAM queueing
+        // exceeds what the victim generates alone, and the victim's own
+        // statistics change. Directional asserts on victim cycles or L2
+        // misses are deliberately avoided: a delayed fill can convert a
+        // later fresh miss into a cheap MSHR merge, so neither metric is
+        // monotone under added load. (Direct cross-core eviction is pinned
+        // by the shared_l2 unit tests.)
+        let mc = McConfig {
+            dram: semloc_mem::DramConfig {
+                channels: 1,
+                service_interval: 64,
+                ..semloc_mem::DramConfig::default()
+            },
+            ..McConfig::default()
+        };
+        let mut small_l2 = cfg();
+        small_l2.mem.l2.size_bytes = 64 * 1024;
+        let (solo, solo_shared) = {
+            let mut e = McEngine::new(
+                vec![(replay_of("list", 30_000), PrefetcherKind::None)],
+                &small_l2,
+                &mc,
+            );
+            e.run_to_end();
+            let (mut results, shared) = e.finish();
+            (results.remove(0), shared)
+        };
+        let (contended, shared) = {
+            let mut e = McEngine::new(
+                vec![
+                    (replay_of("list", 30_000), PrefetcherKind::None),
+                    (replay_of("array", 30_000), PrefetcherKind::Stride),
+                ],
+                &small_l2,
+                &mc,
+            );
+            e.run_to_end();
+            let (mut results, shared) = e.finish();
+            (results.remove(0), shared)
+        };
+        assert_eq!(solo.cpu.instructions, contended.cpu.instructions);
+        assert!(
+            shared.dram_queue_cycles > solo_shared.dram_queue_cycles,
+            "antagonist traffic must add DRAM queueing ({} vs {})",
+            shared.dram_queue_cycles,
+            solo_shared.dram_queue_cycles
+        );
+        assert!(
+            shared.demand_lookups > solo_shared.demand_lookups,
+            "the shared level must see the antagonist's traffic too ({} vs {})",
+            shared.demand_lookups,
+            solo_shared.demand_lookups
+        );
+        assert_ne!(
+            contended.stats_digest(),
+            solo.stats_digest(),
+            "interference must be visible in the victim's statistics"
+        );
+    }
+
+    #[test]
+    fn clock_skew_is_bounded_by_one_quantum() {
+        let mc = McConfig::default();
+        let mut e = McEngine::new(
+            vec![
+                (replay_of("list", 30_000), PrefetcherKind::context()),
+                (replay_of("mcf", 30_000), PrefetcherKind::Stride),
+            ],
+            &cfg(),
+            &mc,
+        );
+        for _ in 0..40 {
+            e.step_quantum();
+            if e.done() {
+                break;
+            }
+            for core in e.cores() {
+                assert!(core.cycles() + mc.quantum >= e.horizon.saturating_sub(mc.quantum));
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_mc_checkpoints_are_rejected() {
+        let mut a = McEngine::new(
+            vec![(replay_of("list", 30_000), PrefetcherKind::Stride)],
+            &cfg(),
+            &McConfig::default(),
+        );
+        a.step_quantum();
+        let ckpt = a.checkpoint();
+
+        // Different core count.
+        let mut b = McEngine::new(
+            vec![
+                (replay_of("list", 30_000), PrefetcherKind::Stride),
+                (replay_of("array", 30_000), PrefetcherKind::Stride),
+            ],
+            &cfg(),
+            &McConfig::default(),
+        );
+        assert!(b.restore(&ckpt).is_err());
+
+        // Different quantum.
+        let mut c = McEngine::new(
+            vec![(replay_of("list", 30_000), PrefetcherKind::Stride)],
+            &cfg(),
+            &McConfig {
+                quantum: 999,
+                ..McConfig::default()
+            },
+        );
+        assert!(c.restore(&ckpt).is_err());
+
+        // Bad version.
+        let mut bad = ckpt.clone();
+        bad.version = 9;
+        let mut d = McEngine::new(
+            vec![(replay_of("list", 30_000), PrefetcherKind::Stride)],
+            &cfg(),
+            &McConfig::default(),
+        );
+        assert!(d.restore(&bad).is_err());
+    }
+
+    #[test]
+    fn mc_checkpoint_bytes_roundtrip_and_reject_corruption() {
+        let mut e = McEngine::new(
+            vec![(replay_of("mcf", 30_000), PrefetcherKind::context())],
+            &cfg(),
+            &McConfig::default(),
+        );
+        for _ in 0..3 {
+            e.step_quantum();
+        }
+        let ckpt = e.checkpoint();
+        let bytes = ckpt.to_bytes();
+        assert_eq!(McCheckpoint::from_bytes(&bytes).expect("clean bytes"), ckpt);
+        assert!(McCheckpoint::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(McCheckpoint::from_bytes(&extra).is_err());
+        let mut flipped = bytes;
+        flipped[0] ^= 0xff;
+        assert!(McCheckpoint::from_bytes(&flipped).is_err());
+    }
+}

@@ -11,6 +11,7 @@ use crate::classify::AccessClass;
 use crate::config::MemConfig;
 use crate::mshr::{MshrFile, MshrKind};
 use crate::prefetcher::{MemPressure, PrefetchReq, Prefetcher};
+use crate::shared_l2::SharedL2Handle;
 use crate::stats::MemStats;
 use semloc_trace::{AccessContext, Addr, Cycle, SnapReader, SnapWriter, Snapshot};
 
@@ -45,6 +46,9 @@ pub struct Hierarchy<P: Prefetcher> {
     prefetcher: P,
     stats: MemStats,
     req_buf: Vec<PrefetchReq>,
+    /// In interference mode the L2/DRAM legs go through the shared level
+    /// instead of the private `l2`/`l2_mshrs` (which then stay empty).
+    shared: Option<SharedL2Handle>,
 }
 
 impl<P: Prefetcher> Hierarchy<P> {
@@ -60,7 +64,18 @@ impl<P: Prefetcher> Hierarchy<P> {
             prefetcher,
             stats: MemStats::default(),
             req_buf: Vec::with_capacity(8),
+            shared: None,
         }
+    }
+
+    /// Build a hierarchy whose L2/DRAM legs go through `shared` — the
+    /// private-L1 half of one core in the multi-core interference mode. The
+    /// `cfg.l2` geometry is ignored (the shared level carries its own); only
+    /// the L1 and `prefetch_mshr_reserve` fields matter.
+    pub fn new_shared(cfg: MemConfig, prefetcher: P, shared: SharedL2Handle) -> Self {
+        let mut h = Hierarchy::new(cfg, prefetcher);
+        h.shared = Some(shared);
+        h
     }
 
     /// The attached prefetcher.
@@ -83,11 +98,17 @@ impl<P: Prefetcher> Hierarchy<P> {
         &self.cfg
     }
 
-    /// Current memory pressure (free MSHRs).
+    /// Current memory pressure (free MSHRs). In shared mode the L2 figure
+    /// reflects the contended shared file, so prefetchers back off when
+    /// *other* cores saturate it.
     pub fn pressure(&mut self, now: Cycle) -> MemPressure {
+        let l2_mshr_free = match &self.shared {
+            Some(sh) => sh.borrow_mut().mshr_free(now),
+            None => self.l2_mshrs.free(now),
+        };
         MemPressure {
             l1_mshr_free: self.l1_mshrs.free(now),
-            l2_mshr_free: self.l2_mshrs.free(now),
+            l2_mshr_free,
         }
     }
 
@@ -185,27 +206,38 @@ impl<P: Prefetcher> Hierarchy<P> {
             }
         }
 
-        let l2_ready = match self.l2.lookup_demand(addr, start + l1_lat, dirty) {
-            LookupResult::Hit { .. } => start + l1_lat + l2_lat,
-            LookupResult::InFlight { ready_at, .. } => ready_at.max(start + l1_lat) + l2_lat,
-            LookupResult::Miss => {
-                self.stats.l2_misses += 1;
-                // L2 MSHR backpressure (reservation-counted for demands).
-                let mut l2_start = start + l1_lat + l2_lat;
-                while kind == MshrKind::Demand && self.l2_mshrs.free_for_demand(l2_start) == 0 {
-                    match self.l2_mshrs.earliest_demand_fill() {
-                        Some(t) if t > l2_start => l2_start = t,
-                        _ => break,
-                    }
+        let l2_ready = match &self.shared {
+            Some(sh) => {
+                let (ready, missed) = sh
+                    .borrow_mut()
+                    .demand_leg(addr, start + l1_lat, kind, dirty);
+                if missed {
+                    self.stats.l2_misses += 1;
                 }
-                let fill = l2_start + self.cfg.dram_latency;
-                let _ = self.l2_mshrs.try_allocate(addr, fill, kind, l2_start);
-                let ev = self.l2.fill(addr, fill, false, false);
-                if ev.dirty {
-                    self.stats.writebacks += 1;
-                }
-                fill
+                ready
             }
+            None => match self.l2.lookup_demand(addr, start + l1_lat, dirty) {
+                LookupResult::Hit { .. } => start + l1_lat + l2_lat,
+                LookupResult::InFlight { ready_at, .. } => ready_at.max(start + l1_lat) + l2_lat,
+                LookupResult::Miss => {
+                    self.stats.l2_misses += 1;
+                    // L2 MSHR backpressure (reservation-counted for demands).
+                    let mut l2_start = start + l1_lat + l2_lat;
+                    while kind == MshrKind::Demand && self.l2_mshrs.free_for_demand(l2_start) == 0 {
+                        match self.l2_mshrs.earliest_demand_fill() {
+                            Some(t) if t > l2_start => l2_start = t,
+                            _ => break,
+                        }
+                    }
+                    let fill = l2_start + self.cfg.dram_latency;
+                    let _ = self.l2_mshrs.try_allocate(addr, fill, kind, l2_start);
+                    let ev = self.l2.fill(addr, fill, false, false);
+                    if ev.dirty {
+                        self.stats.writebacks += 1;
+                    }
+                    fill
+                }
+            },
         };
 
         let _ = self.l1_mshrs.try_allocate(addr, l2_ready, kind, start);
@@ -239,27 +271,39 @@ impl<P: Prefetcher> Hierarchy<P> {
         // Prefetches that miss the L2 ride the L2's MSHRs for the DRAM leg;
         // the L1 MSHR is only held for the final L2→L1 transfer window, so
         // the 4-entry L1 file does not serialize deep prefetching.
-        let (fill, l1_window_start) = match self.l2.lookup_demand(addr, now + l1_lat, false) {
-            LookupResult::Hit { .. } => (now + l1_lat + l2_lat, now),
-            LookupResult::InFlight { ready_at, .. } => {
-                let fill = ready_at.max(now + l1_lat) + l2_lat;
-                (fill, fill.saturating_sub(l2_lat))
-            }
-            LookupResult::Miss => {
-                if self.l2_mshrs.free(now) == 0 {
-                    self.stats.prefetches_rejected += 1;
-                    return false;
+        let (fill, l1_window_start) = match &self.shared {
+            Some(sh) => {
+                let leg = sh.borrow_mut().prefetch_leg(addr, now + l1_lat, now);
+                match leg {
+                    Some(fill_window) => fill_window,
+                    None => {
+                        self.stats.prefetches_rejected += 1;
+                        return false;
+                    }
                 }
-                let fill = now + l1_lat + l2_lat + self.cfg.dram_latency;
-                let _ = self
-                    .l2_mshrs
-                    .try_allocate(addr, fill, MshrKind::Prefetch, now);
-                let ev = self.l2.fill(addr, fill, false, false);
-                if ev.dirty {
-                    self.stats.writebacks += 1;
-                }
-                (fill, fill.saturating_sub(l2_lat))
             }
+            None => match self.l2.lookup_demand(addr, now + l1_lat, false) {
+                LookupResult::Hit { .. } => (now + l1_lat + l2_lat, now),
+                LookupResult::InFlight { ready_at, .. } => {
+                    let fill = ready_at.max(now + l1_lat) + l2_lat;
+                    (fill, fill.saturating_sub(l2_lat))
+                }
+                LookupResult::Miss => {
+                    if self.l2_mshrs.free(now) == 0 {
+                        self.stats.prefetches_rejected += 1;
+                        return false;
+                    }
+                    let fill = now + l1_lat + l2_lat + self.cfg.dram_latency;
+                    let _ = self
+                        .l2_mshrs
+                        .try_allocate(addr, fill, MshrKind::Prefetch, now);
+                    let ev = self.l2.fill(addr, fill, false, false);
+                    if ev.dirty {
+                        self.stats.writebacks += 1;
+                    }
+                    (fill, fill.saturating_sub(l2_lat))
+                }
+            },
         };
         let _ =
             self.l1_mshrs

@@ -31,6 +31,7 @@ pub mod config;
 pub mod hierarchy;
 pub mod mshr;
 pub mod prefetcher;
+pub mod shared_l2;
 pub mod stats;
 
 pub use cache::{Cache, LookupResult};
@@ -39,4 +40,5 @@ pub use config::{CacheConfig, MemConfig};
 pub use hierarchy::{DemandResult, Hierarchy};
 pub use mshr::{MshrFile, MshrKind};
 pub use prefetcher::{MemPressure, NoPrefetch, PrefetchReq, Prefetcher, PrefetcherStats};
+pub use shared_l2::{DramConfig, DramModel, SharedL2, SharedL2Handle, SharedL2Stats};
 pub use stats::MemStats;

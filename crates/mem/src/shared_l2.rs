@@ -1,0 +1,393 @@
+//! Shared L2 + DRAM bandwidth model for the multi-core interference mode.
+//!
+//! In single-core runs every [`crate::Hierarchy`] owns a private L2 and a
+//! flat-latency DRAM. The interference mode instead hands N hierarchies one
+//! [`SharedL2`]: a single L2 array + MSHR file whose DRAM leg goes through a
+//! finite-bandwidth channel model, so co-running cores contend for capacity
+//! (evicting each other's lines), for L2 MSHRs (throttling each other's
+//! prefetchers) and for DRAM service slots (queueing each other's misses).
+//!
+//! The model stays latency-computed and event-free like the rest of the
+//! memory system: cores hand in *arrival cycles* and get back completion
+//! cycles. Because the caches use tick-counter LRU (no wall-clock), the
+//! shared array is well-defined even though the contending cores' clocks
+//! drift within the round-robin quantum.
+
+use crate::cache::{Cache, LookupResult};
+use crate::config::CacheConfig;
+use crate::mshr::{MshrFile, MshrKind};
+use semloc_trace::{Addr, Cycle, SnapReader, SnapWriter, Snapshot};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared handle through which per-core hierarchies reach the one L2.
+pub type SharedL2Handle = Rc<RefCell<SharedL2>>;
+
+/// DRAM bandwidth model configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Access latency of one request (cycles), as in Table 2.
+    pub latency: Cycle,
+    /// Independent channels servicing requests in parallel.
+    pub channels: u32,
+    /// Cycles a channel is occupied per line transfer (1/bandwidth).
+    pub service_interval: Cycle,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            latency: 300,
+            channels: 2,
+            service_interval: 8,
+        }
+    }
+}
+
+/// Finite-bandwidth DRAM: each channel serves one line per
+/// `service_interval` cycles; a request picks the earliest-free channel and
+/// queues behind its outstanding transfers.
+#[derive(Debug)]
+pub struct DramModel {
+    cfg: DramConfig,
+    next_free: Vec<Cycle>,
+}
+
+impl DramModel {
+    /// A DRAM model with all channels idle.
+    pub fn new(cfg: DramConfig) -> Self {
+        let channels = cfg.channels.max(1) as usize;
+        DramModel {
+            cfg,
+            next_free: vec![0; channels],
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Schedule a line request arriving at cycle `t`. Returns the completion
+    /// cycle (`service start + latency`) and advances the chosen channel.
+    /// Deterministic: the earliest-free channel wins, first index on ties.
+    pub fn schedule(&mut self, t: Cycle) -> (Cycle, Cycle) {
+        let mut best = 0usize;
+        for (i, &free) in self.next_free.iter().enumerate() {
+            if free < self.next_free[best] {
+                best = i;
+            }
+        }
+        let start = t.max(self.next_free[best]);
+        self.next_free[best] = start + self.cfg.service_interval;
+        (start + self.cfg.latency, start - t)
+    }
+}
+
+impl Snapshot for DramModel {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"DRAM", 1);
+        w.put_len(self.next_free.len());
+        for &t in &self.next_free {
+            w.put_u64(t);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"DRAM", 1)?;
+        let n = r.get_len()?;
+        let mut next_free = Vec::with_capacity(n);
+        for _ in 0..n {
+            next_free.push(r.get_u64()?);
+        }
+        self.next_free = next_free;
+        Ok(())
+    }
+}
+
+/// Aggregate counters for the shared level (per-core counters stay in each
+/// core's [`crate::MemStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedL2Stats {
+    /// Demand lookups from any core.
+    pub demand_lookups: u64,
+    /// Demand lookups that hit the shared array or merged in flight.
+    pub demand_hits: u64,
+    /// Demand lookups that went to DRAM.
+    pub demand_misses: u64,
+    /// Prefetch fills installed in the shared array.
+    pub prefetch_fills: u64,
+    /// Dirty lines written back on eviction from the shared array.
+    pub writebacks: u64,
+    /// Total cycles demand misses spent queued behind busy DRAM channels.
+    pub dram_queue_cycles: u64,
+}
+
+impl Snapshot for SharedL2Stats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"SLST", 1);
+        w.put_u64(self.demand_lookups);
+        w.put_u64(self.demand_hits);
+        w.put_u64(self.demand_misses);
+        w.put_u64(self.prefetch_fills);
+        w.put_u64(self.writebacks);
+        w.put_u64(self.dram_queue_cycles);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"SLST", 1)?;
+        self.demand_lookups = r.get_u64()?;
+        self.demand_hits = r.get_u64()?;
+        self.demand_misses = r.get_u64()?;
+        self.prefetch_fills = r.get_u64()?;
+        self.writebacks = r.get_u64()?;
+        self.dram_queue_cycles = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// One L2 + MSHR file + DRAM shared by every core of a multi-core engine.
+///
+/// The two legs mirror [`crate::Hierarchy`]'s private L2 paths exactly,
+/// except that the flat `dram_latency` is replaced by
+/// [`DramModel::schedule`], so a miss behind a saturated channel completes
+/// later than an identical miss on an idle machine.
+pub struct SharedL2 {
+    cfg: CacheConfig,
+    l2: Cache,
+    mshrs: MshrFile,
+    dram: DramModel,
+    stats: SharedL2Stats,
+}
+
+impl SharedL2 {
+    /// Build the shared level from an L2 geometry and a DRAM model.
+    pub fn new(l2: CacheConfig, dram: DramConfig) -> Self {
+        SharedL2 {
+            l2: Cache::new(l2.clone()),
+            mshrs: MshrFile::new(l2.mshrs, l2.line_bytes),
+            dram: DramModel::new(dram),
+            cfg: l2,
+            stats: SharedL2Stats::default(),
+        }
+    }
+
+    /// Wrap a fresh shared level in the handle cores hold.
+    pub fn handle(l2: CacheConfig, dram: DramConfig) -> SharedL2Handle {
+        Rc::new(RefCell::new(SharedL2::new(l2, dram)))
+    }
+
+    /// Accumulated shared-level statistics.
+    pub fn stats(&self) -> &SharedL2Stats {
+        &self.stats
+    }
+
+    /// Free shared MSHRs at cycle `now` (feeds per-core prefetch pressure).
+    pub fn mshr_free(&mut self, now: Cycle) -> u32 {
+        self.mshrs.free(now)
+    }
+
+    /// The demand leg of a core's L1 miss arriving at cycle `arrive`
+    /// (already past that core's L1 latency + MSHR backpressure). Returns
+    /// the cycle the line reaches the core's L1 boundary and whether the
+    /// shared array missed.
+    pub fn demand_leg(
+        &mut self,
+        addr: Addr,
+        arrive: Cycle,
+        kind: MshrKind,
+        dirty: bool,
+    ) -> (Cycle, bool) {
+        let l2_lat = self.cfg.latency;
+        self.stats.demand_lookups += 1;
+        match self.l2.lookup_demand(addr, arrive, dirty) {
+            LookupResult::Hit { .. } => {
+                self.stats.demand_hits += 1;
+                (arrive + l2_lat, false)
+            }
+            LookupResult::InFlight { ready_at, .. } => {
+                self.stats.demand_hits += 1;
+                (ready_at.max(arrive) + l2_lat, false)
+            }
+            LookupResult::Miss => {
+                self.stats.demand_misses += 1;
+                // Shared-MSHR backpressure (reservation-counted for demands),
+                // then the finite-bandwidth DRAM leg.
+                let mut l2_start = arrive + l2_lat;
+                while kind == MshrKind::Demand && self.mshrs.free_for_demand(l2_start) == 0 {
+                    match self.mshrs.earliest_demand_fill() {
+                        Some(t) if t > l2_start => l2_start = t,
+                        _ => break,
+                    }
+                }
+                let (fill, queued) = self.dram.schedule(l2_start);
+                self.stats.dram_queue_cycles += queued;
+                let _ = self.mshrs.try_allocate(addr, fill, kind, l2_start);
+                let ev = self.l2.fill(addr, fill, false, false);
+                if ev.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (fill, true)
+            }
+        }
+    }
+
+    /// The L2 leg of a core's prefetch arriving at cycle `arrive` (`now` is
+    /// the core's current cycle, used for MSHR occupancy). Returns the L1
+    /// fill cycle and the L1 MSHR window start, or `None` when rejected by
+    /// shared-MSHR pressure.
+    pub fn prefetch_leg(
+        &mut self,
+        addr: Addr,
+        arrive: Cycle,
+        now: Cycle,
+    ) -> Option<(Cycle, Cycle)> {
+        let l2_lat = self.cfg.latency;
+        match self.l2.lookup_demand(addr, arrive, false) {
+            LookupResult::Hit { .. } => Some((arrive + l2_lat, now)),
+            LookupResult::InFlight { ready_at, .. } => {
+                let fill = ready_at.max(arrive) + l2_lat;
+                Some((fill, fill.saturating_sub(l2_lat)))
+            }
+            LookupResult::Miss => {
+                if self.mshrs.free(now) == 0 {
+                    return None;
+                }
+                let (fill, _queued) = self.dram.schedule(arrive + l2_lat);
+                let _ = self.mshrs.try_allocate(addr, fill, MshrKind::Prefetch, now);
+                let ev = self.l2.fill(addr, fill, false, false);
+                if ev.dirty {
+                    self.stats.writebacks += 1;
+                }
+                self.stats.prefetch_fills += 1;
+                Some((fill, fill.saturating_sub(l2_lat)))
+            }
+        }
+    }
+}
+
+impl Snapshot for SharedL2 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section(*b"SHL2", 1);
+        self.l2.save(w);
+        self.mshrs.save(w);
+        self.dram.save(w);
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        r.section(*b"SHL2", 1)?;
+        self.l2.restore(r)?;
+        self.mshrs.restore(r)?;
+        self.dram.restore(r)?;
+        self.stats.restore(r)
+    }
+}
+
+impl std::fmt::Debug for SharedL2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedL2")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemConfig;
+
+    #[test]
+    fn idle_dram_matches_flat_latency() {
+        let mut d = DramModel::new(DramConfig::default());
+        let (done, queued) = d.schedule(100);
+        assert_eq!(done, 400);
+        assert_eq!(queued, 0);
+    }
+
+    #[test]
+    fn saturated_channels_queue_requests() {
+        let cfg = DramConfig {
+            latency: 300,
+            channels: 2,
+            service_interval: 8,
+        };
+        let mut d = DramModel::new(cfg);
+        // Four simultaneous requests on two channels: two start at t, two
+        // queue one service interval behind.
+        let done: Vec<Cycle> = (0..4).map(|_| d.schedule(0).0).collect();
+        assert_eq!(done, vec![300, 300, 308, 308]);
+    }
+
+    #[test]
+    fn dram_schedule_is_deterministic() {
+        let mk = || DramModel::new(DramConfig::default());
+        let (mut a, mut b) = (mk(), mk());
+        for t in [0u64, 5, 5, 300, 301, 301, 900] {
+            assert_eq!(a.schedule(t), b.schedule(t));
+        }
+    }
+
+    #[test]
+    fn demand_leg_mirrors_private_path_when_idle() {
+        let mem = MemConfig::default();
+        let mut sh = SharedL2::new(mem.l2.clone(), DramConfig::default());
+        // Cold miss arriving at the L2 boundary at cycle 2 (past a 2-cycle
+        // L1): 2 + 20 (L2) + 300 (DRAM) = 322, as in the private path.
+        let (ready, missed) = sh.demand_leg(0x10000, 2, MshrKind::Demand, false);
+        assert_eq!(ready, 322);
+        assert!(missed);
+        // Second core touching the same line merges in flight.
+        let (ready2, missed2) = sh.demand_leg(0x10020, 10, MshrKind::Demand, false);
+        assert_eq!(ready2, 322 + 20);
+        assert!(!missed2);
+        assert_eq!(sh.stats().demand_misses, 1);
+        assert_eq!(sh.stats().demand_hits, 1);
+    }
+
+    #[test]
+    fn capacity_contention_evicts_across_cores() {
+        // A tiny 2-way shared L2: core B's streaming evicts core A's line.
+        let l2 = CacheConfig {
+            size_bytes: 2 * 64,
+            ways: 2,
+            line_bytes: 64,
+            latency: 20,
+            mshrs: 20,
+        };
+        let mut sh = SharedL2::new(l2, DramConfig::default());
+        sh.demand_leg(0x0000, 0, MshrKind::Demand, false);
+        // Refetch after the fill completes: hit.
+        let (_, missed) = sh.demand_leg(0x0000, 1000, MshrKind::Demand, false);
+        assert!(!missed);
+        // Another core floods the set.
+        sh.demand_leg(0x1000, 2000, MshrKind::Demand, false);
+        sh.demand_leg(0x2000, 3000, MshrKind::Demand, false);
+        let (_, missed) = sh.demand_leg(0x0000, 10_000, MshrKind::Demand, false);
+        assert!(missed, "victim line must have been evicted by the flood");
+    }
+
+    #[test]
+    #[allow(clippy::unwrap_used)]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let mem = MemConfig::default();
+        let mut sh = SharedL2::new(mem.l2.clone(), DramConfig::default());
+        for i in 0..32u64 {
+            sh.demand_leg(0x4000 + i * 0x1000, i * 7, MshrKind::Demand, i % 3 == 0);
+            sh.prefetch_leg(0x9000 + i * 0x1000, i * 7 + 2, i * 7);
+        }
+        let mut w = SnapWriter::new();
+        sh.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = SharedL2::new(mem.l2.clone(), DramConfig::default());
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        let mut w2 = SnapWriter::new();
+        fresh.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "re-save must be byte-identical");
+        assert_eq!(sh.stats(), fresh.stats());
+    }
+}

@@ -23,6 +23,8 @@
 //!   dominant memory-access pattern (see `spec` module docs and the
 //!   substitution table in `DESIGN.md`).
 
+pub mod adversarial;
+pub mod compose;
 pub mod graph500;
 pub mod object;
 pub mod patterns;
@@ -33,6 +35,10 @@ pub mod spec;
 pub mod ssca2;
 pub mod ukernels;
 
+pub use adversarial::{
+    adversarial_by_name, adversarial_kernels, AliasChains, PhaseFlip, RewardStraddle,
+};
+pub use compose::{ComposedKernel, Composer, Phase};
 pub use object::Session;
 pub use registry::{
     all_kernels, kernel_by_name, memory_intensive, microbenchmarks, spec_suite, KernelBox,
