@@ -9,7 +9,9 @@
 //! cache machinery, so they can be tested and reused in isolation:
 //!
 //! * [`RewardFunction`] and the paper's bell-shaped [`BellReward`] (Fig 5),
-//!   plus a [`StepReward`] used by the ablation experiments;
+//!   plus a [`StepReward`] used by the ablation experiments, a
+//!   [`GaussianPenaltyReward`] and Pythia-style [`PythiaLevelReward`], and
+//!   [`RewardShape`] — the closed sum the pipeline config stores;
 //! * [`AdaptiveEpsilon`] — ε-greedy exploration whose rate anneals with
 //!   prediction accuracy, after Tokic's value-difference-based exploration
 //!   (the paper cites this directly in §4.1);
@@ -28,5 +30,8 @@ pub mod scored;
 
 pub use mab::MultiArmedBandit;
 pub use policy::{AdaptiveEpsilon, ExplorationPolicy, FixedEpsilon};
-pub use reward::{BellReward, RewardFunction, RewardLut, StepReward};
+pub use reward::{
+    BellReward, GaussianPenaltyReward, PythiaLevelReward, RewardFunction, RewardLut, RewardShape,
+    StepReward,
+};
 pub use scored::{Action, ScoredSet};

@@ -7,7 +7,10 @@
 use proptest::prelude::*;
 
 use semloc_bandit::scored::{Replacement, ScoredSet};
-use semloc_bandit::{BellReward, RewardFunction};
+use semloc_bandit::{
+    BellReward, GaussianPenaltyReward, PythiaLevelReward, RewardFunction, RewardLut, RewardShape,
+    StepReward,
+};
 
 /// An arbitrary *valid* bell: lo < hi, positive peak, non-positive
 /// penalties.
@@ -116,6 +119,110 @@ proptest! {
             Some((40 + penalty).clamp(i8::MIN as i32, i8::MAX as i32) as i8),
             "penalties apply in full regardless of the cap"
         );
+    }
+}
+
+/// An arbitrary *valid* gaussian-penalty shape.
+fn gaussian_from(raw: (u64, u64, u64)) -> GaussianPenaltyReward {
+    let (a, b, c) = raw;
+    let center = (a % 90) as u32;
+    let sigma = 1 + (b % 24) as u32;
+    let scale = 1 + (c % 40) as i32;
+    let factor = (c >> 32 & 0x7) as i32;
+    GaussianPenaltyReward::new(center, sigma, scale, factor, -1 - (a >> 32 & 0x7) as i32)
+}
+
+/// An arbitrary *valid* pythia-level shape.
+fn levels_from(raw: (u64, u64, u64)) -> PythiaLevelReward {
+    let (a, b, c) = raw;
+    let lo = 1 + (a % 60) as u32;
+    let hi = lo + 2 + (b % 100) as u32;
+    let late = 1 + (c % 20) as i32;
+    let timely = late + 1 + (c >> 16 & 0xf) as i32;
+    let early = -((a >> 32 & 0xf) as i32);
+    let expiry = early - 1 - (b >> 32 & 0xf) as i32;
+    PythiaLevelReward::new(lo, hi, timely, late, early, expiry)
+}
+
+proptest! {
+    #[test]
+    fn gaussian_penalty_sign_tracks_the_window(raw in (any::<u64>(), any::<u64>(), any::<u64>())) {
+        let g = gaussian_from(raw);
+        let (lo, hi) = g.window();
+        for d in lo..=hi {
+            prop_assert!(g.reward(d) >= 0, "in-window reward must not be negative at {d}");
+        }
+        for d in (hi + 1)..(hi + 64) {
+            prop_assert!(g.reward(d) <= 0, "out-of-window reward must not be positive at {d}");
+        }
+        prop_assert!(g.expiry() < 0);
+    }
+
+    #[test]
+    fn gaussian_penalty_stable_depth_is_truly_stable(raw in (any::<u64>(), any::<u64>(), any::<u64>())) {
+        let g = gaussian_from(raw);
+        let stable = g.stable_depth();
+        prop_assert!(stable > g.window().1);
+        // The gaussian magnitude decays monotonically past the center, so
+        // once it rounds to zero it stays zero forever.
+        for d in stable..(stable + 64) {
+            prop_assert_eq!(g.reward(d), 0, "depth {}", d);
+        }
+    }
+
+    #[test]
+    fn pythia_levels_partition_the_depth_axis(raw in (any::<u64>(), any::<u64>(), any::<u64>())) {
+        let p = levels_from(raw);
+        let (lo, hi) = p.window();
+        for d in 0..(hi + 64) {
+            let expected = if d < lo {
+                p.late()
+            } else if d <= hi {
+                p.timely()
+            } else {
+                p.early()
+            };
+            prop_assert_eq!(p.reward(d), expected);
+        }
+        prop_assert!(p.expiry() <= p.early());
+    }
+
+    #[test]
+    fn lut_tabulates_every_shape_exactly(
+        raw in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        which in 0u8..4,
+    ) {
+        let shape: RewardShape = match which {
+            0 => bell_from(raw).into(),
+            1 => StepReward::paper_default().into(),
+            2 => gaussian_from((raw.0, raw.1, raw.2)).into(),
+            _ => levels_from((raw.0, raw.1, raw.2)).into(),
+        };
+        let lut = RewardLut::new(&shape);
+        for d in 0..1024u32 {
+            prop_assert_eq!(lut.reward(d), shape.reward(d), "{} depth {}", shape.label(), d);
+        }
+        prop_assert_eq!(lut.expiry(), shape.expiry());
+    }
+
+    #[test]
+    fn reward_shape_snapshots_round_trip(
+        raw in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        which in 0u8..4,
+    ) {
+        use semloc_trace::{SnapReader, SnapWriter, Snapshot};
+        let shape: RewardShape = match which {
+            0 => bell_from(raw).into(),
+            1 => StepReward::paper_default().into(),
+            2 => gaussian_from((raw.0, raw.1, raw.2)).into(),
+            _ => levels_from((raw.0, raw.1, raw.2)).into(),
+        };
+        let mut w = SnapWriter::new();
+        shape.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = RewardShape::default();
+        back.restore(&mut SnapReader::new(&bytes)).expect("round trip");
+        prop_assert_eq!(back, shape);
     }
 }
 

@@ -138,6 +138,13 @@ impl FeatureVec {
         }
         ContextKey((squeeze(acc) & KEY_MASK) as u32)
     }
+
+    /// The stored per-position inner mixes (for the feature-set layer,
+    /// which re-folds prefixes of alternative attribute selections).
+    #[inline]
+    pub(crate) fn mixed(&self) -> &[u64; Attr::COUNT] {
+        &self.mixed
+    }
 }
 
 /// The 16-bit hash of the *full* attribute vector (Reducer index + tag).
@@ -205,29 +212,29 @@ impl ContextKey {
 }
 
 /// Chain seed of the full-vector hash.
-const FULL_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FULL_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 /// Chain seed of the active-prefix hash.
-const KEY_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+pub(crate) const KEY_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 /// Per-position salt multiplier of the inner mix.
-const SALT: u64 = 0x2545_f491_4f6c_dd1d;
+pub(crate) const SALT: u64 = 0x2545_f491_4f6c_dd1d;
 /// 19-bit ContextKey mask.
-const KEY_MASK: u64 = 0x7ffff;
+pub(crate) const KEY_MASK: u64 = 0x7ffff;
 
 /// SplitMix64 finalizer — a cheap, well-distributed 64-bit mixer.
 #[inline]
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
 }
 
 #[inline]
-fn fold(acc: u64, salt: u64, v: u64) -> u64 {
+pub(crate) fn fold(acc: u64, salt: u64, v: u64) -> u64 {
     mix(acc ^ mix(v.wrapping_add(salt.wrapping_mul(SALT))))
 }
 
 #[inline]
-fn squeeze(v: u64) -> u64 {
+pub(crate) fn squeeze(v: u64) -> u64 {
     v ^ (v >> 32)
 }
 

@@ -1,7 +1,10 @@
 //! Configuration of the context-based prefetcher (Table 2 defaults).
 
 use semloc_bandit::scored::Replacement;
-use semloc_bandit::{AdaptiveEpsilon, BellReward};
+use semloc_bandit::{AdaptiveEpsilon, BellReward, RewardShape};
+
+use crate::features::FeatureSet;
+use crate::policy::PolicyKind;
 
 /// All tunables of the [`ContextPrefetcher`](crate::ContextPrefetcher).
 ///
@@ -26,8 +29,13 @@ pub struct ContextConfig {
     /// data collection — the probabilistic lookup of §5, biased into the
     /// reward window.
     pub sample_depths: Vec<u16>,
-    /// Reward function over hit depth (Fig 5).
-    pub reward: BellReward,
+    /// Reward shape over hit depth (Fig 5 bell by default; see
+    /// [`RewardShape`] for the alternatives the tournament sweeps).
+    pub reward: RewardShape,
+    /// Which features form the context (Table 1 by default).
+    pub features: FeatureSet,
+    /// Which learning backend binds contexts to candidates.
+    pub policy: PolicyKind,
     /// Exploration policy (accuracy-adaptive ε-greedy).
     pub exploration: AdaptiveEpsilon,
     /// Initial number of active attributes per reducer entry (prefix of
@@ -75,7 +83,9 @@ impl Default for ContextConfig {
             pfq_len: 128,
             block_shift: 5,
             sample_depths: vec![4, 12, 20, 30, 40, 50],
-            reward: BellReward::paper_default(),
+            reward: RewardShape::PaperBell(BellReward::paper_default()),
+            features: FeatureSet::FullTable1,
+            policy: PolicyKind::CstBandit,
             exploration: AdaptiveEpsilon::paper_default(),
             initial_active: 4,
             overload_threshold: 3,
@@ -152,7 +162,7 @@ impl ContextConfig {
     /// spread from just behind the access to the window's far edge.
     pub fn calibrated(mut self, target_distance: f64) -> Self {
         use semloc_bandit::RewardFunction;
-        self.reward = BellReward::for_target_distance(target_distance);
+        self.reward = RewardShape::PaperBell(BellReward::for_target_distance(target_distance));
         let (lo, hi) = self.reward.window();
         let max_depth = self.history_len as u32;
         let d = target_distance.clamp(4.0, 512.0);

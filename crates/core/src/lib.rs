@@ -46,8 +46,11 @@
 pub mod attrs;
 pub mod config;
 pub mod cst;
+pub mod features;
 pub mod history;
 pub mod pfq;
+pub mod pipeline;
+pub mod policy;
 pub mod prefetcher;
 pub mod reducer;
 pub mod stats;
@@ -55,8 +58,12 @@ pub mod stats;
 pub use attrs::{Attr, ContextKey, FullHash};
 pub use config::ContextConfig;
 pub use cst::ContextStatesTable;
+pub use features::{ExtractedFeatures, FeatureExtractor, FeatureSet};
 pub use history::HistoryQueue;
 pub use pfq::PrefetchQueue;
+pub use pipeline::PipelineConfig;
+pub use policy::{CstBanditPolicy, LearnedPolicy, PolicyKind};
 pub use prefetcher::ContextPrefetcher;
 pub use reducer::Reducer;
+pub use semloc_bandit::RewardShape;
 pub use stats::{ContextStats, HitDepthCdf};

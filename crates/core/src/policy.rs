@@ -1,0 +1,220 @@
+//! The learned-policy trait — the pluggable learning backend of the
+//! pipeline.
+//!
+//! The paper's backend is the CST + contextual bandit ([`CstBanditPolicy`]
+//! wraps [`ContextStatesTable`] one-to-one); the authors' follow-up neural
+//! prefetcher (arXiv 1804.00478) swaps exactly this stage while keeping
+//! the context stream, reducer and prefetch queue. [`LearnedPolicy`]
+//! captures the surface the rest of the pipeline actually needs: candidate
+//! insertion with overload/underload outcomes, delayed-reward application,
+//! ranked retrieval, and the ref-count split signal — all integer-only and
+//! snapshot-covered so alternative backends inherit the determinism
+//! contract for free.
+
+use semloc_trace::{SnapReader, SnapWriter, Snapshot};
+
+use crate::attrs::ContextKey;
+use crate::config::ContextConfig;
+use crate::cst::{AddOutcome, ContextStatesTable};
+
+/// A learning backend binding reduced contexts to scored delta candidates.
+///
+/// The `Snapshot` supertrait keeps every backend checkpointable; the
+/// backend's own section tag doubles as the restore-time policy-kind
+/// guard (restoring a checkpoint into a different backend fails on the
+/// tag, not silently).
+pub trait LearnedPolicy: Snapshot {
+    /// Short label for leaderboards and cell names.
+    fn name(&self) -> &'static str;
+
+    /// Insert a context→delta candidate observed by the collection unit.
+    fn add_candidate(&mut self, key: ContextKey, delta: i16) -> AddOutcome;
+
+    /// Apply a delayed reward to a stored candidate; `true` if it was
+    /// still present.
+    fn reward(&mut self, key: ContextKey, delta: i16, reward: i32) -> bool;
+
+    /// Like [`LearnedPolicy::reward`], but a positive reward never raises
+    /// the score past `cap` (late-hit partial credit).
+    fn reward_capped(&mut self, key: ContextKey, delta: i16, reward: i32, cap: i8) -> bool;
+
+    /// Record that `key` was reached from full-context hash `full`;
+    /// `true` when the entry alternates between full contexts while its
+    /// best score stays below `strength_bar` — the §4.4 ref-count
+    /// overload (split) signal.
+    fn note_shared_weak(&mut self, key: ContextKey, full: u16, strength_bar: i8) -> bool;
+
+    /// Rank the candidates stored for `key` into `out` (slot order;
+    /// the caller re-sorts). Returns `false` — leaving `out` untouched —
+    /// when the context is unknown, so the prediction unit can bail
+    /// without consuming exploration randomness.
+    fn ranked_into(&self, key: ContextKey, out: &mut Vec<(i16, i8)>) -> bool;
+
+    /// Number of live entries (diagnostics).
+    fn occupancy(&self) -> usize;
+}
+
+/// Which learning backend a pipeline composes — the config-storable
+/// selector for [`LearnedPolicy`] implementations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's CST + contextual bandit (the only backend today; the
+    /// neural follow-up slots in beside it).
+    #[default]
+    CstBandit,
+}
+
+impl PolicyKind {
+    /// Short label for leaderboards and cell names.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::CstBandit => "cst-bandit",
+        }
+    }
+}
+
+/// The reference backend: the paper's context-states table with
+/// score-based bandit replacement, wrapped without any behavioral change.
+#[derive(Clone, Debug)]
+pub struct CstBanditPolicy {
+    cst: ContextStatesTable,
+}
+
+impl CstBanditPolicy {
+    /// Build the backend from a pipeline configuration.
+    pub fn new(cfg: &ContextConfig) -> Self {
+        CstBanditPolicy {
+            cst: ContextStatesTable::new(cfg.cst_entries, cfg.replacement),
+        }
+    }
+
+    /// The underlying table (for inspection/diagnostics).
+    pub fn table(&self) -> &ContextStatesTable {
+        &self.cst
+    }
+
+    /// Iterate over live entries as `(index, ranked candidates)`.
+    pub fn dump(&self) -> impl Iterator<Item = (usize, Vec<(i16, i8)>)> + '_ {
+        self.cst.dump()
+    }
+}
+
+impl LearnedPolicy for CstBanditPolicy {
+    fn name(&self) -> &'static str {
+        "cst-bandit"
+    }
+
+    #[inline]
+    fn add_candidate(&mut self, key: ContextKey, delta: i16) -> AddOutcome {
+        self.cst.add_candidate(key, delta)
+    }
+
+    #[inline]
+    fn reward(&mut self, key: ContextKey, delta: i16, reward: i32) -> bool {
+        self.cst.reward(key, delta, reward)
+    }
+
+    #[inline]
+    fn reward_capped(&mut self, key: ContextKey, delta: i16, reward: i32, cap: i8) -> bool {
+        self.cst.reward_capped(key, delta, reward, cap)
+    }
+
+    #[inline]
+    fn note_shared_weak(&mut self, key: ContextKey, full: u16, strength_bar: i8) -> bool {
+        self.cst.note_shared_weak(key, full, strength_bar)
+    }
+
+    #[inline]
+    fn ranked_into(&self, key: ContextKey, out: &mut Vec<(i16, i8)>) -> bool {
+        match self.cst.lookup(key) {
+            Some(links) => {
+                links.ranked_into(out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn occupancy(&self) -> usize {
+        self.cst.occupancy()
+    }
+}
+
+impl Snapshot for CstBanditPolicy {
+    fn save(&self, w: &mut SnapWriter) {
+        // Byte-identical to snapshotting the bare table: the wrapper adds
+        // no state, so pre-refactor CST sections restore unchanged.
+        self.cst.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
+        self.cst.restore(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegation_is_transparent() {
+        let cfg = ContextConfig::default();
+        let mut policy = CstBanditPolicy::new(&cfg);
+        let mut table = ContextStatesTable::new(cfg.cst_entries, cfg.replacement);
+        let key = ContextKey(0x123);
+
+        assert_eq!(policy.add_candidate(key, 3), table.add_candidate(key, 3));
+        assert_eq!(policy.reward(key, 3, 10), table.reward(key, 3, 10));
+        assert_eq!(
+            policy.reward_capped(key, 3, 50, 16),
+            table.reward_capped(key, 3, 50, 16)
+        );
+        assert_eq!(
+            policy.note_shared_weak(key, 7, 8),
+            table.note_shared_weak(key, 7, 8)
+        );
+        assert_eq!(policy.occupancy(), table.occupancy());
+
+        let mut got = Vec::new();
+        assert!(policy.ranked_into(key, &mut got));
+        let mut want = Vec::new();
+        table
+            .lookup(key)
+            .expect("entry exists")
+            .ranked_into(&mut want);
+        assert_eq!(got, want);
+
+        // Unknown contexts leave the buffer untouched and return false.
+        let mut untouched = vec![(9i16, 9i8)];
+        assert!(!policy.ranked_into(ContextKey(0x7f00f), &mut untouched));
+        assert_eq!(untouched, vec![(9, 9)]);
+    }
+
+    #[test]
+    fn snapshot_bytes_equal_the_bare_table() {
+        let cfg = ContextConfig::default();
+        let mut policy = CstBanditPolicy::new(&cfg);
+        let mut table = ContextStatesTable::new(cfg.cst_entries, cfg.replacement);
+        for i in 0..200 {
+            let key = ContextKey(i * 37 % 0x7ffff);
+            policy.add_candidate(key, (i % 100) as i16 - 50);
+            table.add_candidate(key, (i % 100) as i16 - 50);
+            policy.reward(key, (i % 100) as i16 - 50, (i % 30) as i32);
+            table.reward(key, (i % 100) as i16 - 50, (i % 30) as i32);
+        }
+        let mut wp = SnapWriter::new();
+        policy.save(&mut wp);
+        let mut wt = SnapWriter::new();
+        table.save(&mut wt);
+        let pb = wp.into_bytes();
+        assert_eq!(pb, wt.into_bytes(), "wrapper must add zero bytes");
+
+        // And a wrapper restores from a bare-table snapshot.
+        let mut fresh = CstBanditPolicy::new(&cfg);
+        fresh
+            .restore(&mut SnapReader::new(&pb))
+            .expect("bare CST section restores into the wrapper");
+        assert_eq!(fresh.occupancy(), policy.occupancy());
+    }
+}

@@ -20,13 +20,15 @@ use rand::SeedableRng;
 
 use semloc_bandit::{ExplorationPolicy, RewardFunction, RewardLut};
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
-use semloc_trace::{AccessContext, Addr, SnapReader, SnapWriter, Snapshot};
+use semloc_trace::{snap_err, AccessContext, Addr, SnapReader, SnapWriter, Snapshot};
 
-use crate::attrs::{ContextKey, FeatureVec, FullHash};
+use crate::attrs::{ContextKey, FullHash};
 use crate::config::ContextConfig;
 use crate::cst::{AddOutcome, ContextStatesTable};
+use crate::features::FeatureExtractor;
 use crate::history::{HistoryEntry, HistoryQueue};
 use crate::pfq::{PfqEntry, PfqHit, PrefetchQueue};
+use crate::policy::{CstBanditPolicy, LearnedPolicy};
 use crate::reducer::Reducer;
 use crate::stats::ContextStats;
 
@@ -49,9 +51,15 @@ use crate::stats::ContextStats;
 /// }
 /// assert!(pf.learn_stats().hits > 0, "the stride stream is learned");
 /// ```
-pub struct ContextPrefetcher {
+///
+/// The learning backend is a type parameter (default: the paper's
+/// [`CstBanditPolicy`]), so alternative [`LearnedPolicy`] implementations
+/// reuse the whole feedback/collection/prediction loop. `ContextPrefetcher`
+/// written without arguments is the default composition — bit-identical to
+/// the pre-refactor pipeline.
+pub struct ContextPrefetcher<P: LearnedPolicy = CstBanditPolicy> {
     cfg: ContextConfig,
-    cst: ContextStatesTable,
+    policy: P,
     reducer: Reducer,
     history: HistoryQueue,
     pfq: PrefetchQueue,
@@ -70,16 +78,34 @@ pub struct ContextPrefetcher {
 }
 
 impl ContextPrefetcher {
-    /// Build a prefetcher from its configuration.
+    /// Build the default-composition prefetcher (CST + contextual bandit)
+    /// from its configuration.
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`ContextConfig::validate`].
     pub fn new(cfg: ContextConfig) -> Self {
+        let policy = CstBanditPolicy::new(&cfg);
+        ContextPrefetcher::with_policy(policy, cfg)
+    }
+
+    /// The context-states table (for inspection/diagnostics).
+    pub fn cst(&self) -> &ContextStatesTable {
+        self.policy.table()
+    }
+}
+
+impl<P: LearnedPolicy> ContextPrefetcher<P> {
+    /// Build a prefetcher around an explicit learning backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ContextConfig::validate`].
+    pub fn with_policy(policy: P, cfg: ContextConfig) -> Self {
         cfg.validate();
         let reward_lut = RewardLut::new(&cfg.reward);
         ContextPrefetcher {
-            cst: ContextStatesTable::new(cfg.cst_entries, cfg.replacement),
+            policy,
             reducer: Reducer::new(
                 cfg.reducer_entries,
                 cfg.initial_active,
@@ -111,9 +137,9 @@ impl ContextPrefetcher {
         &self.stats
     }
 
-    /// The context-states table (for inspection/diagnostics).
-    pub fn cst(&self) -> &ContextStatesTable {
-        &self.cst
+    /// The learning backend (for inspection/diagnostics).
+    pub fn policy(&self) -> &P {
+        &self.policy
     }
 
     /// The reducer (for inspection/diagnostics).
@@ -127,7 +153,7 @@ impl ContextPrefetcher {
         let expiry = self.cfg.reward.expiry();
         for e in self.pfq.drain() {
             if !e.hit {
-                self.cst.reward(e.key, e.delta, expiry);
+                self.policy.reward(e.key, e.delta, expiry);
                 self.stats.expired += 1;
             }
         }
@@ -161,9 +187,9 @@ impl ContextPrefetcher {
                 // Late hits only shortened a wait (the demand merged into
                 // the in-flight fill): partial credit, capped so it can
                 // never outrank fully timely candidates.
-                self.cst.reward_capped(h.entry.key, h.entry.delta, r, 32);
+                self.policy.reward_capped(h.entry.key, h.entry.delta, r, 32);
             } else {
-                self.cst.reward(h.entry.key, h.entry.delta, r);
+                self.policy.reward(h.entry.key, h.entry.delta, r);
             }
             self.stats.hits += 1;
             self.stats.depth_cdf.record(h.depth);
@@ -210,7 +236,7 @@ impl ContextPrefetcher {
             }
             let delta = delta64 as i16;
             self.stats.collected += 1;
-            match self.cst.add_candidate(e.key, delta) {
+            match self.policy.add_candidate(e.key, delta) {
                 // Only the loss of a *proven* candidate signals that too
                 // many useful predictions compete for this reduced context;
                 // churn among unproven candidates is ordinary exploration.
@@ -236,12 +262,9 @@ impl ContextPrefetcher {
         out: &mut Vec<PrefetchReq>,
     ) {
         let mut ranked = std::mem::take(&mut self.rank_buf);
-        match self.cst.lookup(key) {
-            Some(links) => links.ranked_into(&mut ranked),
-            None => {
-                self.rank_buf = ranked;
-                return;
-            }
+        if !self.policy.ranked_into(key, &mut ranked) {
+            self.rank_buf = ranked;
+            return;
         }
         // Rank by score, tie-breaking saturated scores toward the
         // deeper-reaching delta: with equal evidence, more distance hides
@@ -331,7 +354,7 @@ impl ContextPrefetcher {
     fn expire(&mut self, expired: Option<PfqEntry>) {
         if let Some(e) = expired {
             if !e.hit {
-                self.cst.reward(e.key, e.delta, self.cfg.reward.expiry());
+                self.policy.reward(e.key, e.delta, self.cfg.reward.expiry());
                 self.stats.expired += 1;
                 self.cfg.exploration.observe(false);
             }
@@ -339,7 +362,7 @@ impl ContextPrefetcher {
     }
 }
 
-impl Prefetcher for ContextPrefetcher {
+impl<P: LearnedPolicy + 'static> Prefetcher for ContextPrefetcher<P> {
     fn name(&self) -> &'static str {
         "context"
     }
@@ -356,9 +379,10 @@ impl Prefetcher for ContextPrefetcher {
         self.feedback(block, ctx.seq);
 
         // 2. Hash the current context through the reducer. One extraction
-        // pass yields the full hash and every prefix key (bit-identical to
-        // `FullHash::of` / `ContextKey::of`).
-        let features = FeatureVec::extract(ctx, self.cfg.block_shift);
+        // pass over the configured feature set yields the full hash and
+        // every prefix key (bit-identical to `FullHash::of` /
+        // `ContextKey::of` for the default Table-1 set).
+        let features = self.cfg.features.extract(ctx, self.cfg.block_shift);
         let full = features.full_hash();
         let active = self.reducer.active_count(full);
         let key = features.key(active as usize);
@@ -366,7 +390,7 @@ impl Prefetcher for ContextPrefetcher {
         // 2b. Ref-count overload (§5): a reduced context shared by many
         // distinct full contexts while predicting weakly should split.
         if self
-            .cst
+            .policy
             .note_shared_weak(key, full.0, self.cfg.split_strength_bar)
         {
             self.reducer.report_overload(full);
@@ -411,13 +435,19 @@ impl Prefetcher for ContextPrefetcher {
     }
 
     fn save_state(&self, w: &mut SnapWriter) {
-        w.section(*b"CTXP", 1);
+        // v2: the composition axes (feature set, reward shape) are stamped
+        // ahead of the payload so a checkpoint can never silently restore
+        // into a differently-composed pipeline; the policy's own section
+        // tag guards the backend kind the same way.
+        w.section(*b"CTXP", 2);
+        self.cfg.features.save(w);
+        self.cfg.reward.save(w);
         // The exploration policy lives inside the config but is mutated run
         // state (observe() anneals ε), so it snapshots with everything else.
         // hit_buf/rank_buf are scratch cleared before each use and are
         // restored empty.
         self.cfg.exploration.save(w);
-        self.cst.save(w);
+        self.policy.save(w);
         self.reducer.save(w);
         self.history.save(w);
         self.pfq.save(w);
@@ -430,9 +460,25 @@ impl Prefetcher for ContextPrefetcher {
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> std::io::Result<()> {
-        r.section(*b"CTXP", 1)?;
+        r.section(*b"CTXP", 2)?;
+        let mut features = self.cfg.features;
+        features.restore(r)?;
+        if features != self.cfg.features {
+            return Err(snap_err(format!(
+                "checkpoint composed with feature set {:?}, this pipeline uses {:?}",
+                features, self.cfg.features
+            )));
+        }
+        let mut reward = self.cfg.reward.clone();
+        reward.restore(r)?;
+        if reward != self.cfg.reward {
+            return Err(snap_err(format!(
+                "checkpoint composed with reward shape {:?}, this pipeline uses {:?}",
+                reward, self.cfg.reward
+            )));
+        }
         self.cfg.exploration.restore(r)?;
-        self.cst.restore(r)?;
+        self.policy.restore(r)?;
         self.reducer.restore(r)?;
         self.history.restore(r)?;
         self.pfq.restore(r)?;
@@ -449,10 +495,11 @@ impl Prefetcher for ContextPrefetcher {
     }
 }
 
-impl std::fmt::Debug for ContextPrefetcher {
+impl<P: LearnedPolicy> std::fmt::Debug for ContextPrefetcher<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ContextPrefetcher")
-            .field("cst_occupancy", &self.cst.occupancy())
+            .field("policy", &self.policy.name())
+            .field("occupancy", &self.policy.occupancy())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }

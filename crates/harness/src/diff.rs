@@ -537,6 +537,49 @@ mod tests {
     }
 
     #[test]
+    fn diff_runner_covers_a_non_default_composition() {
+        // The trait pipeline (PR 9) composes reward shapes the spec must
+        // restate independently: a gaussian-with-penalty cell has to stay
+        // clean through the tee, and — oracle sensitivity — a seeded
+        // discrepancy inside that same composition must still be caught.
+        let store = TraceStore::new();
+        let sim = SimConfig::default().with_budget(30_000);
+        let k = kernel_by_name("list").expect("registered kernel");
+        let cfg = semloc_context::PipelineConfig {
+            reward: semloc_bandit::GaussianPenaltyReward::snippet_default().into(),
+            ..semloc_context::PipelineConfig::default()
+        }
+        .apply(ContextConfig::default());
+        let report = diff_kernel(&store, k.as_ref(), "gauss-pen", cfg.clone(), &sim);
+        assert!(report.accesses > 1_000, "too few accesses compared");
+        if let Some(d) = &report.divergence {
+            panic!("gauss-pen composition diverged: {d}");
+        }
+
+        let mut cfg_spec = cfg.clone();
+        cfg_spec.seed ^= 1;
+        let tee = TeePrefetcher {
+            core: ContextPrefetcher::new(cfg),
+            spec: SpecPrefetcher::new(cfg_spec),
+            accesses: 0,
+            divergence: None,
+            spec_out: Vec::new(),
+            was_pred_mismatch: Cell::new(None),
+        };
+        let replay = store.replay(k.as_ref(), sim.instr_budget);
+        let hierarchy = Hierarchy::new(sim.mem.clone(), tee);
+        let mut cpu = Cpu::new(sim.cpu.clone(), hierarchy, sim.instr_budget);
+        replay.run(&mut cpu);
+        let (_, mem) = cpu.finish();
+        let d = mem
+            .prefetcher()
+            .divergence()
+            .cloned()
+            .expect("a seeded discrepancy under gauss-pen must be detected");
+        assert!(d.access > 0);
+    }
+
+    #[test]
     fn diff_runner_catches_a_seeded_discrepancy() {
         // Oracle sensitivity: run the two implementations with *different*
         // seeds — the RNG streams part ways, so the tee must report a

@@ -40,7 +40,7 @@ use crate::runner::{collect_result, Digest, RunResult};
 /// Version of the [`SimCheckpoint`] encoding (the `SIMC` section version).
 /// Bump it whenever any layer's snapshot layout changes; readers reject
 /// every other version with a typed error.
-pub const SIM_CKPT_VERSION: u32 = 1;
+pub const SIM_CKPT_VERSION: u32 = 2;
 
 /// A complete, restorable snapshot of a paused [`Engine`].
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -12,6 +12,7 @@
 //!    classes (Fig 9), hit-depth CDFs (Fig 8), storage sweeps (Fig 13) and
 //!    layout comparisons (Fig 14).
 
+pub mod arena;
 pub mod ckpt;
 pub mod config;
 pub mod diff;
@@ -26,6 +27,9 @@ pub mod runner;
 pub mod store;
 pub mod sweep;
 
+pub use arena::{
+    arena_run, default_cells, ArenaOpts, ArenaReport, CellScore, KernelScore, VerifyMode,
+};
 pub use ckpt::{decode_ckpt, encode_ckpt, CkptPayload, CkptStore, CKPT_MAGIC, CKPT_VERSION};
 pub use config::SimConfig;
 pub use diff::{diff_kernel, DiffReport, Divergence, TeePrefetcher};

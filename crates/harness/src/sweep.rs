@@ -7,8 +7,29 @@ use semloc_workloads::KernelBox;
 
 use crate::config::SimConfig;
 use crate::prefetchers::PrefetcherKind;
-use crate::runner::run_kernel_with_store;
+use crate::runner::{run_kernel_with_store, RunResult};
 use crate::store::TraceStore;
+use semloc_workloads::Kernel;
+
+/// Simulate one kernel's (no-prefetch baseline, context) pair against the
+/// store's result memo. The shared setup block of both storage sweeps and
+/// the arena tournament: keeping the pair in one helper keeps the memo
+/// keys — and therefore the cross-runner sharing — aligned.
+pub(crate) fn baseline_context_pair(
+    store: &TraceStore,
+    kernel: &dyn Kernel,
+    config: &SimConfig,
+    ctx_cfg: &ContextConfig,
+) -> (RunResult, RunResult) {
+    let base = run_kernel_with_store(store, kernel, &PrefetcherKind::None, config);
+    let ctx = run_kernel_with_store(
+        store,
+        kernel,
+        &PrefetcherKind::Context(ctx_cfg.clone()),
+        config,
+    );
+    (base, ctx)
+}
 
 /// One point of the Fig 13 storage sweep.
 #[derive(Clone, Debug)]
@@ -54,13 +75,7 @@ pub fn storage_sweep_with_store(
     let mut bases = Vec::new();
     let mut default_speedups = Vec::new();
     for k in kernels {
-        let base = run_kernel_with_store(store, k.as_ref(), &PrefetcherKind::None, config);
-        let ctx = run_kernel_with_store(
-            store,
-            k.as_ref(),
-            &PrefetcherKind::Context(default_cfg.clone()),
-            config,
-        );
+        let (base, ctx) = baseline_context_pair(store, k.as_ref(), config, &default_cfg);
         if let Ok(s) = ctx.speedup_over(&base) {
             default_speedups.push((k.name(), s));
         }
@@ -147,15 +162,7 @@ pub fn storage_sweep_parallel_with_store(
     // selection. One job per kernel keeps the pair on one warm trace.
     let default_cfg = ContextConfig::default();
     let pairs = crate::pool::run_sharded(threads, (0..kernels.len()).collect(), |ki| {
-        let k = kernels[ki].as_ref();
-        let base = run_kernel_with_store(store, k, &PrefetcherKind::None, config);
-        let ctx = run_kernel_with_store(
-            store,
-            k,
-            &PrefetcherKind::Context(default_cfg.clone()),
-            config,
-        );
-        (base, ctx)
+        baseline_context_pair(store, kernels[ki].as_ref(), config, &default_cfg)
     });
     let mut bases = Vec::new();
     let mut ranked = Vec::new();
@@ -238,7 +245,7 @@ pub fn ablation_variants() -> Vec<AblationVariant> {
     // positive window with no negative edges (approximating
     // [`StepReward`] while keeping one reward type in the config).
     let mut flat = base.clone();
-    flat.reward = BellReward::new(1, 127, 16, 0, -4);
+    flat.reward = BellReward::new(1, 127, 16, 0, -4).into();
 
     let mut frozen = base.clone();
     frozen.freeze_reducer = true;

@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use semloc_bandit::RewardFunction;
+use semloc_bandit::{RewardFunction, RewardShape};
 use semloc_mem::{MemPressure, PrefetchReq, Prefetcher, PrefetcherStats};
 use semloc_trace::{snap_err, AccessContext, Addr, SnapReader, SnapWriter, Snapshot};
 
@@ -23,33 +23,187 @@ use crate::tables::{
     SpecAdd, SpecCst, SpecHistEntry, SpecHistory, SpecPfq, SpecPfqEntry, SpecReducer,
 };
 
-/// The Fig 5 bell reward, restated from its parameters.
+/// The configured reward shape, restated from its published parameters —
+/// one inline formula per [`RewardShape`] variant, never delegating to the
+/// optimized implementation.
 #[derive(Clone, Copy, Debug)]
-struct SpecBell {
-    lo: u32,
-    hi: u32,
-    peak: i32,
-    edge_penalty: i32,
-    expiry: i32,
+enum SpecReward {
+    /// The Fig 5 bell.
+    Bell {
+        lo: u32,
+        hi: u32,
+        peak: i32,
+        edge_penalty: i32,
+        expiry: i32,
+    },
+    /// Flat step (ablation A2).
+    Step {
+        lo: u32,
+        hi: u32,
+        peak: i32,
+        penalty: i32,
+    },
+    /// Gaussian with a multiplicative out-of-window penalty.
+    Gaussian {
+        center: u32,
+        sigma: u32,
+        scale: i32,
+        penalty_factor: i32,
+        expiry: i32,
+    },
+    /// Pythia-style discrete levels.
+    Levels {
+        lo: u32,
+        hi: u32,
+        timely: i32,
+        late: i32,
+        early: i32,
+        expiry: i32,
+    },
 }
 
-impl SpecBell {
-    /// A Gaussian bell peaking at the window center; past the early edge
-    /// the reward dips to `edge_penalty` and decays toward zero. The
-    /// floating-point expression mirrors `BellReward::reward` term for
-    /// term, so rounding behaviour is identical.
+impl SpecReward {
+    fn of(shape: &RewardShape) -> Self {
+        match shape {
+            RewardShape::PaperBell(b) => {
+                let (lo, hi) = b.window();
+                SpecReward::Bell {
+                    lo,
+                    hi,
+                    peak: b.peak(),
+                    edge_penalty: b.edge_penalty(),
+                    expiry: b.expiry(),
+                }
+            }
+            RewardShape::Step(s) => {
+                let (lo, hi) = s.window();
+                SpecReward::Step {
+                    lo,
+                    hi,
+                    peak: s.peak(),
+                    penalty: s.penalty(),
+                }
+            }
+            RewardShape::GaussianPenalty(g) => SpecReward::Gaussian {
+                center: g.center(),
+                sigma: g.sigma(),
+                scale: g.scale(),
+                penalty_factor: g.penalty_factor(),
+                expiry: g.expiry(),
+            },
+            RewardShape::PythiaLevel(p) => {
+                let (lo, hi) = p.window();
+                SpecReward::Levels {
+                    lo,
+                    hi,
+                    timely: p.timely(),
+                    late: p.late(),
+                    early: p.early(),
+                    expiry: p.expiry(),
+                }
+            }
+        }
+    }
+
+    /// The restated reward over hit depth. Each floating-point expression
+    /// mirrors its optimized counterpart term for term, so rounding
+    /// behaviour is identical.
     fn reward(&self, depth: u32) -> i32 {
-        let (lo, hi) = (self.lo as f64, self.hi as f64);
-        let d = depth as f64;
-        let center = (lo + hi) / 2.0;
-        let sigma = (hi - lo) / 2.0;
-        if depth <= self.hi {
-            let x = (d - center) / sigma;
-            ((self.peak as f64) * (-x * x).exp()).round() as i32
-        } else {
-            let dist = d - hi;
-            let decay = (-dist / 16.0).exp();
-            ((self.edge_penalty as f64) * decay).round() as i32
+        match *self {
+            // Gaussian bell peaking at the window center; past the early
+            // edge the reward dips to `edge_penalty` and decays to zero.
+            SpecReward::Bell {
+                lo,
+                hi,
+                peak,
+                edge_penalty,
+                ..
+            } => {
+                let (lo_f, hi_f) = (lo as f64, hi as f64);
+                let d = depth as f64;
+                let center = (lo_f + hi_f) / 2.0;
+                let sigma = (hi_f - lo_f) / 2.0;
+                if depth <= hi {
+                    let x = (d - center) / sigma;
+                    ((peak as f64) * (-x * x).exp()).round() as i32
+                } else {
+                    let dist = d - hi_f;
+                    let decay = (-dist / 16.0).exp();
+                    ((edge_penalty as f64) * decay).round() as i32
+                }
+            }
+            // Flat peak inside the window, flat penalty outside.
+            SpecReward::Step {
+                lo,
+                hi,
+                peak,
+                penalty,
+            } => {
+                if depth >= lo && depth <= hi {
+                    peak
+                } else {
+                    penalty
+                }
+            }
+            // `round(scale·exp(−(d−center)²/2σ²))` inside center ± 2σ; the
+            // same magnitude negated and amplified by `penalty_factor`
+            // outside.
+            SpecReward::Gaussian {
+                center,
+                sigma,
+                scale,
+                penalty_factor,
+                ..
+            } => {
+                let dc = depth as f64 - center as f64;
+                let s = sigma as f64;
+                let g = ((scale as f64) * (-(dc * dc) / (2.0 * s * s)).exp()).round() as i32;
+                let lo = center.saturating_sub(2 * sigma).max(1);
+                let hi = center + 2 * sigma;
+                if depth < lo || depth > hi {
+                    -g * penalty_factor
+                } else {
+                    g
+                }
+            }
+            // One discrete level per region.
+            SpecReward::Levels {
+                lo,
+                hi,
+                timely,
+                late,
+                early,
+                ..
+            } => {
+                if depth < lo {
+                    late
+                } else if depth <= hi {
+                    timely
+                } else {
+                    early
+                }
+            }
+        }
+    }
+
+    fn expiry(&self) -> i32 {
+        match *self {
+            SpecReward::Bell { expiry, .. } => expiry,
+            // The step's expiry is half its flat penalty.
+            SpecReward::Step { penalty, .. } => penalty / 2,
+            SpecReward::Gaussian { expiry, .. } => expiry,
+            SpecReward::Levels { expiry, .. } => expiry,
+        }
+    }
+
+    fn window(&self) -> (u32, u32) {
+        match *self {
+            SpecReward::Bell { lo, hi, .. } => (lo, hi),
+            SpecReward::Step { lo, hi, .. } => (lo, hi),
+            SpecReward::Gaussian { center, sigma, .. } => {
+                (center.saturating_sub(2 * sigma).max(1), center + 2 * sigma)
+            }
+            SpecReward::Levels { lo, hi, .. } => (lo, hi),
         }
     }
 }
@@ -83,7 +237,7 @@ impl SpecEpsilon {
 /// contract.
 pub struct SpecPrefetcher {
     cfg: ContextConfig,
-    bell: SpecBell,
+    bell: SpecReward,
     eps: SpecEpsilon,
     cst: SpecCst,
     reducer: SpecReducer,
@@ -104,14 +258,7 @@ impl SpecPrefetcher {
     /// Panics if the configuration fails [`ContextConfig::validate`].
     pub fn new(cfg: ContextConfig) -> Self {
         cfg.validate();
-        let (lo, hi) = cfg.reward.window();
-        let bell = SpecBell {
-            lo,
-            hi,
-            peak: cfg.reward.peak(),
-            edge_penalty: cfg.reward.edge_penalty(),
-            expiry: cfg.reward.expiry(),
-        };
+        let bell = SpecReward::of(&cfg.reward);
         let eps = SpecEpsilon {
             eps_min: cfg.exploration.eps_min(),
             eps_max: cfg.exploration.eps_max(),
@@ -153,15 +300,15 @@ impl SpecPrefetcher {
         self.eps.epsilon()
     }
 
-    /// The spec's restated bell reward at `depth` (for fidelity tests that
-    /// pin it against the optimized `BellReward` bit for bit).
+    /// The spec's restated reward at `depth` (for fidelity tests that pin
+    /// it against the optimized `RewardShape` bit for bit).
     pub fn bell_reward(&self, depth: u32) -> i32 {
         self.bell.reward(depth)
     }
 
     /// The spec's expiry penalty.
     pub fn expiry_reward(&self) -> i32 {
-        self.bell.expiry
+        self.bell.expiry()
     }
 
     /// CST contents as `(index, ranked links)`.
@@ -198,7 +345,7 @@ impl SpecPrefetcher {
     /// expires with the penalty reward (without an accuracy observation —
     /// the run is over).
     pub fn drain_feedback(&mut self) {
-        let expiry = self.bell.expiry;
+        let expiry = self.bell.expiry();
         for e in self.pfq.drain() {
             if !e.hit {
                 self.cst.reward(e.key, e.delta, expiry);
@@ -246,7 +393,7 @@ impl SpecPrefetcher {
     /// Feedback: reward matching predictions, observe accuracy per hit.
     fn feedback(&mut self, block: u64, seq: u64) {
         let hits = self.pfq.record_access(block, seq);
-        let (lo, hi) = (self.bell.lo, self.bell.hi);
+        let (lo, hi) = self.bell.window();
         for h in &hits {
             let r = self.bell.reward(h.depth);
             if h.depth < lo {
@@ -380,7 +527,7 @@ impl SpecPrefetcher {
     fn expire(&mut self, expired: Option<SpecPfqEntry>) {
         if let Some(e) = expired {
             if !e.hit {
-                self.cst.reward(e.key, e.delta, self.bell.expiry);
+                self.cst.reward(e.key, e.delta, self.bell.expiry());
                 self.stats.expired += 1;
                 self.eps.observe(false);
             }
@@ -404,11 +551,16 @@ impl Prefetcher for SpecPrefetcher {
         // 1. Feedback.
         self.feedback(block, ctx.seq);
 
-        // 2. Two-pass reference hashing: full hash routes the reducer, the
-        // active-prefix key routes the CST.
-        let full = FullHash::of(ctx, self.cfg.block_shift);
+        // 2. Two-pass reference hashing over the configured feature set:
+        // full hash routes the reducer, the active-prefix key routes the
+        // CST. For the default Table-1 set these are exactly
+        // `FullHash::of` / `ContextKey::of`.
+        let full = self.cfg.features.full_hash_ref(ctx, self.cfg.block_shift);
         let active = self.reducer.active_count(full);
-        let key = ContextKey::of(ctx, active as usize, self.cfg.block_shift);
+        let key = self
+            .cfg
+            .features
+            .key_ref(ctx, active as usize, self.cfg.block_shift);
 
         // 2b. Shared-and-weak (ref-count) overload cue.
         if self

@@ -105,7 +105,7 @@ fn spec_bell_matches_optimized_bell_bit_for_bit() {
     for cfg in [
         ContextConfig::default(),
         ContextConfig {
-            reward: BellReward::new(10, 64, 20, -6, -3),
+            reward: BellReward::new(10, 64, 20, -6, -3).into(),
             ..ContextConfig::default()
         },
     ] {
