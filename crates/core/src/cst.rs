@@ -46,7 +46,9 @@ struct Entry {
 #[derive(Clone, Debug)]
 pub struct ContextStatesTable {
     entries: Vec<Entry>,
+    // semloc-lint: allow(snapshot-field-coverage): slot count is construction-time config; save derives it from entries.len(), restore validates against it
     count: usize,
+    // semloc-lint: allow(snapshot-field-coverage): link replacement policy is construction-time config, not run state
     replacement: Replacement,
 }
 

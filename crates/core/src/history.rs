@@ -26,6 +26,7 @@ pub struct HistoryEntry {
 #[derive(Clone, Debug)]
 pub struct HistoryQueue {
     entries: VecDeque<HistoryEntry>,
+    // semloc-lint: allow(snapshot-field-coverage): queue depth is construction-time config; restore validates the entry count against it
     capacity: usize,
 }
 

@@ -103,13 +103,16 @@ type BlockIndex = HashMap<u64, Vec<u64>, BuildHasherDefault<BlockHasher>>;
 #[derive(Clone, Debug)]
 pub struct PrefetchQueue {
     entries: VecDeque<PfqEntry>,
+    // semloc-lint: allow(snapshot-field-coverage): queue capacity is construction-time config; restore validates the entry count against it
     capacity: usize,
     next_id: u64,
     /// block → ascending ids of *un-hit* entries predicting it. Lists are
     /// never left empty (the key is removed instead), so `predicts` is a
     /// key-presence test.
+    // semloc-lint: allow(snapshot-field-coverage): derived — rebuilt from the deque on restore, exactly as documented in save
     index: BlockIndex,
     /// Recycled id lists (allocation-free steady state).
+    // semloc-lint: allow(snapshot-field-coverage): allocation-recycling free list; its contents are never observable state
     pool: Vec<Vec<u64>>,
 }
 

@@ -22,6 +22,7 @@ use semloc_trace::{snap_err, Addr, SnapReader, SnapWriter, Snapshot};
 #[derive(Debug, Clone)]
 pub struct Gshare {
     table: Vec<u8>,
+    // semloc-lint: allow(snapshot-field-coverage): index mask derived from the table size at construction
     mask: u64,
     history: u16,
 }

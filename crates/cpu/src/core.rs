@@ -24,6 +24,7 @@ use crate::stats::CpuStats;
 #[derive(Debug, Default)]
 struct Occupancy {
     free_times: BinaryHeap<Reverse<Cycle>>,
+    // semloc-lint: allow(snapshot-field-coverage): structural width is construction-time config; restore validates occupancy against it
     capacity: usize,
 }
 
@@ -100,6 +101,7 @@ impl Snapshot for Occupancy {
 
 /// The simulated out-of-order core, owning the memory hierarchy.
 pub struct Cpu<P: Prefetcher> {
+    // semloc-lint: allow(snapshot-field-coverage): construction-time config; behavior parameters, not run state
     cfg: CpuConfig,
     mem: Hierarchy<P>,
     stats: CpuStats,

@@ -14,10 +14,15 @@
 //! * Numeric literals keep their value only when they are plain integers
 //!   (decimal / hex / octal / binary, `_` separators, type suffixes); float
 //!   and malformed literals become valueless number tokens.
-//! * Raw identifiers (`r#fn`) lex as an `r` identifier followed by punct —
-//!   harmless, since no rule matches on `r`.
+//! * Raw identifiers (`r#type`) lex as a single identifier *including* the
+//!   `r#` prefix, so `let r#struct = …` can never be mistaken for a
+//!   `struct` keyword by the item model, while a field named `r#type` and
+//!   its `self.r#type` references still compare equal.
 //! * Macro bodies are lexed like ordinary code (conservative: a `panic!`
 //!   inside `macro_rules!` counts as a panic site).
+//! * Plain/raw/byte *string* literals keep their text (as [`Tok::Str`]) so
+//!   the env-var registry rule (D10) can see `std::env::var("SEMLOC_…")`
+//!   call sites; rules must still never match *identifiers* inside them.
 
 /// One lexical token with its 1-based source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,17 +32,22 @@ pub struct Token {
     pub col: u32,
 }
 
-/// Token kind. Literal *contents* are deliberately dropped: rules must
-/// never match inside them.
+/// Token kind. Identifier-shaped text inside literals is deliberately
+/// unreachable by rules: string literals keep their text only in the
+/// dedicated [`Tok::Str`] variant (matched exclusively by the env-var
+/// registry rule against `SEMLOC_*` names), never as [`Tok::Ident`]s.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Tok {
-    /// Identifier or keyword.
+    /// Identifier or keyword (raw identifiers keep their `r#` prefix).
     Ident(String),
     /// Single punctuation character (`.`, `!`, `{`, `<`, ...).
     Punct(char),
     /// Integer literal, with its value when it parses as `u64`.
     Int(Option<u64>),
-    /// Any other literal: string, raw string, byte string, char, float.
+    /// String literal (plain, raw, or byte) with its uninterpreted text
+    /// (escape sequences are kept verbatim).
+    Str(String),
+    /// Any other literal: char, byte char, float.
     Lit,
     /// A lifetime such as `'a` (kept distinct from char literals).
     Lifetime,
@@ -120,8 +130,8 @@ impl<'a> Lexer<'a> {
                 b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
                 b'"' => {
                     self.bump();
-                    self.string_body();
-                    self.push(Tok::Lit, line, col);
+                    let text = self.string_body();
+                    self.push(Tok::Str(text), line, col);
                 }
                 b'\'' => self.char_or_lifetime(line, col),
                 b'r' | b'b' if self.raw_or_byte_literal(line, col) => {}
@@ -184,8 +194,11 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Body of a `"..."` string (opening quote already consumed).
-    fn string_body(&mut self) {
+    /// Body of a `"..."` string (opening quote already consumed). Returns
+    /// the uninterpreted text between the quotes.
+    fn string_body(&mut self) -> String {
+        let start = self.pos;
+        let mut end = self.pos;
         while let Some(b) = self.bump() {
             match b {
                 b'\\' => {
@@ -194,7 +207,9 @@ impl<'a> Lexer<'a> {
                 b'"' => break,
                 _ => {}
             }
+            end = self.pos;
         }
+        String::from_utf8_lossy(&self.src[start..end]).into_owned()
     }
 
     /// `'a'` / `'\n'` char literals vs `'a` lifetimes.
@@ -234,7 +249,17 @@ impl<'a> Lexer<'a> {
                             break;
                         }
                     }
-                    self.push(Tok::Lifetime, line, col);
+                    // A trailing quote means this was a char literal whose
+                    // payload is longer than one byte (multi-byte UTF-8
+                    // like 'é'), not a lifetime: without this, the closing
+                    // quote would start a bogus new literal and desync the
+                    // stream ("lifetime in generic position" regression).
+                    if self.peek(0) == Some(b'\'') {
+                        self.bump();
+                        self.push(Tok::Lit, line, col);
+                    } else {
+                        self.push(Tok::Lifetime, line, col);
+                    }
                 }
             }
             _ => {
@@ -249,8 +274,9 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Try to lex `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`
-    /// starting at an `r`/`b`. Returns false if it is just an identifier.
+    /// Try to lex `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`, or
+    /// a raw identifier `r#type` starting at an `r`/`b`. Returns false if
+    /// it is just an ordinary identifier.
     fn raw_or_byte_literal(&mut self, line: u32, col: u32) -> bool {
         let mut ahead = 1usize;
         let first = self.peek(0);
@@ -274,8 +300,8 @@ impl<'a> Lexer<'a> {
                 Some(b'"') => {
                     self.bump();
                     self.bump();
-                    self.string_body();
-                    self.push(Tok::Lit, line, col);
+                    let text = self.string_body();
+                    self.push(Tok::Str(text), line, col);
                     return true;
                 }
                 Some(b'r') => ahead = 2,
@@ -288,11 +314,38 @@ impl<'a> Lexer<'a> {
             hashes += 1;
         }
         if self.peek(ahead + hashes) != Some(b'"') {
+            // `r#ident` (exactly one hash, then an identifier start) is a
+            // raw identifier: lex it as one Ident *keeping* the `r#`, so a
+            // keyword-named binding (`let r#struct = …`) can never be
+            // mistaken for the keyword, while `self.r#type` references
+            // still compare equal to an `r#type` field declaration.
+            if ahead == 1
+                && hashes == 1
+                && self
+                    .peek(2)
+                    .is_some_and(|b| b == b'_' || b.is_ascii_alphabetic() || b >= 0x80)
+            {
+                self.bump(); // r
+                self.bump(); // #
+                let start = self.pos;
+                while let Some(b) = self.peek(0) {
+                    if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let name = format!("r#{}", String::from_utf8_lossy(&self.src[start..self.pos]));
+                self.push(Tok::Ident(name), line, col);
+                return true;
+            }
             return false;
         }
         for _ in 0..(ahead + hashes + 1) {
             self.bump();
         }
+        let start = self.pos;
+        let mut end = self.pos;
         // Scan for `"` followed by `hashes` hashes.
         'scan: while let Some(b) = self.bump() {
             if b == b'"' {
@@ -306,8 +359,10 @@ impl<'a> Lexer<'a> {
                 }
                 break;
             }
+            end = self.pos;
         }
-        self.push(Tok::Lit, line, col);
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(Tok::Str(text), line, col);
         true
     }
 
@@ -476,5 +531,80 @@ mod tests {
     fn raw_ident_r_does_not_break_lexing() {
         let ids = idents("let r#type = 1; let rx = r; HashMap");
         assert!(ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn raw_idents_lex_as_single_idents_with_prefix() {
+        // `r#type` is ONE identifier (with its prefix), so a declaration
+        // and a field access spell the same token, and `r#struct` can
+        // never satisfy a `== "struct"` keyword check in the item model.
+        let ids = idents("struct S { r#type: u64 }\nfn f(s: &S) -> u64 { s.r#type }");
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "r#type").count(),
+            2,
+            "{ids:?}"
+        );
+        let ids = idents("let r#struct = 1; let r#fn = 2;");
+        assert!(ids.contains(&"r#struct".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"struct".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn raw_ident_does_not_shadow_raw_strings() {
+        // `r#"..."#` must still lex as a string, not a raw identifier.
+        let out = lex(r###"let a = r#"text"#; let b = r#raw_id;"###);
+        assert!(out.tokens.iter().any(|t| t.kind == Tok::Str("text".into())));
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == Tok::Ident("r#raw_id".into())));
+    }
+
+    #[test]
+    fn lifetimes_in_generic_position_stay_lifetimes() {
+        let out = lex("fn f<'a, 'b: 'a>(x: &'a str, y: &'b [u8]) -> &'a str { x }");
+        let lifetimes = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 6, "{:?}", out.tokens);
+        // And the stream stays aligned: the trailing body ident survives.
+        let ids = idents("impl<'a> Tr<'a> for S<'a> { fn g(&'a self) { h.unwrap(); } }");
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_not_a_lifetime() {
+        // 'é' is a char literal; misreading it as a lifetime leaves the
+        // closing quote to start a phantom literal and desync everything
+        // after it.
+        let ids = idents("let c = 'é'; x.unwrap()");
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+        let lifetimes = lex("let c = 'é';")
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 0);
+    }
+
+    #[test]
+    fn string_literals_keep_their_text() {
+        let out = lex(r#"std::env::var("SEMLOC_BUDGET"); let b = b"bytes";"#);
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == Tok::Str("SEMLOC_BUDGET".into())));
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == Tok::Str("bytes".into())));
+        // Escapes are kept verbatim, not interpreted.
+        let out = lex(r#"let s = "a\nb";"#);
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == Tok::Str("a\\nb".into())));
     }
 }

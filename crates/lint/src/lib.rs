@@ -13,14 +13,26 @@
 //! | `paper-constants`         | d5 | drift from the paper's Table 2 structural constants |
 //! | `no-float-in-stats-accumulation` | d6 | `f32`/`f64` `+=` folds on sim-crate stats fields |
 //! | `unsafe-audit`            | d7 | `unsafe` blocks lacking an adjacent safety-argument pragma |
+//! | `snapshot-field-coverage` | d8 | manifested struct fields absent from save/restore bodies |
+//! | `refcell-borrow-discipline` | d9 | RefCell guards held across `self`/re-borrow calls |
+//! | `env-var-registry`        | d10 | unregistered/undocumented/dead `SEMLOC_*` env knobs |
+//! | `stale-pragma`            | d11 | allow-pragmas that no longer suppress anything |
+//!
+//! D1–D7 match on the token stream; D8–D10 consume the item model
+//! ([`model`]) — a dependency-free recursive-descent pass over the lexer
+//! output that recovers structs-with-fields, impl blocks, functions and
+//! `SEMLOC_*` env-read call sites. D11 runs inside the suppression pass
+//! itself, after every other rule.
 //!
 //! Suppression is per-site via `// semloc-lint: allow(<rule>): reason`
 //! pragmas (same line or the line above); `--explain <rule>` prints the
-//! full rationale; `--json` emits a machine-readable report. See
-//! DESIGN.md §12 for the rule catalog and severity model.
+//! full rationale; `--json` and `--sarif` emit machine-readable reports.
+//! See DESIGN.md §12 and §17 for the rule catalog and severity model.
 
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod sarif;
 pub mod scopes;
 
 use std::fmt;
@@ -29,7 +41,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use lexer::{AllowPragma, Token};
-use rules::{ManifestEntry, RULES};
+use rules::{EnvRegistryEntry, ManifestEntry, RULES};
 
 /// Finding severity. `Warn` findings are advisory unless `--deny-all`
 /// promotes them; heuristic sub-checks (D4's composition scan) use it.
@@ -154,17 +166,26 @@ impl LexData {
     }
 }
 
-/// The loaded workspace: every scanned source file plus the D4 manifest.
+/// The loaded workspace: every scanned source file plus the D4 manifest,
+/// the D10 env-var registry, and the README text D10 cross-checks.
 pub struct Workspace {
     pub root: PathBuf,
     pub files: Vec<SourceFile>,
     pub manifest: Vec<ManifestEntry>,
     pub manifest_findings: Vec<Finding>,
     pub manifest_path: String,
+    pub env_registry: Vec<EnvRegistryEntry>,
+    pub env_registry_findings: Vec<Finding>,
+    pub env_registry_path: String,
+    /// README.md text, for D10's documentation cross-check.
+    pub readme: String,
 }
 
 /// Path of the snapshot-coverage manifest, relative to the workspace root.
 pub const MANIFEST_REL_PATH: &str = "crates/lint/snapshot_manifest.txt";
+
+/// Path of the env-var registry, relative to the workspace root.
+pub const ENV_REGISTRY_REL_PATH: &str = "crates/lint/env_registry.txt";
 
 /// Vendored stand-ins for third-party crates: not our code, not scanned
 /// (the criterion stub legitimately reads wall-clock time, and the stubs
@@ -218,12 +239,21 @@ pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
     let manifest_text = fs::read_to_string(&manifest_path_abs).unwrap_or_default();
     let (manifest, manifest_findings) = rules::parse_manifest(&manifest_text, MANIFEST_REL_PATH);
 
+    let registry_text = fs::read_to_string(root.join(ENV_REGISTRY_REL_PATH)).unwrap_or_default();
+    let (env_registry, env_registry_findings) =
+        rules::parse_env_registry(&registry_text, ENV_REGISTRY_REL_PATH);
+    let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+
     Ok(Workspace {
         root: root.to_path_buf(),
         files,
         manifest,
         manifest_findings,
         manifest_path: MANIFEST_REL_PATH.to_string(),
+        env_registry,
+        env_registry_findings,
+        env_registry_path: ENV_REGISTRY_REL_PATH.to_string(),
+        readme,
     })
 }
 
@@ -283,6 +313,10 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Findings suppressed by a matching pragma.
     pub pragmas_honored: usize,
+    /// Wall time of load+lint in milliseconds, measured by the CLI (the
+    /// library itself never reads a clock — see rule D2). `None` when
+    /// unset; reported in the JSON summary for BENCH_lint.json.
+    pub parse_ms: Option<u64>,
 }
 
 impl LintReport {
@@ -315,24 +349,107 @@ impl LintReport {
 pub fn lint(ws: &Workspace) -> LintReport {
     let lexed: Vec<LexData> = ws.files.iter().map(|f| LexData::of(&f.content)).collect();
     let pairs: Vec<(&SourceFile, &LexData)> = ws.files.iter().zip(lexed.iter()).collect();
+    let ctxs = rules::analyze(&pairs);
 
     let mut raw: Vec<Finding> = Vec::new();
     raw.extend(ws.manifest_findings.iter().cloned());
+    raw.extend(ws.env_registry_findings.iter().cloned());
     for (file, lx) in &pairs {
         raw.extend(rules::check_file(file, lx));
     }
     raw.extend(rules::check_snapshot_coverage(
-        &pairs,
+        &ctxs,
         &ws.manifest,
         &ws.manifest_path,
     ));
-    raw.extend(rules::check_paper_constants(&pairs));
-    raw.extend(rules::check_float_stats(&pairs));
+    raw.extend(rules::check_paper_constants(&ctxs));
+    raw.extend(rules::check_float_stats(&ctxs));
+    raw.extend(rules::check_snapshot_field_coverage(&ctxs, &ws.manifest));
+    raw.extend(rules::check_refcell_borrow_discipline(&ctxs));
+    raw.extend(rules::check_env_registry(
+        &ctxs,
+        &ws.env_registry,
+        &ws.env_registry_path,
+        &ws.readme,
+    ));
 
+    // Suppression pass, tracking which pragma rule-entries earned their
+    // keep — the residue drives D11 below.
+    let mut used: Vec<Vec<Vec<bool>>> = pairs
+        .iter()
+        .map(|(_, lx)| {
+            lx.pragmas
+                .iter()
+                .map(|p| vec![false; p.rules.len()])
+                .collect()
+        })
+        .collect();
     let mut findings = Vec::new();
     let mut pragmas_honored = 0usize;
     for f in raw {
-        let suppressed = pairs
+        let mut suppressed = false;
+        if let Some(fi) = pairs.iter().position(|(file, _)| file.rel_path == f.file) {
+            for (pi, p) in pairs[fi].1.pragmas.iter().enumerate() {
+                if p.line != f.line && p.line + 1 != f.line {
+                    continue;
+                }
+                for (ei, r) in p.rules.iter().enumerate() {
+                    if r == "all" || rules::rule(r).is_some_and(|info| info.id == f.rule) {
+                        used[fi][pi][ei] = true;
+                        suppressed = true;
+                    }
+                }
+            }
+        }
+        if suppressed {
+            pragmas_honored += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+
+    // D11: a pragma rule-entry that suppressed zero findings is itself a
+    // finding, as is one naming an unknown rule. Entries naming D11
+    // itself are exempt (they suppress the findings this very pass
+    // emits — flagging them would be circular).
+    let mut stale: Vec<Finding> = Vec::new();
+    for (fi, (file, lx)) in pairs.iter().enumerate() {
+        for (pi, p) in lx.pragmas.iter().enumerate() {
+            for (ei, r) in p.rules.iter().enumerate() {
+                if r == "stale-pragma" || r == "d11" {
+                    continue;
+                }
+                let message = if r != "all" && rules::rule(r).is_none() {
+                    format!(
+                        "pragma names unknown rule `{r}` — misspelled, or the rule was removed; \
+                         fix or delete the entry"
+                    )
+                } else if !used[fi][pi][ei] {
+                    format!(
+                        "pragma entry `{r}` suppresses zero findings — the violation it \
+                         justified is gone; delete the entry so the suppression cannot be \
+                         inherited by future code (acknowledge with allow(stale-pragma) \
+                         only if the site is scan-invisible, e.g. cfg-gated)"
+                    )
+                } else {
+                    continue;
+                };
+                stale.push(Finding {
+                    rule: "stale-pragma",
+                    severity: Severity::Deny,
+                    file: file.rel_path.clone(),
+                    line: p.line,
+                    col: 1,
+                    message,
+                });
+            }
+        }
+    }
+    // Stale-pragma findings are suppressible only by an entry naming D11
+    // explicitly — `allow(all)` never satisfies D11, else any pragma
+    // could launder its own staleness.
+    for f in stale {
+        let acknowledged = pairs
             .iter()
             .find(|(file, _)| file.rel_path == f.file)
             .map(|(_, lx)| lx.pragmas.as_slice())
@@ -340,11 +457,9 @@ pub fn lint(ws: &Workspace) -> LintReport {
             .iter()
             .any(|p| {
                 (p.line == f.line || p.line + 1 == f.line)
-                    && p.rules
-                        .iter()
-                        .any(|r| r == "all" || rules::rule(r).is_some_and(|info| info.id == f.rule))
+                    && p.rules.iter().any(|r| r == "stale-pragma" || r == "d11")
             });
-        if suppressed {
+        if acknowledged {
             pragmas_honored += 1;
         } else {
             findings.push(f);
@@ -359,6 +474,7 @@ pub fn lint(ws: &Workspace) -> LintReport {
         findings,
         files_scanned: ws.files.len(),
         pragmas_honored,
+        parse_ms: None,
     }
 }
 
@@ -384,8 +500,8 @@ pub fn suppress(raw: Vec<Finding>, lx: &LexData) -> Vec<Finding> {
         .collect()
 }
 
-/// Escape a string for JSON output.
-fn json_escape(s: &str) -> String {
+/// Escape a string for JSON output (shared with the SARIF emitter).
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -413,6 +529,9 @@ pub fn to_json(report: &LintReport) -> String {
         "  \"pragmas_honored\": {},\n",
         report.pragmas_honored
     ));
+    if let Some(ms) = report.parse_ms {
+        s.push_str(&format!("  \"parse_ms\": {ms},\n"));
+    }
     s.push_str(&format!("  \"deny_findings\": {},\n", report.deny_count()));
     s.push_str(&format!("  \"warn_findings\": {},\n", report.warn_count()));
     s.push_str("  \"counts\": {");

@@ -1,7 +1,8 @@
 //! `semloc-lint` CLI.
 //!
 //! ```text
-//! semloc-lint [--root <dir>] [--deny-all] [--json] [--write-summary <path>]
+//! semloc-lint [--root <dir>] [--deny-all] [--json | --sarif]
+//!             [--write-summary <path>] [--write-sarif <path>]
 //! semloc-lint --explain <rule> | --list-rules
 //! ```
 //!
@@ -12,6 +13,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use semloc_lint::rules::{rule, RULES};
+use semloc_lint::sarif::to_sarif;
 use semloc_lint::{lint, load_workspace, to_json, Severity};
 
 fn usage() -> &'static str {
@@ -24,8 +26,10 @@ OPTIONS:
     --root <dir>            Workspace root (default: auto-detect from cwd)
     --deny-all              Promote warn-level findings to deny (CI mode)
     --json                  Emit the machine-readable JSON report on stdout
+    --sarif                 Emit a SARIF 2.1.0 report on stdout (CI annotations)
     --write-summary <path>  Also write the JSON report to <path>
-    --explain <rule>        Print a rule's full rationale (id or an alias d1..d7)
+    --write-sarif <path>    Also write the SARIF report to <path>
+    --explain <rule>        Print a rule's full rationale (id or an alias d1..d11)
     --list-rules            List the rule catalog
     -h, --help              This help
 "
@@ -55,7 +59,9 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut deny_all = false;
     let mut json = false;
+    let mut sarif = false;
     let mut summary_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -69,10 +75,18 @@ fn main() -> ExitCode {
             },
             "--deny-all" => deny_all = true,
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "--write-summary" => match it.next() {
                 Some(p) => summary_path = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--write-summary needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-sarif" => match it.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--write-sarif needs a path\n{}", usage());
                     return ExitCode::from(2);
                 }
             },
@@ -124,6 +138,18 @@ fn main() -> ExitCode {
         }
     };
 
+    if json && sarif {
+        eprintln!("--json and --sarif are mutually exclusive (use --write-sarif to get both)");
+        return ExitCode::from(2);
+    }
+
+    // Timing lives here in the CLI, not the library: the lint pass itself
+    // is clock-free (its own rule D2), but BENCH_lint.json tracks how
+    // long a full workspace parse+lint takes as the rule set grows.
+    #[allow(clippy::disallowed_methods)]
+    // semloc-lint: allow(no-wall-clock): CLI-only measurement for BENCH_lint.json; never reaches simulation output
+    let t0 = std::time::Instant::now();
+
     let ws = match load_workspace(&root) {
         Ok(ws) => ws,
         Err(e) => {
@@ -132,7 +158,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = lint(&ws);
+    let mut report = lint(&ws);
+    report.parse_ms = Some(t0.elapsed().as_millis() as u64);
     let rendered = to_json(&report);
 
     if let Some(path) = &summary_path {
@@ -141,9 +168,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, to_sarif(&report)) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if json {
         print!("{rendered}");
+    } else if sarif {
+        print!("{}", to_sarif(&report));
     } else {
         for f in &report.findings {
             println!("{f}");

@@ -1,14 +1,22 @@
 //! The rule set: D1–D5 from launch, D6 (no-float-in-stats-accumulation)
-//! from the block-replay work, plus D7 (unsafe-audit) from the
-//! acceleration layer.
+//! from the block-replay work, D7 (unsafe-audit) from the acceleration
+//! layer, and the item-model rules D8–D11 (snapshot field coverage,
+//! RefCell borrow discipline, the env-var registry, stale pragmas).
 //!
 //! Each rule documents *why* it exists in its `explain` text (shown by
 //! `semloc-lint --explain <rule>`): the project's correctness story rests
 //! on bit-identical determinism (golden stat digests, the spec-vs-core
 //! differential oracle, checkpoint/restore fidelity), and these rules make
 //! the assumptions behind that story statically checkable.
+//!
+//! D1–D3 and D7 match directly on the token stream; D4, D6 and D8–D10
+//! consume the item model ([`crate::model`]) built once per file by
+//! [`analyze`]. D11 lives in the suppression pass itself
+//! (`crate::lint`), because a pragma's staleness is only known after
+//! every other rule has run.
 
 use crate::lexer::{Tok, Token};
+use crate::model::{self, FileModel};
 use crate::{FileKind, Finding, LexData, Severity, SourceFile};
 
 /// Crates holding simulation state: iteration order, panics and hidden
@@ -18,11 +26,15 @@ pub const SIM_CRATES: &[&str] = &["core", "mem", "cpu", "bandit", "baselines", "
 /// Crates allowed to read wall-clock time (measurement harnesses).
 pub const WALL_CLOCK_CRATES: &[&str] = &["bench", "criterion"];
 
+/// Crates sharing `Rc<RefCell<…>>` state (the shared-L2 handle), where
+/// rule D9 polices guard lifetimes.
+pub const REFCELL_CRATES: &[&str] = &["mem", "harness"];
+
 /// Static description of one rule.
 pub struct RuleInfo {
     /// Stable rule id, used in findings, pragmas and JSON output.
     pub id: &'static str,
-    /// Short alias accepted in pragmas (`d1`..`d7`).
+    /// Short alias accepted in pragmas (`d1`..`d11`).
     pub alias: &'static str,
     pub severity: Severity,
     pub summary: &'static str,
@@ -30,7 +42,7 @@ pub struct RuleInfo {
 }
 
 /// The rule catalog.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 11] = [
     RuleInfo {
         id: "no-std-hash-collections",
         alias: "d1",
@@ -158,6 +170,104 @@ block sound (e.g. which bounds check covers a raw load, or why a CPU
 feature is known present at a call site). Test code is exempt; vendor
 stubs are not scanned.",
     },
+    RuleInfo {
+        id: "snapshot-field-coverage",
+        alias: "d8",
+        severity: Severity::Deny,
+        summary: "every field of a manifested Snapshot struct must appear in save AND restore",
+        explain: "\
+Rule D4 proves a state struct *has* a Snapshot impl; it says nothing
+about whether the impl is *complete*. The failure mode D8 closes: a new
+field is added to a manifested struct, `save`/`restore` are not updated,
+the struct still round-trips without error — and every SEMLOC-CKPT /
+MCCK checkpoint silently resumes with the new field reset to its
+constructed value, diverging from an uninterrupted run. The rule walks
+the item model: for every snapshot-mechanism manifest entry whose
+declaration is a named-field struct, each field identifier must be
+referenced somewhere in BOTH the `save` body and the `restore` body of
+the matching `impl Snapshot` (helper delegation like
+`self.table.save_into(w)` counts — the field name appears). Fields that
+are genuinely construction-time configuration or derived/rebuildable
+state carry a per-field pragma on the declaration line (or the line
+above):
+  // semloc-lint: allow(snapshot-field-coverage): <why this field is not run state>
+Enum and tuple-struct snapshot targets are out of scope (no named
+fields). The meta-test suite seeds a mutation — deleting one field
+reference from a real save body — and asserts the lint catches it, so
+the rule itself cannot silently rot.",
+    },
+    RuleInfo {
+        id: "refcell-borrow-discipline",
+        alias: "d9",
+        severity: Severity::Deny,
+        summary: "no RefCell borrow guard held across a self/shared-handle call",
+        explain: "\
+The multi-core mode shares one L2 between cores through
+`Rc<RefCell<SharedL2>>` (crates/mem shared_l2.rs, crates/harness mc.rs).
+RefCell defers borrow checking to runtime: a `borrow_mut()` guard that
+is still alive when control re-enters the same cell — via a method on
+`self` that also borrows, or via a second `.borrow()` on any handle —
+panics at runtime, and only on the schedule that actually hits the
+re-entrant path (exactly the kind of latent bug an interference search
+surfaces in production, not in CI). In the RefCell-sharing crates (mem,
+harness), rule D9 flags a borrow guard *bound to a local*
+(`let g = h.borrow_mut();`) when, before the guard's enclosing block
+ends (or an explicit `drop(g)`), the function makes a direct method call
+on `self` or takes another `.borrow()`/`.borrow_mut()`. The sanctioned
+patterns are temporaries (`h.borrow_mut().step(…)` — the guard dies at
+the statement's end) and tight scopes (`{ let g = h.borrow_mut(); … }`
+closed before the next call). A guard that provably cannot re-enter may
+be kept with a pragma:
+  // semloc-lint: allow(refcell-borrow-discipline): <why no call in scope can re-borrow>",
+    },
+    RuleInfo {
+        id: "env-var-registry",
+        alias: "d10",
+        severity: Severity::Deny,
+        summary:
+            "every SEMLOC_* env read must be registered and documented; every registry entry live",
+        explain: "\
+Pythia's lesson (PAPERS.md, arXiv 2109.12021) is that configurability
+explodes silently: every knob multiplies the state that must stay
+consistent across checkpoint, replay, and CI. This workspace's knobs
+are SEMLOC_* environment variables, and D10 keeps them from escaping
+the documentation the way unregistered state once escaped
+checkpointing. Three checks, cross-referenced like D4's manifest: (a)
+every `SEMLOC_*` read site in non-test code — any call whose first
+argument is a `\"SEMLOC_…\"` literal, e.g. `std::env::var`,
+`std::env::var_os`, or a local helper — must name a variable listed in
+crates/lint/env_registry.txt; (b) the same variable must be documented
+in README.md; (c) every registry entry must have at least one live read
+site — a deleted knob must leave the registry, or the registry rots
+into fiction. Register a new variable by adding
+  SEMLOC_MY_KNOB  <one-line description>
+to the registry and documenting it in the README. `set_var`/`remove_var`
+sites are writes, not reads, and do not count.",
+    },
+    RuleInfo {
+        id: "stale-pragma",
+        alias: "d11",
+        severity: Severity::Deny,
+        summary: "an allow(...) pragma that suppresses zero findings is itself a finding",
+        explain: "\
+Every `// semloc-lint: allow(<rule>): <why>` pragma is a standing claim
+that a specific violation exists at that line and is justified. When the
+code under a pragma is refactored until the violation disappears, the
+pragma keeps making its claim — and readers (and future lint-rule
+authors) keep believing the site is dangerous. Worse, a stale pragma is
+a loaded gun: new code drifting onto that line inherits a suppression it
+never argued for. D11 closes the loop: after all other rules run, any
+pragma rule-entry that suppressed zero findings is itself a deny-level
+finding — delete the pragma (or the dead rule name inside it). A pragma
+naming an unknown rule is flagged the same way. This is what keeps the
+justified-pragma count in BENCH_lint.json an honest audit trail rather
+than a high-water mark. In the rare case a pragma must outlive its
+finding (e.g. a cfg-gated violation the scan cannot see), suppress the
+staleness finding itself, explicitly:
+  // semloc-lint: allow(stale-pragma): <why the suppressed site is cfg-invisible>
+(`allow(all)` never satisfies D11 — staleness must be acknowledged by
+name.)",
+    },
 ];
 
 /// Look up a rule by id or alias.
@@ -173,7 +283,32 @@ fn is_sim_crate(file: &SourceFile) -> bool {
         .is_some_and(|c| SIM_CRATES.contains(&c))
 }
 
-/// D1–D3: single-file token rules. `lexed` must come from `file.content`.
+// ---------------------------------------------------------------------------
+// The analysis context: lexed tokens + item model per file
+// ---------------------------------------------------------------------------
+
+/// One file with its lexed view and item model — the input to every
+/// cross-file rule.
+pub struct FileCtx<'a> {
+    pub file: &'a SourceFile,
+    pub lex: &'a LexData,
+    pub model: FileModel,
+}
+
+/// Build the item model for every file. Rules D4, D6, D8, D9 and D10 all
+/// share the result; the model is built exactly once per file.
+pub fn analyze<'a>(pairs: &[(&'a SourceFile, &'a LexData)]) -> Vec<FileCtx<'a>> {
+    pairs
+        .iter()
+        .map(|(file, lex)| FileCtx {
+            file,
+            lex,
+            model: model::build(lex),
+        })
+        .collect()
+}
+
+/// D1–D3, D7: single-file token rules. `lexed` must come from `file.content`.
 pub fn check_file(file: &SourceFile, lexed: &LexData) -> Vec<Finding> {
     let mut out = Vec::new();
     let toks = &lexed.tokens;
@@ -344,18 +479,6 @@ pub fn parse_manifest(text: &str, path: &str) -> (Vec<ManifestEntry>, Vec<Findin
     (entries, findings)
 }
 
-/// A struct declaration found in a sim crate (non-test code).
-#[derive(Debug)]
-struct StructDecl {
-    crate_dir: String,
-    name: String,
-    file: String,
-    line: u32,
-    col: u32,
-    /// Uppercase-initial identifiers appearing in the field list.
-    field_types: Vec<String>,
-}
-
 /// A type covered by one of the two mechanisms.
 #[derive(Debug)]
 struct Coverage {
@@ -367,24 +490,55 @@ struct Coverage {
     col: u32,
 }
 
+/// Whether a file contributes sim-state declarations (D4/D6/D8 scope).
+fn is_sim_lib(ctx: &FileCtx<'_>) -> bool {
+    is_sim_crate(ctx.file) && ctx.file.kind == FileKind::LibSrc
+}
+
+/// Coverage sites across all sim-crate library files, from the item
+/// model: `impl Snapshot for X` is the snapshot mechanism; a trait impl
+/// carrying a `fn save_state` override is the state mechanism. Inherent
+/// impls never count (matching the launch rule's semantics).
+fn collect_coverage(ctxs: &[FileCtx<'_>]) -> Vec<Coverage> {
+    let mut covered = Vec::new();
+    for ctx in ctxs {
+        if !is_sim_lib(ctx) {
+            continue;
+        }
+        let crate_dir = ctx.file.crate_dir.clone().unwrap_or_default();
+        for imp in &ctx.model.impls {
+            if imp.in_test {
+                continue;
+            }
+            let mechanism = if imp.trait_name.as_deref() == Some("Snapshot") {
+                Some(Mechanism::Snapshot)
+            } else if imp.trait_name.is_some() && imp.fns.iter().any(|f| f.name == "save_state") {
+                Some(Mechanism::State)
+            } else {
+                None
+            };
+            if let Some(mechanism) = mechanism {
+                covered.push(Coverage {
+                    crate_dir: crate_dir.clone(),
+                    name: imp.target.clone(),
+                    mechanism,
+                    file: ctx.file.rel_path.clone(),
+                    line: imp.line,
+                    col: imp.col,
+                });
+            }
+        }
+    }
+    covered
+}
+
 /// D4: cross-file snapshot-coverage check over all sim-crate library files.
 pub fn check_snapshot_coverage(
-    files: &[(&SourceFile, &LexData)],
+    ctxs: &[FileCtx<'_>],
     manifest: &[ManifestEntry],
     manifest_path: &str,
 ) -> Vec<Finding> {
-    let mut structs: Vec<StructDecl> = Vec::new();
-    let mut covered: Vec<Coverage> = Vec::new();
-
-    for (file, lexed) in files {
-        if !is_sim_crate(file) || file.kind != FileKind::LibSrc {
-            continue;
-        }
-        let crate_dir = file.crate_dir.clone().unwrap_or_default();
-        collect_structs(file, lexed, &crate_dir, &mut structs);
-        collect_coverage(file, lexed, &crate_dir, &mut covered);
-    }
-
+    let covered = collect_coverage(ctxs);
     let mut out = Vec::new();
 
     // (a) Every manifest entry must be covered, by the declared mechanism.
@@ -425,9 +579,15 @@ pub fn check_snapshot_coverage(
 
     // (b) Every covered struct declared in a sim crate must be manifested.
     for c in &covered {
-        let declared_here = structs
-            .iter()
-            .any(|s| s.crate_dir == c.crate_dir && s.name == c.name);
+        let declared_here = ctxs.iter().any(|ctx| {
+            is_sim_lib(ctx)
+                && ctx.file.crate_dir.as_deref() == Some(c.crate_dir.as_str())
+                && ctx
+                    .model
+                    .structs
+                    .iter()
+                    .any(|s| !s.in_test && s.name == c.name)
+        });
         let manifested = manifest
             .iter()
             .any(|e| e.crate_dir == c.crate_dir && e.name == c.name);
@@ -455,38 +615,54 @@ pub fn check_snapshot_coverage(
     // (c) Heuristic: a struct embedding a manifested state type must itself
     // be covered (new state must not escape checkpointing by composition).
     let manifest_names: Vec<&str> = manifest.iter().map(|e| e.name.as_str()).collect();
-    for s in &structs {
-        let embeds: Vec<&str> = s
-            .field_types
-            .iter()
-            .map(|t| t.as_str())
-            .filter(|t| manifest_names.contains(t))
-            .collect();
-        if embeds.is_empty() {
+    for ctx in ctxs {
+        if !is_sim_lib(ctx) {
             continue;
         }
-        let is_covered = covered
-            .iter()
-            .any(|c| c.crate_dir == s.crate_dir && c.name == s.name);
-        let manifested = manifest
-            .iter()
-            .any(|e| e.crate_dir == s.crate_dir && e.name == s.name);
-        if !is_covered && !manifested {
-            out.push(Finding {
-                rule: "snapshot-coverage",
-                severity: Severity::Warn,
-                file: s.file.clone(),
-                line: s.line,
-                col: s.col,
-                message: format!(
-                    "struct {}/{} embeds checkpointed state ({}) but is not snapshot-covered — \
-                     implement Snapshot (or a save_state override) and add it to the manifest, \
-                     or pragma the declaration if the field is derived/transient",
-                    s.crate_dir,
-                    s.name,
-                    embeds.join(", ")
-                ),
-            });
+        let crate_dir = ctx.file.crate_dir.as_deref().unwrap_or_default();
+        let aliases = use_aliases(ctx.lex);
+        for s in &ctx.model.structs {
+            if s.in_test {
+                continue;
+            }
+            // Field types as written plus alias-resolved, so a
+            // `use cst::Table as Tbl` rename cannot hide an embedding.
+            let mut embeds: Vec<&str> = Vec::new();
+            for t in &s.field_type_idents {
+                if manifest_names.contains(&t.as_str()) {
+                    embeds.push(t);
+                } else if let Some((_, orig)) = aliases.iter().find(|(alias, _)| alias == t) {
+                    if manifest_names.contains(&orig.as_str()) {
+                        embeds.push(orig);
+                    }
+                }
+            }
+            if embeds.is_empty() {
+                continue;
+            }
+            let is_covered = covered
+                .iter()
+                .any(|c| c.crate_dir == crate_dir && c.name == s.name);
+            let manifested = manifest
+                .iter()
+                .any(|e| e.crate_dir == crate_dir && e.name == s.name);
+            if !is_covered && !manifested {
+                out.push(Finding {
+                    rule: "snapshot-coverage",
+                    severity: Severity::Warn,
+                    file: ctx.file.rel_path.clone(),
+                    line: s.line,
+                    col: s.col,
+                    message: format!(
+                        "struct {}/{} embeds checkpointed state ({}) but is not snapshot-covered — \
+                         implement Snapshot (or a save_state override) and add it to the manifest, \
+                         or pragma the declaration if the field is derived/transient",
+                        crate_dir,
+                        s.name,
+                        embeds.join(", ")
+                    ),
+                });
+            }
         }
     }
 
@@ -533,202 +709,394 @@ fn use_aliases(lexed: &LexData) -> Vec<(String, String)> {
     out
 }
 
-/// Collect non-test struct declarations with their field-type identifiers.
-/// Field types are recorded both as written and resolved through the
-/// file's `use ... as ...` renames, so `use cst::Table as Tbl` followed by
-/// a `Tbl` field still matches a manifested `Table`.
-fn collect_structs(file: &SourceFile, lexed: &LexData, crate_dir: &str, out: &mut Vec<StructDecl>) {
-    let aliases = use_aliases(lexed);
-    let toks = &lexed.tokens;
-    let mut i = 0;
-    while i < toks.len() {
-        if lexed.test_mask[i] || toks[i].kind != Tok::Ident("struct".into()) {
-            i += 1;
+// ---------------------------------------------------------------------------
+// D8: snapshot field coverage
+// ---------------------------------------------------------------------------
+
+/// D8: every named field of a snapshot-mechanism manifest entry must be
+/// referenced in both the `save` and `restore` bodies of its `impl
+/// Snapshot`. Findings land on the field declaration, so a per-field
+/// pragma there suppresses them.
+pub fn check_snapshot_field_coverage(
+    ctxs: &[FileCtx<'_>],
+    manifest: &[ManifestEntry],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for e in manifest {
+        if e.mechanism != Mechanism::Snapshot {
             continue;
         }
-        let Some(Token {
-            kind: Tok::Ident(name),
-            line,
-            col,
-        }) = toks.get(i + 1)
-        else {
-            i += 1;
+        // The struct declaration (named fields only — enums and tuple
+        // structs have no field identifiers to track).
+        let decl = ctxs.iter().find_map(|ctx| {
+            if !is_sim_lib(ctx) || ctx.file.crate_dir.as_deref() != Some(e.crate_dir.as_str()) {
+                return None;
+            }
+            ctx.model
+                .structs
+                .iter()
+                .find(|s| !s.in_test && s.named && s.name == e.name)
+                .map(|s| (ctx, s))
+        });
+        let Some((decl_ctx, s)) = decl else {
             continue;
         };
-        let mut j = i + 2;
-        // Skip generic parameters.
-        if matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
-            j = skip_angles(toks, j);
-        }
-        // Skip a where clause up to the body.
-        while j < toks.len()
-            && !matches!(
-                toks[j].kind,
-                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct(';')
-            )
-        {
-            j += 1;
-        }
-        let mut field_types = Vec::new();
-        match toks.get(j).map(|t| &t.kind) {
-            Some(Tok::Punct('{')) => {
-                let end = matching(toks, j, '{', '}');
-                for t in &toks[j..end] {
-                    if let Tok::Ident(s) = &t.kind {
-                        if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
-                            field_types.push(s.clone());
-                        }
-                    }
-                }
-                i = end;
+        // The Snapshot impl and its save/restore bodies.
+        let cov = ctxs.iter().find_map(|ctx| {
+            if !is_sim_lib(ctx) || ctx.file.crate_dir.as_deref() != Some(e.crate_dir.as_str()) {
+                return None;
             }
-            Some(Tok::Punct('(')) => {
-                let end = matching(toks, j, '(', ')');
-                for t in &toks[j..end] {
-                    if let Tok::Ident(s) = &t.kind {
-                        if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
-                            field_types.push(s.clone());
-                        }
-                    }
-                }
-                i = end;
-            }
-            _ => i = j,
-        }
-        // Append alias-resolved names so renamed embeddings still match.
-        let resolved: Vec<String> = field_types
-            .iter()
-            .filter_map(|t| {
-                aliases
-                    .iter()
-                    .find(|(alias, _)| alias == t)
-                    .map(|(_, orig)| orig.clone())
-            })
-            .collect();
-        field_types.extend(resolved);
-        out.push(StructDecl {
-            crate_dir: crate_dir.to_string(),
-            name: name.clone(),
-            file: file.rel_path.clone(),
-            line: *line,
-            col: *col,
-            field_types,
+            ctx.model
+                .impls
+                .iter()
+                .find(|imp| {
+                    !imp.in_test
+                        && imp.trait_name.as_deref() == Some("Snapshot")
+                        && imp.target == e.name
+                })
+                .map(|imp| (ctx, imp))
         });
+        let Some((impl_ctx, imp)) = cov else {
+            continue; // D4 reports the missing impl
+        };
+        let body_of = |name: &str| imp.fns.iter().find(|f| f.name == name).and_then(|f| f.body);
+        let (Some(save), Some(restore)) = (body_of("save"), body_of("restore")) else {
+            continue; // would not compile as a Snapshot impl
+        };
+        let referenced = |range: (usize, usize), field: &str| {
+            impl_ctx.lex.tokens[range.0..range.1]
+                .iter()
+                .any(|t| matches!(&t.kind, Tok::Ident(n) if n == field))
+        };
+        for field in &s.fields {
+            let in_save = referenced(save, &field.name);
+            let in_restore = referenced(restore, &field.name);
+            if in_save && in_restore {
+                continue;
+            }
+            let missing = match (in_save, in_restore) {
+                (false, false) => "save or restore body",
+                (false, true) => "save body",
+                (true, false) => "restore body",
+                (true, true) => unreachable!(),
+            };
+            out.push(Finding {
+                rule: "snapshot-field-coverage",
+                severity: Severity::Deny,
+                file: decl_ctx.file.rel_path.clone(),
+                line: field.line,
+                col: field.col,
+                message: format!(
+                    "field `{}` of manifested struct {}/{} is never referenced in the {} of its \
+                     Snapshot impl ({}:{}) — an unserialized field silently corrupts \
+                     SEMLOC-CKPT/MCCK round-trips; wire it into save+restore, or pragma this \
+                     declaration if it is construction-time config or derived state",
+                    field.name, e.crate_dir, e.name, missing, impl_ctx.file.rel_path, imp.line
+                ),
+            });
+        }
     }
+    out
 }
 
-/// Collect coverage sites: `impl Snapshot for X` and `fn save_state`
-/// overrides inside `impl ... for X` blocks (non-test code only).
-fn collect_coverage(file: &SourceFile, lexed: &LexData, crate_dir: &str, out: &mut Vec<Coverage>) {
-    let toks = &lexed.tokens;
-    let mut i = 0;
-    while i < toks.len() {
-        if lexed.test_mask[i] || toks[i].kind != Tok::Ident("impl".into()) {
-            i += 1;
+// ---------------------------------------------------------------------------
+// D9: RefCell borrow discipline
+// ---------------------------------------------------------------------------
+
+/// D9: in the RefCell-sharing crates, flag a borrow guard bound to a
+/// local that is still alive (same block, no `drop(guard)`) when the
+/// function calls a method on `self` or takes another borrow.
+pub fn check_refcell_borrow_discipline(ctxs: &[FileCtx<'_>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for ctx in ctxs {
+        let in_scope = ctx
+            .file
+            .crate_dir
+            .as_deref()
+            .is_some_and(|c| REFCELL_CRATES.contains(&c))
+            && matches!(ctx.file.kind, FileKind::LibSrc | FileKind::Bin);
+        if !in_scope {
             continue;
         }
-        let impl_tok = &toks[i];
-        let mut j = i + 1;
-        if matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
-            j = skip_angles(toks, j);
+        let bodies = ctx
+            .model
+            .fns
+            .iter()
+            .chain(ctx.model.impls.iter().flat_map(|i| i.fns.iter()))
+            .filter(|f| !f.in_test)
+            .filter_map(|f| f.body);
+        for (start, end) in bodies {
+            scan_guard_liveness(ctx, start, end, &mut out);
         }
-        // Collect the header: path idents up to `for`, then the target path.
-        let mut trait_last: Option<&str> = None;
-        let mut target_last: Option<&str> = None;
-        let mut past_for = false;
-        while j < toks.len() {
-            match &toks[j].kind {
-                Tok::Ident(s) if s == "for" => past_for = true,
-                Tok::Ident(s) if s == "where" => break,
-                Tok::Punct('{') => break,
-                Tok::Punct('<') => {
-                    j = skip_angles(toks, j);
+    }
+    out
+}
+
+/// Walk one function body looking for `let g = ….borrow[_mut]();`
+/// bindings, then for a re-entrancy hazard while `g` is in scope.
+fn scan_guard_liveness(ctx: &FileCtx<'_>, start: usize, end: usize, out: &mut Vec<Finding>) {
+    let toks = &ctx.lex.tokens;
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end {
+        match &toks[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => depth -= 1,
+            Tok::Ident(k) if k == "let" => {
+                // `let [mut] name = … .borrow[_mut]() ;`
+                let mut j = i + 1;
+                if matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Ident(m)) if m == "mut") {
+                    j += 1;
+                }
+                let Some(Token {
+                    kind: Tok::Ident(name),
+                    ..
+                }) = toks.get(j)
+                else {
+                    i += 1;
+                    continue;
+                };
+                if toks.get(j + 1).map(|t| &t.kind) != Some(&Tok::Punct('=')) {
+                    i += 1;
                     continue;
                 }
-                Tok::Ident(s) => {
-                    if past_for {
-                        target_last = Some(s);
-                    } else {
-                        trait_last = Some(s);
+                // Find the statement-ending `;` at nesting depth 0.
+                let mut k = j + 2;
+                let mut nest = 0i32;
+                while k < end {
+                    match &toks[k].kind {
+                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => nest += 1,
+                        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => nest -= 1,
+                        Tok::Punct(';') if nest == 0 => break,
+                        _ => {}
                     }
+                    k += 1;
                 }
-                _ => {}
-            }
-            j += 1;
-        }
-        if !matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Punct('{'))) {
-            i = j;
-            continue;
-        }
-        let end = matching(toks, j, '{', '}');
-        if let (true, Some(target)) = (past_for, target_last) {
-            let is_snapshot_impl = trait_last == Some("Snapshot");
-            let has_save_state = (j..end).any(|k| {
-                toks[k].kind == Tok::Ident("fn".into())
-                    && toks.get(k + 1).map(|t| &t.kind) == Some(&Tok::Ident("save_state".into()))
-            });
-            let mechanism = if is_snapshot_impl {
-                Some(Mechanism::Snapshot)
-            } else if has_save_state {
-                Some(Mechanism::State)
-            } else {
-                None
-            };
-            if let Some(mechanism) = mechanism {
-                out.push(Coverage {
-                    crate_dir: crate_dir.to_string(),
-                    name: target.to_string(),
-                    mechanism,
-                    file: file.rel_path.clone(),
-                    line: impl_tok.line,
-                    col: impl_tok.col,
-                });
-            }
-        }
-        i = end;
-    }
-}
-
-/// Index just past the `>` matching the `<` at `open`. `->` arrows and
-/// comparison-like stray `>` are tolerated via the `-` lookbehind.
-fn skip_angles(toks: &[Token], open: usize) -> usize {
-    let mut depth = 0i32;
-    let mut j = open;
-    while j < toks.len() {
-        match toks[j].kind {
-            Tok::Punct('<') => depth += 1,
-            Tok::Punct('>') => {
-                let arrow = j > 0 && toks[j - 1].kind == Tok::Punct('-');
-                if !arrow {
-                    depth -= 1;
-                    if depth == 0 {
-                        return j + 1;
-                    }
+                // A guard binding ends in `.borrow()` / `.borrow_mut()`
+                // immediately before the `;` — a trailing method chain
+                // (`.borrow().stats()`) means the guard is a temporary.
+                let tail_is_borrow = k >= 4
+                    && toks[k - 1].kind == Tok::Punct(')')
+                    && toks[k - 2].kind == Tok::Punct('(')
+                    && matches!(&toks[k - 3].kind,
+                        Tok::Ident(m) if m == "borrow" || m == "borrow_mut")
+                    && toks[k - 4].kind == Tok::Punct('.');
+                if !tail_is_borrow {
+                    i = k;
+                    continue;
                 }
+                if let Some(hazard) = guard_hazard(toks, k + 1, end, depth, name) {
+                    out.push(Finding {
+                        rule: "refcell-borrow-discipline",
+                        severity: Severity::Deny,
+                        file: ctx.file.rel_path.clone(),
+                        line: toks[i].line,
+                        col: toks[i].col,
+                        message: format!(
+                            "borrow guard `{name}` is still alive at line {hazard} where the \
+                             function {} — a re-entrant borrow of the shared cell panics at \
+                             runtime; scope the guard in its own block, use a temporary, or \
+                             `drop({name})` first",
+                            hazard_kind(toks, end, hazard)
+                        ),
+                    });
+                }
+                i = k;
             }
             _ => {}
         }
-        j += 1;
+        i += 1;
     }
-    j
 }
 
-/// Index just past the closer matching the opener at `open`.
-fn matching(toks: &[Token], open: usize, op: char, cl: char) -> usize {
-    let mut depth = 0i32;
-    let mut j = open;
-    while j < toks.len() {
-        if toks[j].kind == Tok::Punct(op) {
-            depth += 1;
-        } else if toks[j].kind == Tok::Punct(cl) {
-            depth -= 1;
-            if depth == 0 {
-                return j + 1;
+/// Scan from `from` while the guard's enclosing block (at `let_depth`) is
+/// open and the guard is not dropped; return the line of the first
+/// hazard: a direct `self.method(…)` call or another `.borrow[_mut](`.
+fn guard_hazard(
+    toks: &[Token],
+    from: usize,
+    end: usize,
+    let_depth: i32,
+    guard: &str,
+) -> Option<u32> {
+    let mut depth = let_depth;
+    let mut i = from;
+    while i < end {
+        match &toks[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth < let_depth {
+                    return None; // guard's block closed
+                }
+            }
+            // `drop(guard)` ends the guard's liveness.
+            Tok::Ident(k)
+                if k == "drop"
+                    && toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('('))
+                    && matches!(toks.get(i + 2).map(|t| &t.kind),
+                        Some(Tok::Ident(g)) if g == guard)
+                    && toks.get(i + 3).map(|t| &t.kind) == Some(&Tok::Punct(')')) =>
+            {
+                return None;
+            }
+            // Direct method call on self: `self . ident (`.
+            Tok::Ident(k)
+                if k == "self"
+                    && toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('.'))
+                    && matches!(toks.get(i + 2).map(|t| &t.kind), Some(Tok::Ident(_)))
+                    && toks.get(i + 3).map(|t| &t.kind) == Some(&Tok::Punct('(')) =>
+            {
+                return Some(toks[i].line);
+            }
+            Tok::Ident(k)
+                if (k == "borrow" || k == "borrow_mut")
+                    && i > 0
+                    && toks[i - 1].kind == Tok::Punct('.')
+                    && toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('(')) =>
+            {
+                return Some(toks[i].line);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Human label for the hazard at `line` (used in the D9 message).
+fn hazard_kind(toks: &[Token], end: usize, line: u32) -> String {
+    let reborrow = toks.iter().take(end).any(|t| {
+        t.line == line && matches!(&t.kind, Tok::Ident(k) if k == "borrow" || k == "borrow_mut")
+    });
+    if reborrow {
+        format!("takes another borrow (line {line})")
+    } else {
+        format!("calls a method on `self` (line {line})")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D10: env-var registry
+// ---------------------------------------------------------------------------
+
+/// One `SEMLOC_NAME <description>` line of the env-var registry.
+#[derive(Debug, Clone)]
+pub struct EnvRegistryEntry {
+    pub name: String,
+    pub line: u32,
+}
+
+/// Parse `env_registry.txt`. Malformed lines become findings.
+pub fn parse_env_registry(text: &str, path: &str) -> (Vec<EnvRegistryEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut parts = l.split_whitespace();
+        let name = parts.next().unwrap_or("");
+        let has_desc = parts.next().is_some();
+        if name.starts_with("SEMLOC_") && name.len() > "SEMLOC_".len() && has_desc {
+            entries.push(EnvRegistryEntry {
+                name: name.to_string(),
+                line,
+            });
+        } else {
+            findings.push(Finding {
+                rule: "env-var-registry",
+                severity: Severity::Deny,
+                file: path.to_string(),
+                line,
+                col: 1,
+                message: format!(
+                    "malformed registry line `{l}`: expected `SEMLOC_NAME <one-line description>`"
+                ),
+            });
+        }
+    }
+    (entries, findings)
+}
+
+/// D10: cross-check `SEMLOC_*` read sites against the registry and the
+/// README, both directions.
+pub fn check_env_registry(
+    ctxs: &[FileCtx<'_>],
+    registry: &[EnvRegistryEntry],
+    registry_path: &str,
+    readme: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // First read site per variable, in scan order (files are sorted, so
+    // this is deterministic); duplicate reads of one variable share a
+    // single registration, so one finding per variable is enough.
+    let mut first_read: Vec<(&str, &FileCtx<'_>, u32, u32)> = Vec::new();
+    for ctx in ctxs {
+        if ctx.file.kind == FileKind::TestsDir {
+            continue;
+        }
+        for r in &ctx.model.env_reads {
+            if r.in_test || r.callee == "set_var" || r.callee == "remove_var" {
+                continue;
+            }
+            if !first_read.iter().any(|(v, ..)| *v == r.var) {
+                first_read.push((&r.var, ctx, r.line, r.col));
             }
         }
-        j += 1;
     }
-    j
+
+    for (var, ctx, line, col) in &first_read {
+        if !registry.iter().any(|e| e.name == *var) {
+            out.push(Finding {
+                rule: "env-var-registry",
+                severity: Severity::Deny,
+                file: ctx.file.rel_path.clone(),
+                line: *line,
+                col: *col,
+                message: format!(
+                    "env var `{var}` is read here but not registered in {registry_path} — \
+                     every SEMLOC_* knob must be listed (name + one-line description) so \
+                     configuration state stays auditable"
+                ),
+            });
+        }
+        if !readme.contains(var as &str) {
+            out.push(Finding {
+                rule: "env-var-registry",
+                severity: Severity::Deny,
+                file: ctx.file.rel_path.clone(),
+                line: *line,
+                col: *col,
+                message: format!(
+                    "env var `{var}` is read here but never mentioned in README.md — \
+                     document the knob where users will actually find it"
+                ),
+            });
+        }
+    }
+
+    for e in registry {
+        if !first_read.iter().any(|(v, ..)| *v == e.name) {
+            out.push(Finding {
+                rule: "env-var-registry",
+                severity: Severity::Deny,
+                file: registry_path.to_string(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "registry entry `{}` has no live read site in non-test code — the knob \
+                     was removed or renamed; delete the entry (and its README section) or \
+                     restore the read",
+                    e.name
+                ),
+            });
+        }
+    }
+
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -744,21 +1112,17 @@ const CONFIG_EXPECTED: [(&str, u64); 4] = [
 ];
 
 /// D5: verify the paper's structural constants in the four anchor files.
-pub fn check_paper_constants(files: &[(&SourceFile, &LexData)]) -> Vec<Finding> {
+pub fn check_paper_constants(ctxs: &[FileCtx<'_>]) -> Vec<Finding> {
     let mut out = Vec::new();
-    let find = |suffix: &str| {
-        files
-            .iter()
-            .find(|(f, _)| f.rel_path.ends_with(suffix))
-            .copied()
-    };
+    let find = |suffix: &str| ctxs.iter().find(|c| c.file.rel_path.ends_with(suffix));
 
     let mut history_len: Option<u64> = None;
     let mut bell_hi: Option<(u64, String, u32)> = None;
 
     match find("core/src/config.rs") {
         None => out.push(missing_anchor("crates/core/src/config.rs")),
-        Some((file, lexed)) => {
+        Some(ctx) => {
+            let (file, lexed) = (ctx.file, ctx.lex);
             let mut values: Vec<(u64, u64, u32, u32)> = Vec::new(); // (idx into CONFIG_EXPECTED, value, line, col)
             for (k, (name, _)) in CONFIG_EXPECTED.iter().enumerate() {
                 for occ in literal_field_values(lexed, name) {
@@ -840,11 +1204,11 @@ pub fn check_paper_constants(files: &[(&SourceFile, &LexData)]) -> Vec<Finding> 
     ] {
         match find(suffix) {
             None => out.push(missing_anchor(suffix)),
-            Some((file, lexed)) => match const_value(lexed, konst) {
+            Some(ctx) => match const_value(ctx.lex, konst) {
                 None => out.push(Finding {
                     rule: "paper-constants",
                     severity: Severity::Deny,
-                    file: file.rel_path.clone(),
+                    file: ctx.file.rel_path.clone(),
                     line: 1,
                     col: 1,
                     message: format!(
@@ -854,7 +1218,7 @@ pub fn check_paper_constants(files: &[(&SourceFile, &LexData)]) -> Vec<Finding> 
                 Some((v, line, col)) if v != 4 => out.push(Finding {
                     rule: "paper-constants",
                     severity: Severity::Deny,
-                    file: file.rel_path.clone(),
+                    file: ctx.file.rel_path.clone(),
                     line,
                     col,
                     message: format!(
@@ -868,7 +1232,8 @@ pub fn check_paper_constants(files: &[(&SourceFile, &LexData)]) -> Vec<Finding> 
 
     match find("bandit/src/reward.rs") {
         None => out.push(missing_anchor("crates/bandit/src/reward.rs")),
-        Some((file, lexed)) => {
+        Some(ctx) => {
+            let (file, lexed) = (ctx.file, ctx.lex);
             let calls = literal_ctor_args(lexed, "BellReward");
             if calls.is_empty() {
                 out.push(Finding {
@@ -934,75 +1299,33 @@ struct FloatStatsField {
     field: String,
 }
 
-/// Collect `name: f32|f64` fields of non-test `*Stats` struct declarations.
-fn collect_float_stats_fields(lexed: &LexData, out: &mut Vec<FloatStatsField>) {
-    let toks = &lexed.tokens;
-    let mut i = 0;
-    while i < toks.len() {
-        if lexed.test_mask[i] || toks[i].kind != Tok::Ident("struct".into()) {
-            i += 1;
-            continue;
-        }
-        let Some(Token {
-            kind: Tok::Ident(name),
-            ..
-        }) = toks.get(i + 1)
-        else {
-            i += 1;
-            continue;
-        };
-        if !name.ends_with("Stats") {
-            i += 2;
-            continue;
-        }
-        let mut j = i + 2;
-        if matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
-            j = skip_angles(toks, j);
-        }
-        while j < toks.len()
-            && !matches!(
-                toks[j].kind,
-                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct(';')
-            )
-        {
-            j += 1;
-        }
-        if toks.get(j).map(|t| &t.kind) != Some(&Tok::Punct('{')) {
-            i = j;
-            continue;
-        }
-        let end = matching(toks, j, '{', '}');
-        // Field pattern inside the body: Ident ':' Ident("f32"|"f64").
-        // (`Vec<f64>` and friends don't match — the light inference only
-        // covers direct float fields, which is what a `+=` fold targets.)
-        for k in j..end.saturating_sub(2) {
-            let (Tok::Ident(field), Tok::Punct(':'), Tok::Ident(ty)) =
-                (&toks[k].kind, &toks[k + 1].kind, &toks[k + 2].kind)
-            else {
-                continue;
-            };
-            if (ty == "f32" || ty == "f64")
-                // `::` is a path, not a field type ascription.
-                && toks.get(k + 3).map(|t| &t.kind) != Some(&Tok::Punct(':'))
-            {
-                out.push(FloatStatsField {
-                    owner: name.clone(),
-                    field: field.clone(),
-                });
-            }
-        }
-        i = end;
-    }
-}
-
 /// D6: flag `.field +=` folds on float-typed `*Stats` fields across all
 /// sim-crate non-test code.
-pub fn check_float_stats(files: &[(&SourceFile, &LexData)]) -> Vec<Finding> {
-    // Phase A: field-type inference over every sim-crate declaration.
+pub fn check_float_stats(ctxs: &[FileCtx<'_>]) -> Vec<Finding> {
+    // Phase A: field-type inference over every sim-crate declaration,
+    // straight off the item model: a direct `f32`/`f64` field is a type
+    // span of exactly one token.
     let mut float_fields: Vec<FloatStatsField> = Vec::new();
-    for (file, lexed) in files {
-        if is_sim_crate(file) && file.kind == FileKind::LibSrc {
-            collect_float_stats_fields(lexed, &mut float_fields);
+    for ctx in ctxs {
+        if !is_sim_lib(ctx) {
+            continue;
+        }
+        for s in &ctx.model.structs {
+            if s.in_test || !s.name.ends_with("Stats") {
+                continue;
+            }
+            for f in &s.fields {
+                let (a, b) = f.ty;
+                if b == a + 1
+                    && matches!(&ctx.lex.tokens[a].kind,
+                        Tok::Ident(ty) if ty == "f32" || ty == "f64")
+                {
+                    float_fields.push(FloatStatsField {
+                        owner: s.name.clone(),
+                        field: f.name.clone(),
+                    });
+                }
+            }
         }
     }
     if float_fields.is_empty() {
@@ -1011,10 +1334,11 @@ pub fn check_float_stats(files: &[(&SourceFile, &LexData)]) -> Vec<Finding> {
 
     // Phase B: find `.field +=` accumulation sites on those fields.
     let mut out = Vec::new();
-    for (file, lexed) in files {
-        if !is_sim_crate(file) || file.kind == FileKind::TestsDir {
+    for ctx in ctxs {
+        if !is_sim_crate(ctx.file) || ctx.file.kind == FileKind::TestsDir {
             continue;
         }
+        let (file, lexed) = (ctx.file, ctx.lex);
         let toks = &lexed.tokens;
         for i in 0..toks.len().saturating_sub(3) {
             if lexed.test_mask[i] {

@@ -2,7 +2,11 @@
 //! right rule id, file and line, stays quiet on conforming code, and honors
 //! `// semloc-lint: allow(...)` pragmas.
 
-use semloc_lint::rules::{check_paper_constants, check_snapshot_coverage, parse_manifest, rule};
+use semloc_lint::rules::{
+    analyze, check_env_registry, check_paper_constants, check_refcell_borrow_discipline,
+    check_snapshot_coverage, check_snapshot_field_coverage, parse_env_registry, parse_manifest,
+    rule,
+};
 use semloc_lint::{
     lint, lint_source, to_json, FileKind, Finding, LexData, LintReport, Severity, SourceFile,
     Workspace,
@@ -247,7 +251,8 @@ fn d4_run(manifest_text: &str, files: &[SourceFile]) -> Vec<Finding> {
     let (manifest, mut findings) = parse_manifest(manifest_text, "manifest.txt");
     let lexed: Vec<LexData> = files.iter().map(|f| LexData::of(&f.content)).collect();
     let pairs: Vec<(&SourceFile, &LexData)> = files.iter().zip(lexed.iter()).collect();
-    findings.extend(check_snapshot_coverage(&pairs, &manifest, "manifest.txt"));
+    let ctxs = analyze(&pairs);
+    findings.extend(check_snapshot_coverage(&ctxs, &manifest, "manifest.txt"));
     findings
 }
 
@@ -402,7 +407,7 @@ fn d5_anchors(config: &str, cst: &str, spec: &str, reward: &str) -> Vec<SourceFi
 fn d5_run(files: &[SourceFile]) -> Vec<Finding> {
     let lexed: Vec<LexData> = files.iter().map(|f| LexData::of(&f.content)).collect();
     let pairs: Vec<(&SourceFile, &LexData)> = files.iter().zip(lexed.iter()).collect();
-    check_paper_constants(&pairs)
+    check_paper_constants(&analyze(&pairs))
 }
 
 #[test]
@@ -567,6 +572,10 @@ fn seeded_workspace_fires_every_rule_with_positions() {
         manifest,
         manifest_findings,
         manifest_path: "manifest.txt".into(),
+        env_registry: Vec::new(),
+        env_registry_findings: Vec::new(),
+        env_registry_path: "env_registry.txt".into(),
+        readme: String::new(),
     };
     let report = lint(&ws);
 
@@ -610,7 +619,7 @@ fn seeded_workspace_fires_every_rule_with_positions() {
     for key in [
         "\"version\": 1",
         "\"files_scanned\": 6",
-        "\"rule_count\": 7",
+        "\"rule_count\": 11",
         "\"pragmas_honored\"",
         "\"deny_findings\"",
         "\"warn_findings\"",
@@ -639,6 +648,10 @@ fn rule_lookup_resolves_ids_and_aliases() {
         ("paper-constants", "d5"),
         ("no-float-in-stats-accumulation", "d6"),
         ("unsafe-audit", "d7"),
+        ("snapshot-field-coverage", "d8"),
+        ("refcell-borrow-discipline", "d9"),
+        ("env-var-registry", "d10"),
+        ("stale-pragma", "d11"),
     ] {
         assert_eq!(rule(id).unwrap().id, id);
         assert_eq!(rule(alias).unwrap().id, id);
@@ -653,6 +666,7 @@ fn empty_report_serializes_cleanly() {
         findings: Vec::new(),
         files_scanned: 0,
         pragmas_honored: 0,
+        parse_ms: None,
     };
     let json = to_json(&report);
     assert!(json.contains("\"deny_findings\": 0"));
@@ -666,7 +680,7 @@ fn empty_report_serializes_cleanly() {
 fn d6_run(files: &[SourceFile]) -> Vec<Finding> {
     let lexed: Vec<LexData> = files.iter().map(|f| LexData::of(&f.content)).collect();
     let pairs: Vec<(&SourceFile, &LexData)> = files.iter().zip(lexed.iter()).collect();
-    semloc_lint::rules::check_float_stats(&pairs)
+    semloc_lint::rules::check_float_stats(&analyze(&pairs))
 }
 
 #[test]
@@ -755,6 +769,498 @@ fn d6_exempts_test_code_and_non_sim_crates() {
     assert!(d6_run(&[decl, test_fold, harness_fold]).is_empty());
 }
 
+// ---------------------------------------------------------------------------
+// D8: snapshot-field-coverage
+// ---------------------------------------------------------------------------
+
+fn d8_run(manifest_text: &str, files: &[SourceFile]) -> Vec<Finding> {
+    let (manifest, _) = parse_manifest(manifest_text, "manifest.txt");
+    let lexed: Vec<LexData> = files.iter().map(|f| LexData::of(&f.content)).collect();
+    let pairs: Vec<(&SourceFile, &LexData)> = files.iter().zip(lexed.iter()).collect();
+    check_snapshot_field_coverage(&analyze(&pairs), &manifest)
+}
+
+const SNAP_FULL: &str = "pub struct Table {\n\
+                         \x20   v: Vec<u64>,\n\
+                         \x20   tick: u64,\n\
+                         }\n\
+                         impl Snapshot for Table {\n\
+                         \x20   fn save(&self, w: &mut W) { w.bytes(&self.v); w.u64(self.tick); }\n\
+                         \x20   fn restore(&mut self, r: &mut R) -> E { self.v = r.bytes()?; self.tick = r.u64()?; Ok(()) }\n\
+                         }\n";
+
+#[test]
+fn d8_clean_when_every_field_is_saved_and_restored() {
+    let files = [fixture("mem", FileKind::LibSrc, SNAP_FULL)];
+    assert!(d8_run("mem/Table snapshot\n", &files).is_empty());
+}
+
+#[test]
+fn d8_fires_on_field_missing_from_restore_at_the_declaration() {
+    let src = SNAP_FULL.replace("self.tick = r.u64()?; ", "");
+    let files = [fixture("mem", FileKind::LibSrc, src.as_str())];
+    let f = d8_run("mem/Table snapshot\n", &files);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "snapshot-field-coverage");
+    assert_eq!(f[0].severity, Severity::Deny);
+    // The finding anchors on the field declaration (line 3: `tick`),
+    // where the per-field pragma would go.
+    assert_eq!((f[0].line, f[0].col), (3, 5), "{f:?}");
+    assert!(f[0].message.contains("tick"), "{}", f[0].message);
+    assert!(f[0].message.contains("restore body"), "{}", f[0].message);
+}
+
+#[test]
+fn d8_fires_on_field_missing_from_save_and_from_both() {
+    let no_save = SNAP_FULL.replace("w.u64(self.tick); ", "");
+    let f = d8_run(
+        "mem/Table snapshot\n",
+        &[fixture("mem", FileKind::LibSrc, no_save.as_str())],
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].message.contains("save body"), "{}", f[0].message);
+
+    let neither = SNAP_FULL
+        .replace("w.u64(self.tick); ", "")
+        .replace("self.tick = r.u64()?; ", "");
+    let f = d8_run(
+        "mem/Table snapshot\n",
+        &[fixture("mem", FileKind::LibSrc, neither.as_str())],
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(
+        f[0].message.contains("save or restore body"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn d8_helper_delegation_counts_as_a_reference() {
+    // `self.v.save_into(w)` mentions the field: covered.
+    let src = SNAP_FULL.replace("w.bytes(&self.v);", "self.v.save_into(w);");
+    let files = [fixture("mem", FileKind::LibSrc, src.as_str())];
+    assert!(d8_run("mem/Table snapshot\n", &files).is_empty());
+}
+
+#[test]
+fn d8_scope_skips_state_mechanism_enums_and_unmanifested_structs() {
+    // State-mechanism entries are out of D8 scope (save_state overrides
+    // serialize through a different shape), as are enums (no named
+    // fields) and structs that are not manifested at all.
+    let state = "pub struct P { n: u64 }\n\
+                 impl Prefetcher for P { fn save_state(&self, _w: &mut W) {} }\n";
+    assert!(d8_run("mem/P state\n", &[fixture("mem", FileKind::LibSrc, state)]).is_empty());
+
+    let enm = "pub enum Mode { A, B(u64) }\n\
+               impl Snapshot for Mode {\n\
+               \x20   fn save(&self, _w: &mut W) {}\n\
+               \x20   fn restore(&mut self, _r: &mut R) -> E { Ok(()) }\n\
+               }\n";
+    assert!(d8_run(
+        "mem/Mode snapshot\n",
+        &[fixture("mem", FileKind::LibSrc, enm)]
+    )
+    .is_empty());
+
+    let uncovered = SNAP_FULL.replace("self.tick = r.u64()?; ", "");
+    assert!(d8_run("", &[fixture("mem", FileKind::LibSrc, uncovered.as_str())]).is_empty());
+}
+
+#[test]
+fn d8_per_field_pragma_suppresses_through_lint() {
+    // Config-derived fields carry the pragma on the declaration line; the
+    // suppression runs through the full `lint()` pass.
+    let src = "pub struct Table {\n\
+               \x20   v: Vec<u64>,\n\
+               \x20   // semloc-lint: allow(snapshot-field-coverage): set_mask is derived from cfg at construction\n\
+               \x20   set_mask: u64,\n\
+               }\n\
+               impl Snapshot for Table {\n\
+               \x20   fn save(&self, w: &mut W) { w.bytes(&self.v); }\n\
+               \x20   fn restore(&mut self, r: &mut R) -> E { self.v = r.bytes()?; Ok(()) }\n\
+               }\n";
+    let report = lint(&ws_fixture(
+        vec![fixture("mem", FileKind::LibSrc, src)],
+        "mem/Table snapshot\n",
+        "",
+        "",
+    ));
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == "snapshot-field-coverage" || f.rule == "stale-pragma"),
+        "{:?}",
+        report.findings
+    );
+    assert!(report.pragmas_honored >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// D9: refcell-borrow-discipline
+// ---------------------------------------------------------------------------
+
+fn d9_run(files: &[SourceFile]) -> Vec<Finding> {
+    let lexed: Vec<LexData> = files.iter().map(|f| LexData::of(&f.content)).collect();
+    let pairs: Vec<(&SourceFile, &LexData)> = files.iter().zip(lexed.iter()).collect();
+    check_refcell_borrow_discipline(&analyze(&pairs))
+}
+
+#[test]
+fn d9_fires_on_guard_held_across_self_method_call() {
+    let src = "impl Core {\n\
+               \x20   fn step(&mut self) {\n\
+               \x20       let mut l2 = self.shared.borrow_mut();\n\
+               \x20       l2.tick();\n\
+               \x20       self.advance(1);\n\
+               \x20   }\n\
+               }\n";
+    let f = d9_run(&[fixture("mem", FileKind::LibSrc, src)]);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "refcell-borrow-discipline");
+    assert_eq!(f[0].line, 3, "finding anchors on the `let` binding: {f:?}");
+    assert!(f[0].message.contains("l2"), "{}", f[0].message);
+    assert!(f[0].message.contains("line 5"), "{}", f[0].message);
+}
+
+#[test]
+fn d9_fires_on_guard_held_across_second_borrow() {
+    let src = "fn drain(a: &Handle, b: &Handle) {\n\
+               \x20   let ga = a.borrow_mut();\n\
+               \x20   let gb = b.borrow_mut();\n\
+               \x20   merge(ga, gb);\n\
+               }\n";
+    let f = d9_run(&[fixture("harness", FileKind::LibSrc, src)]);
+    // `ga` is alive at line 3's second borrow. (`gb` is also a guard but
+    // sees no further hazard.)
+    assert!(
+        f.iter()
+            .any(|x| x.line == 2 && x.message.contains("another borrow")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn d9_quiet_on_temporaries_scoped_blocks_and_drop() {
+    let src = "impl Core {\n\
+               \x20   fn a(&mut self) {\n\
+               \x20       self.shared.borrow_mut().tick();\n\
+               \x20       self.advance(1);\n\
+               \x20   }\n\
+               \x20   fn b(&mut self) {\n\
+               \x20       { let mut g = self.shared.borrow_mut(); g.tick(); }\n\
+               \x20       self.advance(1);\n\
+               \x20   }\n\
+               \x20   fn c(&mut self) {\n\
+               \x20       let g = self.shared.borrow();\n\
+               \x20       let v = g.depth();\n\
+               \x20       drop(g);\n\
+               \x20       self.advance(v);\n\
+               \x20   }\n\
+               \x20   fn d(&mut self) {\n\
+               \x20       let stats = *self.shared.borrow().stats();\n\
+               \x20       self.record(stats);\n\
+               \x20   }\n\
+               }\n";
+    assert!(d9_run(&[fixture("mem", FileKind::LibSrc, src)]).is_empty());
+}
+
+#[test]
+fn d9_scope_is_refcell_crates_non_test_code_only() {
+    let src = "impl Core {\n\
+               \x20   fn step(&mut self) {\n\
+               \x20       let g = self.shared.borrow_mut();\n\
+               \x20       self.advance(1);\n\
+               \x20   }\n\
+               }\n";
+    // Other crates do not share RefCell state; test code is exempt.
+    assert!(d9_run(&[fixture("core", FileKind::LibSrc, src)]).is_empty());
+    assert!(d9_run(&[fixture("mem", FileKind::TestsDir, src)]).is_empty());
+    let in_test = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+    assert!(d9_run(&[fixture("mem", FileKind::LibSrc, &in_test)]).is_empty());
+}
+
+#[test]
+fn d9_pragma_suppresses_a_justified_guard() {
+    let src = "impl Core {\n\
+               \x20   fn step(&mut self) {\n\
+               \x20       // semloc-lint: allow(refcell-borrow-discipline): advance() never touches self.shared\n\
+               \x20       let g = self.shared.borrow_mut();\n\
+               \x20       self.advance(1);\n\
+               \x20   }\n\
+               }\n";
+    let file = fixture("mem", FileKind::LibSrc, src);
+    let raw = d9_run(std::slice::from_ref(&file));
+    assert_eq!(raw.len(), 1, "finding must exist before suppression");
+    let lx = LexData::of(&file.content);
+    assert!(semloc_lint::suppress(raw, &lx).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// D10: env-var-registry
+// ---------------------------------------------------------------------------
+
+fn d10_run(files: &[SourceFile], registry_text: &str, readme: &str) -> Vec<Finding> {
+    let (registry, mut findings) = parse_env_registry(registry_text, "env_registry.txt");
+    let lexed: Vec<LexData> = files.iter().map(|f| LexData::of(&f.content)).collect();
+    let pairs: Vec<(&SourceFile, &LexData)> = files.iter().zip(lexed.iter()).collect();
+    findings.extend(check_env_registry(
+        &analyze(&pairs),
+        &registry,
+        "env_registry.txt",
+        readme,
+    ));
+    findings
+}
+
+const READS_KNOB: &str =
+    "pub fn budget() -> u64 {\n    std::env::var(\"SEMLOC_FAKE\").map_or(0, |v| v.len() as u64)\n}\n";
+
+#[test]
+fn d10_clean_when_read_registered_and_documented() {
+    let files = [fixture("harness", FileKind::LibSrc, READS_KNOB)];
+    let f = d10_run(
+        &files,
+        "SEMLOC_FAKE  test knob\n",
+        "Set `SEMLOC_FAKE` to test.",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn d10_fires_on_unregistered_read_at_the_read_site() {
+    let files = [fixture("harness", FileKind::LibSrc, READS_KNOB)];
+    let f = d10_run(&files, "", "Set `SEMLOC_FAKE` to test.");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "env-var-registry");
+    assert_eq!(f[0].line, 2, "{f:?}");
+    assert!(
+        f[0].message.contains("env_registry.txt"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn d10_fires_on_undocumented_read_and_on_dead_registry_entry() {
+    let files = [fixture("harness", FileKind::LibSrc, READS_KNOB)];
+    let f = d10_run(&files, "SEMLOC_FAKE  test knob\n", "");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].message.contains("README"), "{}", f[0].message);
+
+    let f = d10_run(
+        &files,
+        "SEMLOC_FAKE  test knob\nSEMLOC_GHOST  removed knob\n",
+        "Set `SEMLOC_FAKE` to test.",
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!((f[0].file.as_str(), f[0].line), ("env_registry.txt", 2));
+    assert!(
+        f[0].message.contains("no live read site"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn d10_ignores_test_reads_writes_and_non_semloc_strings() {
+    let src = "pub fn f() { let _ = format!(\"SEMLOC_DOC\"); }\n\
+               pub fn w() { std::env::set_var(\"SEMLOC_SET\", \"1\"); std::env::remove_var(\"SEMLOC_SET\"); }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   fn t() { let _ = std::env::var(\"SEMLOC_TESTONLY\"); }\n\
+               }\n";
+    let files = [
+        fixture("harness", FileKind::LibSrc, src),
+        fixture(
+            "harness",
+            FileKind::TestsDir,
+            "fn t() { let _ = std::env::var(\"SEMLOC_ITEST\"); }\n",
+        ),
+    ];
+    assert!(d10_run(&files, "", "").is_empty());
+}
+
+#[test]
+fn d10_malformed_registry_line_is_a_deny_finding() {
+    let f = d10_run(&[], "NOT_SEMLOC  desc\nSEMLOC_BARE\n", "");
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(f.iter().all(|x| x.message.contains("malformed")), "{f:?}");
+}
+
+#[test]
+fn d10_pragma_suppresses_at_the_read_site_through_lint() {
+    let src = "pub fn probe() -> bool {\n\
+               \x20   // semloc-lint: allow(env-var-registry): transient debug probe, removed next PR\n\
+               \x20   std::env::var(\"SEMLOC_DEBUG_PROBE\").is_ok()\n\
+               }\n";
+    let report = lint(&ws_fixture(
+        vec![fixture("harness", FileKind::LibSrc, src)],
+        "",
+        "",
+        "",
+    ));
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == "env-var-registry" || f.rule == "stale-pragma"),
+        "{:?}",
+        report.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// D11: stale-pragma (runs inside `lint()`)
+// ---------------------------------------------------------------------------
+
+/// A minimal workspace for `lint()` tests: the given files plus clean D5
+/// anchors (so missing-anchor findings don't pollute the report).
+fn ws_fixture(
+    files: Vec<SourceFile>,
+    manifest_text: &str,
+    registry_text: &str,
+    readme: &str,
+) -> Workspace {
+    let mut all = d5_anchors(GOOD_CONFIG, GOOD_CST, GOOD_SPEC, GOOD_REWARD);
+    all.extend(files);
+    let (manifest, manifest_findings) = parse_manifest(manifest_text, "manifest.txt");
+    let (env_registry, env_registry_findings) =
+        parse_env_registry(registry_text, "env_registry.txt");
+    Workspace {
+        root: PathBuf::from("."),
+        files: all,
+        manifest,
+        manifest_findings,
+        manifest_path: "manifest.txt".into(),
+        env_registry,
+        env_registry_findings,
+        env_registry_path: "env_registry.txt".into(),
+        readme: readme.into(),
+    }
+}
+
+#[test]
+fn d11_fires_on_pragma_that_suppresses_nothing() {
+    let src = "// semloc-lint: allow(no-unwrap): the unwrap below was refactored away\n\
+               pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+    let report = lint(&ws_fixture(
+        vec![fixture("core", FileKind::LibSrc, src)],
+        "",
+        "",
+        "",
+    ));
+    let f: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "stale-pragma")
+        .collect();
+    assert_eq!(f.len(), 1, "{:?}", report.findings);
+    assert_eq!((f[0].line, f[0].col), (1, 1), "{f:?}");
+    assert_eq!(f[0].severity, Severity::Deny);
+    assert!(f[0].message.contains("no-unwrap"), "{}", f[0].message);
+}
+
+#[test]
+fn d11_quiet_when_the_pragma_earns_its_keep() {
+    let src = "// semloc-lint: allow(no-unwrap): caller checked\n\
+               pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let report = lint(&ws_fixture(
+        vec![fixture("core", FileKind::LibSrc, src)],
+        "",
+        "",
+        "",
+    ));
+    assert!(
+        report.findings.iter().all(|f| f.rule != "stale-pragma"),
+        "{:?}",
+        report.findings
+    );
+    assert!(report.findings.iter().all(|f| f.rule != "no-unwrap"));
+}
+
+#[test]
+fn d11_flags_each_dead_entry_of_a_multi_rule_pragma() {
+    // One entry suppresses, the other is stale: only the dead one is
+    // flagged, and the live suppression still works.
+    let src = "// semloc-lint: allow(no-unwrap, no-wall-clock): only the unwrap is real\n\
+               pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let report = lint(&ws_fixture(
+        vec![fixture("core", FileKind::LibSrc, src)],
+        "",
+        "",
+        "",
+    ));
+    let stale: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "stale-pragma")
+        .collect();
+    assert_eq!(stale.len(), 1, "{:?}", report.findings);
+    assert!(stale[0].message.contains("no-wall-clock"), "{stale:?}");
+    assert!(report.findings.iter().all(|f| f.rule != "no-unwrap"));
+}
+
+#[test]
+fn d11_flags_unknown_rule_names() {
+    let src = "// semloc-lint: allow(no-unwarp): typo in the rule id\n\
+               pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let report = lint(&ws_fixture(
+        vec![fixture("core", FileKind::LibSrc, src)],
+        "",
+        "",
+        "",
+    ));
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "stale-pragma" && f.message.contains("unknown rule")),
+        "{:?}",
+        report.findings
+    );
+    // The typo'd pragma suppressed nothing, so the unwrap also survives.
+    assert!(report.findings.iter().any(|f| f.rule == "no-unwrap"));
+}
+
+#[test]
+fn d11_stale_allow_all_is_flagged_and_never_self_excuses() {
+    let src = "// semloc-lint: allow(all): blanket with nothing underneath\n\
+               pub fn f() -> u32 { 7 }\n";
+    let report = lint(&ws_fixture(
+        vec![fixture("core", FileKind::LibSrc, src)],
+        "",
+        "",
+        "",
+    ));
+    assert!(
+        report.findings.iter().any(|f| f.rule == "stale-pragma"),
+        "allow(all) must not launder its own staleness: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn d11_explicit_acknowledgement_suppresses_staleness() {
+    // The sanctioned escape hatch: a pragma naming stale-pragma on the
+    // line above acknowledges a scan-invisible suppression.
+    let src = "// semloc-lint: allow(stale-pragma): the unwrap is behind cfg(slow_asserts)\n\
+               // semloc-lint: allow(no-unwrap): fires only under cfg(slow_asserts)\n\
+               pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+    let report = lint(&ws_fixture(
+        vec![fixture("core", FileKind::LibSrc, src)],
+        "",
+        "",
+        "",
+    ));
+    assert!(
+        report.findings.iter().all(|f| f.rule != "stale-pragma"),
+        "{:?}",
+        report.findings
+    );
+}
+
 #[test]
 fn d6_pragma_suppresses_a_justified_fold() {
     let decl = fixture(
@@ -773,7 +1279,7 @@ fn d6_pragma_suppresses_a_justified_fold() {
         .collect();
     let pairs: Vec<(&SourceFile, &LexData)> =
         [&decl, &fold].into_iter().zip(lexed.iter()).collect();
-    let raw = semloc_lint::rules::check_float_stats(&pairs);
+    let raw = semloc_lint::rules::check_float_stats(&analyze(&pairs));
     assert_eq!(raw.len(), 1, "finding must exist before suppression");
     let survived = semloc_lint::suppress(raw, &lexed[1]);
     assert!(survived.is_empty(), "{survived:?}");

@@ -70,6 +70,63 @@ fn workspace_scan_covers_the_tree() {
     assert!(ws.manifest_findings.is_empty(), "manifest must parse clean");
 }
 
+/// Seeded-mutation check for D8: drop one field reference from a real,
+/// manifested Snapshot impl and the lint must catch it. This proves the
+/// field-coverage rule actually reads the save/restore bodies rather than
+/// vacuously passing on the clean tree.
+#[test]
+fn d8_catches_a_dropped_save_field() {
+    let mut ws = load_workspace(&workspace_root()).expect("workspace loads");
+    let bpred = ws
+        .files
+        .iter_mut()
+        .find(|f| f.rel_path == "crates/cpu/src/bpred.rs")
+        .expect("gshare predictor is in the scan");
+    let seeded = "w.put_u16(self.history);";
+    assert!(
+        bpred.content.contains(seeded),
+        "mutation anchor vanished from bpred.rs — update this test"
+    );
+    // The mutation: Gshare::save no longer serializes `history`. Everything
+    // else (restore, the manifest entry, the pragma set) is untouched.
+    bpred.content = bpred.content.replace(seeded, "");
+
+    let report = lint(&ws);
+    let caught = report.findings.iter().any(|f| {
+        f.rule == "snapshot-field-coverage"
+            && f.file == "crates/cpu/src/bpred.rs"
+            && f.message.contains("`history`")
+            && f.message.contains("save body")
+    });
+    assert!(
+        caught,
+        "D8 missed the seeded mutation; findings were:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The env-var registry must stay populated and every entry must earn its
+/// keep — D10's both-direction check runs in `lint()`, so a clean report
+/// plus a non-trivial registry means docs and code agree.
+#[test]
+fn env_registry_is_populated_and_live() {
+    let ws = load_workspace(&workspace_root()).expect("workspace loads");
+    assert!(
+        ws.env_registry.len() >= 16,
+        "env registry lost entries: {}",
+        ws.env_registry.len()
+    );
+    assert!(
+        ws.env_registry_findings.is_empty(),
+        "env registry must parse clean"
+    );
+}
+
 #[test]
 fn vendored_stubs_are_not_scanned() {
     let ws = load_workspace(&workspace_root()).expect("workspace loads");

@@ -56,6 +56,7 @@ pub struct Eviction {
 /// ```
 #[derive(Debug)]
 pub struct Cache {
+    // semloc-lint: allow(snapshot-field-coverage): construction-time config; the geometry fields below are derived from it
     cfg: CacheConfig,
     /// Line metadata in parallel arrays, set-major: set `s`, way `w` lives
     /// at index `s * ways + w` of each array. Splitting by field keeps the
@@ -74,8 +75,11 @@ pub struct Cache {
     lru: Box<[u64]>,
     /// Cycle at which each fill completes; before it the line is in flight.
     ready_at: Box<[Cycle]>,
+    // semloc-lint: allow(snapshot-field-coverage): geometry derived from cfg at construction
     ways: usize,
+    // semloc-lint: allow(snapshot-field-coverage): geometry derived from cfg at construction
     set_mask: u64,
+    // semloc-lint: allow(snapshot-field-coverage): geometry derived from cfg at construction
     line_shift: u32,
     tick: u64,
 }

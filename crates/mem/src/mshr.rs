@@ -49,7 +49,9 @@ impl Entry {
 #[derive(Debug)]
 pub struct MshrFile {
     entries: Vec<Entry>,
+    // semloc-lint: allow(snapshot-field-coverage): file size is construction-time config; restore validates the entry count against it
     capacity: usize,
+    // semloc-lint: allow(snapshot-field-coverage): geometry derived from cfg at construction
     line_shift: u32,
 }
 

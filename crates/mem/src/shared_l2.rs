@@ -49,6 +49,7 @@ impl Default for DramConfig {
 /// queues behind its outstanding transfers.
 #[derive(Debug)]
 pub struct DramModel {
+    // semloc-lint: allow(snapshot-field-coverage): construction-time config (latency/channels/interval), not run state
     cfg: DramConfig,
     next_free: Vec<Cycle>,
 }
@@ -153,6 +154,7 @@ impl Snapshot for SharedL2Stats {
 /// [`DramModel::schedule`], so a miss behind a saturated channel completes
 /// later than an identical miss on an idle machine.
 pub struct SharedL2 {
+    // semloc-lint: allow(snapshot-field-coverage): construction-time geometry config, not run state
     cfg: CacheConfig,
     l2: Cache,
     mshrs: MshrFile,

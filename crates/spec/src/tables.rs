@@ -145,6 +145,7 @@ struct SpecCstEntry {
 #[derive(Clone, Debug)]
 pub struct SpecCst {
     entries: Vec<Option<SpecCstEntry>>,
+    // semloc-lint: allow(snapshot-field-coverage): link replacement policy is construction-time config, not run state
     replacement: Replacement,
 }
 
@@ -438,9 +439,13 @@ struct SpecReducerEntry {
 #[derive(Clone, Debug)]
 pub struct SpecReducer {
     entries: Vec<Option<SpecReducerEntry>>,
+    // semloc-lint: allow(snapshot-field-coverage): construction-time config mirroring core's Reducer
     initial_active: u8,
+    // semloc-lint: allow(snapshot-field-coverage): construction-time config mirroring core's Reducer
     overload_threshold: i8,
+    // semloc-lint: allow(snapshot-field-coverage): construction-time config mirroring core's Reducer
     underload_threshold: i8,
+    // semloc-lint: allow(snapshot-field-coverage): set once at construction, never mutated — mirrors core's Reducer
     frozen: bool,
     activations: u64,
     deactivations: u64,
@@ -570,6 +575,7 @@ pub struct SpecHistEntry {
 #[derive(Clone, Debug)]
 pub struct SpecHistory {
     entries: Vec<SpecHistEntry>,
+    // semloc-lint: allow(snapshot-field-coverage): queue depth is construction-time config; restore validates the entry count against it
     capacity: usize,
 }
 
@@ -639,6 +645,7 @@ pub struct SpecPfqHit {
 #[derive(Clone, Debug)]
 pub struct SpecPfq {
     entries: Vec<SpecPfqEntry>,
+    // semloc-lint: allow(snapshot-field-coverage): queue depth is construction-time config; restore validates the entry count against it
     capacity: usize,
     next_id: u64,
 }
